@@ -1,0 +1,67 @@
+(* EXP-F6 -- Fig 6: IES3 electromagnetic-solver time and memory "scale
+   only slightly faster than linearly with increasing problem size".
+   Swept over square-plate meshes; the log-log slope of compressed memory
+   and solve time against n quantifies the claim, with the dense O(n^2)
+   storage as contrast. *)
+
+open Rfkit
+open Em
+
+let mesh n =
+  Geo3.mesh_plate ~name:"plate" ~origin:(Geo3.v3 0.0 0.0 0.0)
+    ~u:(Geo3.v3 1e-3 0.0 0.0) ~v:(Geo3.v3 0.0 1e-3 0.0) ~nu:n ~nv:n
+
+let sizes = [ 8; 12; 16; 24; 32; 44 ]
+
+let report () =
+  Util.section "EXP-F6 | Fig 6: IES3 time and memory scaling";
+  Printf.printf "  %-8s %-12s %-14s %-12s %-12s %-10s\n" "panels" "dense (MB)"
+    "IES3 (MB)" "ratio" "build+solve" "matvec(ms)";
+  let ns = ref [] and mems = ref [] and times = ref [] in
+  List.iter
+    (fun n ->
+      let p = Mom.make Kernel.free_space [| mesh n |] in
+      let (t, cap), dt =
+        Util.timed (fun () ->
+            let t = Ies3.build_mom p in
+            let cap =
+              Mom.solve_operator p ~matvec:(Ies3.matvec t)
+                ~precond_diag:(Ies3.diagonal t)
+            in
+            (t, cap))
+      in
+      ignore cap;
+      let st = Ies3.stats t in
+      let x = Array.make st.Ies3.n 1.0 in
+      let _, t_mv =
+        Util.timed (fun () ->
+            for _ = 1 to 10 do
+              ignore (Ies3.matvec t x)
+            done)
+      in
+      Printf.printf "  %-8d %-12.2f %-14.2f %-12.2f %-12.3f %-10.2f\n" st.Ies3.n
+        (float_of_int st.Ies3.dense_memory_bytes /. 1048576.0)
+        (float_of_int st.Ies3.memory_bytes /. 1048576.0)
+        st.Ies3.compression_ratio dt
+        (t_mv *. 100.0);
+      ns := log (float_of_int st.Ies3.n) :: !ns;
+      mems := log (float_of_int st.Ies3.memory_bytes) :: !mems;
+      times := log (Float.max 1e-6 dt) :: !times)
+    sizes;
+  let xs = Array.of_list (List.rev !ns) in
+  let mem_slope, _, _ = La.Stats.linreg xs (Array.of_list (List.rev !mems)) in
+  let time_slope, _, _ = La.Stats.linreg xs (Array.of_list (List.rev !times)) in
+  Printf.printf "\n  log-log scaling exponents (1.0 = linear, 2.0 = dense):\n";
+  Util.verdict ~label:"memory exponent" ~paper:"slightly above 1"
+    ~measured:(Printf.sprintf "%.2f" mem_slope)
+    ~ok:(mem_slope < 1.8);
+  Util.verdict ~label:"time exponent" ~paper:"slightly above 1"
+    ~measured:(Printf.sprintf "%.2f" time_slope)
+    ~ok:(time_slope < 2.2)
+
+let bench_tests =
+  [
+    Bechamel.Test.make ~name:"fig6.ies3_build_1024"
+      (Bechamel.Staged.stage (fun () ->
+           Ies3.build_mom (Mom.make Kernel.free_space [| mesh 32 |])));
+  ]

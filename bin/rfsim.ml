@@ -1,0 +1,203 @@
+(* rfsim: command-line front end over the rfkit engines.
+
+   Reads a SPICE-like deck (see Rfkit.Circuit.Deck for the grammar) and
+   runs the analyses given on the command line or embedded as deck
+   directives (.dc/.tran/.ac/.hb).
+
+     rfsim run circuit.cir
+     rfsim dc circuit.cir
+     rfsim tran circuit.cir --t-stop 1e-6 --dt 1e-9 --node out
+     rfsim ac circuit.cir --f-start 1e3 --f-stop 1e9 --source V1 --node out
+     rfsim hb circuit.cir --freq 1e6 --node out --harmonics 8 *)
+
+open Rfkit
+open Circuit
+open Cmdliner
+
+let load path =
+  try Deck.parse_file path with
+  | Deck.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let print_nodes nl =
+  let names = List.init (Netlist.node_count nl) (Netlist.node_name nl) in
+  String.concat ", " names
+
+let run_dc c =
+  let x =
+    try Dc.solve c
+    with Dc.No_convergence msg ->
+      Printf.eprintf "DC did not converge: %s\n" msg;
+      exit 1
+  in
+  Printf.printf "DC operating point:\n";
+  let nl = Mna.netlist c in
+  for i = 0 to Netlist.node_count nl - 1 do
+    Printf.printf "  v(%s) = %.9g V\n" (Netlist.node_name nl i) x.(i)
+  done
+
+let run_tran c ~t_stop ~dt ~nodes =
+  let res = Tran.run c ~t_stop ~dt in
+  let n = Array.length res.Tran.times in
+  Printf.printf "time";
+  List.iter (Printf.printf ",v(%s)") nodes;
+  print_newline ();
+  let cols = List.map (fun node -> Tran.voltage_trace c res node) nodes in
+  let stride = max 1 (n / 200) in
+  for k = 0 to n - 1 do
+    if k mod stride = 0 then begin
+      Printf.printf "%.6e" res.Tran.times.(k);
+      List.iter (fun col -> Printf.printf ",%.6e" col.(k)) cols;
+      print_newline ()
+    end
+  done
+
+let run_ac c ~f_start ~f_stop ~source ~node =
+  let freqs = Ac.log_freqs ~f_start ~f_stop ~points_per_decade:10 in
+  let res = Ac.sweep c ~source ~freqs in
+  let h = Ac.transfer c res node in
+  Printf.printf "freq,mag_db,phase_deg\n";
+  Array.iteri
+    (fun i z ->
+      Printf.printf "%.6e,%.3f,%.2f\n" freqs.(i)
+        (La.Stats.db20 (La.Cx.abs z))
+        (La.Cx.arg z *. 180.0 /. Float.pi))
+    h
+
+let run_noise c ~f_start ~f_stop ~node =
+  let freqs = Ac.log_freqs ~f_start ~f_stop ~points_per_decade:10 in
+  let psd = Ac.output_noise c ~node ~freqs in
+  Printf.printf "freq,vnoise_psd,vnoise_per_rthz\n";
+  Array.iteri
+    (fun i s -> Printf.printf "%.6e,%.6e,%.6e\n" freqs.(i) s (sqrt s))
+    psd
+
+let run_hb c ~freq ~node ~harmonics =
+  let res =
+    try
+      Rf.Hb.solve
+        ~options:
+          { Rf.Hb.default_options with n_samples = La.Fft.next_pow2 (4 * harmonics) }
+        c ~freq
+    with Rf.Hb.No_convergence msg ->
+      Printf.eprintf "HB did not converge: %s\n" msg;
+      exit 1
+  in
+  Printf.printf "harmonic balance at %.6g Hz (%d Newton iterations):\n" freq
+    res.Rf.Hb.newton_iters;
+  Printf.printf "harmonic,freq,amplitude\n";
+  for k = 0 to harmonics do
+    Printf.printf "%d,%.6e,%.6e\n" k
+      (float_of_int k *. freq)
+      (Rf.Hb.harmonic_amplitude res node k)
+  done
+
+(* ---------------------------------------------------------------- CLI -- *)
+
+let deck_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK" ~doc:"Netlist deck file.")
+
+let node_arg default =
+  Arg.(value & opt string default & info [ "node" ] ~docv:"NODE" ~doc:"Output node.")
+
+let dc_cmd =
+  let doc = "DC operating point" in
+  let run path =
+    let nl, _ = load path in
+    run_dc (Mna.build nl)
+  in
+  Cmd.v (Cmd.info "dc" ~doc) Term.(const run $ deck_arg)
+
+let tran_cmd =
+  let doc = "transient analysis (CSV on stdout)" in
+  let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"Stop time (s).") in
+  let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
+  let run path t_stop dt node =
+    let nl, _ = load path in
+    run_tran (Mna.build nl) ~t_stop ~dt ~nodes:[ node ]
+  in
+  Cmd.v (Cmd.info "tran" ~doc) Term.(const run $ deck_arg $ t_stop $ dt $ node_arg "out")
+
+let ac_cmd =
+  let doc = "AC small-signal sweep (CSV on stdout)" in
+  let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
+  let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
+  let source = Arg.(value & opt string "V1" & info [ "source" ] ~doc:"Driving source name.") in
+  let run path f_start f_stop source node =
+    let nl, _ = load path in
+    run_ac (Mna.build nl) ~f_start ~f_stop ~source ~node
+  in
+  Cmd.v (Cmd.info "ac" ~doc)
+    Term.(const run $ deck_arg $ f_start $ f_stop $ source $ node_arg "out")
+
+let noise_cmd =
+  let doc = "output-noise PSD sweep (CSV on stdout)" in
+  let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
+  let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
+  let run path f_start f_stop node =
+    let nl, _ = load path in
+    run_noise (Mna.build nl) ~f_start ~f_stop ~node
+  in
+  Cmd.v (Cmd.info "noise" ~doc)
+    Term.(const run $ deck_arg $ f_start $ f_stop $ node_arg "out")
+
+let hb_cmd =
+  let doc = "harmonic-balance periodic steady state" in
+  let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
+  let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
+  let run path freq harmonics node =
+    let nl, _ = load path in
+    run_hb (Mna.build nl) ~freq ~node ~harmonics
+  in
+  Cmd.v (Cmd.info "hb" ~doc) Term.(const run $ deck_arg $ freq $ harmonics $ node_arg "out")
+
+let run_cmd =
+  let doc = "run every directive embedded in the deck" in
+  let run path =
+    let nl, directives = load path in
+    let c = Mna.build nl in
+    Printf.printf "deck: %d nodes (%s), %d devices, %d directives\n\n"
+      (Netlist.node_count nl) (print_nodes nl)
+      (List.length (Netlist.devices nl))
+      (List.length directives);
+    let print_nodes_of = function
+      | Deck.Print nodes -> nodes
+      | _ -> []
+    in
+    let requested = List.concat_map print_nodes_of directives in
+    let out_node = match requested with n :: _ -> n | [] -> "out" in
+    List.iter
+      (fun d ->
+        match d with
+        | Deck.Dc_op -> run_dc c
+        | Deck.Tran { t_stop; dt } -> run_tran c ~t_stop ~dt ~nodes:[ out_node ]
+        | Deck.Ac_sweep { f_start; f_stop } -> begin
+            (* first voltage source is the stimulus *)
+            match
+              List.find_opt
+                (function Device.Vsource _ -> true | _ -> false)
+                (Netlist.devices nl)
+            with
+            | Some src -> run_ac c ~f_start ~f_stop ~source:(Device.name src) ~node:out_node
+            | None -> Printf.eprintf ".ac: no voltage source in deck\n"
+          end
+        | Deck.Hb { harmonics } -> begin
+            match Mna.fundamentals c with
+            | freq :: _ -> run_hb c ~freq ~node:out_node ~harmonics
+            | [] -> Printf.eprintf ".hb: no periodic source in deck\n"
+          end
+        | Deck.Noise_sweep { f_start; f_stop } ->
+            run_noise c ~f_start ~f_stop ~node:out_node
+        | Deck.Print _ -> ())
+      directives
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ deck_arg)
+
+let () =
+  let doc = "rfkit circuit simulator" in
+  let info = Cmd.info "rfsim" ~version:Rfkit.version ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd; noise_cmd ]))

@@ -1,0 +1,88 @@
+(* The paper's Fig 4/5 experiment: a switching mixer analyzed with the
+   Multivariate Mixed Frequency-Time method, cross-checked against
+   univariate shooting.
+
+   RF: 100 kHz sine, 100 mV (mildly nonlinear path)
+   LO: 900 MHz square wave, 1 V (hard switching)
+
+   MMFT represents the slow (RF) dependence with 3 harmonics and shoots
+   along the fast (LO) axis; univariate shooting must instead step through
+   every LO cycle of a whole RF period -- 9000 of them.
+
+     dune exec examples/mixer_mmft.exe *)
+
+open Rfkit
+open Rfkit_circuits
+
+let () =
+  let p = Mixer.paper_params in
+  let c = Mixer.build p in
+  Printf.printf "switching mixer: RF %.0f kHz / %.0f mV, LO %.0f MHz / %.0f V square\n\n"
+    (p.Mixer.f_rf /. 1e3) (p.Mixer.a_rf *. 1e3) (p.Mixer.f_lo /. 1e6) p.Mixer.a_lo;
+
+  (* --- MMFT ----------------------------------------------------------- *)
+  let t0 = Unix.gettimeofday () in
+  let res =
+    Rf.Mmft.solve
+      ~options:{ Rf.Mmft.default_options with slow_harmonics = 3; steps2 = 50 }
+      c ~f1:p.Mixer.f_rf ~f2:p.Mixer.f_lo
+  in
+  let t_mmft = Unix.gettimeofday () -. t0 in
+  let h1 = Rf.Mmft.harmonic_magnitude res Mixer.output_node 1 in
+  let h3 = Rf.Mmft.harmonic_magnitude res Mixer.output_node 3 in
+  Printf.printf "MMFT: %d Newton iterations, %d fast BE steps, %.3f s\n"
+    res.Rf.Mmft.newton_iters res.Rf.Mmft.integration_steps t_mmft;
+  Printf.printf "\nFig 4(a): first-harmonic envelope over one LO period (mV):\n  ";
+  Array.iteri
+    (fun i v -> if i mod 5 = 0 then Printf.printf "%6.2f " (v *. 1e3))
+    h1;
+  Printf.printf "\nFig 4(b): third-harmonic envelope over one LO period (mV):\n  ";
+  Array.iteri
+    (fun i v -> if i mod 5 = 0 then Printf.printf "%6.3f " (v *. 1e3))
+    h3;
+  let a1 = Rf.Mmft.mix_amplitude res Mixer.output_node ~slow:1 ~fast:1 in
+  let a3 = Rf.Mmft.mix_amplitude res Mixer.output_node ~slow:3 ~fast:1 in
+  Printf.printf "\n\nmix products:\n";
+  Printf.printf "  %5.1f mV at %.4f MHz   (paper: ~60 mV at 900.1 MHz)\n" (a1 *. 1e3)
+    ((p.Mixer.f_lo +. p.Mixer.f_rf) /. 1e6);
+  Printf.printf "  %5.2f mV at %.4f MHz   (paper: ~1.1 mV at 900.3 MHz)\n" (a3 *. 1e3)
+    ((p.Mixer.f_lo +. (3.0 *. p.Mixer.f_rf)) /. 1e6);
+  Printf.printf "  distortion %.1f dB below the desired signal (paper: ~35 dB)\n"
+    (20.0 *. log10 (a1 /. a3));
+
+  (* --- univariate shooting baseline (Fig 5) --------------------------- *)
+  (* the full problem needs f_lo / f_rf = 9000 LO cycles per RF period at
+     50 steps each; extrapolate from a partial integration so the example
+     stays snappy, then report the measured per-cycle cost *)
+  let cycles_needed = int_of_float (p.Mixer.f_lo /. p.Mixer.f_rf) in
+  let sample_cycles = 200 in
+  let t0 = Unix.gettimeofday () in
+  let dt = 1.0 /. p.Mixer.f_lo /. 50.0 in
+  let _ =
+    Circuit.Tran.run c ~t_stop:(float_of_int sample_cycles /. p.Mixer.f_lo) ~dt
+  in
+  let t_sample = Unix.gettimeofday () -. t0 in
+  let per_cycle = t_sample /. float_of_int sample_cycles in
+  (* shooting needs several Newton iterations, each one full RF period *)
+  let newton_iters = 4 in
+  let t_shooting_est =
+    per_cycle *. float_of_int (cycles_needed * newton_iters)
+  in
+  (* --- cyclostationary noise: the mixer's noise figure ----------------- *)
+  let hb = Rf.Hb.solve c ~freq:p.Mixer.f_lo in
+  let f_if = p.Mixer.f_lo +. p.Mixer.f_rf in
+  let out_psd = (Noise.Cyclo.output_noise hb ~node:Mixer.output_node ~freqs:[| f_if |]).(0) in
+  Printf.printf "\ncyclostationary noise at the %.1f MHz output (LPTV analysis):\n"
+    (f_if /. 1e6);
+  Printf.printf "  output noise PSD: %.3e V^2/Hz (%.2f nV/rtHz)\n" out_psd
+    (sqrt out_psd *. 1e9);
+  Printf.printf "  (includes noise folded from every LO sideband -- the\n";
+  Printf.printf "   cyclostationary treatment the paper's introduction calls for)\n";
+
+  Printf.printf "\nFig 5 baseline (univariate shooting, 50 steps/LO cycle):\n";
+  Printf.printf "  %d LO cycles per RF period x %d Newton iterations\n"
+    cycles_needed newton_iters;
+  Printf.printf "  measured %.2f us per LO cycle -> estimated %.1f s total\n"
+    (per_cycle *. 1e6) t_shooting_est;
+  Printf.printf "  MMFT took %.3f s: speedup ~%.0fx (paper: ~300x)\n" t_mmft
+    (t_shooting_est /. t_mmft)

@@ -1,0 +1,68 @@
+open Rfkit_la
+
+type result = { freqs : float array; response : Cvec.t array }
+
+let system_at c x_op freq =
+  let g = Mna.jac_g c x_op and cm = Mna.jac_c c x_op in
+  let w = 2.0 *. Float.pi *. freq in
+  let n = Mna.size c in
+  Cmat.init n n (fun i j -> Cx.make (Mat.get g i j) (w *. Mat.get cm i j))
+
+let op ?x_op c = match x_op with Some v -> v | None -> Dc.solve c
+
+let sweep ?x_op c ~source ~freqs =
+  let x0 = op ?x_op c in
+  let b = Cvec.of_real (Mna.source_pattern c source) in
+  let response =
+    Array.map (fun f -> Clu.solve (Clu.factor (system_at c x0 f)) b) freqs
+  in
+  { freqs; response }
+
+let transfer c res name =
+  let idx = Mna.node c name in
+  Array.map (fun x -> x.(idx)) res.response
+
+let solve_at ?x_op c ~rhs ~freq =
+  let x0 = op ?x_op c in
+  Clu.solve (Clu.factor (system_at c x0 freq)) (Cvec.of_real rhs)
+
+let output_noise ?x_op c ~node ~freqs =
+  let x0 = op ?x_op c in
+  let idx = Mna.node c node in
+  let sources = Mna.noise_sources c in
+  Array.map
+    (fun f ->
+      let lufact = Clu.factor (system_at c x0 f) in
+      Array.fold_left
+        (fun acc src ->
+          let pattern = Cvec.of_real (Mna.noise_pattern c src) in
+          let h = Clu.solve lufact pattern in
+          let flicker =
+            if src.Device.flicker_corner > 0.0 && f > 0.0 then
+              1.0 +. (src.Device.flicker_corner /. f)
+            else 1.0
+          in
+          acc +. (Cx.abs2 h.(idx) *. src.Device.psd_at x0 *. flicker))
+        0.0 sources)
+    freqs
+
+let two_port_z ?x_op c ~port1 ~port2 ~freq =
+  let x0 = op ?x_op c in
+  let lufact = Clu.factor (system_at c x0 freq) in
+  let node1, src1 = port1 and node2, src2 = port2 in
+  let i1 = Mna.node c node1 and i2 = Mna.node c node2 in
+  let z = Cmat.make 2 2 in
+  List.iteri
+    (fun col src ->
+      let v = Clu.solve lufact (Cvec.of_real (Mna.source_pattern c src)) in
+      Cmat.set z 0 col v.(i1);
+      Cmat.set z 1 col v.(i2))
+    [ src1; src2 ];
+  z
+
+let log_freqs ~f_start ~f_stop ~points_per_decade =
+  if f_start <= 0.0 || f_stop <= f_start then invalid_arg "Ac.log_freqs";
+  let decades = log10 (f_stop /. f_start) in
+  let n = max 2 (1 + int_of_float (Float.ceil (decades *. float_of_int points_per_decade))) in
+  Array.init n (fun i ->
+      f_start *. (10.0 ** (decades *. float_of_int i /. float_of_int (n - 1))))

@@ -1,0 +1,41 @@
+(** Small-signal AC analysis.
+
+    Linearizes the circuit at its DC operating point and solves
+    [(G + j w C) X = B] per frequency, where [B] is the unit pattern of a
+    designated source. Also exposes the linearized noise-to-output
+    transfer needed by the AC noise analysis and the ROM comparisons. *)
+
+type result = {
+  freqs : float array;
+  response : Rfkit_la.Cvec.t array;  (** full unknown vector per frequency *)
+}
+
+val sweep : ?x_op:Rfkit_la.Vec.t -> Mna.t -> source:string -> freqs:float array -> result
+
+val transfer : Mna.t -> result -> string -> Rfkit_la.Cx.t array
+(** Complex node-voltage transfer of a named node across the sweep. *)
+
+val solve_at :
+  ?x_op:Rfkit_la.Vec.t -> Mna.t -> rhs:Rfkit_la.Vec.t -> freq:float -> Rfkit_la.Cvec.t
+(** One linearized solve at a single frequency for an arbitrary real
+    excitation pattern (noise sources, ROM validation). *)
+
+val output_noise :
+  ?x_op:Rfkit_la.Vec.t -> Mna.t -> node:string -> freqs:float array -> float array
+(** Output noise voltage PSD (V^2/Hz) at a node: sums
+    [|H_k(jw)|^2 * S_k] over all device noise generators [k], each solved
+    through the linearized network. *)
+
+val two_port_z :
+  ?x_op:Rfkit_la.Vec.t ->
+  Mna.t ->
+  port1:string * string ->
+  port2:string * string ->
+  freq:float ->
+  Rfkit_la.Cmat.t
+(** Open-circuit impedance matrix of a linear(ized) two-port at one
+    frequency: each port is (node, current-source name); the named sources
+    must already exist in the netlist (set them to DC 0) so the ports have
+    well-defined injection patterns. *)
+
+val log_freqs : f_start:float -> f_stop:float -> points_per_decade:int -> float array

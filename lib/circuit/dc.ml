@@ -1,0 +1,69 @@
+open Rfkit_la
+
+exception No_convergence of string
+
+type options = { max_iter : int; tol : float; damping : float; gmin_steps : int }
+
+let default_options = { max_iter = 100; tol = 1e-9; damping = 2.0; gmin_steps = 8 }
+
+(* Newton on f(x) + gmin*x_nodes = b, returning None on failure *)
+let newton ~options ~gmin c b x0 =
+  let nn = Mna.n_nodes c in
+  let x = Vec.copy x0 in
+  let ok = ref false in
+  let iter = ref 0 in
+  (try
+     while (not !ok) && !iter < options.max_iter do
+       incr iter;
+       let f = Mna.eval_f c x in
+       (* residual r = b - f(x) - gmin*x on node rows *)
+       let r = Vec.sub b f in
+       for i = 0 to nn - 1 do
+         r.(i) <- r.(i) -. (gmin *. x.(i))
+       done;
+       if Vec.norm_inf r <= options.tol then ok := true
+       else begin
+         let g = Mna.jac_g c x in
+         for i = 0 to nn - 1 do
+           Mat.update g i i (fun v -> v +. gmin)
+         done;
+         let dx =
+           try Lu.solve (Lu.factor g) r with Lu.Singular -> raise Exit
+         in
+         (* damp the Newton step to keep exponentials in range *)
+         let step = Vec.norm_inf dx in
+         let scale = if step > options.damping then options.damping /. step else 1.0 in
+         Vec.axpy scale dx x
+       end
+     done
+   with Exit -> ());
+  if !ok then Some x else None
+
+let solve_b ?(options = default_options) ?x0 c b =
+  let n = Mna.size c in
+  let x0 = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
+  match newton ~options ~gmin:0.0 c b x0 with
+  | Some x -> x
+  | None ->
+      (* gmin stepping: start with a large conductance to ground on every
+         node and relax it geometrically *)
+      if options.gmin_steps <= 0 then
+        raise (No_convergence "Newton failed and gmin stepping disabled");
+      let x = ref x0 in
+      let gmin = ref 1e-2 in
+      let failed = ref false in
+      for _step = 1 to options.gmin_steps do
+        if not !failed then begin
+          match newton ~options ~gmin:!gmin c b !x with
+          | Some x' -> x := x'
+          | None -> failed := true
+        end;
+        gmin := !gmin /. 10.0
+      done;
+      if !failed then raise (No_convergence "gmin stepping failed");
+      (match newton ~options ~gmin:0.0 c b !x with
+      | Some x -> x
+      | None -> raise (No_convergence "final gmin=0 Newton failed"))
+
+let solve ?options ?x0 c = solve_b ?options ?x0 c (Mna.dc_b c)
+let solve_at ?options ?x0 c t = solve_b ?options ?x0 c (Mna.eval_b c t)

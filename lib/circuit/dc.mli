@@ -1,0 +1,21 @@
+(** DC operating point: Newton-Raphson on [f(x) = b_dc] with step damping
+    and gmin stepping for convergence on strongly nonlinear circuits. *)
+
+exception No_convergence of string
+
+type options = {
+  max_iter : int;       (** Newton iterations per gmin level (default 100) *)
+  tol : float;          (** residual infinity-norm target (default 1e-9) *)
+  damping : float;      (** max Newton step infinity-norm in volts (default 2.0) *)
+  gmin_steps : int;     (** gmin continuation levels, 0 = plain Newton (default 8) *)
+}
+
+val default_options : options
+
+val solve : ?options:options -> ?x0:Rfkit_la.Vec.t -> Mna.t -> Rfkit_la.Vec.t
+(** Operating point with all sources at their DC value.
+    @raise No_convergence with a diagnostic when Newton fails. *)
+
+val solve_at : ?options:options -> ?x0:Rfkit_la.Vec.t -> Mna.t -> float -> Rfkit_la.Vec.t
+(** Like {!solve} but with sources evaluated at time [t] (the implicit
+    time-step solves of the multi-time methods reuse this Newton core). *)

@@ -1,0 +1,197 @@
+type directive =
+  | Tran of { t_stop : float; dt : float }
+  | Ac_sweep of { f_start : float; f_stop : float }
+  | Dc_op
+  | Hb of { harmonics : int }
+  | Noise_sweep of { f_start : float; f_stop : float }
+  | Print of string list
+
+exception Parse_error of int * string
+
+let suffix_value = function
+  | "f" -> 1e-15
+  | "p" -> 1e-12
+  | "n" -> 1e-9
+  | "u" -> 1e-6
+  | "m" -> 1e-3
+  | "k" -> 1e3
+  | "meg" -> 1e6
+  | "g" -> 1e9
+  | "t" -> 1e12
+  | _ -> raise Not_found
+
+let parse_value s =
+  let s = String.lowercase_ascii (String.trim s) in
+  (* split trailing alphabetic suffix *)
+  let n = String.length s in
+  let is_suffix_char ch = (ch >= 'a' && ch <= 'z') in
+  let cut = ref n in
+  while !cut > 0 && is_suffix_char s.[!cut - 1] do
+    decr cut
+  done;
+  let num = String.sub s 0 !cut and suf = String.sub s !cut (n - !cut) in
+  let base =
+    match float_of_string_opt num with
+    | Some v -> v
+    | None -> failwith ("Deck.parse_value: bad number " ^ s)
+  in
+  if suf = "" then base
+  else begin
+    match suffix_value suf with
+    | mult -> base *. mult
+    | exception Not_found ->
+        (* common unit tails like "1kohm", "5v": try the first letter *)
+        (match suffix_value (String.sub suf 0 1) with
+        | mult -> base *. mult
+        | exception Not_found -> base)
+  end
+
+(* tokenize, keeping SIN(...) style groups as single tokens *)
+let tokenize line =
+  let line =
+    match String.index_opt line ';' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf ch
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf ch
+      | ' ' | '\t' when !depth = 0 -> flush ()
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !tokens
+
+let parse_source lineno tokens =
+  (* tokens after the node names, e.g. ["DC"; "5"] or ["SIN(0 1 1e6)"] *)
+  let fail msg = raise (Parse_error (lineno, msg)) in
+  match tokens with
+  | [] -> fail "missing source value"
+  | [ v ] when String.length v >= 4 && String.uppercase_ascii (String.sub v 0 4) = "SIN(" ->
+      let inner = String.sub v 4 (String.length v - 5) in
+      (match String.split_on_char ' ' (String.trim inner) |> List.filter (( <> ) "") with
+      | [ offset; ampl; freq ] ->
+          Wave.Sine
+            {
+              offset = parse_value offset;
+              ampl = parse_value ampl;
+              freq = parse_value freq;
+              phase = 0.0;
+            }
+      | _ -> fail "SIN expects (offset ampl freq)")
+  | [ v ]
+    when String.length v >= 7 && String.uppercase_ascii (String.sub v 0 7) = "SQUARE(" ->
+      let inner = String.sub v 7 (String.length v - 8) in
+      (match String.split_on_char ' ' (String.trim inner) |> List.filter (( <> ) "") with
+      | [ ampl; freq ] -> Wave.square (parse_value ampl) (parse_value freq)
+      | _ -> fail "SQUARE expects (ampl freq)")
+  | [ kw; v ] when String.uppercase_ascii kw = "DC" -> Wave.Dc (parse_value v)
+  | [ v ] -> Wave.Dc (parse_value v)
+  | _ -> fail "unrecognized source specification"
+
+let parse_params lineno tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          ( String.uppercase_ascii (String.sub tok 0 i),
+            parse_value (String.sub tok (i + 1) (String.length tok - i - 1)) )
+      | None -> raise (Parse_error (lineno, "expected NAME=value, got " ^ tok)))
+    tokens
+
+let parse_string text =
+  let nl = Netlist.create () in
+  let directives = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '*' then ()
+      else begin
+        let tokens = tokenize line in
+        match tokens with
+        | [] -> ()
+        | head :: rest -> begin
+            let fail msg = raise (Parse_error (lineno, msg)) in
+            let upper = String.uppercase_ascii head in
+            if upper.[0] = '.' then begin
+              match (String.lowercase_ascii head, rest) with
+              | ".end", _ -> ()
+              | ".dc", _ -> directives := Dc_op :: !directives
+              | ".tran", [ tstop; dt ] ->
+                  directives :=
+                    Tran { t_stop = parse_value tstop; dt = parse_value dt }
+                    :: !directives
+              | ".ac", [ f1; f2 ] ->
+                  directives :=
+                    Ac_sweep { f_start = parse_value f1; f_stop = parse_value f2 }
+                    :: !directives
+              | ".noise", [ f1; f2 ] ->
+                  directives :=
+                    Noise_sweep { f_start = parse_value f1; f_stop = parse_value f2 }
+                    :: !directives
+              | ".hb", [ h ] ->
+                  directives := Hb { harmonics = int_of_float (parse_value h) } :: !directives
+              | ".print", nodes -> directives := Print nodes :: !directives
+              | d, _ -> fail ("unknown or malformed directive " ^ d)
+            end
+            else begin
+              match (upper.[0], rest) with
+              | 'R', [ p; n; v ] -> Netlist.resistor nl head p n (parse_value v)
+              | 'C', [ p; n; v ] -> Netlist.capacitor nl head p n (parse_value v)
+              | 'L', [ p; n; v ] -> Netlist.inductor nl head p n (parse_value v)
+              | 'V', p :: n :: src -> Netlist.vsource nl head p n (parse_source lineno src)
+              | 'I', p :: n :: src -> Netlist.isource nl head p n (parse_source lineno src)
+              | 'G', [ p; n; cp; cn; gm ] ->
+                  Netlist.vccs nl head p n cp cn (parse_value gm)
+              | 'D', p :: n :: params ->
+                  let ps = parse_params lineno params in
+                  let get key default =
+                    match List.assoc_opt key ps with Some v -> v | None -> default
+                  in
+                  Netlist.diode nl head p n ~is:(get "IS" 1e-14) ~nvt:(get "NVT" 0.02585)
+                    ~cj:(get "CJ" 0.0) ()
+              | 'N', p :: n :: params ->
+                  let ps = parse_params lineno params in
+                  let get key default =
+                    match List.assoc_opt key ps with Some v -> v | None -> default
+                  in
+                  Netlist.noise_current nl head p n ~white:(get "WHITE" 1e-22)
+                    ~flicker_corner:(get "FC" 0.0)
+              | 'M', d :: g :: s :: params ->
+                  let ps = parse_params lineno params in
+                  let get key default =
+                    match List.assoc_opt key ps with Some v -> v | None -> default
+                  in
+                  Netlist.mosfet nl head ~d ~g ~s ~kp:(get "KP" 2e-4)
+                    ~vth:(get "VTH" 0.5) ~lambda:(get "LAMBDA" 0.01)
+                    ~cgs:(get "CGS" 1e-15) ~cgd:(get "CGD" 1e-16) ()
+              | _ -> fail ("unrecognized card: " ^ line)
+            end
+          end
+      end)
+    lines;
+  (nl, List.rev !directives)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text

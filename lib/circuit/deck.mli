@@ -1,0 +1,34 @@
+(** Minimal SPICE-like netlist deck parser for the [rfsim] CLI.
+
+    Supported cards (case-insensitive, [*] and [;] comments):
+    - [Rname p n value]
+    - [Cname p n value]
+    - [Lname p n value]
+    - [Vname p n DC v | SIN(offset ampl freq) | SQUARE(ampl freq)]
+    - [Iname p n <same source syntax>]
+    - [Gname p n cp cn gm] (VCCS)
+    - [Dname p n [IS=..] [NVT=..] [CJ=..]]
+    - [Mname d g s [KP=..] [VTH=..] [LAMBDA=..]]
+    - [Nname p n [WHITE=..] [FC=..]] (behavioural noise current)
+    - directives: [.tran tstop dt], [.ac fstart fstop], [.dc], [.hb harms],
+      [.noise fstart fstop], [.print node ...], [.end]
+
+    Engineering suffixes f p n u m k meg g t are understood. *)
+
+type directive =
+  | Tran of { t_stop : float; dt : float }
+  | Ac_sweep of { f_start : float; f_stop : float }
+  | Dc_op
+  | Hb of { harmonics : int }
+  | Noise_sweep of { f_start : float; f_stop : float }
+  | Print of string list
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse_value : string -> float
+(** Numeric literal with engineering suffix.
+    @raise Failure on malformed input. *)
+
+val parse_string : string -> Netlist.t * directive list
+val parse_file : string -> Netlist.t * directive list

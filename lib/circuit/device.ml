@@ -1,0 +1,143 @@
+type node = int
+
+type t =
+  | Resistor of { name : string; p : node; n : node; r : float }
+  | Capacitor of { name : string; p : node; n : node; c : float }
+  | Inductor of { name : string; p : node; n : node; l : float }
+  | Vsource of { name : string; p : node; n : node; wave : Wave.t }
+  | Isource of { name : string; p : node; n : node; wave : Wave.t }
+  | Vccs of { name : string; p : node; n : node; cp : node; cn : node; gm : float }
+  | Diode of { name : string; p : node; n : node; is : float; nvt : float; cj : float }
+  | Tanh_gm of {
+      name : string;
+      p : node;
+      n : node;
+      cp : node;
+      cn : node;
+      gm : float;
+      vsat : float;
+    }
+  | Cubic_conductor of { name : string; p : node; n : node; g1 : float; g3 : float }
+  | Nl_capacitor of { name : string; p : node; n : node; c0 : float; c1 : float }
+  | Mult_vccs of {
+      name : string;
+      p : node;
+      n : node;
+      a_p : node;
+      a_n : node;
+      b_p : node;
+      b_n : node;
+      k : float;
+    }
+  | Mosfet of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      kp : float;
+      vth : float;
+      lambda : float;
+      cgs : float;
+      cgd : float;
+    }
+  | Noise_current of {
+      name : string;
+      p : node;
+      n : node;
+      white : float;
+      flicker_corner : float;
+    }
+
+let name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Inductor { name; _ }
+  | Vsource { name; _ }
+  | Isource { name; _ }
+  | Vccs { name; _ }
+  | Diode { name; _ }
+  | Tanh_gm { name; _ }
+  | Cubic_conductor { name; _ }
+  | Nl_capacitor { name; _ }
+  | Mult_vccs { name; _ }
+  | Mosfet { name; _ }
+  | Noise_current { name; _ } -> name
+
+let is_linear = function
+  | Resistor _ | Capacitor _ | Inductor _ | Vsource _ | Isource _ | Vccs _
+  | Noise_current _ -> true
+  | Diode _ | Tanh_gm _ | Cubic_conductor _ | Nl_capacitor _ | Mult_vccs _ | Mosfet _ ->
+      false
+
+let has_branch_current = function
+  | Vsource _ | Inductor _ -> true
+  | _ -> false
+
+let mosfet_ids ~kp ~vth ~lambda vgs vds =
+  let vov = vgs -. vth in
+  if vov <= 0.0 then 0.0
+  else if vds < vov then
+    (* triode *)
+    kp *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. (1.0 +. (lambda *. vds))
+  else
+    (* saturation *)
+    0.5 *. kp *. vov *. vov *. (1.0 +. (lambda *. vds))
+
+type noise_source = {
+  label : string;
+  np : node;
+  nn : node;
+  psd_at : Rfkit_la.Vec.t -> float;
+  flicker_corner : float;
+}
+
+let boltzmann = 1.380649e-23
+let electron_charge = 1.602176634e-19
+let room_temp = 300.0
+
+let noise_sources ~node_voltage dev =
+  let kt4 = 4.0 *. boltzmann *. room_temp in
+  match dev with
+  | Resistor { name; p; n; r } when r > 0.0 ->
+      [
+        {
+          label = name ^ ":thermal";
+          np = p;
+          nn = n;
+          psd_at = (fun _ -> kt4 /. r);
+          flicker_corner = 0.0;
+        };
+      ]
+  | Diode { name; p; n; is; nvt; _ } ->
+      let psd_at x =
+        let v = node_voltage x p -. node_voltage x n in
+        let id = is *. (Float.exp (Float.min 40.0 (v /. nvt)) -. 1.0) in
+        2.0 *. electron_charge *. Float.abs id
+      in
+      [ { label = name ^ ":shot"; np = p; nn = n; psd_at; flicker_corner = 0.0 } ]
+  | Mosfet { name; d; g; s; kp; vth; lambda; _ } ->
+      let psd_at x =
+        let vgs = node_voltage x g -. node_voltage x s in
+        let vds = node_voltage x d -. node_voltage x s in
+        let vov = vgs -. vth in
+        let gm =
+          if vov <= 0.0 then 0.0
+          else if vds < vov then kp *. vds
+          else kp *. vov *. (1.0 +. (lambda *. vds))
+        in
+        8.0 /. 3.0 *. boltzmann *. room_temp *. Float.abs gm
+      in
+      (* the 1/f corner of a late-90s CMOS device: ~100 kHz *)
+      [ { label = name ^ ":channel"; np = d; nn = s; psd_at; flicker_corner = 1e5 } ]
+  | Noise_current { name; p; n; white; flicker_corner } ->
+      [
+        {
+          label = name ^ ":excess";
+          np = p;
+          nn = n;
+          psd_at = (fun _ -> white);
+          flicker_corner;
+        };
+      ]
+  | Resistor _ | Capacitor _ | Inductor _ | Vsource _ | Isource _ | Vccs _
+  | Tanh_gm _ | Cubic_conductor _ | Nl_capacitor _ | Mult_vccs _ -> []

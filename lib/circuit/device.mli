@@ -1,0 +1,106 @@
+(** Circuit element models.
+
+    Node indices follow the {!Netlist} convention: [-1] is ground, other
+    nodes are [0 ..]. Branch-current unknowns (voltage sources, inductors)
+    are allocated by {!Mna}.
+
+    The nonlinear behavioral elements ([Tanh_gm], [Cubic_conductor]) are
+    the workhorses of RF macro-modeling: a tanh transconductor is a
+    switching mixer core / limiting amplifier, and a cubic conductor with
+    negative linear part is the classic van der Pol negative-resistance
+    oscillator element. *)
+
+type node = int
+
+type t =
+  | Resistor of { name : string; p : node; n : node; r : float }
+  | Capacitor of { name : string; p : node; n : node; c : float }
+  | Inductor of { name : string; p : node; n : node; l : float }
+  | Vsource of { name : string; p : node; n : node; wave : Wave.t }
+  | Isource of { name : string; p : node; n : node; wave : Wave.t }
+      (** Injects [wave t] amperes into node [p] and removes from [n]. *)
+  | Vccs of { name : string; p : node; n : node; cp : node; cn : node; gm : float }
+      (** Current [gm * v(cp,cn)] flows from [p] to [n] inside the device. *)
+  | Diode of { name : string; p : node; n : node; is : float; nvt : float; cj : float }
+      (** [i = is (e^{v/nvt} - 1)], linear junction capacitance [cj]. *)
+  | Tanh_gm of {
+      name : string;
+      p : node;
+      n : node;
+      cp : node;
+      cn : node;
+      gm : float;
+      vsat : float;
+    }  (** Saturating transconductor: [i = gm vsat tanh(v_c / vsat)]. *)
+  | Cubic_conductor of { name : string; p : node; n : node; g1 : float; g3 : float }
+      (** [i = g1 v + g3 v^3]; [g1 < 0 < g3] gives a van der Pol element. *)
+  | Nl_capacitor of { name : string; p : node; n : node; c0 : float; c1 : float }
+      (** Charge [q = c0 v + c1 v^2 / 2] (varactor-like). *)
+  | Mult_vccs of {
+      name : string;
+      p : node;
+      n : node;
+      a_p : node;
+      a_n : node;
+      b_p : node;
+      b_n : node;
+      k : float;
+    }  (** Multiplying transconductor: [i = k v(a) v(b)] from [p] to [n] --
+          the behavioral mixer/modulator core (a Gilbert cell at the
+          macromodel level). *)
+  | Mosfet of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      kp : float;  (** transconductance parameter, A/V^2 *)
+      vth : float;
+      lambda : float;  (** channel-length modulation *)
+      cgs : float;
+      cgd : float;
+    }  (** N-channel square-law device; handles reverse operation by
+          source/drain exchange. *)
+  | Noise_current of {
+      name : string;
+      p : node;
+      n : node;
+      white : float;          (** one-sided PSD, A^2/Hz *)
+      flicker_corner : float; (** 1/f corner, Hz; 0 for white *)
+    }  (** Behavioural noise generator: electrically inert, but registers
+          a (possibly colored) current noise source between its nodes --
+          how excess device noise enters macromodels. *)
+
+val name : t -> string
+val is_linear : t -> bool
+val has_branch_current : t -> bool
+(** True for elements needing an MNA branch unknown. *)
+
+val mosfet_ids : kp:float -> vth:float -> lambda:float -> float -> float -> float
+(** [mosfet_ids ~kp ~vth ~lambda vgs vds] drain current of the square-law
+    model (vds >= 0 assumed; callers handle symmetry). *)
+
+(** Small-signal noise generators attached to a device, evaluated at a
+    (possibly time-varying) operating point. *)
+type noise_source = {
+  label : string;
+  np : node;  (** current injected into this node... *)
+  nn : node;  (** ... and drawn from this one *)
+  psd_at : Rfkit_la.Vec.t -> float;
+      (** one-sided current PSD in A^2/Hz of the white part, given the
+          full MNA unknown vector (lets shot noise follow the
+          instantaneous current) *)
+  flicker_corner : float;
+      (** 1/f corner frequency: the full PSD is
+          [psd_at x * (1 + flicker_corner / f)]; 0 for purely white
+          generators *)
+}
+
+val boltzmann : float
+val electron_charge : float
+val room_temp : float
+
+val noise_sources : node_voltage:(Rfkit_la.Vec.t -> node -> float) -> t -> noise_source list
+(** Thermal noise for resistors ([4kT/R]), shot noise for diodes
+    ([2 q I(v)]), channel thermal noise for MOSFETs ([8/3 kT gm]); other
+    elements are noiseless. [node_voltage] maps an MNA vector and node to
+    the node voltage (ground-aware). *)

@@ -1,0 +1,328 @@
+open Rfkit_la
+
+type t = {
+  nl : Netlist.t;
+  nn : int;  (* node unknowns *)
+  total : int;
+  branches : (string * int) list;  (* device name -> branch unknown index *)
+  devs : Device.t array;
+}
+
+let build nl =
+  let nn = Netlist.node_count nl in
+  let devs = Array.of_list (Netlist.devices nl) in
+  let branches = ref [] in
+  let next = ref nn in
+  Array.iter
+    (fun d ->
+      if Device.has_branch_current d then begin
+        branches := (Device.name d, !next) :: !branches;
+        incr next
+      end)
+    devs;
+  { nl; nn; total = !next; branches = List.rev !branches; devs }
+
+let size c = c.total
+let n_nodes c = c.nn
+let netlist c = c.nl
+
+let voltage _ (x : Vec.t) node = if node = Netlist.gnd then 0.0 else x.(node)
+
+let node c name =
+  let idx = Netlist.node c.nl name in
+  if idx = Netlist.gnd then raise Not_found else idx
+
+let branch_index c name = List.assoc_opt name c.branches
+
+let branch c name =
+  match branch_index c name with
+  | Some i -> i
+  | None -> invalid_arg ("Mna: no branch for device " ^ name)
+
+(* guarded exponential: linear continuation above the cutoff keeps Newton
+   iterates finite for large forward bias *)
+let exp_lim u = if u > 40.0 then Float.exp 40.0 *. (1.0 +. u -. 40.0) else Float.exp u
+let dexp_lim u = if u > 40.0 then Float.exp 40.0 else Float.exp u
+
+(* MOSFET large-signal current and small-signal (gm, gds) in the forward
+   frame; symmetric operation handled by the caller via node exchange *)
+let mos_curr ~kp ~vth ~lambda vgs vds =
+  let vov = vgs -. vth in
+  if vov <= 0.0 then (0.0, 0.0, 0.0)
+  else if vds < vov then begin
+    let id = kp *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. (1.0 +. (lambda *. vds)) in
+    let gm = kp *. vds *. (1.0 +. (lambda *. vds)) in
+    let gds =
+      (kp *. (vov -. vds) *. (1.0 +. (lambda *. vds)))
+      +. (kp *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. lambda)
+    in
+    (id, gm, gds)
+  end
+  else begin
+    let id = 0.5 *. kp *. vov *. vov *. (1.0 +. (lambda *. vds)) in
+    let gm = kp *. vov *. (1.0 +. (lambda *. vds)) in
+    let gds = 0.5 *. kp *. vov *. vov *. lambda in
+    (id, gm, gds)
+  end
+
+let eval_q c (x : Vec.t) =
+  let q = Vec.create c.total in
+  let v n = if n = Netlist.gnd then 0.0 else x.(n) in
+  let addq n dv = if n <> Netlist.gnd then q.(n) <- q.(n) +. dv in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Capacitor { p; n; c = cap; _ } ->
+          let vc = v p -. v n in
+          addq p (cap *. vc);
+          addq n (-.(cap *. vc))
+      | Device.Nl_capacitor { p; n; c0; c1; _ } ->
+          let vc = v p -. v n in
+          let qq = (c0 *. vc) +. (0.5 *. c1 *. vc *. vc) in
+          addq p qq;
+          addq n (-.qq)
+      | Device.Diode { p; n; cj; _ } when cj > 0.0 ->
+          let vc = v p -. v n in
+          addq p (cj *. vc);
+          addq n (-.(cj *. vc))
+      | Device.Inductor { name; l; _ } ->
+          let bi = branch c name in
+          q.(bi) <- q.(bi) +. (l *. x.(bi))
+      | Device.Mosfet { name = _; d = nd; g; s; cgs; cgd; _ } ->
+          let vgs = v g -. v s and vgd = v g -. v nd in
+          addq g ((cgs *. vgs) +. (cgd *. vgd));
+          addq s (-.(cgs *. vgs));
+          addq nd (-.(cgd *. vgd))
+      | Device.Resistor _ | Device.Vsource _ | Device.Isource _ | Device.Vccs _
+      | Device.Tanh_gm _ | Device.Cubic_conductor _ | Device.Diode _
+      | Device.Mult_vccs _ | Device.Noise_current _ -> ())
+    c.devs;
+  q
+
+let eval_f c (x : Vec.t) =
+  let f = Vec.create c.total in
+  let v n = if n = Netlist.gnd then 0.0 else x.(n) in
+  let addf n dv = if n <> Netlist.gnd then f.(n) <- f.(n) +. dv in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Resistor { p; n; r; _ } ->
+          let i = (v p -. v n) /. r in
+          addf p i;
+          addf n (-.i)
+      | Device.Vccs { p; n; cp; cn; gm; _ } ->
+          let i = gm *. (v cp -. v cn) in
+          addf p i;
+          addf n (-.i)
+      | Device.Diode { p; n; is; nvt; _ } ->
+          let i = is *. (exp_lim ((v p -. v n) /. nvt) -. 1.0) in
+          addf p i;
+          addf n (-.i)
+      | Device.Tanh_gm { p; n; cp; cn; gm; vsat; _ } ->
+          let i = gm *. vsat *. tanh ((v cp -. v cn) /. vsat) in
+          addf p i;
+          addf n (-.i)
+      | Device.Cubic_conductor { p; n; g1; g3; _ } ->
+          let vv = v p -. v n in
+          let i = (g1 *. vv) +. (g3 *. vv *. vv *. vv) in
+          addf p i;
+          addf n (-.i)
+      | Device.Mosfet { d = nd; g; s; kp; vth; lambda; _ } ->
+          let vds = v nd -. v s in
+          if vds >= 0.0 then begin
+            let id, _, _ = mos_curr ~kp ~vth ~lambda (v g -. v s) vds in
+            addf nd id;
+            addf s (-.id)
+          end
+          else begin
+            (* swapped frame: treat s as drain *)
+            let id, _, _ = mos_curr ~kp ~vth ~lambda (v g -. v nd) (-.vds) in
+            addf s id;
+            addf nd (-.id)
+          end
+      | Device.Vsource { name; p; n; _ } ->
+          let bi = branch c name in
+          addf p x.(bi);
+          addf n (-.x.(bi));
+          f.(bi) <- f.(bi) +. (v p -. v n)
+      | Device.Inductor { name; p; n; _ } ->
+          let bi = branch c name in
+          addf p x.(bi);
+          addf n (-.x.(bi));
+          f.(bi) <- f.(bi) -. (v p -. v n)
+      | Device.Mult_vccs { p; n; a_p; a_n; b_p; b_n; k; _ } ->
+          let i = k *. (v a_p -. v a_n) *. (v b_p -. v b_n) in
+          addf p i;
+          addf n (-.i)
+      | Device.Isource _ | Device.Capacitor _ | Device.Nl_capacitor _
+      | Device.Noise_current _ -> ())
+    c.devs;
+  f
+
+let eval_b_with c value_of =
+  let b = Vec.create c.total in
+  let addb n dv = if n <> Netlist.gnd then b.(n) <- b.(n) +. dv in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Vsource { name; wave; _ } ->
+          let bi = branch c name in
+          b.(bi) <- b.(bi) +. value_of wave
+      | Device.Isource { p; n; wave; _ } ->
+          let i = value_of wave in
+          addb p i;
+          addb n (-.i)
+      | _ -> ())
+    c.devs;
+  b
+
+let eval_b c t = eval_b_with c (fun w -> Wave.eval w t)
+let dc_b c = eval_b_with c Wave.dc_value
+
+let jac_c c (x : Vec.t) =
+  let m = Mat.make c.total c.total in
+  let v n = if n = Netlist.gnd then 0.0 else x.(n) in
+  let stamp i j dv =
+    if i <> Netlist.gnd && j <> Netlist.gnd then Mat.update m i j (fun w -> w +. dv)
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Capacitor { p; n; c = cap; _ } ->
+          stamp p p cap;
+          stamp p n (-.cap);
+          stamp n p (-.cap);
+          stamp n n cap
+      | Device.Nl_capacitor { p; n; c0; c1; _ } ->
+          let ceff = c0 +. (c1 *. (v p -. v n)) in
+          stamp p p ceff;
+          stamp p n (-.ceff);
+          stamp n p (-.ceff);
+          stamp n n ceff
+      | Device.Diode { p; n; cj; _ } when cj > 0.0 ->
+          stamp p p cj;
+          stamp p n (-.cj);
+          stamp n p (-.cj);
+          stamp n n cj
+      | Device.Inductor { name; l; _ } ->
+          let bi = branch c name in
+          Mat.update m bi bi (fun w -> w +. l)
+      | Device.Mosfet { g; s; d = nd; cgs; cgd; _ } ->
+          stamp g g (cgs +. cgd);
+          stamp g s (-.cgs);
+          stamp g nd (-.cgd);
+          stamp s g (-.cgs);
+          stamp s s cgs;
+          stamp nd g (-.cgd);
+          stamp nd nd cgd
+      | Device.Resistor _ | Device.Vsource _ | Device.Isource _ | Device.Vccs _
+      | Device.Tanh_gm _ | Device.Cubic_conductor _ | Device.Diode _
+      | Device.Mult_vccs _ | Device.Noise_current _ -> ())
+    c.devs;
+  m
+
+let jac_g c (x : Vec.t) =
+  let m = Mat.make c.total c.total in
+  let v n = if n = Netlist.gnd then 0.0 else x.(n) in
+  (* conductance between unknowns, ground rows/cols dropped *)
+  let stamp i j dv =
+    if i <> Netlist.gnd && j <> Netlist.gnd then Mat.update m i j (fun w -> w +. dv)
+  in
+  (* 2x2 conductance stamp of a current p->n controlled by (cp - cn) *)
+  let stamp_gm p n cp cn g =
+    stamp p cp g;
+    stamp p cn (-.g);
+    stamp n cp (-.g);
+    stamp n cn g
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Resistor { p; n; r; _ } -> stamp_gm p n p n (1.0 /. r)
+      | Device.Vccs { p; n; cp; cn; gm; _ } -> stamp_gm p n cp cn gm
+      | Device.Diode { p; n; is; nvt; _ } ->
+          let g = is /. nvt *. dexp_lim ((v p -. v n) /. nvt) in
+          stamp_gm p n p n g
+      | Device.Tanh_gm { p; n; cp; cn; gm; vsat; _ } ->
+          let th = tanh ((v cp -. v cn) /. vsat) in
+          stamp_gm p n cp cn (gm *. (1.0 -. (th *. th)))
+      | Device.Cubic_conductor { p; n; g1; g3; _ } ->
+          let vv = v p -. v n in
+          stamp_gm p n p n (g1 +. (3.0 *. g3 *. vv *. vv))
+      | Device.Mosfet { d = nd; g; s; kp; vth; lambda; _ } ->
+          let vds = v nd -. v s in
+          if vds >= 0.0 then begin
+            let _, gm, gds = mos_curr ~kp ~vth ~lambda (v g -. v s) vds in
+            stamp_gm nd s g s gm;
+            stamp_gm nd s nd s gds
+          end
+          else begin
+            let _, gm, gds = mos_curr ~kp ~vth ~lambda (v g -. v nd) (-.vds) in
+            stamp_gm s nd g nd gm;
+            stamp_gm s nd s nd gds
+          end
+      | Device.Vsource { name; p; n; _ } ->
+          let bi = branch c name in
+          stamp p bi 1.0;
+          stamp n bi (-1.0);
+          stamp bi p 1.0;
+          stamp bi n (-1.0)
+      | Device.Inductor { name; p; n; _ } ->
+          let bi = branch c name in
+          stamp p bi 1.0;
+          stamp n bi (-1.0);
+          stamp bi p (-1.0);
+          stamp bi n 1.0
+      | Device.Mult_vccs { p; n; a_p; a_n; b_p; b_n; k; _ } ->
+          let va = v a_p -. v a_n and vb = v b_p -. v b_n in
+          stamp_gm p n a_p a_n (k *. vb);
+          stamp_gm p n b_p b_n (k *. va)
+      | Device.Isource _ | Device.Capacitor _ | Device.Nl_capacitor _
+      | Device.Noise_current _ -> ())
+    c.devs;
+  m
+
+let linear_gc c =
+  let origin = Vec.create c.total in
+  (jac_g c origin, jac_c c origin)
+
+let is_linear c = Array.for_all Device.is_linear c.devs
+
+let fundamentals c =
+  Array.to_list c.devs
+  |> List.concat_map (fun d ->
+         match d with
+         | Device.Vsource { wave; _ } | Device.Isource { wave; _ } ->
+             Wave.fundamentals wave
+         | _ -> [])
+  |> List.sort_uniq compare
+
+let source_pattern c name =
+  let b = Vec.create c.total in
+  let found = ref false in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Vsource { name = n'; _ } when n' = name ->
+          b.(branch c name) <- 1.0;
+          found := true
+      | Device.Isource { name = n'; p; n; _ } when n' = name ->
+          if p <> Netlist.gnd then b.(p) <- b.(p) +. 1.0;
+          if n <> Netlist.gnd then b.(n) <- b.(n) -. 1.0;
+          found := true
+      | _ -> ())
+    c.devs;
+  if not !found then raise Not_found;
+  b
+
+let noise_sources c =
+  let node_voltage x n = voltage c x n in
+  Array.to_list c.devs
+  |> List.concat_map (Device.noise_sources ~node_voltage)
+  |> Array.of_list
+
+let noise_pattern c (src : Device.noise_source) =
+  let b = Vec.create c.total in
+  if src.Device.np <> Netlist.gnd then b.(src.Device.np) <- 1.0;
+  if src.Device.nn <> Netlist.gnd then b.(src.Device.nn) <- b.(src.Device.nn) -. 1.0;
+  b

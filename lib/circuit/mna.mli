@@ -1,0 +1,59 @@
+(** Modified nodal analysis.
+
+    Compiles a {!Netlist.t} into evaluators for the circuit DAE in the
+    paper's form (eq. 3):
+
+    {v d/dt q(x) + f(x) = b(t) v}
+
+    where [x] stacks node voltages followed by branch currents (voltage
+    sources and inductors). Every analysis in the library — DC, transient,
+    AC, harmonic balance, shooting, the MPDE family, noise — consumes this
+    interface, which is exactly why the paper writes the DAE split this
+    way. *)
+
+type t
+
+val build : Netlist.t -> t
+val size : t -> int
+(** Total number of unknowns. *)
+
+val n_nodes : t -> int
+val netlist : t -> Netlist.t
+val voltage : t -> Rfkit_la.Vec.t -> Device.node -> float
+(** Ground-aware node voltage lookup ([0.] for ground). *)
+
+val node : t -> string -> int
+(** Unknown index of a named node.
+    @raise Not_found for unknown names or ground. *)
+
+val branch_index : t -> string -> int option
+(** Unknown index of a named voltage source / inductor's branch current. *)
+
+val eval_q : t -> Rfkit_la.Vec.t -> Rfkit_la.Vec.t
+val eval_f : t -> Rfkit_la.Vec.t -> Rfkit_la.Vec.t
+val eval_b : t -> float -> Rfkit_la.Vec.t
+val dc_b : t -> Rfkit_la.Vec.t
+(** Excitation with every source at its DC (average) value. *)
+
+val jac_c : t -> Rfkit_la.Vec.t -> Rfkit_la.Mat.t
+(** C(x) = dq/dx. *)
+
+val jac_g : t -> Rfkit_la.Vec.t -> Rfkit_la.Mat.t
+(** G(x) = df/dx. *)
+
+val linear_gc : t -> Rfkit_la.Mat.t * Rfkit_la.Mat.t
+(** (G, C) of the linear part (Jacobians at x = 0); exact when the circuit
+    contains only linear elements — the ROM entry point. *)
+
+val is_linear : t -> bool
+val fundamentals : t -> float list
+(** Distinct source frequencies, ascending. *)
+
+val source_pattern : t -> string -> Rfkit_la.Vec.t
+(** Unit-amplitude excitation pattern of the named source (AC analysis
+    right-hand side).
+    @raise Not_found if no such source. *)
+
+val noise_sources : t -> Device.noise_source array
+val noise_pattern : t -> Device.noise_source -> Rfkit_la.Vec.t
+(** Unit current-injection vector of a noise generator. *)

@@ -1,0 +1,90 @@
+type t = {
+  mutable names : (string * Device.node) list;
+  mutable next : int;
+  mutable devs : Device.t list;  (* reverse insertion order *)
+}
+
+let gnd = -1
+let create () = { names = []; next = 0; devs = [] }
+
+let node nl name =
+  if name = "0" || String.lowercase_ascii name = "gnd" then gnd
+  else
+    match List.assoc_opt name nl.names with
+    | Some idx -> idx
+    | None ->
+        let idx = nl.next in
+        nl.names <- (name, idx) :: nl.names;
+        nl.next <- idx + 1;
+        idx
+
+let node_count nl = nl.next
+
+let node_name nl idx =
+  if idx = gnd then "gnd"
+  else
+    match List.find_opt (fun (_, i) -> i = idx) nl.names with
+    | Some (name, _) -> name
+    | None -> Printf.sprintf "n%d" idx
+
+let devices nl = List.rev nl.devs
+let add nl d = nl.devs <- d :: nl.devs
+
+let resistor nl name p n r =
+  add nl (Device.Resistor { name; p = node nl p; n = node nl n; r })
+
+let capacitor nl name p n c =
+  add nl (Device.Capacitor { name; p = node nl p; n = node nl n; c })
+
+let inductor nl name p n l =
+  add nl (Device.Inductor { name; p = node nl p; n = node nl n; l })
+
+let vsource nl name p n wave =
+  add nl (Device.Vsource { name; p = node nl p; n = node nl n; wave })
+
+let isource nl name p n wave =
+  add nl (Device.Isource { name; p = node nl p; n = node nl n; wave })
+
+let vccs nl name p n cp cn gm =
+  add nl
+    (Device.Vccs
+       { name; p = node nl p; n = node nl n; cp = node nl cp; cn = node nl cn; gm })
+
+let diode nl name p n ?(is = 1e-14) ?(nvt = 0.02585) ?(cj = 0.0) () =
+  add nl (Device.Diode { name; p = node nl p; n = node nl n; is; nvt; cj })
+
+let tanh_gm nl name p n cp cn ~gm ~vsat =
+  add nl
+    (Device.Tanh_gm
+       { name; p = node nl p; n = node nl n; cp = node nl cp; cn = node nl cn; gm; vsat })
+
+let cubic_conductor nl name p n ~g1 ~g3 =
+  add nl (Device.Cubic_conductor { name; p = node nl p; n = node nl n; g1; g3 })
+
+let nl_capacitor nl name p n ~c0 ~c1 =
+  add nl (Device.Nl_capacitor { name; p = node nl p; n = node nl n; c0; c1 })
+
+let mult_vccs nl name p n ~a:(ap, an) ~b:(bp, bn) ~k =
+  add nl
+    (Device.Mult_vccs
+       {
+         name;
+         p = node nl p;
+         n = node nl n;
+         a_p = node nl ap;
+         a_n = node nl an;
+         b_p = node nl bp;
+         b_n = node nl bn;
+         k;
+       })
+
+let noise_current nl name p n ~white ~flicker_corner =
+  add nl
+    (Device.Noise_current
+       { name; p = node nl p; n = node nl n; white; flicker_corner })
+
+let mosfet nl name ~d ~g ~s ?(kp = 2e-4) ?(vth = 0.5) ?(lambda = 0.01) ?(cgs = 1e-15)
+    ?(cgd = 1e-16) () =
+  add nl
+    (Device.Mosfet
+       { name; d = node nl d; g = node nl g; s = node nl s; kp; vth; lambda; cgs; cgd })

@@ -1,0 +1,55 @@
+(** Netlist builder: named nodes plus a device list.
+
+    Nodes are created on first use; ["0"] and ["gnd"] map to the ground
+    reference [-1]. The builder functions return [unit] and mutate the
+    netlist, mirroring how a SPICE deck reads. *)
+
+type t
+
+val gnd : Device.node
+val create : unit -> t
+val node : t -> string -> Device.node
+val node_count : t -> int
+val node_name : t -> Device.node -> string
+val devices : t -> Device.t list
+(** In insertion order. *)
+
+val add : t -> Device.t -> unit
+
+(** Convenience constructors; node arguments are names. *)
+
+val resistor : t -> string -> string -> string -> float -> unit
+val capacitor : t -> string -> string -> string -> float -> unit
+val inductor : t -> string -> string -> string -> float -> unit
+val vsource : t -> string -> string -> string -> Wave.t -> unit
+val isource : t -> string -> string -> string -> Wave.t -> unit
+val vccs : t -> string -> string -> string -> string -> string -> float -> unit
+(** [vccs nl name p n cp cn gm]. *)
+
+val diode : t -> string -> string -> string -> ?is:float -> ?nvt:float -> ?cj:float -> unit -> unit
+val tanh_gm : t -> string -> string -> string -> string -> string -> gm:float -> vsat:float -> unit
+val cubic_conductor : t -> string -> string -> string -> g1:float -> g3:float -> unit
+val nl_capacitor : t -> string -> string -> string -> c0:float -> c1:float -> unit
+
+val mult_vccs :
+  t -> string -> string -> string -> a:string * string -> b:string * string -> k:float -> unit
+(** [mult_vccs nl name p n ~a:(ap, an) ~b:(bp, bn) ~k]: current
+    [k * v(a) * v(b)] from [p] to [n]. *)
+
+val noise_current :
+  t -> string -> string -> string -> white:float -> flicker_corner:float -> unit
+(** Behavioural excess-noise generator (electrically inert). *)
+
+val mosfet :
+  t ->
+  string ->
+  d:string ->
+  g:string ->
+  s:string ->
+  ?kp:float ->
+  ?vth:float ->
+  ?lambda:float ->
+  ?cgs:float ->
+  ?cgd:float ->
+  unit ->
+  unit

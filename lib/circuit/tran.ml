@@ -1,0 +1,135 @@
+open Rfkit_la
+
+exception Step_failed of float
+
+type method_ = Backward_euler | Trapezoidal
+
+type result = { times : float array; states : Vec.t array }
+
+let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt =
+  let t1 = t_prev +. dt in
+  let q0 = Mna.eval_q c x_prev in
+  let b1 = Mna.eval_b c t1 in
+  let residual, jac =
+    match method_ with
+    | Backward_euler ->
+        let res x =
+          let q1 = Mna.eval_q c x in
+          let f1 = Mna.eval_f c x in
+          Vec.init (Mna.size c) (fun i ->
+              ((q1.(i) -. q0.(i)) /. dt) +. f1.(i) -. b1.(i))
+        in
+        let jac x =
+          let cm = Mna.jac_c c x and gm = Mna.jac_g c x in
+          Mat.add (Mat.scale (1.0 /. dt) cm) gm
+        in
+        (res, jac)
+    | Trapezoidal ->
+        let f0 = Mna.eval_f c x_prev in
+        let b0 = Mna.eval_b c t_prev in
+        let res x =
+          let q1 = Mna.eval_q c x in
+          let f1 = Mna.eval_f c x in
+          Vec.init (Mna.size c) (fun i ->
+              ((q1.(i) -. q0.(i)) /. dt)
+              +. (0.5 *. (f1.(i) +. f0.(i)))
+              -. (0.5 *. (b1.(i) +. b0.(i))))
+        in
+        let jac x =
+          let cm = Mna.jac_c c x and gm = Mna.jac_g c x in
+          Mat.add (Mat.scale (1.0 /. dt) cm) (Mat.scale 0.5 gm)
+        in
+        (res, jac)
+  in
+  let x = Vec.copy x_prev in
+  let ok = ref false in
+  let iter = ref 0 in
+  while (not !ok) && !iter < max_iter do
+    incr iter;
+    let r = residual x in
+    if Vec.norm_inf r <= tol then ok := true
+    else begin
+      let j = jac x in
+      let dx =
+        try Lu.solve (Lu.factor j) r with Lu.Singular -> raise (Step_failed t1)
+      in
+      (* Newton update: x <- x - dx since residual is R(x), J dx = R *)
+      let step = Vec.norm_inf dx in
+      let scale = if step > 5.0 then 5.0 /. step else 1.0 in
+      Vec.axpy (-.scale) dx x
+    end
+  done;
+  if not !ok then raise (Step_failed t1);
+  x
+
+let initial_state ?x0 c =
+  match x0 with Some v -> Vec.copy v | None -> Dc.solve c
+
+let run ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) c ~t_stop ~dt =
+  let x0 = initial_state ?x0 c in
+  let steps = int_of_float (Float.ceil (t_stop /. dt)) in
+  let times = Array.make (steps + 1) 0.0 in
+  let states = Array.make (steps + 1) x0 in
+  for k = 1 to steps do
+    let t_prev = times.(k - 1) in
+    let dt_k = Float.min dt (t_stop -. t_prev) in
+    times.(k) <- t_prev +. dt_k;
+    states.(k) <-
+      implicit_step ~tol c ~method_ ~x_prev:states.(k - 1) ~t_prev ~dt:dt_k
+  done;
+  { times; states }
+
+let run_adaptive ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?(lte_tol = 1e-6)
+    ?(dt_min = 1e-18) ?dt_max c ~t_stop ~dt0 =
+  let x0 = initial_state ?x0 c in
+  let dt_max = match dt_max with Some v -> v | None -> t_stop /. 10.0 in
+  let times = ref [ 0.0 ] and states = ref [ x0 ] in
+  let t = ref 0.0 and x = ref x0 and dt = ref dt0 in
+  while !t < t_stop -. 1e-18 *. t_stop do
+    let dt_k = Float.min !dt (t_stop -. !t) in
+    (* one full step vs two half steps *)
+    let attempt () =
+      let x_full = implicit_step ~tol c ~method_ ~x_prev:!x ~t_prev:!t ~dt:dt_k in
+      let x_half =
+        implicit_step ~tol c ~method_ ~x_prev:!x ~t_prev:!t ~dt:(dt_k /. 2.0)
+      in
+      let x_two =
+        implicit_step ~tol c ~method_ ~x_prev:x_half ~t_prev:(!t +. (dt_k /. 2.0))
+          ~dt:(dt_k /. 2.0)
+      in
+      (x_full, x_two)
+    in
+    match attempt () with
+    | x_full, x_two ->
+        let err = Vec.norm_inf (Vec.sub x_full x_two) in
+        let scale_ref = Float.max 1.0 (Vec.norm_inf x_two) in
+        if err <= lte_tol *. scale_ref || dt_k <= dt_min then begin
+          t := !t +. dt_k;
+          x := x_two;
+          times := !t :: !times;
+          states := x_two :: !states;
+          if err < 0.1 *. lte_tol *. scale_ref then
+            dt := Float.min dt_max (dt_k *. 2.0)
+        end
+        else dt := Float.max dt_min (dt_k /. 2.0)
+    | exception Step_failed _ when dt_k > dt_min ->
+        dt := Float.max dt_min (dt_k /. 4.0)
+  done;
+  {
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states);
+  }
+
+let voltage_trace c res name =
+  let idx = Mna.node c name in
+  Array.map (fun x -> x.(idx)) res.states
+
+let sample_last_period res ~per ~n f =
+  let m = Array.length res.times in
+  if m = 0 then invalid_arg "Tran.sample_last_period: empty result";
+  let t_end = res.times.(m - 1) in
+  let t_start = t_end -. per in
+  let ys = Array.map f res.states in
+  Vec.init n (fun k ->
+      let t = t_start +. (per *. float_of_int k /. float_of_int n) in
+      Interp.linear res.times ys t)

@@ -1,0 +1,59 @@
+(** Transient analysis: implicit integration of the circuit DAE.
+
+    Backward Euler and trapezoidal methods with Newton solves per step;
+    fixed-step [run] plus a step-doubling adaptive driver. These are the
+    "SPICE-type, time-domain" engines whose cost on widely separated time
+    scales motivates the paper's Section 2 methods — and the baseline the
+    benchmarks compare against. *)
+
+exception Step_failed of float
+
+type method_ = Backward_euler | Trapezoidal
+
+type result = {
+  times : float array;
+  states : Rfkit_la.Vec.t array;  (** state vector per time point *)
+}
+
+val implicit_step :
+  ?tol:float ->
+  ?max_iter:int ->
+  Mna.t ->
+  method_:method_ ->
+  x_prev:Rfkit_la.Vec.t ->
+  t_prev:float ->
+  dt:float ->
+  Rfkit_la.Vec.t
+(** One implicit step from [(t_prev, x_prev)] to [t_prev + dt].
+    @raise Step_failed with the failing time if Newton diverges. *)
+
+val run :
+  ?method_:method_ ->
+  ?x0:Rfkit_la.Vec.t ->
+  ?tol:float ->
+  Mna.t ->
+  t_stop:float ->
+  dt:float ->
+  result
+(** Fixed-step transient from the DC operating point (or [x0]). *)
+
+val run_adaptive :
+  ?method_:method_ ->
+  ?x0:Rfkit_la.Vec.t ->
+  ?tol:float ->
+  ?lte_tol:float ->
+  ?dt_min:float ->
+  ?dt_max:float ->
+  Mna.t ->
+  t_stop:float ->
+  dt0:float ->
+  result
+(** Step-doubling local-error control: each accepted step compares one
+    [dt] step against two [dt/2] steps. *)
+
+val voltage_trace : Mna.t -> result -> string -> float array
+(** Node-voltage waveform of a named node. *)
+
+val sample_last_period : result -> per:float -> n:int -> (Rfkit_la.Vec.t -> float) -> Rfkit_la.Vec.t
+(** Uniformly resample the last [per] seconds of a result into [n] points
+    of a derived scalar (linear interpolation); used for spectra. *)

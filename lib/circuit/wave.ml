@@ -1,0 +1,68 @@
+type t =
+  | Dc of float
+  | Sine of { ampl : float; freq : float; phase : float; offset : float }
+  | Square of { ampl : float; freq : float; rise : float; offset : float }
+  | Pulse of { low : float; high : float; freq : float; duty : float; rise : float }
+  | Pwl of (float * float) array
+  | Sum of t list
+
+let frac x = x -. Float.floor x
+
+(* odd square wave with linear rise/fall edges: +1 plateau for the first
+   half-period, -1 for the second, edges of width [rise] * period centred
+   on the transitions *)
+let square_shape rise u =
+  let r = Float.max 1e-6 (Float.min 0.5 rise) in
+  let half_edge = r /. 2.0 in
+  if u < half_edge then u /. half_edge
+  else if u < 0.5 -. half_edge then 1.0
+  else if u < 0.5 +. half_edge then (0.5 -. u) /. half_edge
+  else if u < 1.0 -. half_edge then -1.0
+  else (u -. 1.0) /. half_edge
+
+let rec eval w t =
+  match w with
+  | Dc v -> v
+  | Sine { ampl; freq; phase; offset } ->
+      offset +. (ampl *. sin ((2.0 *. Float.pi *. freq *. t) +. phase))
+  | Square { ampl; freq; rise; offset } ->
+      offset +. (ampl *. square_shape rise (frac (freq *. t)))
+  | Pulse { low; high; freq; duty; rise } ->
+      let u = frac (freq *. t) in
+      let r = Float.max 1e-6 (Float.min 0.4 rise) in
+      if u < r then low +. ((high -. low) *. u /. r)
+      else if u < duty then high
+      else if u < duty +. r then high -. ((high -. low) *. (u -. duty) /. r)
+      else low
+  | Pwl pts ->
+      let n = Array.length pts in
+      if n = 0 then 0.0
+      else begin
+        let xs = Array.map fst pts and ys = Array.map snd pts in
+        Rfkit_la.Interp.linear xs ys t
+      end
+  | Sum ws -> List.fold_left (fun acc w -> acc +. eval w t) 0.0 ws
+
+let rec dc_value = function
+  | Dc v -> v
+  | Sine { offset; _ } -> offset
+  | Square { offset; _ } -> offset
+  | Pulse { low; high; duty; _ } -> low +. ((high -. low) *. duty)
+  | Pwl pts -> if Array.length pts = 0 then 0.0 else snd pts.(0)
+  | Sum ws -> List.fold_left (fun acc w -> acc +. dc_value w) 0.0 ws
+
+let rec collect_freqs = function
+  | Dc _ -> []
+  | Sine { freq; _ } | Square { freq; _ } | Pulse { freq; _ } -> [ freq ]
+  | Pwl _ -> []
+  | Sum ws -> List.concat_map collect_freqs ws
+
+let fundamentals w =
+  collect_freqs w
+  |> List.filter (fun f -> f > 0.0)
+  |> List.sort_uniq compare
+
+let sine ?(phase = 0.0) ?(offset = 0.0) ampl freq = Sine { ampl; freq; phase; offset }
+let square ?(rise = 0.05) ?(offset = 0.0) ampl freq = Square { ampl; freq; rise; offset }
+
+let two_tone a1 f1 a2 f2 = Sum [ sine a1 f1; sine a2 f2 ]

@@ -1,0 +1,31 @@
+(** Independent-source waveforms.
+
+    A waveform is a pure function of time plus enough structure for the
+    analyses to query DC values and fundamental frequencies (harmonic
+    balance needs to know the tones; DC needs the t -> -inf average). *)
+
+type t =
+  | Dc of float
+  | Sine of { ampl : float; freq : float; phase : float; offset : float }
+  | Square of { ampl : float; freq : float; rise : float; offset : float }
+      (** Odd square wave with finite rise/fall occupying fraction [rise]
+          of the period (0 < rise <= 0.5); amplitude is the plateau. *)
+  | Pulse of { low : float; high : float; freq : float; duty : float; rise : float }
+  | Pwl of (float * float) array  (** piecewise linear, clamped outside *)
+  | Sum of t list
+
+val eval : t -> float -> float
+val dc_value : t -> float
+(** The time-average (DC analysis treats sources at their average). *)
+
+val fundamentals : t -> float list
+(** Distinct nonzero frequencies present, ascending. *)
+
+val sine : ?phase:float -> ?offset:float -> float -> float -> t
+(** [sine ?phase ?offset ampl freq]. *)
+
+val square : ?rise:float -> ?offset:float -> float -> float -> t
+(** [square ?rise ?offset ampl freq]; default rise 0.05. *)
+
+val two_tone : float -> float -> float -> float -> t
+(** [two_tone a1 f1 a2 f2] is the sum of two sines. *)

@@ -1,0 +1,24 @@
+open Rfkit_circuit
+
+type params = { f_pwm : float; f_mod : float; v_in : float; mod_depth : float }
+
+let default_params = { f_pwm = 1e6; f_mod = 1e3; v_in = 1.0; mod_depth = 0.3 }
+
+let output_node = "vout"
+
+let build p =
+  let nl = Netlist.create () in
+  (* slowly modulated source and fast PWM clock *)
+  Netlist.vsource nl "VSRC" "vin" "0"
+    (Wave.Sine { ampl = p.mod_depth *. p.v_in; freq = p.f_mod; phase = 0.0; offset = p.v_in });
+  Netlist.vsource nl "VPWM" "clk" "0"
+    (Wave.Pulse { low = 0.0; high = 1.0; freq = p.f_pwm; duty = 0.5; rise = 0.02 });
+  (* switch: source voltage chopped by the clock through a multiplier,
+     clipped by a saturating stage (diode-like conduction) *)
+  Netlist.mult_vccs nl "SW" "0" "sw" ~a:("vin", "0") ~b:("clk", "0") ~k:2e-3;
+  Netlist.resistor nl "RSW" "sw" "0" 500.0;
+  (* output filter: heavy RC smoothing *)
+  Netlist.resistor nl "RF1" "sw" "vout" 200.0;
+  Netlist.capacitor nl "CF1" "vout" "0" (10.0 /. (2.0 *. Float.pi *. p.f_pwm *. 200.0));
+  Netlist.resistor nl "RLOAD" "vout" "0" 2e3;
+  Mna.build nl

@@ -1,0 +1,20 @@
+(** A switched power converter — the circuit class the paper names as the
+    natural customer of the purely time-domain MPDE methods (MFDTD, HS):
+    "appropriate for circuits with no sinusoidal waveform components,
+    such as power converters".
+
+    Behavioural buck-style stage: a fast PWM square wave chops a slowly
+    modulated input through a saturating switch into an LC-like RC output
+    filter. The steady state is quasi-periodic in (f_mod, f_pwm) with
+    strongly nonsinusoidal fast waveforms. *)
+
+type params = {
+  f_pwm : float;
+  f_mod : float;       (** slow modulation of the source *)
+  v_in : float;
+  mod_depth : float;
+}
+
+val default_params : params
+val build : params -> Rfkit_circuit.Mna.t
+val output_node : string

@@ -1,0 +1,45 @@
+open Rfkit_circuit
+
+type params = {
+  f_rf : float;
+  a_rf : float;
+  f_lo : float;
+  a_lo : float;
+  vsat : float;
+  mix_gain : float;
+}
+
+(* vsat tuned so tanh distortion of a 100 mV drive puts the third harmonic
+   ~35 dB below the fundamental: with x = a sin, H3/H1 = (a^3/12)/(a - a^3/4)
+   at a = a_rf/vsat ~ 0.46 *)
+let paper_params =
+  {
+    f_rf = 100e3;
+    a_rf = 0.1;
+    f_lo = 900e6;
+    a_lo = 1.0;
+    vsat = 0.217;
+    mix_gain = 1.096;
+  }
+
+let scaled_params ~f_rf ~f_lo = { paper_params with f_rf; f_lo }
+
+let output_node = "mix"
+
+let build p =
+  let nl = Netlist.create () in
+  Netlist.vsource nl "VRF" "rf" "0" (Wave.sine p.a_rf p.f_rf);
+  Netlist.vsource nl "VLO" "lo" "0" (Wave.square p.a_lo p.f_lo);
+  (* RF limiter: v_amp = tanh-compressed copy of the RF drive (unity
+     small-signal gain via gm * R = 1) *)
+  Netlist.tanh_gm nl "GLIM" "0" "amp" "rf" "0" ~gm:1e-3 ~vsat:p.vsat;
+  Netlist.resistor nl "RAMP" "amp" "0" 1e3;
+  Netlist.capacitor nl "CAMP" "amp" "0" 1e-14;
+  (* switching core: multiply the limited RF by the LO square wave *)
+  let r_mix = 500.0 in
+  Netlist.mult_vccs nl "CORE" "0" "mix" ~a:("amp", "0") ~b:("lo", "0")
+    ~k:(p.mix_gain /. r_mix);
+  Netlist.resistor nl "RMIX" "mix" "0" r_mix;
+  (* output filter: passes the up-converted band around f_lo *)
+  Netlist.capacitor nl "CMIX" "mix" "0" (1.0 /. (2.0 *. Float.pi *. 2.5 *. p.f_lo *. r_mix));
+  Mna.build nl

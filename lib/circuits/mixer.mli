@@ -1,0 +1,35 @@
+(** The paper's Fig 4 workload: a double-balanced switching mixer with
+    output filter.
+
+    "The RF input to the mixer was a 100kHz sinusoid with amplitude 100mV;
+    this sent it into a mildly nonlinear regime. The LO input was a square
+    wave of large amplitude (1V), which switched the mixer on and off at a
+    fast rate (900Mhz)." Expected outputs: first slow harmonic (the
+    900.1 MHz mix) at about 60 mV, third slow harmonic (900.3 MHz) at
+    about 1.1 mV — 35 dB below.
+
+    The behavioural model: the RF path passes through a saturating
+    transconductor sized so a 100 mV drive produces third-harmonic
+    distortion ~35 dB down, then a multiplying (Gilbert-style) core
+    commutated by the LO square wave, into an RC output filter. *)
+
+type params = {
+  f_rf : float;
+  a_rf : float;
+  f_lo : float;
+  a_lo : float;
+  vsat : float;        (** RF-limiter saturation; sets the H3/H1 ratio *)
+  mix_gain : float;    (** multiplier k * R_load; sets the 60 mV level *)
+}
+
+val paper_params : params
+(** The Fig 4 numbers: 100 kHz / 100 mV RF, 900 MHz / 1 V LO. *)
+
+val scaled_params : f_rf:float -> f_lo:float -> params
+(** Same circuit with different tone placement (cheap transient
+    references for testing). *)
+
+val build : params -> Rfkit_circuit.Mna.t
+(** Output node is ["mix"]. *)
+
+val output_node : string

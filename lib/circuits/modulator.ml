@@ -1,0 +1,55 @@
+open Rfkit_circuit
+
+type params = {
+  f_bb : float;
+  f_lo : float;
+  gain_imbalance : float;
+  lo_feedthrough : float;
+  buffer_vsat : float;
+}
+
+let paper_params =
+  {
+    f_bb = 80e3;
+    f_lo = 1.62e9;
+    gain_imbalance = 0.0356;
+    lo_feedthrough = 1.3e-4;
+    buffer_vsat = 2.0;
+  }
+
+let output_node = "out"
+
+(* image rejection of a quadrature modulator with pure gain error eps:
+   image/carrier amplitude ratio = eps / (2 + eps) ~ eps / 2 *)
+let expected_image_dbc p =
+  20.0 *. log10 (p.gain_imbalance /. (2.0 +. p.gain_imbalance))
+
+(* the I-path DC offset rides through the I multiplier onto the bare LO:
+   leak amplitude = offset * LO / (desired = 1 * LO / 2 per path * 2) *)
+let expected_lo_leak_dbc p = 20.0 *. log10 p.lo_feedthrough
+
+let build p =
+  let nl = Netlist.create () in
+  (* quadrature base-band pair, with the LO feed-through as a DC offset on
+     the I path *)
+  Netlist.vsource nl "VI" "bbi" "0"
+    (Wave.Sine { ampl = 1.0; freq = p.f_bb; phase = Float.pi /. 2.0; offset = p.lo_feedthrough });
+  Netlist.vsource nl "VQ" "bbq" "0" (Wave.sine 1.0 p.f_bb);
+  (* quadrature carrier pair *)
+  Netlist.vsource nl "VLOI" "loi" "0" (Wave.Sine { ampl = 1.0; freq = p.f_lo; phase = Float.pi /. 2.0; offset = 0.0 });
+  Netlist.vsource nl "VLOQ" "loq" "0" (Wave.sine 1.0 p.f_lo);
+  (* upconversion multipliers summed at the combining node; the Q path
+     carries the gain imbalance (the "layout imbalance" of Fig 1) *)
+  let r_sum = 400.0 in
+  let k = 0.5 /. r_sum in
+  Netlist.mult_vccs nl "MIXI" "0" "sum" ~a:("bbi", "0") ~b:("loi", "0") ~k;
+  Netlist.mult_vccs nl "MIXQ" "0" "sum" ~a:("bbq", "0") ~b:("loq", "0")
+    ~k:(k *. (1.0 +. p.gain_imbalance));
+  Netlist.resistor nl "RSUM" "sum" "0" r_sum;
+  Netlist.capacitor nl "CSUM" "sum" "0"
+    (1.0 /. (2.0 *. Float.pi *. 4.0 *. p.f_lo *. r_sum));
+  (* mildly compressive output buffer (gain 2) *)
+  Netlist.tanh_gm nl "GBUF" "0" "out" "sum" "0" ~gm:2e-3 ~vsat:p.buffer_vsat;
+  Netlist.resistor nl "RBUF" "out" "0" 1e3;
+  Netlist.capacitor nl "CBUF" "out" "0" (1.0 /. (2.0 *. Float.pi *. 4.0 *. p.f_lo *. 1e3));
+  Mna.build nl

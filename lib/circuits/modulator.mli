@@ -1,0 +1,29 @@
+(** The paper's Fig 1 workload: a quadrature modulator with deliberate
+    imperfections, at behavioural level.
+
+    The original was "a large dual-conversion quadrature modulator chip
+    designed for cellular applications" with an 80 kHz base-band and a
+    1.62 GHz output carrier, showing (i) a sideband at -35 dBc "traced back
+    to a layout imbalance" and (ii) a weak LO spurious response near
+    -78 dBc that transient analysis could not resolve. Both phenomena are
+    properties of the architecture, so this scaled-down behavioural
+    model reproduces them: an I/Q upconverter with a gain imbalance on the
+    Q path (image sideband) and a DC offset on the I path (carrier
+    feed-through), followed by a mildly compressive output buffer. *)
+
+type params = {
+  f_bb : float;          (** base-band frequency (paper: 80 kHz) *)
+  f_lo : float;          (** carrier (paper: 1.62 GHz) *)
+  gain_imbalance : float;(** Q-path relative gain error; 0.0356 -> -35 dBc image *)
+  lo_feedthrough : float;(** I-path DC offset; 1.3e-4 -> about -78 dBc carrier *)
+  buffer_vsat : float;   (** output-buffer compression point *)
+}
+
+val paper_params : params
+val build : params -> Rfkit_circuit.Mna.t
+val output_node : string
+
+(** Expected spur levels for the parameter set (small-signal estimates
+    used by the benchmark harness to report paper-vs-measured). *)
+val expected_image_dbc : params -> float
+val expected_lo_leak_dbc : params -> float

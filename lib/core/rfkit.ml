@@ -1,0 +1,24 @@
+(** rfkit — RF IC design tool suite.
+
+    OCaml reproduction of "Tools and Methodology for RF IC Design"
+    (Dunlop et al., DAC 1998). One alias per subsystem:
+
+    - {!La}: dense/sparse linear algebra, Krylov solvers, FFT, eigenvalues
+    - {!Circuit}: netlists, MNA, DC/transient/AC, SPICE-like decks
+    - {!Rf}: harmonic balance, shooting, the MPDE multi-time family
+    - {!Noise}: oscillator Floquet/PPV phase-noise theory
+    - {!Em}: MoM extraction, IES3 compression, partial inductance
+    - {!Rom}: PVL/Arnoldi reduced-order modeling
+
+    Each alias re-exports a library whose modules carry their own
+    documentation; start with {!Rf.Hb} and {!Circuit.Netlist}. *)
+
+module La = Rfkit_la
+module Circuit = Rfkit_circuit
+module Rf = Rfkit_rf
+module Noise = Rfkit_noise
+module Em = Rfkit_em
+module Rom = Rfkit_rom
+
+(** Library version. *)
+let version = "1.0.0"

@@ -1,0 +1,118 @@
+open Rfkit_la
+
+type result = {
+  capacitance : float;
+  unknowns : int;
+  nnz : int;
+  density : float;
+  cg_iterations : int;
+  matrix : Sparse.t;
+}
+
+(* node classification for the parallel-plate problem *)
+type node_kind = Free of int (* unknown index *) | Fixed of float
+
+let parallel_plate ~n ~plate_cells ~gap_cells ~cell =
+  if plate_cells >= n - 2 || gap_cells >= n - 2 then
+    invalid_arg "Fd.parallel_plate: plates do not fit in the box";
+  let mid = n / 2 in
+  let z1 = mid - ((gap_cells + 1) / 2) in
+  let z2 = z1 + gap_cells in
+  let lo = mid - (plate_cells / 2) in
+  let hi = lo + plate_cells - 1 in
+  let on_plate1 i j k = k = z1 && i >= lo && i <= hi && j >= lo && j <= hi in
+  let on_plate2 i j k = k = z2 && i >= lo && i <= hi && j >= lo && j <= hi in
+  (* interior nodes are 1..n-2 in each axis; box surface is grounded *)
+  let kind = Array.make (n * n * n) (Fixed 0.0) in
+  let id i j k = ((i * n) + j) * n + k in
+  let unknowns = ref 0 in
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      for k = 1 to n - 2 do
+        if on_plate1 i j k then kind.(id i j k) <- Fixed 1.0
+        else if on_plate2 i j k then kind.(id i j k) <- Fixed 0.0
+        else begin
+          kind.(id i j k) <- Free !unknowns;
+          incr unknowns
+        end
+      done
+    done
+  done;
+  let nu = !unknowns in
+  let triplets = ref [] in
+  let rhs = Vec.create nu in
+  let neighbors i j k =
+    [ (i - 1, j, k); (i + 1, j, k); (i, j - 1, k); (i, j + 1, k); (i, j, k - 1); (i, j, k + 1) ]
+  in
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      for k = 1 to n - 2 do
+        match kind.(id i j k) with
+        | Fixed _ -> ()
+        | Free row ->
+            triplets := (row, row, 6.0) :: !triplets;
+            List.iter
+              (fun (i', j', k') ->
+                match kind.(id i' j' k') with
+                | Free col -> triplets := (row, col, -1.0) :: !triplets
+                | Fixed v -> if v <> 0.0 then rhs.(row) <- rhs.(row) +. v)
+              (neighbors i j k)
+      done
+    done
+  done;
+  let matrix = Sparse.of_triplets ~rows:nu ~cols:nu !triplets in
+  let phi, st = Krylov.cg ~tol:1e-10 ~max_iter:20000 (Sparse.matvec matrix) rhs in
+  if not st.Krylov.converged then failwith "Fd.parallel_plate: CG stalled";
+  (* charge on the driven plate: eps0 * h * sum over plate-adjacent links *)
+  let value i j k =
+    match kind.(id i j k) with Fixed v -> v | Free idx -> phi.(idx)
+  in
+  let q = ref 0.0 in
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      for k = 1 to n - 2 do
+        if on_plate1 i j k then
+          List.iter
+            (fun (i', j', k') ->
+              if i' >= 0 && i' < n && j' >= 0 && j' < n && k' >= 0 && k' < n then begin
+                let vn =
+                  if i' = 0 || i' = n - 1 || j' = 0 || j' = n - 1 || k' = 0 || k' = n - 1
+                  then 0.0
+                  else value i' j' k'
+                in
+                if not (on_plate1 i' j' k') then q := !q +. (1.0 -. vn)
+              end)
+            (neighbors i j k)
+      done
+    done
+  done;
+  let capacitance = Kernel.eps0 *. cell *. !q in
+  {
+    capacitance;
+    unknowns = nu;
+    nnz = Sparse.nnz matrix;
+    density = Sparse.density matrix;
+    cg_iterations = st.Krylov.iterations;
+    matrix;
+  }
+
+let condition_estimate m =
+  let n = Sparse.rows m in
+  (* power iteration for lambda_max *)
+  let x = ref (Vec.init n (fun i -> 1.0 +. (0.01 *. float_of_int (i mod 7)))) in
+  let lmax = ref 0.0 in
+  for _ = 1 to 60 do
+    let y = Sparse.matvec m !x in
+    lmax := Vec.norm2 y /. Vec.norm2 !x;
+    x := Vec.normalize y
+  done;
+  (* inverse power iteration with CG solves for lambda_min *)
+  let y = ref (Vec.init n (fun i -> 1.0 /. float_of_int (i + 1))) in
+  let lmin = ref 1.0 in
+  for _ = 1 to 12 do
+    let z, _ = Krylov.cg ~tol:1e-8 ~max_iter:20000 (Sparse.matvec m) !y in
+    let nz = Vec.norm2 z in
+    lmin := Vec.norm2 !y /. nz;
+    y := Vec.scale (1.0 /. nz) z
+  done;
+  !lmax /. !lmin

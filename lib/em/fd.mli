@@ -1,0 +1,27 @@
+(** Finite-difference Laplace solver — the "differential equation class" of
+    the paper's Table 1.
+
+    Discretizes the potential on a uniform 3-D grid over a grounded box
+    (volume discretization, sparse 7-point matrix, CG solve). Compared
+    against {!Mom} on the same structure it exhibits exactly the Table 1
+    trade-offs: many more unknowns, sparse instead of dense, and worse
+    conditioning as the grid refines. *)
+
+type result = {
+  capacitance : float;          (** farads, driven plate to everything else *)
+  unknowns : int;
+  nnz : int;
+  density : float;
+  cg_iterations : int;
+  matrix : Rfkit_la.Sparse.t;   (** the assembled Laplacian *)
+}
+
+val parallel_plate :
+  n:int -> plate_cells:int -> gap_cells:int -> cell:float -> result
+(** Two square plates of [plate_cells] x [plate_cells] grid nodes,
+    [gap_cells] apart, centred in an [n^3] grounded box with grid pitch
+    [cell] metres; plate 1 driven at 1 V, plate 2 grounded. *)
+
+val condition_estimate : Rfkit_la.Sparse.t -> float
+(** lambda_max / lambda_min of the (SPD) matrix via power iteration and
+    CG-based inverse power iteration. *)

@@ -1,0 +1,100 @@
+type vec3 = { x : float; y : float; z : float }
+
+let v3 x y z = { x; y; z }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  {
+    x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x);
+  }
+
+let norm a = sqrt (dot a a)
+let dist a b = norm (sub a b)
+let mirror_z z0 p = { p with z = (2.0 *. z0) -. p.z }
+
+type panel = { center : vec3; half_u : vec3; half_v : vec3; area : float }
+
+let make_panel ~center ~half_u ~half_v =
+  { center; half_u; half_v; area = 4.0 *. norm (cross half_u half_v) }
+
+let panel_sides p = (2.0 *. norm p.half_u, 2.0 *. norm p.half_v)
+
+let quadrature_points p k =
+  let pts = Array.make (k * k) (p.center, 0.0) in
+  let w = p.area /. float_of_int (k * k) in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      let s = ((2.0 *. (float_of_int i +. 0.5)) /. float_of_int k) -. 1.0 in
+      let t = ((2.0 *. (float_of_int j +. 0.5)) /. float_of_int k) -. 1.0 in
+      let pt = add p.center (add (scale s p.half_u) (scale t p.half_v)) in
+      pts.((i * k) + j) <- (pt, w)
+    done
+  done;
+  pts
+
+type conductor = { name : string; panels : panel array }
+
+let mesh_plate ~name ~origin ~u ~v ~nu ~nv =
+  let panels = Array.make (nu * nv) (make_panel ~center:origin ~half_u:u ~half_v:v) in
+  for i = 0 to nu - 1 do
+    for j = 0 to nv - 1 do
+      let s = (float_of_int i +. 0.5) /. float_of_int nu in
+      let t = (float_of_int j +. 0.5) /. float_of_int nv in
+      let center = add origin (add (scale s u) (scale t v)) in
+      let half_u = scale (0.5 /. float_of_int nu) u in
+      let half_v = scale (0.5 /. float_of_int nv) v in
+      panels.((i * nv) + j) <- make_panel ~center ~half_u ~half_v
+    done
+  done;
+  { name; panels }
+
+(* square spiral: walk inward, shrinking the side by (width + spacing) every
+   two corners, building both the surface mesh and the centre-line *)
+let mesh_square_spiral ~name ~turns ~outer ~width ~spacing ~z ~segments_per_side =
+  let panels = ref [] in
+  let segs = ref [] in
+  let pitch = width +. spacing in
+  let pos = ref (v3 (-.outer /. 2.0) (-.outer /. 2.0) z) in
+  let dirs = [| v3 1.0 0.0 0.0; v3 0.0 1.0 0.0; v3 (-1.0) 0.0 0.0; v3 0.0 (-1.0) 0.0 |] in
+  let side = ref outer in
+  let n_sides = 4 * turns in
+  for k = 0 to n_sides - 1 do
+    let d = dirs.(k mod 4) in
+    (* shrink after each pair of sides past the first *)
+    let len = !side -. if k >= 2 && k mod 2 = 0 then 0.0 else 0.0 in
+    let len = if k = 0 then len else len in
+    let stop = add !pos (scale len d) in
+    segs := (!pos, stop, width) :: !segs;
+    (* surface mesh along the strip *)
+    let perp = cross d (v3 0.0 0.0 1.0) in
+    let nu = segments_per_side in
+    for i = 0 to nu - 1 do
+      let s = (float_of_int i +. 0.5) /. float_of_int nu in
+      let center = add !pos (scale (s *. len) d) in
+      let half_u = scale (len /. (2.0 *. float_of_int nu)) d in
+      let half_v = scale (width /. 2.0) perp in
+      panels := make_panel ~center ~half_u ~half_v :: !panels
+    done;
+    pos := stop;
+    if k mod 2 = 1 then side := !side -. pitch
+  done;
+  ({ name; panels = Array.of_list (List.rev !panels) }, List.rev !segs)
+
+let bounding_box pts =
+  if Array.length pts = 0 then invalid_arg "Geo3.bounding_box: empty";
+  let lo = ref pts.(0) and hi = ref pts.(0) in
+  Array.iter
+    (fun p ->
+      lo := v3 (Float.min !lo.x p.x) (Float.min !lo.y p.y) (Float.min !lo.z p.z);
+      hi := v3 (Float.max !hi.x p.x) (Float.max !hi.y p.y) (Float.max !hi.z p.z))
+    pts;
+  (!lo, !hi)
+
+let centroid panels =
+  let acc = Array.fold_left (fun a p -> add a p.center) (v3 0.0 0.0 0.0) panels in
+  scale (1.0 /. float_of_int (Array.length panels)) acc

@@ -1,0 +1,50 @@
+(** 3-D geometry: vectors, flat rectangular panels, and the surface meshers
+    used by the extraction solvers. Length unit: metres. *)
+
+type vec3 = { x : float; y : float; z : float }
+
+val v3 : float -> float -> float -> vec3
+val add : vec3 -> vec3 -> vec3
+val sub : vec3 -> vec3 -> vec3
+val scale : float -> vec3 -> vec3
+val dot : vec3 -> vec3 -> float
+val cross : vec3 -> vec3 -> vec3
+val norm : vec3 -> float
+val dist : vec3 -> vec3 -> float
+val mirror_z : float -> vec3 -> vec3
+(** [mirror_z z0 p] reflects [p] through the plane z = z0. *)
+
+(** A flat rectangular panel: centre plus the two half-edge vectors. *)
+type panel = { center : vec3; half_u : vec3; half_v : vec3; area : float }
+
+val make_panel : center:vec3 -> half_u:vec3 -> half_v:vec3 -> panel
+val panel_sides : panel -> float * float
+(** Full side lengths (2|half_u|, 2|half_v|). *)
+
+val quadrature_points : panel -> int -> (vec3 * float) array
+(** [k x k] tensor midpoint rule over the panel: (point, weight) with
+    weights summing to the area. *)
+
+(** A named conductor: a bag of panels. *)
+type conductor = { name : string; panels : panel array }
+
+val mesh_plate :
+  name:string -> origin:vec3 -> u:vec3 -> v:vec3 -> nu:int -> nv:int -> conductor
+(** Subdivide the parallelogram [origin + s u + t v], s,t in [0,1], into
+    [nu x nv] panels. *)
+
+val mesh_square_spiral :
+  name:string ->
+  turns:int ->
+  outer:float ->
+  width:float ->
+  spacing:float ->
+  z:float ->
+  segments_per_side:int ->
+  conductor * (vec3 * vec3 * float) list
+(** Square planar spiral at height [z]: returns the surface mesh (for
+    charge/capacitance) and the centre-line segments
+    [(start, stop, width)] (for partial inductance). *)
+
+val bounding_box : vec3 array -> vec3 * vec3
+val centroid : panel array -> vec3

@@ -1,0 +1,257 @@
+open Rfkit_la
+
+type options = { leaf_size : int; eta : float; tol : float; max_rank : int }
+
+let default_options = { leaf_size = 16; eta = 0.7; tol = 1e-6; max_rank = 60 }
+
+(* cluster: contiguous index range [lo, hi) in the permuted ordering *)
+type cluster = {
+  lo : int;
+  hi : int;
+  bb_lo : Geo3.vec3;
+  bb_hi : Geo3.vec3;
+  children : (cluster * cluster) option;
+}
+
+type block =
+  | Dense of { rows : cluster; cols : cluster; data : Mat.t }
+  | Lowrank of { rows : cluster; cols : cluster; u : Mat.t; v : Mat.t }
+      (* block ~ u * v^T, u: (rows) x r, v: (cols) x r *)
+
+type t = {
+  n : int;
+  perm : int array;      (* permuted position -> original index *)
+  blocks : block list;
+  diag : Vec.t;
+  opts : options;
+  samples : int;
+}
+
+let cluster_size c = c.hi - c.lo
+let diameter c = Geo3.dist c.bb_lo c.bb_hi
+
+let box_distance a b =
+  (* distance between axis-aligned boxes *)
+  let gap lo1 hi1 lo2 hi2 = Float.max 0.0 (Float.max (lo2 -. hi1) (lo1 -. hi2)) in
+  let dx = gap a.bb_lo.Geo3.x a.bb_hi.Geo3.x b.bb_lo.Geo3.x b.bb_hi.Geo3.x in
+  let dy = gap a.bb_lo.Geo3.y a.bb_hi.Geo3.y b.bb_lo.Geo3.y b.bb_hi.Geo3.y in
+  let dz = gap a.bb_lo.Geo3.z a.bb_hi.Geo3.z b.bb_lo.Geo3.z b.bb_hi.Geo3.z in
+  sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz))
+
+let rec build_cluster ~opts ~position ~perm lo hi =
+  let pts = Array.init (hi - lo) (fun k -> position perm.(lo + k)) in
+  let bb_lo, bb_hi = Geo3.bounding_box pts in
+  if hi - lo <= opts.leaf_size then { lo; hi; bb_lo; bb_hi; children = None }
+  else begin
+    (* split at the median along the widest axis *)
+    let ext = Geo3.sub bb_hi bb_lo in
+    let key =
+      if ext.Geo3.x >= ext.Geo3.y && ext.Geo3.x >= ext.Geo3.z then
+        fun (p : Geo3.vec3) -> p.Geo3.x
+      else if ext.Geo3.y >= ext.Geo3.z then fun p -> p.Geo3.y
+      else fun p -> p.Geo3.z
+    in
+    let idx = Array.sub perm lo (hi - lo) in
+    Array.sort (fun a b -> compare (key (position a)) (key (position b))) idx;
+    Array.blit idx 0 perm lo (hi - lo);
+    let mid = (lo + hi) / 2 in
+    let left = build_cluster ~opts ~position ~perm lo mid in
+    let right = build_cluster ~opts ~position ~perm mid hi in
+    { lo; hi; bb_lo; bb_hi; children = Some (left, right) }
+  end
+
+(* adaptive cross approximation with partial pivoting on the sub-block
+   addressed through the permutation *)
+let aca ~opts ~entry ~samples rows cols =
+  let nr = cluster_size rows and nc = cluster_size cols in
+  let us = ref [] and vs = ref [] in
+  let rank = ref 0 in
+  let used_rows = Array.make nr false in
+  let residual_entry i j =
+    let base = entry i j in
+    incr samples;
+    List.fold_left2
+      (fun acc (u : Vec.t) (v : Vec.t) -> acc -. (u.(i) *. v.(j)))
+      base !us !vs
+  in
+  let first_norm = ref 0.0 in
+  let continue_ = ref true in
+  let next_row = ref 0 in
+  while !continue_ && !rank < opts.max_rank && !rank < min nr nc do
+    (* find an unused pivot row *)
+    while !next_row < nr && used_rows.(!next_row) do
+      incr next_row
+    done;
+    if !next_row >= nr then continue_ := false
+    else begin
+      let i = !next_row in
+      used_rows.(i) <- true;
+      let row = Array.init nc (fun j -> residual_entry i j) in
+      let jpiv = Vec.max_abs_index row in
+      let pivot = row.(jpiv) in
+      if Float.abs pivot < 1e-300 then ()
+      else begin
+        let v = Vec.scale (1.0 /. pivot) row in
+        let u = Array.init nr (fun ii -> residual_entry ii jpiv) in
+        us := u :: !us;
+        vs := v :: !vs;
+        incr rank;
+        let term_norm = Vec.norm2 u *. Vec.norm2 v in
+        if !rank = 1 then first_norm := term_norm;
+        if term_norm <= opts.tol *. !first_norm then continue_ := false
+      end
+    end
+  done;
+  let r = !rank in
+  let u = Mat.make nr r and v = Mat.make nc r in
+  List.iteri (fun k col -> Mat.set_col u (r - 1 - k) col) !us;
+  List.iteri (fun k col -> Mat.set_col v (r - 1 - k) col) !vs;
+  (u, v)
+
+(* SVD recompression of a u v^T factorization: QR both factors, SVD the
+   small core, truncate *)
+let recompress ~opts u v =
+  let r = (u : Mat.t).Mat.cols in
+  if r <= 1 then (u, v)
+  else begin
+    let qu = Qr.factor u and qv = Qr.factor v in
+    let core = Mat.mul (Qr.r qu) (Mat.transpose (Qr.r qv)) in
+    let uu, s, vv = Svd.decompose core in
+    let keep = max 1 (Svd.rank_eps s opts.tol) in
+    if keep >= r then (u, v)
+    else begin
+      let uu, s, vv = Svd.truncate (uu, s, vv) keep in
+      let left = Mat.mul (Qr.q qu) (Mat.init r keep (fun i j -> Mat.get uu i j *. s.(j))) in
+      let right = Mat.mul (Qr.q qv) vv in
+      (left, right)
+    end
+  end
+
+let build ?(options = default_options) ~n ~position entry =
+  let opts = options in
+  let perm = Array.init n (fun i -> i) in
+  let root = build_cluster ~opts ~position ~perm 0 n in
+  let samples = ref 0 in
+  (* entry oracle through the permutation *)
+  let blocks = ref [] in
+  let admissible a b =
+    box_distance a b >= opts.eta *. Float.min (diameter a) (diameter b)
+  in
+  let dense_block rows cols =
+    let data =
+      Mat.init (cluster_size rows) (cluster_size cols) (fun i j ->
+          incr samples;
+          entry perm.(rows.lo + i) perm.(cols.lo + j))
+    in
+    Dense { rows; cols; data }
+  in
+  let rec subdivide a b =
+    if admissible a b then begin
+      let e i j = entry perm.(a.lo + i) perm.(b.lo + j) in
+      let u, v = aca ~opts ~entry:e ~samples a b in
+      if u.Mat.cols = 0 then blocks := dense_block a b :: !blocks
+      else begin
+        let u, v = recompress ~opts u v in
+        (* keep the low-rank form only if it actually saves memory *)
+        let lowrank_cost = (cluster_size a + cluster_size b) * u.Mat.cols in
+        if lowrank_cost < cluster_size a * cluster_size b then
+          blocks := Lowrank { rows = a; cols = b; u; v } :: !blocks
+        else blocks := dense_block a b :: !blocks
+      end
+    end
+    else begin
+      match (a.children, b.children) with
+      | Some (a1, a2), Some (b1, b2) ->
+          subdivide a1 b1;
+          subdivide a1 b2;
+          subdivide a2 b1;
+          subdivide a2 b2
+      | Some (a1, a2), None ->
+          subdivide a1 b;
+          subdivide a2 b
+      | None, Some (b1, b2) ->
+          subdivide a b1;
+          subdivide a b2
+      | None, None -> blocks := dense_block a b :: !blocks
+    end
+  in
+  subdivide root root;
+  let diag =
+    Vec.init n (fun i -> entry i i)
+  in
+  { n; perm; blocks = !blocks; diag; opts; samples = !samples }
+
+let matvec t (x : Vec.t) =
+  if Array.length x <> t.n then invalid_arg "Ies3.matvec";
+  (* work in permuted coordinates *)
+  let xp = Array.init t.n (fun k -> x.(t.perm.(k))) in
+  let yp = Vec.create t.n in
+  List.iter
+    (fun block ->
+      match block with
+      | Dense { rows; cols; data } ->
+          let xs = Array.sub xp cols.lo (cluster_size cols) in
+          let ys = Mat.matvec data xs in
+          for i = 0 to cluster_size rows - 1 do
+            yp.(rows.lo + i) <- yp.(rows.lo + i) +. ys.(i)
+          done
+      | Lowrank { rows; cols; u; v } ->
+          let xs = Array.sub xp cols.lo (cluster_size cols) in
+          let coeff = Mat.matvec_t v xs in
+          let ys = Mat.matvec u coeff in
+          for i = 0 to cluster_size rows - 1 do
+            yp.(rows.lo + i) <- yp.(rows.lo + i) +. ys.(i)
+          done)
+    t.blocks;
+  let y = Vec.create t.n in
+  for k = 0 to t.n - 1 do
+    y.(t.perm.(k)) <- yp.(k)
+  done;
+  y
+
+let diagonal t = t.diag
+
+type stats = {
+  n : int;
+  memory_bytes : int;
+  dense_memory_bytes : int;
+  compression_ratio : float;
+  dense_blocks : int;
+  lowrank_blocks : int;
+  max_block_rank : int;
+  entries_sampled : int;
+}
+
+let stats t =
+  let mem = ref 0 and nd = ref 0 and nl = ref 0 and mr = ref 0 in
+  List.iter
+    (fun b ->
+      match b with
+      | Dense { data; _ } ->
+          incr nd;
+          mem := !mem + (8 * data.Mat.rows * data.Mat.cols)
+      | Lowrank { u; v; _ } ->
+          incr nl;
+          mr := max !mr u.Mat.cols;
+          mem := !mem + (8 * ((u.Mat.rows * u.Mat.cols) + (v.Mat.rows * v.Mat.cols))))
+    t.blocks;
+  let dense = 8 * t.n * t.n in
+  {
+    n = t.n;
+    memory_bytes = !mem;
+    dense_memory_bytes = dense;
+    compression_ratio = float_of_int dense /. float_of_int (max 1 !mem);
+    dense_blocks = !nd;
+    lowrank_blocks = !nl;
+    max_block_rank = !mr;
+    entries_sampled = t.samples;
+  }
+
+let build_mom ?options p =
+  build ?options ~n:(Mom.n_panels p)
+    ~position:(fun i -> p.Mom.panels.(i).Geo3.center)
+    (Mom.entry p)
+
+let solve_capacitance ?options ?tol p =
+  let t = build_mom ?options p in
+  Mom.solve_operator ?tol p ~matvec:(matvec t) ~precond_diag:(diagonal t)

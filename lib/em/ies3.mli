@@ -1,0 +1,52 @@
+(** IES3-style kernel-independent hierarchical matrix compression [21].
+
+    The dense interaction matrix of an integral-equation formulation is
+    never formed: a binary cluster tree partitions the unknowns spatially;
+    well-separated cluster pairs ("admissible" blocks) are compressed to
+    low rank by adaptive cross approximation sampled straight from the
+    kernel, then tightened by SVD recompression — the kernel-independent
+    trait that distinguishes IES3 from multipole methods, which need a
+    [1/r] kernel. Storage and matvec cost drop from O(n^2) toward
+    O(n log n) (the paper's Fig 6). *)
+
+type options = {
+  leaf_size : int;   (** stop splitting clusters below this size *)
+  eta : float;       (** admissibility: dist >= eta * min diameter *)
+  tol : float;       (** relative compression tolerance *)
+  max_rank : int;
+}
+
+val default_options : options
+
+type t
+
+val build :
+  ?options:options ->
+  n:int ->
+  position:(int -> Geo3.vec3) ->
+  (int -> int -> float) ->
+  t
+(** Compress an [n x n] kernel matrix given positional info for clustering
+    and an entry oracle. Only sampled entries are ever evaluated. *)
+
+val matvec : t -> Rfkit_la.Vec.t -> Rfkit_la.Vec.t
+val diagonal : t -> Rfkit_la.Vec.t
+
+type stats = {
+  n : int;
+  memory_bytes : int;
+  dense_memory_bytes : int;   (** what the uncompressed matrix would take *)
+  compression_ratio : float;
+  dense_blocks : int;
+  lowrank_blocks : int;
+  max_block_rank : int;
+  entries_sampled : int;
+}
+
+val stats : t -> stats
+
+val build_mom : ?options:options -> Mom.problem -> t
+(** Compress a {!Mom.problem}'s potential matrix. *)
+
+val solve_capacitance : ?options:options -> ?tol:float -> Mom.problem -> Rfkit_la.Mat.t
+(** End-to-end fast extraction: compress, then GMRES per conductor. *)

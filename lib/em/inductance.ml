@@ -1,0 +1,127 @@
+open Rfkit_la
+
+type segment = {
+  start : Geo3.vec3;
+  stop : Geo3.vec3;
+  width : float;
+  thickness : float;
+}
+
+let mu0 = 4.0e-7 *. Float.pi
+let copper_sigma = 5.8e7
+
+let seg_length s = Geo3.dist s.start s.stop
+
+(* standard closed-form partial self-inductance of a rectangular bar:
+   L = (mu0 l / 2 pi) (ln(2l/(w+t)) + 0.5 + 0.2235 (w+t)/l) *)
+let self_inductance s =
+  let l = seg_length s in
+  let wt = s.width +. s.thickness in
+  mu0 *. l /. (2.0 *. Float.pi)
+  *. (Float.log (2.0 *. l /. wt) +. 0.5 +. (0.2235 *. wt /. l))
+
+(* Neumann formula on the centre lines with midpoint quadrature *)
+let mutual_inductance ?(quad = 8) a b =
+  let la = seg_length a and lb = seg_length b in
+  let ta = Geo3.scale (1.0 /. la) (Geo3.sub a.stop a.start) in
+  let tb = Geo3.scale (1.0 /. lb) (Geo3.sub b.stop b.start) in
+  let cos_ab = Geo3.dot ta tb in
+  if Float.abs cos_ab < 1e-12 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to quad - 1 do
+      let si = (float_of_int i +. 0.5) /. float_of_int quad in
+      let pa = Geo3.add a.start (Geo3.scale (si *. la) ta) in
+      for j = 0 to quad - 1 do
+        let sj = (float_of_int j +. 0.5) /. float_of_int quad in
+        let pb = Geo3.add b.start (Geo3.scale (sj *. lb) tb) in
+        let r = Float.max (Geo3.dist pa pb) ((a.width +. b.width) /. 4.0) in
+        acc := !acc +. (1.0 /. r)
+      done
+    done;
+    mu0 /. (4.0 *. Float.pi) *. cos_ab *. la *. lb
+    *. !acc
+    /. float_of_int (quad * quad)
+  end
+
+let loop_inductance ?quad segs =
+  let arr = Array.of_list segs in
+  let n = Array.length arr in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. self_inductance arr.(i);
+    for j = 0 to n - 1 do
+      if i <> j then total := !total +. mutual_inductance ?quad arr.(i) arr.(j)
+    done
+  done;
+  !total
+
+let dc_resistance ~sigma s = seg_length s /. (sigma *. s.width *. s.thickness)
+
+let ac_resistance ~sigma ~freq s =
+  if freq <= 0.0 then dc_resistance ~sigma s
+  else begin
+    let delta = sqrt (2.0 /. (2.0 *. Float.pi *. freq *. mu0 *. sigma)) in
+    let shell w = Float.max 0.0 (w -. (2.0 *. delta)) in
+    let a_eff = (s.width *. s.thickness) -. (shell s.width *. shell s.thickness) in
+    let a_eff = Float.max (1e-3 *. s.width *. s.thickness) a_eff in
+    seg_length s /. (sigma *. a_eff)
+  end
+
+type spiral_model = {
+  inductance : float;
+  segments : segment list;
+  c_ox : float;
+  r_sub : float;
+  sigma : float;
+}
+
+let spiral_on_substrate ?(turns = 3) ?(outer = 300e-6) ?(width = 10e-6)
+    ?(spacing = 10e-6) ?(thickness = 1e-6) ?(t_ox = 1e-6) ?(eps_r = 3.9)
+    ?(rho_sub = 0.01) ?(segments_per_side = 4) ?(quad = 8) () =
+  let conductor, centerline =
+    Geo3.mesh_square_spiral ~name:"spiral" ~turns ~outer ~width ~spacing ~z:t_ox
+      ~segments_per_side
+  in
+  let segments =
+    List.map (fun (a, b, w) -> { start = a; stop = b; width = w; thickness }) centerline
+  in
+  let inductance = loop_inductance ~quad segments in
+  (* oxide capacitance to the substrate: MoM over the image plane at z=0
+     scaled by the oxide permittivity *)
+  let kernel = Kernel.over_substrate ~z_interface:0.0 ~eps_ratio:1.0 in
+  let problem = Mom.make kernel [| conductor |] in
+  let sol = Mom.solve_dense problem in
+  let c_ox = eps_r *. Mom.self_capacitance sol 0 in
+  (* substrate spreading resistance under the coil footprint *)
+  let footprint = outer *. outer in
+  let r_sub = rho_sub /. sqrt footprint in
+  { inductance; segments; c_ox; r_sub; sigma = copper_sigma }
+
+let series_impedance m freq =
+  let r =
+    List.fold_left (fun acc s -> acc +. ac_resistance ~sigma:m.sigma ~freq s) 0.0
+      m.segments
+  in
+  let w = 2.0 *. Float.pi *. freq in
+  Cx.make r (w *. m.inductance)
+
+let impedance m freq =
+  let w = 2.0 *. Float.pi *. freq in
+  let z_series = series_impedance m freq in
+  (* shunt branch at the port: C_ox in series with R_sub *)
+  if freq <= 0.0 then z_series
+  else begin
+    let z_shunt = Cx.make m.r_sub (-1.0 /. (w *. m.c_ox)) in
+    Cx.( /: ) (Cx.( *: ) z_series z_shunt) (Cx.( +: ) z_series z_shunt)
+  end
+
+let effective_inductance m freq =
+  let z = impedance m freq in
+  z.Cx.im /. (2.0 *. Float.pi *. freq)
+
+let quality_factor m freq =
+  let z = impedance m freq in
+  z.Cx.im /. z.Cx.re
+
+let self_resonance m = 1.0 /. (2.0 *. Float.pi *. sqrt (m.inductance *. m.c_ox))

@@ -1,0 +1,71 @@
+(** Partial inductance and spiral-inductor modeling (FastHenry-lite [20]).
+
+    Straight rectangular-cross-section segments; self terms from the
+    standard closed-form partial self-inductance, mutual terms by numeric
+    Neumann double integrals over the centre lines, skin-effect AC
+    resistance from the shell-current approximation, and a one-port
+    inductor-on-lossy-substrate macromodel for the paper's Fig 7. *)
+
+type segment = {
+  start : Geo3.vec3;
+  stop : Geo3.vec3;
+  width : float;
+  thickness : float;
+}
+
+val mu0 : float
+val copper_sigma : float
+
+val self_inductance : segment -> float
+val mutual_inductance : ?quad:int -> segment -> segment -> float
+(** Signed by relative orientation; [quad] points per segment (default 8). *)
+
+val loop_inductance : ?quad:int -> segment list -> float
+(** Total inductance of segments carrying the same series current. *)
+
+val dc_resistance : sigma:float -> segment -> float
+val ac_resistance : sigma:float -> freq:float -> segment -> float
+(** Shell-current skin-effect model; reduces to DC below the skin corner. *)
+
+(** One-port spiral macromodel: series R(f) + jwL shunted at the port by
+    the oxide capacitance in series with the substrate loss. *)
+type spiral_model = {
+  inductance : float;
+  segments : segment list;
+  c_ox : float;
+  r_sub : float;
+  sigma : float;
+}
+
+val spiral_on_substrate :
+  ?turns:int ->
+  ?outer:float ->
+  ?width:float ->
+  ?spacing:float ->
+  ?thickness:float ->
+  ?t_ox:float ->
+  ?eps_r:float ->
+  ?rho_sub:float ->
+  ?segments_per_side:int ->
+  ?quad:int ->
+  unit ->
+  spiral_model
+(** Build and extract a square spiral; the oxide capacitance comes from a
+    MoM solve of the spiral surface mesh over the substrate image plane
+    ([segments_per_side] controls mesh fineness — crank it up for the
+    "measurement-grade" reference of Fig 7). Defaults: 3 turns, 300 um
+    outer, 10 um width/spacing, 1 um metal on 1 um oxide over 10
+    ohm-cm silicon. *)
+
+val impedance : spiral_model -> float -> Rfkit_la.Cx.t
+(** One-port input impedance at a frequency. *)
+
+val effective_inductance : spiral_model -> float -> float
+(** [Im Z / w] — what an impedance analyzer reports; peaks then dives at
+    the self-resonance (the Fig 7 curve shape). *)
+
+val quality_factor : spiral_model -> float -> float
+(** [Im Z / Re Z]. *)
+
+val self_resonance : spiral_model -> float
+(** Approximate self-resonant frequency [1 / (2 pi sqrt(L C_ox))]. *)

@@ -1,0 +1,24 @@
+(** Electrostatic Green's functions.
+
+    Free space [1/(4 pi eps0 r)] plus a single-image approximation for a
+    dielectric or lossy substrate half-space below [z = z_sub] (the
+    layered-media Green's function [32] of the paper reduced to its first
+    image term — adequate at the quasi-static accuracy of this
+    reproduction; see DESIGN.md). *)
+
+type t
+
+val eps0 : float
+
+val free_space : t
+val over_substrate : z_interface:float -> eps_ratio:float -> t
+(** [eps_ratio] = (eps_sub - eps_top) / (eps_sub + eps_top): image charge
+    coefficient; 1.0 approximates a ground plane at the interface. *)
+
+val eval : t -> Geo3.vec3 -> Geo3.vec3 -> float
+(** Potential at the first point due to a unit point charge at the second. *)
+
+val panel_potential : t -> at:Geo3.vec3 -> Geo3.panel -> float
+(** Potential due to a unit charge spread uniformly over a panel, one-shot
+    quadrature with analytic self-term handling when [at] is the panel's
+    own centre. *)

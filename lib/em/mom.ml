@@ -1,0 +1,79 @@
+open Rfkit_la
+
+type problem = {
+  conductors : Geo3.conductor array;
+  kernel : Kernel.t;
+  panels : Geo3.panel array;
+  owner : int array;
+}
+
+let make kernel conductors =
+  let panels =
+    Array.concat (Array.to_list (Array.map (fun c -> c.Geo3.panels) conductors))
+  in
+  let owner = Array.make (Array.length panels) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun ci c ->
+      Array.iter
+        (fun _ ->
+          owner.(!k) <- ci;
+          incr k)
+        c.Geo3.panels)
+    conductors;
+  { conductors; kernel; panels; owner }
+
+let n_panels p = Array.length p.panels
+
+let entry p i j =
+  Kernel.panel_potential p.kernel ~at:p.panels.(i).Geo3.center p.panels.(j)
+
+let dense_matrix p =
+  let n = n_panels p in
+  Mat.init n n (fun i j -> entry p i j)
+
+(* capacitance matrix from charge solutions: drive conductor k at 1 V with
+   all others grounded; C(i,k) = total charge on conductor i *)
+let cap_from_charges p (charges : Mat.t) =
+  let nc = Array.length p.conductors in
+  let cap = Mat.make nc nc in
+  for k = 0 to nc - 1 do
+    for pi = 0 to n_panels p - 1 do
+      Mat.update cap p.owner.(pi) k (fun v -> v +. Mat.get charges pi k)
+    done
+  done;
+  cap
+
+type solution = { cap_matrix : Mat.t; charges : Mat.t; rcond : float }
+
+let rhs_for p k =
+  Vec.init (n_panels p) (fun i -> if p.owner.(i) = k then 1.0 else 0.0)
+
+let solve_dense p =
+  let n = n_panels p in
+  let nc = Array.length p.conductors in
+  let mat = dense_matrix p in
+  let f = Lu.factor mat in
+  let charges = Mat.make n nc in
+  for k = 0 to nc - 1 do
+    Mat.set_col charges k (Lu.solve f (rhs_for p k))
+  done;
+  let rcond = Lu.rcond_estimate mat f in
+  { cap_matrix = cap_from_charges p charges; charges; rcond }
+
+let solve_operator ?(tol = 1e-10) p ~matvec ~precond_diag =
+  let n = n_panels p in
+  let nc = Array.length p.conductors in
+  let precond v = Array.mapi (fun i vi -> vi /. precond_diag.(i)) v in
+  let charges = Mat.make n nc in
+  for k = 0 to nc - 1 do
+    let q, st = Krylov.gmres ~m:60 ~tol ~max_iter:3000 ~precond matvec (rhs_for p k) in
+    if not st.Krylov.converged then failwith "Mom.solve_operator: GMRES stalled";
+    Mat.set_col charges k q
+  done;
+  cap_from_charges p charges
+
+let self_capacitance s i = Mat.get s.cap_matrix i i
+let coupling_capacitance s i j = -.Mat.get s.cap_matrix i j
+
+let parallel_plate_analytic ~area ~gap = Kernel.eps0 *. area /. gap

@@ -1,0 +1,48 @@
+(** Method-of-moments electrostatic extraction (collocation, uniform panel
+    charges).
+
+    Builds the dense potential-coefficient matrix [P] with
+    [P q = V]; capacitances follow from solving with unit conductor
+    voltages. The integral-equation trade-offs of the paper's Table 1 show
+    up directly: [P] is dense but small (surface discretization) and well
+    conditioned. *)
+
+type problem = {
+  conductors : Geo3.conductor array;
+  kernel : Kernel.t;
+  panels : Geo3.panel array;        (** concatenated *)
+  owner : int array;                (** panel -> conductor index *)
+}
+
+val make : Kernel.t -> Geo3.conductor array -> problem
+val n_panels : problem -> int
+val entry : problem -> int -> int -> float
+(** One potential coefficient (the kernel access IES3/ACA samples). *)
+
+val dense_matrix : problem -> Rfkit_la.Mat.t
+
+type solution = {
+  cap_matrix : Rfkit_la.Mat.t;  (** Maxwell capacitance matrix, farads *)
+  charges : Rfkit_la.Mat.t;     (** panel charges per excitation *)
+  rcond : float;                (** reciprocal condition estimate of P *)
+}
+
+val solve_dense : problem -> solution
+(** LU on the dense [P]; reference path. *)
+
+val solve_operator :
+  ?tol:float ->
+  problem ->
+  matvec:(Rfkit_la.Vec.t -> Rfkit_la.Vec.t) ->
+  precond_diag:Rfkit_la.Vec.t ->
+  Rfkit_la.Mat.t
+(** Capacitance matrix via GMRES against an arbitrary operator
+    (the IES3-compressed path plugs in here); [precond_diag] is the
+    diagonal of [P]. *)
+
+val self_capacitance : solution -> int -> float
+val coupling_capacitance : solution -> int -> int -> float
+(** Off-diagonal (mutual) capacitance, positive by convention. *)
+
+val parallel_plate_analytic : area:float -> gap:float -> float
+(** [eps0 A / d], the infinite-plate limit used as a sanity anchor. *)

@@ -1,0 +1,99 @@
+open Rfkit_la
+open Rfkit_circuit
+
+type extraction = {
+  l1 : float;
+  l2 : float;
+  m_coupling : float;
+  c1 : float;
+  c2 : float;
+  c12 : float;
+  r1 : float;
+  r2 : float;
+}
+
+let extract ?(turns = 2) ?(outer = 200e-6) ?(separation = 230e-6) ?(f_band = 2e9) () =
+  let width = 10e-6 and spacing = 10e-6 and thickness = 1e-6 and t_ox = 1e-6 in
+  let mesh dx name =
+    let cond, centerline =
+      Geo3.mesh_square_spiral ~name ~turns ~outer ~width ~spacing ~z:t_ox
+        ~segments_per_side:3
+    in
+    let shift (p : Geo3.vec3) = Geo3.v3 (p.Geo3.x +. dx) p.Geo3.y p.Geo3.z in
+    let cond =
+      {
+        cond with
+        Geo3.panels =
+          Array.map
+            (fun (p : Geo3.panel) -> { p with Geo3.center = shift p.Geo3.center })
+            cond.Geo3.panels;
+      }
+    in
+    let segs =
+      List.map
+        (fun (a, b, w) ->
+          {
+            Inductance.start = shift a;
+            stop = shift b;
+            width = w;
+            thickness;
+          })
+        centerline
+    in
+    (cond, segs)
+  in
+  let cond1, segs1 = mesh 0.0 "coil1" in
+  let cond2, segs2 = mesh separation "coil2" in
+  let l1 = Inductance.loop_inductance ~quad:6 segs1 in
+  let l2 = Inductance.loop_inductance ~quad:6 segs2 in
+  (* mutual: sum of cross mutuals between the two coils *)
+  let m_coupling =
+    List.fold_left
+      (fun acc sa ->
+        List.fold_left
+          (fun acc sb -> acc +. Inductance.mutual_inductance ~quad:6 sa sb)
+          acc segs2)
+      0.0 segs1
+  in
+  let kernel = Kernel.over_substrate ~z_interface:0.0 ~eps_ratio:1.0 in
+  let problem = Mom.make kernel [| cond1; cond2 |] in
+  let sol = Mom.solve_dense problem in
+  let eps_r = 3.9 in
+  let c1 = eps_r *. Mom.self_capacitance sol 0 in
+  let c2 = eps_r *. Mom.self_capacitance sol 1 in
+  let c12 = eps_r *. Mom.coupling_capacitance sol 0 1 in
+  let r_of segs =
+    List.fold_left
+      (fun acc s ->
+        acc +. Inductance.ac_resistance ~sigma:Inductance.copper_sigma ~freq:f_band s)
+      0.0 segs
+  in
+  { l1; l2; m_coupling; c1; c2; c12; r1 = r_of segs1; r2 = r_of segs2 }
+
+(* coupled resonator two-port: port1 - R1 - (tank1) = (coupling) = (tank2)
+   - R2 - port2, mutual inductance as the equivalent tee since both coils
+   are ground-referenced *)
+let build_circuit ex ~z0 =
+  let nl = Netlist.create () in
+  Netlist.vsource nl "VS" "src" "0" (Wave.Dc 0.0);
+  Netlist.resistor nl "RS" "src" "p1" z0;
+  Netlist.resistor nl "RL" "p2" "0" z0;
+  (* tee equivalent: L1 - M and L2 - M in series arms, M in the common leg *)
+  Netlist.resistor nl "R1" "p1" "a" ex.r1;
+  Netlist.inductor nl "LA" "a" "k" (ex.l1 -. ex.m_coupling);
+  Netlist.inductor nl "LM" "k" "0" ex.m_coupling;
+  Netlist.inductor nl "LB" "k" "b" (ex.l2 -. ex.m_coupling);
+  Netlist.resistor nl "R2" "b" "p2" ex.r2;
+  Netlist.capacitor nl "C1" "p1" "0" ex.c1;
+  Netlist.capacitor nl "C2" "p2" "0" ex.c2;
+  Netlist.capacitor nl "C12" "p1" "p2" ex.c12;
+  Mna.build nl
+
+let s21 ex ~z0 ~freqs =
+  let c = build_circuit ex ~z0 in
+  let res = Ac.sweep c ~source:"VS" ~freqs in
+  let v2 = Ac.transfer c res "p2" in
+  (* S21 = 2 V2 / Vs with matched source and load *)
+  Array.map (fun v -> Cx.scale 2.0 v) v2
+
+let resonant_frequency ex = 1.0 /. (2.0 *. Float.pi *. sqrt (ex.l1 *. ex.c1))

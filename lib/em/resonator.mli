@@ -1,0 +1,32 @@
+(** Multi-component resonator assembly (the paper's Fig 8 scenario).
+
+    Two coupled spiral inductors plus extracted capacitances, assembled
+    into a two-port filter: the extraction results (partial inductance,
+    MoM capacitance matrix, mutual coupling) feed a circuit-level model
+    whose S21 is computed with the {!Rfkit_circuit.Ac} engine — the
+    "models resulting from the analysis of the linear structures ...
+    combined ... into a comprehensive simulation" workflow of Section 4. *)
+
+type extraction = {
+  l1 : float;
+  l2 : float;
+  m_coupling : float;       (** mutual inductance between the coils *)
+  c1 : float;               (** coil-1 capacitance to ground *)
+  c2 : float;
+  c12 : float;              (** inter-coil coupling capacitance *)
+  r1 : float;               (** series loss at the band centre *)
+  r2 : float;
+}
+
+val extract :
+  ?turns:int -> ?outer:float -> ?separation:float -> ?f_band:float -> unit -> extraction
+(** Extract the assembly: two identical square spirals side by side at
+    [separation] (centre-to-centre); capacitances from a two-conductor MoM
+    solve over the substrate, losses evaluated at [f_band]. *)
+
+val s21 : extraction -> z0:float -> freqs:float array -> Rfkit_la.Cx.t array
+(** Two-port transmission through the coupled-resonator network
+    (mutual coupling modeled by the equivalent tee). *)
+
+val resonant_frequency : extraction -> float
+(** [1 / (2 pi sqrt(L1 C1))] — where the S21 peak should sit. *)

@@ -1,0 +1,13 @@
+open Rfkit_la
+
+let s11_of_z ?(z0 = 50.0) z =
+  let z0c = Cx.re z0 in
+  Cx.( /: ) (Cx.( -: ) z z0c) (Cx.( +: ) z z0c)
+
+let s_of_z ?(z0 = 50.0) zm =
+  let n = zm.Cmat.rows in
+  let z0i = Cmat.scale (Cx.re z0) (Cmat.identity n) in
+  let sum = Cmat.add zm z0i in
+  Cmat.mul (Cmat.sub zm z0i) (Clu.inverse sum)
+
+let magnitude_db z = Stats.db20 (Cx.abs z)

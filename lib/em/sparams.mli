@@ -1,0 +1,10 @@
+(** Scattering parameters from impedance data (extraction output format,
+    Figs 7-8). *)
+
+val s11_of_z : ?z0:float -> Rfkit_la.Cx.t -> Rfkit_la.Cx.t
+(** One-port: [(Z - Z0) / (Z + Z0)], Z0 defaults to 50 ohms. *)
+
+val s_of_z : ?z0:float -> Rfkit_la.Cmat.t -> Rfkit_la.Cmat.t
+(** Multi-port: [(Z - Z0 I)(Z + Z0 I)^-1]. *)
+
+val magnitude_db : Rfkit_la.Cx.t -> float

@@ -1,0 +1,34 @@
+type result = {
+  v : Vec.t array;
+  h : Mat.t;
+  steps : int;
+  start_norm : float;
+}
+
+let run ~matvec ~start ~steps =
+  let q_max = steps in
+  let v = Array.make (q_max + 1) [||] in
+  let h = Mat.make (q_max + 1) q_max in
+  let start_norm = Vec.norm2 start in
+  let completed = ref 0 in
+  if start_norm > 1e-300 then begin
+    v.(0) <- Vec.scale (1.0 /. start_norm) start;
+    (try
+       for k = 0 to q_max - 1 do
+         let wv = matvec v.(k) in
+         for i = 0 to k do
+           let hik = Vec.dot v.(i) wv in
+           Mat.set h i k hik;
+           Vec.axpy (-.hik) v.(i) wv
+         done;
+         completed := k + 1;
+         let nv = Vec.norm2 wv in
+         Mat.set h (k + 1) k nv;
+         if nv < 1e-300 then raise Exit;
+         v.(k + 1) <- Vec.scale (1.0 /. nv) wv
+       done
+     with Exit -> ())
+  end;
+  let q = !completed in
+  let hq = Mat.init q q (fun i j -> Mat.get h i j) in
+  { v = Array.sub v 0 q; h = hq; steps = q; start_norm }

@@ -1,0 +1,12 @@
+(** Arnoldi iteration: orthonormal Krylov basis with the projected
+    Hessenberg matrix. Substrate for Arnoldi-based reduced-order models
+    (matches q moments per q steps, vs. 2q for two-sided Lanczos). *)
+
+type result = {
+  v : Vec.t array;  (** orthonormal basis, length q *)
+  h : Mat.t;        (** projected Hessenberg matrix, q x q *)
+  steps : int;
+  start_norm : float;  (** norm of the starting vector *)
+}
+
+val run : matvec:(Vec.t -> Vec.t) -> start:Vec.t -> steps:int -> result

@@ -1,0 +1,86 @@
+open Cx
+exception Singular
+
+type t = { lu : Cmat.t; piv : int array; sign : float }
+
+let factor (m : Cmat.t) =
+  if m.Cmat.rows <> m.Cmat.cols then invalid_arg "Clu.factor: not square";
+  let n = m.Cmat.rows in
+  let lu = Cmat.copy m in
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Cx.abs (Cmat.get lu i k) > Cx.abs (Cmat.get lu !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Cmat.get lu k j in
+        Cmat.set lu k j (Cmat.get lu !p j);
+        Cmat.set lu !p j tmp
+      done;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = Cmat.get lu k k in
+    if Cx.abs pivot < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let lik = (Cmat.get lu i k /: pivot) in
+      Cmat.set lu i k lik;
+      if lik <> Cx.zero then
+        for j = k + 1 to n - 1 do
+          Cmat.set lu i j (Cmat.get lu i j -: (lik *: Cmat.get lu k j))
+        done
+    done
+  done;
+  { lu; piv; sign = !sign }
+
+let solve { lu; piv; _ } b =
+  let n = lu.Cmat.rows in
+  if Array.length b <> n then invalid_arg "Clu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(piv.(i))) in
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := (!s -: (Cmat.get lu i j *: x.(j)))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := (!s -: (Cmat.get lu i j *: x.(j)))
+    done;
+    x.(i) <- (!s /: Cmat.get lu i i)
+  done;
+  x
+
+let solve_mat f (b : Cmat.t) =
+  let n = f.lu.Cmat.rows in
+  if b.Cmat.rows <> n then invalid_arg "Clu.solve_mat";
+  let x = Cmat.make n b.Cmat.cols in
+  for j = 0 to b.Cmat.cols - 1 do
+    let bj = Array.init n (fun i -> Cmat.get b i j) in
+    let xj = solve f bj in
+    for i = 0 to n - 1 do
+      Cmat.set x i j xj.(i)
+    done
+  done;
+  x
+
+let det { lu; sign; _ } =
+  let n = lu.Cmat.rows in
+  let d = ref (Cx.re sign) in
+  for i = 0 to n - 1 do
+    d := (!d *: Cmat.get lu i i)
+  done;
+  !d
+
+let inverse m =
+  let f = factor m in
+  solve_mat f (Cmat.identity m.Cmat.rows)
+
+let lin_solve m b = solve (factor m) b

@@ -1,0 +1,15 @@
+(** LU factorization with partial pivoting for dense complex matrices.
+
+    Used for per-harmonic block preconditioners in harmonic balance and for
+    shifted solves [(A - sigma I) x = b] in inverse iteration. *)
+
+exception Singular
+
+type t
+
+val factor : Cmat.t -> t
+val solve : t -> Cvec.t -> Cvec.t
+val solve_mat : t -> Cmat.t -> Cmat.t
+val det : t -> Cx.t
+val inverse : Cmat.t -> Cmat.t
+val lin_solve : Cmat.t -> Cvec.t -> Cvec.t

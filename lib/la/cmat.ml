@@ -1,0 +1,65 @@
+open Cx
+type t = { rows : int; cols : int; a : Cx.t array }
+
+let make rows cols = { rows; cols; a = Array.make (rows * cols) Cx.zero }
+
+let init rows cols f =
+  { rows; cols; a = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then Cx.one else Cx.zero)
+let copy m = { m with a = Array.copy m.a }
+let get m i j = m.a.((i * m.cols) + j)
+let set m i j x = m.a.((i * m.cols) + j) <- x
+let update m i j f = set m i j (f (get m i j))
+let of_real (m : Mat.t) = init m.Mat.rows m.Mat.cols (fun i j -> Cx.re (Mat.get m i j))
+
+let check2 (x : t) (y : t) =
+  if x.rows <> y.rows || x.cols <> y.cols then invalid_arg "Cmat: shape mismatch"
+
+let add x y = check2 x y; { x with a = Array.mapi (fun k v -> (v +: y.a.(k))) x.a }
+let sub x y = check2 x y; { x with a = Array.mapi (fun k v -> (v -: y.a.(k))) x.a }
+let scale s x = { x with a = Array.map (fun v -> (s *: v)) x.a }
+
+let mul x y =
+  if x.cols <> y.rows then invalid_arg "Cmat.mul: inner dimension mismatch";
+  let z = make x.rows y.cols in
+  for i = 0 to x.rows - 1 do
+    for k = 0 to x.cols - 1 do
+      let xik = get x i k in
+      if xik <> Cx.zero then
+        for j = 0 to y.cols - 1 do
+          z.a.((i * z.cols) + j) <- (z.a.((i * z.cols) + j) +: (xik *: get y k j))
+        done
+    done
+  done;
+  z
+
+let matvec m x =
+  if m.cols <> Array.length x then invalid_arg "Cmat.matvec";
+  Array.init m.rows (fun i ->
+      let s = ref Cx.zero in
+      for j = 0 to m.cols - 1 do
+        s := (!s +: (get m i j *: x.(j)))
+      done;
+      !s)
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+let adjoint m = init m.cols m.rows (fun i j -> Cx.conj (get m j i))
+
+let frobenius m =
+  Float.sqrt (Array.fold_left (fun s v -> s +. Cx.abs2 v) 0.0 m.a)
+
+let max_abs m = Array.fold_left (fun s v -> Float.max s (Cx.abs v)) 0.0 m.a
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 1>[";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<hov 1>[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Cx.pp ppf (get m i j)
+    done;
+    Format.fprintf ppf "]@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "]@]"

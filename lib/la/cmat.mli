@@ -1,0 +1,24 @@
+(** Dense complex matrices, row-major. *)
+
+type t = { rows : int; cols : int; a : Cx.t array }
+
+val make : int -> int -> t
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val identity : int -> t
+val copy : t -> t
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val update : t -> int -> int -> (Cx.t -> Cx.t) -> unit
+val of_real : Mat.t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+val mul : t -> t -> t
+val matvec : t -> Cvec.t -> Cvec.t
+val transpose : t -> t
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val frobenius : t -> float
+val max_abs : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+open Cx
+type t = Cx.t array
+
+let create n = Array.make n Cx.zero
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let of_real v = Array.map Cx.re v
+let real v = Array.map (fun (z : Cx.t) -> z.re) v
+let imag v = Array.map (fun (z : Cx.t) -> z.im) v
+
+let check2 x y =
+  if Array.length x <> Array.length y then invalid_arg "Cvec: dimension mismatch"
+
+let add x y = check2 x y; Array.mapi (fun i xi -> (xi +: y.(i))) x
+let sub x y = check2 x y; Array.mapi (fun i xi -> (xi -: y.(i))) x
+let neg x = Array.map Cx.neg x
+let scale a x = Array.map (fun xi -> (a *: xi)) x
+let scale_re a x = Array.map (Cx.scale a) x
+
+let axpy a x y =
+  check2 x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (y.(i) +: (a *: x.(i)))
+  done
+
+let dot x y =
+  check2 x y;
+  let s = ref Cx.zero in
+  for i = 0 to Array.length x - 1 do
+    s := (!s +: (conj x.(i) *: y.(i)))
+  done;
+  !s
+
+let dot_u x y =
+  check2 x y;
+  let s = ref Cx.zero in
+  for i = 0 to Array.length x - 1 do
+    s := (!s +: (x.(i) *: y.(i)))
+  done;
+  !s
+
+let norm2 x = Float.sqrt (dot x x).re
+let norm_inf x = Array.fold_left (fun m z -> Float.max m (Cx.abs z)) 0.0 x
+
+let normalize x =
+  let n = norm2 x in
+  if n = 0.0 then copy x else scale_re (1.0 /. n) x
+
+let map = Array.map
+
+let pp ppf v =
+  Format.fprintf ppf "@[<hov 1>[%a]@]"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Cx.pp)
+    v

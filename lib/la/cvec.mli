@@ -1,0 +1,30 @@
+(** Dense complex vectors backed by [Complex.t array]. *)
+
+type t = Cx.t array
+
+val create : int -> t
+val init : int -> (int -> Cx.t) -> t
+val copy : t -> t
+val dim : t -> int
+val of_real : Vec.t -> t
+val real : t -> Vec.t
+val imag : t -> Vec.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Cx.t -> t -> t
+val scale_re : float -> t -> t
+val axpy : Cx.t -> t -> t -> unit
+(** [axpy a x y] updates [y <- a*x + y] in place. *)
+
+val dot : t -> t -> Cx.t
+(** Hermitian inner product: conjugates the first argument. *)
+
+val dot_u : t -> t -> Cx.t
+(** Unconjugated bilinear product (used by two-sided Lanczos). *)
+
+val norm2 : t -> float
+val norm_inf : t -> float
+val normalize : t -> t
+val map : (Cx.t -> Cx.t) -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let make re im = { re; im }
+let re x = { re = x; im = 0.0 }
+let im y = { re = 0.0; im = y }
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale a z = { re = a *. z.re; im = a *. z.im }
+let abs = Complex.norm
+let abs2 = Complex.norm2
+let arg = Complex.arg
+let sqrt = Complex.sqrt
+let exp = Complex.exp
+let expi theta = { re = cos theta; im = sin theta }
+let inv = Complex.inv
+let is_finite z = Float.is_finite z.re && Float.is_finite z.im
+
+let equal_eps eps a b =
+  Float.abs (a.re -. b.re) <= eps && Float.abs (a.im -. b.im) <= eps
+
+let pp ppf z = Format.fprintf ppf "(%g%+gi)" z.re z.im

@@ -1,0 +1,36 @@
+(** Complex scalar helpers on top of [Stdlib.Complex].
+
+    Provides the arithmetic shortcuts and constructors the frequency-domain
+    code uses pervasively; open locally as [Cx.(...)] for the operators. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+val make : float -> float -> t
+val re : float -> t
+(** Real number embedded as a complex. *)
+
+val im : float -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+val abs : t -> float
+val abs2 : t -> float
+(** Squared magnitude. *)
+
+val arg : t -> float
+val sqrt : t -> t
+val exp : t -> t
+val expi : float -> t
+(** [expi theta] is [e^{i theta}]. *)
+
+val inv : t -> t
+val is_finite : t -> bool
+val equal_eps : float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,286 @@
+exception No_convergence
+
+(* Householder similarity reduction to upper Hessenberg form. *)
+let hessenberg (m : Mat.t) =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Eig.hessenberg: not square";
+  let n = m.Mat.rows in
+  let a = Mat.copy m in
+  for k = 0 to n - 3 do
+    let normx = ref 0.0 in
+    for i = k + 1 to n - 1 do
+      let v = Mat.get a i k in
+      normx := !normx +. (v *. v)
+    done;
+    let normx = sqrt !normx in
+    if normx > 0.0 then begin
+      let x0 = Mat.get a (k + 1) k in
+      let alpha = if x0 >= 0.0 then -.normx else normx in
+      let v = Array.make n 0.0 in
+      v.(k + 1) <- x0 -. alpha;
+      for i = k + 2 to n - 1 do
+        v.(i) <- Mat.get a i k
+      done;
+      let vtv = ref 0.0 in
+      for i = k + 1 to n - 1 do
+        vtv := !vtv +. (v.(i) *. v.(i))
+      done;
+      if !vtv > 0.0 then begin
+        let beta = 2.0 /. !vtv in
+        (* A <- H A where H = I - beta v v^T *)
+        for j = 0 to n - 1 do
+          let s = ref 0.0 in
+          for i = k + 1 to n - 1 do
+            s := !s +. (v.(i) *. Mat.get a i j)
+          done;
+          let s = beta *. !s in
+          for i = k + 1 to n - 1 do
+            Mat.update a i j (fun x -> x -. (s *. v.(i)))
+          done
+        done;
+        (* A <- A H *)
+        for i = 0 to n - 1 do
+          let s = ref 0.0 in
+          for j = k + 1 to n - 1 do
+            s := !s +. (Mat.get a i j *. v.(j))
+          done;
+          let s = beta *. !s in
+          for j = k + 1 to n - 1 do
+            Mat.update a i j (fun x -> x -. (s *. v.(j)))
+          done
+        done
+      end
+    end;
+    (* clean below the sub-diagonal explicitly *)
+    for i = k + 2 to n - 1 do
+      Mat.set a i k 0.0
+    done
+  done;
+  a
+
+let sign_like a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+
+(* Francis double-shift QR on an upper Hessenberg matrix (EISPACK hqr). *)
+let hqr (h : Mat.t) =
+  let n = h.Mat.rows in
+  let a = Mat.copy h in
+  let wr = Array.make n 0.0 and wi = Array.make n 0.0 in
+  let anorm = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = max 0 (i - 1) to n - 1 do
+      anorm := !anorm +. Float.abs (Mat.get a i j)
+    done
+  done;
+  let nn = ref (n - 1) in
+  let t = ref 0.0 in
+  while !nn >= 0 do
+    let its = ref 0 in
+    let finished_block = ref false in
+    while not !finished_block do
+      (* find small subdiagonal element *)
+      let l = ref !nn in
+      (try
+         while !l >= 1 do
+           let s =
+             Float.abs (Mat.get a (!l - 1) (!l - 1)) +. Float.abs (Mat.get a !l !l)
+           in
+           let s = if s = 0.0 then !anorm else s in
+           if Float.abs (Mat.get a !l (!l - 1)) +. s = s then begin
+             Mat.set a !l (!l - 1) 0.0;
+             raise Exit
+           end;
+           decr l
+         done
+       with Exit -> ());
+      let x = Mat.get a !nn !nn in
+      if !l = !nn then begin
+        (* one real eigenvalue found *)
+        wr.(!nn) <- x +. !t;
+        wi.(!nn) <- 0.0;
+        decr nn;
+        finished_block := true
+      end
+      else begin
+        let y = Mat.get a (!nn - 1) (!nn - 1) in
+        let w = Mat.get a !nn (!nn - 1) *. Mat.get a (!nn - 1) !nn in
+        if !l = !nn - 1 then begin
+          (* a 2x2 block: real pair or complex conjugate pair *)
+          let p = 0.5 *. (y -. x) in
+          let q = (p *. p) +. w in
+          let z = sqrt (Float.abs q) in
+          let x' = x +. !t in
+          if q >= 0.0 then begin
+            let z = p +. sign_like z p in
+            wr.(!nn - 1) <- x' +. z;
+            wr.(!nn) <- (if z <> 0.0 then x' -. (w /. z) else x' +. z);
+            wi.(!nn - 1) <- 0.0;
+            wi.(!nn) <- 0.0
+          end
+          else begin
+            wr.(!nn - 1) <- x' +. p;
+            wr.(!nn) <- x' +. p;
+            wi.(!nn - 1) <- -.z;
+            wi.(!nn) <- z
+          end;
+          nn := !nn - 2;
+          finished_block := true
+        end
+        else begin
+          if !its = 30 then raise No_convergence;
+          let x = ref x and y = ref y and w = ref w in
+          if !its = 10 || !its = 20 then begin
+            (* exceptional shift *)
+            t := !t +. !x;
+            for i = 0 to !nn do
+              Mat.update a i i (fun v -> v -. !x)
+            done;
+            let s =
+              Float.abs (Mat.get a !nn (!nn - 1))
+              +. Float.abs (Mat.get a (!nn - 1) (!nn - 2))
+            in
+            x := 0.75 *. s;
+            y := !x;
+            w := -0.4375 *. s *. s
+          end;
+          incr its;
+          (* look for two consecutive small subdiagonal elements *)
+          let m = ref (!nn - 2) in
+          let p = ref 0.0 and q = ref 0.0 and r = ref 0.0 in
+          (try
+             while !m >= !l do
+               let z = Mat.get a !m !m in
+               let rr = !x -. z in
+               let ss = !y -. z in
+               p :=
+                 (((rr *. ss) -. !w) /. Mat.get a (!m + 1) !m)
+                 +. Mat.get a !m (!m + 1);
+               q := Mat.get a (!m + 1) (!m + 1) -. z -. rr -. ss;
+               r := Mat.get a (!m + 2) (!m + 1);
+               let s = Float.abs !p +. Float.abs !q +. Float.abs !r in
+               p := !p /. s;
+               q := !q /. s;
+               r := !r /. s;
+               if !m = !l then raise Exit;
+               let u =
+                 Float.abs (Mat.get a !m (!m - 1))
+                 *. (Float.abs !q +. Float.abs !r)
+               in
+               let v =
+                 Float.abs !p
+                 *. (Float.abs (Mat.get a (!m - 1) (!m - 1))
+                    +. Float.abs (Mat.get a !m !m)
+                    +. Float.abs (Mat.get a (!m + 1) (!m + 1)))
+               in
+               if u +. v = v then raise Exit;
+               decr m
+             done
+           with Exit -> ());
+          for i = !m + 2 to !nn do
+            Mat.set a i (i - 2) 0.0
+          done;
+          for i = !m + 3 to !nn do
+            Mat.set a i (i - 3) 0.0
+          done;
+          (* double QR step on rows l..nn and columns m..nn *)
+          for k = !m to !nn - 1 do
+            if k <> !m then begin
+              p := Mat.get a k (k - 1);
+              q := Mat.get a (k + 1) (k - 1);
+              r := (if k <> !nn - 1 then Mat.get a (k + 2) (k - 1) else 0.0);
+              x := Float.abs !p +. Float.abs !q +. Float.abs !r;
+              if !x <> 0.0 then begin
+                p := !p /. !x;
+                q := !q /. !x;
+                r := !r /. !x
+              end
+            end;
+            let s =
+              sign_like (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p
+            in
+            if s <> 0.0 then begin
+              if k = !m then begin
+                if !l <> !m then
+                  Mat.set a k (k - 1) (-.Mat.get a k (k - 1))
+              end
+              else Mat.set a k (k - 1) (-.s *. !x);
+              p := !p +. s;
+              x := !p /. s;
+              y := !q /. s;
+              let z = !r /. s in
+              q := !q /. !p;
+              r := !r /. !p;
+              (* row modification *)
+              for j = k to !nn do
+                let pp =
+                  Mat.get a k j +. (!q *. Mat.get a (k + 1) j)
+                  +.
+                  if k <> !nn - 1 then !r *. Mat.get a (k + 2) j else 0.0
+                in
+                if k <> !nn - 1 then
+                  Mat.update a (k + 2) j (fun v -> v -. (pp *. z));
+                Mat.update a (k + 1) j (fun v -> v -. (pp *. !y));
+                Mat.update a k j (fun v -> v -. (pp *. !x))
+              done;
+              (* column modification *)
+              let mmin = min !nn (k + 3) in
+              for i = !l to mmin do
+                let pp =
+                  (!x *. Mat.get a i k) +. (!y *. Mat.get a i (k + 1))
+                  +.
+                  if k <> !nn - 1 then z *. Mat.get a i (k + 2) else 0.0
+                in
+                if k <> !nn - 1 then
+                  Mat.update a i (k + 2) (fun v -> v -. (pp *. !r));
+                Mat.update a i (k + 1) (fun v -> v -. (pp *. !q));
+                Mat.update a i k (fun v -> v -. pp)
+              done
+            end
+          done
+        end
+      end
+    done
+  done;
+  Array.init n (fun k -> Cx.make wr.(k) wi.(k))
+
+let eigenvalues m =
+  let n = m.Mat.rows in
+  if n = 0 then [||]
+  else if n = 1 then [| Cx.re (Mat.get m 0 0) |]
+  else hqr (hessenberg m)
+
+let eigenvalues_sorted m =
+  let ev = eigenvalues m in
+  Array.sort (fun a b -> compare (Cx.abs b) (Cx.abs a)) ev;
+  ev
+
+(* Inverse iteration on (A - sigma I) in complex arithmetic. The shift is
+   perturbed slightly so the factorization stays nonsingular when sigma is
+   (numerically) an exact eigenvalue. *)
+let inverse_iteration (a : Cmat.t) (sigma : Cx.t) =
+  let n = a.Cmat.rows in
+  let scale = Float.max 1.0 (Cmat.max_abs a) in
+  let eps = Cx.re (1e-10 *. scale) in
+  let shift_by extra =
+    Cmat.init n n (fun i j ->
+        let v = Cmat.get a i j in
+        if i = j then Cx.( -: ) (Cx.( -: ) v sigma) extra else v)
+  in
+  let f =
+    try Clu.factor (shift_by eps)
+    with Clu.Singular -> Clu.factor (shift_by (Cx.re (1e-6 *. scale)))
+  in
+  let x = ref (Cvec.init n (fun i -> Cx.re (1.0 /. float_of_int (i + 1)))) in
+  for _ = 1 to 8 do
+    let y = Clu.solve f !x in
+    x := Cvec.normalize y
+  done;
+  !x
+
+let eigenvector m lambda = inverse_iteration (Cmat.of_real m) lambda
+
+let left_eigenvector m lambda =
+  inverse_iteration (Cmat.of_real (Mat.transpose m)) lambda
+
+let dominant m =
+  let ev = eigenvalues_sorted m in
+  if Array.length ev = 0 then invalid_arg "Eig.dominant: empty matrix";
+  ev.(0)

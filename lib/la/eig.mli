@@ -1,0 +1,30 @@
+(** Eigenvalues of dense real matrices.
+
+    Pipeline: Householder reduction to upper Hessenberg form, then Francis
+    double-shift QR iteration with deflation (the classic EISPACK [hqr]
+    scheme). Returns all eigenvalues as complex numbers, unsorted except
+    where noted. Eigenvectors are recovered separately by inverse
+    iteration. *)
+
+exception No_convergence
+
+val hessenberg : Mat.t -> Mat.t
+(** Orthogonal similarity reduction to upper Hessenberg form (eigenvalues
+    preserved; transform not accumulated). *)
+
+val eigenvalues : Mat.t -> Cx.t array
+(** All [n] eigenvalues of a square real matrix.
+    @raise No_convergence if QR iteration stalls (pathological input). *)
+
+val eigenvalues_sorted : Mat.t -> Cx.t array
+(** Eigenvalues sorted by decreasing magnitude. *)
+
+val eigenvector : Mat.t -> Cx.t -> Cvec.t
+(** Inverse iteration: unit-norm (complex) eigenvector for the given
+    (approximate) eigenvalue of the real matrix. *)
+
+val left_eigenvector : Mat.t -> Cx.t -> Cvec.t
+(** Left eigenvector (eigenvector of the transpose). *)
+
+val dominant : Mat.t -> Cx.t
+(** Eigenvalue of largest magnitude. *)

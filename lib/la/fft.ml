@@ -1,0 +1,101 @@
+open Cx
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let p = ref 1 in
+  while !p < n do
+    p := !p * 2
+  done;
+  !p
+
+(* iterative radix-2 Cooley-Tukey; sign = -1 forward, +1 inverse kernel *)
+let radix2 sign (x : Cvec.t) =
+  let n = Array.length x in
+  let a = Array.copy x in
+  (* bit reversal permutation *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wstep = Cx.expi theta in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Cx.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = (!w *: a.(!i + k + half)) in
+        a.(!i + k) <- (u +: v);
+        a.(!i + k + half) <- (u -: v);
+        w := (!w *: wstep)
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done;
+  a
+
+let dft sign (x : Cvec.t) =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let s = ref Cx.zero in
+      for j = 0 to n - 1 do
+        let theta = sign *. 2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
+        s := (!s +: (expi theta *: x.(j)))
+      done;
+      !s)
+
+let forward x =
+  if Array.length x <= 1 then Array.copy x
+  else if is_pow2 (Array.length x) then radix2 (-1.0) x
+  else dft (-1.0) x
+
+let inverse x =
+  let n = Array.length x in
+  if n <= 1 then Array.copy x
+  else begin
+    let y = if is_pow2 n then radix2 1.0 x else dft 1.0 x in
+    Cvec.scale_re (1.0 /. float_of_int n) y
+  end
+
+let forward_real v = forward (Cvec.of_real v)
+
+let coefficients v =
+  let n = Array.length v in
+  if n = 0 then [||]
+  else Cvec.scale_re (1.0 /. float_of_int n) (forward_real v)
+
+let synthesize coeffs theta =
+  let n = Array.length coeffs in
+  let s = ref 0.0 in
+  for k = 0 to n - 1 do
+    (* indices above n/2 represent negative frequencies *)
+    let freq = if k <= n / 2 then k else k - n in
+    let z = (coeffs.(k) *: expi (float_of_int freq *. theta)) in
+    s := !s +. z.Cx.re
+  done;
+  !s
+
+let magnitude_spectrum v =
+  let n = Array.length v in
+  if n = 0 then [||]
+  else begin
+    let c = coefficients v in
+    let half = n / 2 in
+    Array.init (half + 1) (fun k ->
+        let a = Cx.abs c.(k) in
+        if k = 0 || (2 * k = n) then a else 2.0 *. a)
+  end

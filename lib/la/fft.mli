@@ -1,0 +1,30 @@
+(** Discrete Fourier transforms.
+
+    Radix-2 iterative Cooley-Tukey for power-of-two lengths, direct O(n^2)
+    DFT otherwise (harmonic-balance grids are small). Convention:
+    forward transform has the [e^{-i 2 pi k n / N}] kernel and no scaling;
+    the inverse divides by N, so [inverse (forward x) = x]. *)
+
+val forward : Cvec.t -> Cvec.t
+val inverse : Cvec.t -> Cvec.t
+
+val forward_real : Vec.t -> Cvec.t
+(** Forward transform of real samples. *)
+
+val coefficients : Vec.t -> Cvec.t
+(** Fourier-series coefficients of one period of real samples:
+    [forward_real] scaled by 1/N, so coefficient 0 is the mean and
+    coefficient k pairs with [e^{+i 2 pi k t / T}] in the synthesis. *)
+
+val synthesize : Cvec.t -> float -> float
+(** [synthesize coeffs theta] evaluates the real Fourier series
+    [sum_k c_k e^{i k theta}] at normalized phase [theta] in [0, 2pi),
+    assuming conjugate symmetry of [coeffs] (real signal); indices above
+    N/2 are interpreted as negative frequencies. *)
+
+val magnitude_spectrum : Vec.t -> Vec.t
+(** Single-sided amplitude spectrum of one period of real samples:
+    entry k (k <= N/2) is the amplitude of the k-th harmonic. *)
+
+val is_pow2 : int -> bool
+val next_pow2 : int -> int

@@ -1,0 +1,32 @@
+let linear xs ys x =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Interp.linear: empty";
+  if Array.length ys <> n then invalid_arg "Interp.linear: length mismatch";
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* binary search for the bracketing interval *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let t = (x -. xs.(!lo)) /. (xs.(!hi) -. xs.(!lo)) in
+    ys.(!lo) +. (t *. (ys.(!hi) -. ys.(!lo)))
+  end
+
+let periodic samples theta =
+  let c = Fft.coefficients samples in
+  Fft.synthesize c theta
+
+let periodic_linear samples theta =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Interp.periodic_linear: empty";
+  let tau = 2.0 *. Float.pi in
+  let t = theta /. tau -. Float.of_int (int_of_float (Float.floor (theta /. tau))) in
+  let t = if t < 0.0 then t +. 1.0 else t in
+  let pos = t *. float_of_int n in
+  let i = int_of_float (Float.floor pos) mod n in
+  let frac = pos -. Float.floor pos in
+  let j = (i + 1) mod n in
+  samples.(i) +. (frac *. (samples.(j) -. samples.(i)))

@@ -1,0 +1,18 @@
+(** Interpolation helpers.
+
+    Linear interpolation on sorted abscissae (transient waveforms) and
+    trigonometric interpolation of uniformly sampled periodic data (MPDE
+    diagonal extraction x(t) = x^(t, t)). *)
+
+val linear : Vec.t -> Vec.t -> float -> float
+(** [linear xs ys x] with [xs] strictly increasing; clamps outside the
+    range. *)
+
+val periodic : Vec.t -> float -> float
+(** [periodic samples theta] trigonometric interpolation of one period of
+    uniform samples at normalized phase [theta] (period = 2 pi). Exact at
+    the sample points and spectrally accurate in between. *)
+
+val periodic_linear : Vec.t -> float -> float
+(** Cheap linear version of {!periodic} for strongly nonsmooth waveforms
+    (square waves), avoiding Gibbs overshoot. *)

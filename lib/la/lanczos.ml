@@ -1,0 +1,64 @@
+type result = {
+  v : Vec.t array;
+  w : Vec.t array;
+  steps : int;
+  scale : float;
+}
+
+(* Two-sided Lanczos with full re-biorthogonalization: at each step the new
+   candidate vectors are purged of all previous directions using the
+   biorthogonality weights w_i^T v_i. Costs O(q^2 n) but is immune to the
+   biorthogonality loss that plagues the plain three-term recurrence. *)
+let run ~matvec ~matvec_t ~r ~l ~steps =
+  let q_max = steps in
+  let v = Array.make q_max [||] and w = Array.make q_max [||] in
+  let delta = Array.make q_max 0.0 in
+  let rnorm = Vec.norm2 r and lnorm = Vec.norm2 l in
+  let completed = ref 0 in
+  if rnorm > 1e-300 && lnorm > 1e-300 then begin
+    v.(0) <- Vec.scale (1.0 /. rnorm) r;
+    w.(0) <- Vec.scale (1.0 /. lnorm) l;
+    (try
+       for k = 0 to q_max - 1 do
+         delta.(k) <- Vec.dot w.(k) v.(k);
+         if Float.abs delta.(k) < 1e-13 then raise Exit;
+         completed := k + 1;
+         if k < q_max - 1 then begin
+           let v_next = matvec v.(k) in
+           let w_next = matvec_t w.(k) in
+           for i = k downto 0 do
+             let cv = Vec.dot w.(i) v_next /. delta.(i) in
+             Vec.axpy (-.cv) v.(i) v_next;
+             let cw = Vec.dot v.(i) w_next /. delta.(i) in
+             Vec.axpy (-.cw) w.(i) w_next
+           done;
+           let nv = Vec.norm2 v_next and nw = Vec.norm2 w_next in
+           if nv < 1e-300 || nw < 1e-300 then raise Exit;
+           v.(k + 1) <- Vec.scale (1.0 /. nv) v_next;
+           w.(k + 1) <- Vec.scale (1.0 /. nw) w_next
+         end
+       done
+     with Exit -> ())
+  end;
+  let q = !completed in
+  {
+    v = Array.sub v 0 q;
+    w = Array.sub w 0 q;
+    steps = q;
+    scale = rnorm *. lnorm;
+  }
+
+let projected ~matvec { v; w; steps; _ } =
+  let q = steps in
+  (* D = W^T V is diagonal by construction; T = D^-1 W^T A V *)
+  let t = Mat.make q q in
+  let av = Array.map matvec v in
+  for i = 0 to q - 1 do
+    let di = Vec.dot w.(i) v.(i) in
+    for j = 0 to q - 1 do
+      Mat.set t i j (Vec.dot w.(i) av.(j) /. di)
+    done
+  done;
+  t
+
+let d1 { v; w; steps; _ } = if steps = 0 then 0.0 else Vec.dot w.(0) v.(0)

@@ -1,0 +1,35 @@
+(** Two-sided (nonsymmetric) Lanczos process — the computational kernel of
+    Padé via Lanczos (PVL).
+
+    Given matvec closures for [A] and [A^T] and starting vectors [r]
+    (right) and [l] (left), [run] builds biorthogonal bases [V], [W]
+    (here with full two-sided re-biorthogonalization for robustness; the
+    projected matrix is tridiagonal only up to roundoff and we keep it
+    dense). The reduced model matches the first [2q] moments [l^T A^k r]
+    of the original system — twice as many as Arnoldi for the same number
+    of steps, which is the paper's Section 5 point. Stops early on
+    (near-)breakdown. *)
+
+type result = {
+  v : Vec.t array;      (** right basis vectors, unit norm, length q *)
+  w : Vec.t array;      (** left basis vectors, unit norm, length q *)
+  steps : int;          (** q actually completed *)
+  scale : float;        (** ||l|| * ||r||, moment-scaling factor *)
+}
+
+val run :
+  matvec:(Vec.t -> Vec.t) ->
+  matvec_t:(Vec.t -> Vec.t) ->
+  r:Vec.t ->
+  l:Vec.t ->
+  steps:int ->
+  result
+
+val projected : matvec:(Vec.t -> Vec.t) -> result -> Mat.t
+(** [projected ~matvec res] is [T = (W^T V)^-1 (W^T A V)], the reduced
+    system matrix. Moments satisfy
+    [l^T A^k r = scale * d1 * e1^T T^k e1] with
+    [d1 = w1^T v1]. *)
+
+val d1 : result -> float
+(** [w1^T v1], needed to scale reduced-model moments. *)

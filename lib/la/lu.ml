@@ -1,0 +1,137 @@
+exception Singular
+
+type t = { lu : Mat.t; piv : int array; sign : float }
+
+let factor (m : Mat.t) =
+  if m.Mat.rows <> m.Mat.cols then invalid_arg "Lu.factor: not square";
+  let n = m.Mat.rows in
+  let lu = Mat.copy m in
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* partial pivoting: pick the largest magnitude in column k *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !p j);
+        Mat.set lu !p j tmp
+      done;
+      let tp = piv.(k) in
+      piv.(k) <- piv.(!p);
+      piv.(!p) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let lik = Mat.get lu i k /. pivot in
+      Mat.set lu i k lik;
+      if lik <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (lik *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; piv; sign = !sign }
+
+let solve { lu; piv; _ } b =
+  let n = lu.Mat.rows in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(piv.(i))) in
+  (* forward substitution, unit lower triangular *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat f (b : Mat.t) =
+  let n = f.lu.Mat.rows in
+  if b.Mat.rows <> n then invalid_arg "Lu.solve_mat";
+  let x = Mat.make n b.Mat.cols in
+  for j = 0 to b.Mat.cols - 1 do
+    Mat.set_col x j (solve f (Mat.col b j))
+  done;
+  x
+
+let solve_transposed { lu; piv; _ } b =
+  let n = lu.Mat.rows in
+  if Array.length b <> n then invalid_arg "Lu.solve_transposed";
+  (* A^T = (P^T L U)^T = U^T L^T P, so solve U^T y = b, L^T z = y, x = P^T z *)
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get lu j i *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get lu i i
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get lu j i *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(piv.(i)) <- y.(i)
+  done;
+  x
+
+let det { lu; sign; _ } =
+  let n = lu.Mat.rows in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get lu i i
+  done;
+  !d
+
+let inverse m =
+  let f = factor m in
+  solve_mat f (Mat.identity m.Mat.rows)
+
+let lin_solve m b = solve (factor m) b
+
+let rcond_estimate m f =
+  let n = m.Mat.rows in
+  if n = 0 then 1.0
+  else begin
+    let anorm = Mat.norm1 m in
+    if anorm = 0.0 then 0.0
+    else begin
+      (* Hager's estimator for ||A^-1||_1 using solves with A and A^T *)
+      let x = Array.make n (1.0 /. float_of_int n) in
+      let est = ref 0.0 in
+      (try
+         for _iter = 0 to 4 do
+           let y = solve f x in
+           let e = Vec.norm1 y in
+           if e <= !est then raise Exit;
+           est := e;
+           let xi = Array.map (fun v -> if v >= 0.0 then 1.0 else -1.0) y in
+           let z = solve_transposed f xi in
+           let j = Vec.max_abs_index z in
+           if Float.abs z.(j) <= Vec.dot z x then raise Exit;
+           Array.fill x 0 n 0.0;
+           x.(j) <- 1.0
+         done
+       with Exit -> ());
+      if !est = 0.0 then 1.0 else 1.0 /. (anorm *. !est)
+    end
+  end

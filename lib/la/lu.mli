@@ -1,0 +1,31 @@
+(** LU factorization with partial pivoting for dense real matrices.
+
+    The factorization is stored packed (L below the diagonal with unit
+    diagonal implied, U on and above) together with the pivot permutation.
+    Singular matrices raise {!Singular}. *)
+
+exception Singular
+
+type t
+
+val factor : Mat.t -> t
+(** Factor a square matrix; the input is not modified.
+    @raise Singular if a zero (or subnormal) pivot is encountered. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A x = b] for one right-hand side. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve [A X = B] column by column. *)
+
+val solve_transposed : t -> Vec.t -> Vec.t
+(** Solve [A^T x = b] using the same factorization. *)
+
+val det : t -> float
+val inverse : Mat.t -> Mat.t
+val lin_solve : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factor]+[solve]. *)
+
+val rcond_estimate : Mat.t -> t -> float
+(** Cheap reciprocal 1-norm condition estimate via a few rounds of
+    Hager-style iteration; 0 means numerically singular. *)

@@ -1,0 +1,134 @@
+type t = { rows : int; cols : int; a : float array }
+
+let make rows cols = { rows; cols; a = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  { rows; cols; a = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+let copy m = { m with a = Array.copy m.a }
+let get m i j = m.a.((i * m.cols) + j)
+let set m i j x = m.a.((i * m.cols) + j) <- x
+let update m i j f = set m i j (f (get m i j))
+
+let of_rows rows =
+  let r = Array.length rows in
+  if r = 0 then make 0 0
+  else begin
+    let c = Array.length rows.(0) in
+    Array.iter
+      (fun row -> if Array.length row <> c then invalid_arg "Mat.of_rows: ragged")
+      rows;
+    init r c (fun i j -> rows.(i).(j))
+  end
+
+let to_rows m = Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+let row m i = Array.init m.cols (fun j -> get m i j)
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let set_row m i v =
+  if Array.length v <> m.cols then invalid_arg "Mat.set_row";
+  Array.blit v 0 m.a (i * m.cols) m.cols
+
+let set_col m j v =
+  if Array.length v <> m.rows then invalid_arg "Mat.set_col";
+  for i = 0 to m.rows - 1 do
+    set m i j v.(i)
+  done
+
+let check2 x y =
+  if x.rows <> y.rows || x.cols <> y.cols then invalid_arg "Mat: shape mismatch"
+
+let add x y = check2 x y; { x with a = Array.mapi (fun k v -> v +. y.a.(k)) x.a }
+let sub x y = check2 x y; { x with a = Array.mapi (fun k v -> v -. y.a.(k)) x.a }
+let scale s x = { x with a = Array.map (fun v -> s *. v) x.a }
+
+let add_inplace x y =
+  check2 x y;
+  for k = 0 to Array.length y.a - 1 do
+    y.a.(k) <- y.a.(k) +. x.a.(k)
+  done
+
+let mul x y =
+  if x.cols <> y.rows then invalid_arg "Mat.mul: inner dimension mismatch";
+  let z = make x.rows y.cols in
+  for i = 0 to x.rows - 1 do
+    for k = 0 to x.cols - 1 do
+      let xik = get x i k in
+      if xik <> 0.0 then
+        for j = 0 to y.cols - 1 do
+          z.a.((i * z.cols) + j) <- z.a.((i * z.cols) + j) +. (xik *. get y k j)
+        done
+    done
+  done;
+  z
+
+let matvec m x =
+  if m.cols <> Array.length x then invalid_arg "Mat.matvec";
+  Array.init m.rows (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        s := !s +. (get m i j *. x.(j))
+      done;
+      !s)
+
+let matvec_t m x =
+  if m.rows <> Array.length x then invalid_arg "Mat.matvec_t";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (get m i j *. xi)
+      done
+  done;
+  y
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let frobenius m = sqrt (Array.fold_left (fun s v -> s +. (v *. v)) 0.0 m.a)
+
+let norm_inf m =
+  let best = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    let s = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      s := !s +. Float.abs (get m i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let norm1 m =
+  let best = ref 0.0 in
+  for j = 0 to m.cols - 1 do
+    let s = ref 0.0 in
+    for i = 0 to m.rows - 1 do
+      s := !s +. Float.abs (get m i j)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best
+
+let max_abs m = Array.fold_left (fun s v -> Float.max s (Float.abs v)) 0.0 m.a
+
+let equal_eps eps x y =
+  x.rows = y.rows && x.cols = y.cols
+  && begin
+       let ok = ref true in
+       Array.iteri (fun k v -> if Float.abs (v -. y.a.(k)) > eps then ok := false) x.a;
+       !ok
+     end
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v 1>[";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<hov 1>[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%g" (get m i j)
+    done;
+    Format.fprintf ppf "]@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "]@]"

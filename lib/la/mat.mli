@@ -1,0 +1,48 @@
+(** Dense real matrices, row-major.
+
+    A matrix is a record of dimensions plus a flat [float array]; element
+    (i, j) lives at index [i * cols + j]. Operations allocate fresh results
+    unless documented otherwise. *)
+
+type t = { rows : int; cols : int; a : float array }
+
+val make : int -> int -> t
+(** [make r c] is the [r]x[c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val copy : t -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val update : t -> int -> int -> (float -> float) -> unit
+(** [update m i j f] sets [m(i,j) <- f m(i,j)]; used for MNA stamping. *)
+
+val of_rows : float array array -> t
+val to_rows : t -> float array array
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val set_row : t -> int -> Vec.t -> unit
+val set_col : t -> int -> Vec.t -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val add_inplace : t -> t -> unit
+(** [add_inplace x y] updates [y <- x + y]. *)
+
+val mul : t -> t -> t
+val matvec : t -> Vec.t -> Vec.t
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t m x] is [m^T x] without forming the transpose. *)
+
+val transpose : t -> t
+val frobenius : t -> float
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val norm1 : t -> float
+(** Maximum absolute column sum. *)
+
+val max_abs : t -> float
+val equal_eps : float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+(* Householder QR: reflectors are stored below the diagonal of [qr] plus a
+   separate coefficient array, following the LAPACK-style compact scheme. *)
+
+type t = { qr : Mat.t; beta : float array }
+
+let factor (m : Mat.t) =
+  let rows = m.Mat.rows and cols = m.Mat.cols in
+  if rows < cols then invalid_arg "Qr.factor: rows < cols";
+  let qr = Mat.copy m in
+  let beta = Array.make cols 0.0 in
+  for k = 0 to cols - 1 do
+    (* build the Householder vector for column k *)
+    let normx = ref 0.0 in
+    for i = k to rows - 1 do
+      let v = Mat.get qr i k in
+      normx := !normx +. (v *. v)
+    done;
+    let normx = sqrt !normx in
+    if normx > 0.0 then begin
+      let x0 = Mat.get qr k k in
+      let alpha = if x0 >= 0.0 then -.normx else normx in
+      let v0 = x0 -. alpha in
+      (* v = (v0, x_{k+1..}) ; H = I - beta v v^T with beta = 2/(v^T v) *)
+      let vtv = ref (v0 *. v0) in
+      for i = k + 1 to rows - 1 do
+        let v = Mat.get qr i k in
+        vtv := !vtv +. (v *. v)
+      done;
+      if !vtv > 0.0 then begin
+        let b = 2.0 /. !vtv in
+        beta.(k) <- b;
+        (* apply H to the trailing columns *)
+        for j = k + 1 to cols - 1 do
+          let s = ref (v0 *. Mat.get qr k j) in
+          for i = k + 1 to rows - 1 do
+            s := !s +. (Mat.get qr i k *. Mat.get qr i j)
+          done;
+          let s = b *. !s in
+          Mat.update qr k j (fun x -> x -. (s *. v0));
+          for i = k + 1 to rows - 1 do
+            Mat.update qr i j (fun x -> x -. (s *. Mat.get qr i k))
+          done
+        done;
+        Mat.set qr k k alpha;
+        (* store v (normalized so the stored sub-diagonal is v_i / v0) *)
+        if v0 <> 0.0 then begin
+          for i = k + 1 to rows - 1 do
+            Mat.update qr i k (fun x -> x /. v0)
+          done;
+          beta.(k) <- b *. v0 *. v0
+        end
+      end
+    end
+  done;
+  { qr; beta }
+
+(* apply Q^T to a vector in place *)
+let apply_qt { qr; beta } y =
+  let rows = qr.Mat.rows and cols = qr.Mat.cols in
+  for k = 0 to cols - 1 do
+    if beta.(k) <> 0.0 then begin
+      let s = ref y.(k) in
+      for i = k + 1 to rows - 1 do
+        s := !s +. (Mat.get qr i k *. y.(i))
+      done;
+      let s = beta.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to rows - 1 do
+        y.(i) <- y.(i) -. (s *. Mat.get qr i k)
+      done
+    end
+  done
+
+let apply_q { qr; beta } y =
+  let rows = qr.Mat.rows and cols = qr.Mat.cols in
+  for k = cols - 1 downto 0 do
+    if beta.(k) <> 0.0 then begin
+      let s = ref y.(k) in
+      for i = k + 1 to rows - 1 do
+        s := !s +. (Mat.get qr i k *. y.(i))
+      done;
+      let s = beta.(k) *. !s in
+      y.(k) <- y.(k) -. s;
+      for i = k + 1 to rows - 1 do
+        y.(i) <- y.(i) -. (s *. Mat.get qr i k)
+      done
+    end
+  done
+
+let r { qr; _ } =
+  let cols = qr.Mat.cols in
+  Mat.init cols cols (fun i j -> if j >= i then Mat.get qr i j else 0.0)
+
+let q ({ qr; _ } as f) =
+  let rows = qr.Mat.rows and cols = qr.Mat.cols in
+  let qm = Mat.make rows cols in
+  for j = 0 to cols - 1 do
+    let e = Array.make rows 0.0 in
+    e.(j) <- 1.0;
+    apply_q f e;
+    Mat.set_col qm j e
+  done;
+  qm
+
+let solve_ls ({ qr; _ } as f) b =
+  let rows = qr.Mat.rows and cols = qr.Mat.cols in
+  if Array.length b <> rows then invalid_arg "Qr.solve_ls";
+  let y = Array.copy b in
+  apply_qt f y;
+  let x = Array.make cols 0.0 in
+  for i = cols - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to cols - 1 do
+      s := !s -. (Mat.get qr i j *. x.(j))
+    done;
+    let rii = Mat.get qr i i in
+    if Float.abs rii < 1e-300 then invalid_arg "Qr.solve_ls: rank deficient";
+    x.(i) <- !s /. rii
+  done;
+  x
+
+let lstsq m b = solve_ls (factor m) b

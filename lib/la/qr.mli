@@ -1,0 +1,19 @@
+(** Householder QR factorization and least-squares solves for dense real
+    matrices with [rows >= cols]. *)
+
+type t
+
+val factor : Mat.t -> t
+(** @raise Invalid_argument if [rows < cols]. *)
+
+val q : t -> Mat.t
+(** The thin Q factor ([rows] x [cols], orthonormal columns). *)
+
+val r : t -> Mat.t
+(** The square upper-triangular R factor ([cols] x [cols]). *)
+
+val solve_ls : t -> Vec.t -> Vec.t
+(** Minimum-residual solution of [A x ~ b]. *)
+
+val lstsq : Mat.t -> Vec.t -> Vec.t
+(** One-shot least squares. *)

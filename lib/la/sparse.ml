@@ -1,0 +1,101 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array; (* length nrows+1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let of_triplets ~rows ~cols triplets =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Sparse.of_triplets: index out of range")
+    triplets;
+  (* sort by (row, col) then merge duplicates *)
+  let arr = Array.of_list triplets in
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    arr;
+  let merged = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun (i, j, v) ->
+      match !merged with
+      | (i', j', v') :: rest when i' = i && j' = j -> merged := (i, j, v' +. v) :: rest
+      | _ ->
+          merged := (i, j, v) :: !merged;
+          incr count)
+    arr;
+  let entries = Array.of_list (List.rev !merged) in
+  let n = Array.length entries in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0.0 in
+  Array.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    entries;
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  { nrows = rows; ncols = cols; row_ptr; col_idx; values }
+
+let rows m = m.nrows
+let cols m = m.ncols
+let nnz m = Array.length m.values
+
+let density m =
+  if m.nrows = 0 || m.ncols = 0 then 0.0
+  else float_of_int (nnz m) /. (float_of_int m.nrows *. float_of_int m.ncols)
+
+let matvec m x =
+  if Array.length x <> m.ncols then invalid_arg "Sparse.matvec";
+  Array.init m.nrows (fun i ->
+      let s = ref 0.0 in
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        s := !s +. (m.values.(k) *. x.(m.col_idx.(k)))
+      done;
+      !s)
+
+let matvec_t m x =
+  if Array.length x <> m.nrows then invalid_arg "Sparse.matvec_t";
+  let y = Array.make m.ncols 0.0 in
+  for i = 0 to m.nrows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        y.(m.col_idx.(k)) <- y.(m.col_idx.(k)) +. (m.values.(k) *. xi)
+      done
+  done;
+  y
+
+let diagonal m =
+  Array.init (min m.nrows m.ncols) (fun i ->
+      let d = ref 0.0 in
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        if m.col_idx.(k) = i then d := m.values.(k)
+      done;
+      !d)
+
+let to_dense m =
+  let d = Mat.make m.nrows m.ncols in
+  for i = 0 to m.nrows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      Mat.update d i m.col_idx.(k) (fun v -> v +. m.values.(k))
+    done
+  done;
+  d
+
+let scale a m = { m with values = Array.map (fun v -> a *. v) m.values }
+
+let iter f m =
+  for i = 0 to m.nrows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      f i m.col_idx.(k) m.values.(k)
+    done
+  done
+
+let memory_bytes m = (8 * nnz m) + (8 * nnz m) + (8 * (m.nrows + 1))

@@ -1,0 +1,24 @@
+(** Sparse real matrices in compressed sparse row (CSR) format.
+
+    Built from coordinate (COO) triplets; duplicate entries are summed,
+    which matches finite-difference and MNA stamping. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+val density : t -> float
+(** Fraction of stored entries: [nnz / (rows * cols)]. *)
+
+val matvec : t -> Vec.t -> Vec.t
+val matvec_t : t -> Vec.t -> Vec.t
+val diagonal : t -> Vec.t
+val to_dense : t -> Mat.t
+val scale : float -> t -> t
+val iter : (int -> int -> float -> unit) -> t -> unit
+(** [iter f m] applies [f i j v] to every stored entry in row order. *)
+
+val memory_bytes : t -> int
+(** Approximate storage footprint (values + indices). *)

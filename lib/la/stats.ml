@@ -1,0 +1,35 @@
+let mean v =
+  let n = Array.length v in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 v /. float_of_int n
+
+let variance v =
+  let n = Array.length v in
+  if n = 0 then 0.0
+  else begin
+    let m = mean v in
+    Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 v /. float_of_int n
+  end
+
+let stddev v = sqrt (variance v)
+
+let linreg xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then invalid_arg "Stats.linreg";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then (0.0, my, 0.0)
+  else begin
+    let slope = !sxy /. !sxx in
+    let intercept = my -. (slope *. mx) in
+    let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+    (slope, intercept, r2)
+  end
+
+let db10 x = if x <= 0.0 then -400.0 else 10.0 *. log10 x
+let db20 x = if x <= 0.0 then -400.0 else 20.0 *. log10 x

@@ -1,0 +1,16 @@
+(** Small statistics helpers used by jitter analysis and benchmarks. *)
+
+val mean : Vec.t -> float
+val variance : Vec.t -> float
+(** Population variance. *)
+
+val stddev : Vec.t -> float
+
+val linreg : Vec.t -> Vec.t -> float * float * float
+(** [linreg xs ys] is [(slope, intercept, r2)] of the least-squares line. *)
+
+val db10 : float -> float
+(** [10 log10 x] (power ratio to dB); -infinity guarded to -400 dB. *)
+
+val db20 : float -> float
+(** [20 log10 x] (amplitude ratio to dB). *)

@@ -1,0 +1,93 @@
+(* One-sided Jacobi SVD: orthogonalize the columns of a working copy W of A
+   by plane rotations accumulated into V; at convergence W = U * diag(s). *)
+
+let max_sweeps = 60
+
+let decompose_tall (a : Mat.t) =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let w = Mat.copy a in
+  let v = Mat.identity n in
+  let converged = ref false in
+  let sweeps = ref 0 in
+  while (not !converged) && !sweeps < max_sweeps do
+    incr sweeps;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        (* Gram entries of columns p and q *)
+        let alpha = ref 0.0 and beta = ref 0.0 and gamma = ref 0.0 in
+        for i = 0 to m - 1 do
+          let wp = Mat.get w i p and wq = Mat.get w i q in
+          alpha := !alpha +. (wp *. wp);
+          beta := !beta +. (wq *. wq);
+          gamma := !gamma +. (wp *. wq)
+        done;
+        let denom = sqrt (!alpha *. !beta) in
+        if denom > 0.0 && Float.abs !gamma > 1e-15 *. denom then begin
+          converged := false;
+          let zeta = (!beta -. !alpha) /. (2.0 *. !gamma) in
+          let t =
+            let s = if zeta >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs zeta +. sqrt (1.0 +. (zeta *. zeta)))
+          in
+          let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let s = c *. t in
+          for i = 0 to m - 1 do
+            let wp = Mat.get w i p and wq = Mat.get w i q in
+            Mat.set w i p ((c *. wp) -. (s *. wq));
+            Mat.set w i q ((s *. wp) +. (c *. wq))
+          done;
+          for i = 0 to n - 1 do
+            let vp = Mat.get v i p and vq = Mat.get v i q in
+            Mat.set v i p ((c *. vp) -. (s *. vq));
+            Mat.set v i q ((s *. vp) +. (c *. vq))
+          done
+        end
+      done
+    done
+  done;
+  (* extract singular values = column norms of W, then sort descending *)
+  let s = Array.init n (fun j -> Vec.norm2 (Mat.col w j)) in
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun i j -> compare s.(j) s.(i)) order;
+  let u = Mat.make m n and vs = Mat.make n n and ss = Array.make n 0.0 in
+  for jj = 0 to n - 1 do
+    let j = order.(jj) in
+    ss.(jj) <- s.(j);
+    let cw = Mat.col w j in
+    let cu = if s.(j) > 0.0 then Vec.scale (1.0 /. s.(j)) cw else cw in
+    Mat.set_col u jj cu;
+    Mat.set_col vs jj (Mat.col v j)
+  done;
+  (u, ss, vs)
+
+let decompose (a : Mat.t) =
+  if a.Mat.rows >= a.Mat.cols then decompose_tall a
+  else begin
+    let u, s, v = decompose_tall (Mat.transpose a) in
+    (v, s, u)
+  end
+
+let rank_eps s eps =
+  if Array.length s = 0 || s.(0) = 0.0 then 0
+  else begin
+    let thresh = eps *. s.(0) in
+    let k = ref 0 in
+    while !k < Array.length s && s.(!k) > thresh do
+      incr k
+    done;
+    !k
+  end
+
+let truncate (u, s, v) k =
+  let k = min k (Array.length s) in
+  let uk = Mat.init u.Mat.rows k (fun i j -> Mat.get u i j) in
+  let vk = Mat.init v.Mat.rows k (fun i j -> Mat.get v i j) in
+  (uk, Array.sub s 0 k, vk)
+
+let low_rank_approx a tol =
+  let u, s, v = decompose a in
+  let k = max 1 (rank_eps s tol) in
+  let uk, sk, vk = truncate (u, s, v) k in
+  let x = Mat.init uk.Mat.rows k (fun i j -> Mat.get uk i j *. sk.(j)) in
+  (x, vk)

@@ -1,0 +1,21 @@
+(** Singular value decomposition by one-sided Jacobi rotations.
+
+    [decompose a] returns [(u, s, v)] with [a = u * diag(s) * v^T], [u]
+    having orthonormal columns ([m] x [k]) and [v] orthogonal ([n] x [k]),
+    where [k = min m n]. Singular values are sorted descending.
+
+    One-sided Jacobi is slow (O(m n^2) per sweep) but simple and very
+    accurate; IES3 only applies it to small interaction blocks. *)
+
+val decompose : Mat.t -> Mat.t * Vec.t * Mat.t
+
+val rank_eps : Vec.t -> float -> int
+(** Number of singular values above [eps * s0] (relative threshold). *)
+
+val truncate : Mat.t * Vec.t * Mat.t -> int -> Mat.t * Vec.t * Mat.t
+(** Keep the [k] leading singular triplets. *)
+
+val low_rank_approx : Mat.t -> float -> Mat.t * Mat.t
+(** [low_rank_approx a tol] is a pair [(x, y)] with [a ~ x * y^T] such that
+    the dropped singular values are below [tol * s0]; [x] absorbs the
+    singular values. *)

@@ -1,0 +1,50 @@
+(** Dense real vectors backed by [float array].
+
+    All operations are non-destructive unless suffixed with [_inplace] or
+    named [axpy]/[scale_inplace]. Vectors of mismatched lengths raise
+    [Invalid_argument]. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is the zero vector of dimension [n]. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+val of_list : float list -> t
+val to_list : t -> float list
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul_elt : t -> t -> t
+(** Element-wise (Hadamard) product. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] updates [y <- a*x + y] in place. *)
+
+val scale_inplace : float -> t -> unit
+val add_inplace : t -> t -> unit
+(** [add_inplace x y] updates [y <- x + y]. *)
+
+val dot : t -> t -> float
+val norm2 : t -> float
+val norm_inf : t -> float
+val norm1 : t -> float
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val normalize : t -> t
+(** Unit 2-norm copy; the zero vector is returned unchanged. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val max_abs_index : t -> int
+val linspace : float -> float -> int -> t
+(** [linspace a b n] is [n] equally spaced points from [a] to [b]
+    inclusive; [n >= 2]. *)
+
+val pp : Format.formatter -> t -> unit

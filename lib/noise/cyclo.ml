@@ -1,0 +1,119 @@
+open Rfkit_la
+open Rfkit_circuit
+open Rfkit_rf
+
+(* assemble the complex LPTV small-signal operator at baseband offset w:
+   rows (s,i): sum_{s'} D[s,s'] (C_{s'} v_{s'})_i + j w (C_s v_s)_i
+             + (G_s v_s)_i *)
+let assemble_system (hb : Hb.result) ~w =
+  let c = hb.Hb.circuit in
+  let x = hb.Hb.samples in
+  let ns = x.Mat.rows and n = x.Mat.cols in
+  let period = 1.0 /. hb.Hb.freq in
+  let d = Grid.diff_matrix ~period ~n:ns in
+  let cs = Array.init ns (fun s -> Mna.jac_c c (Mat.row x s)) in
+  let gs = Array.init ns (fun s -> Mna.jac_g c (Mat.row x s)) in
+  let dim = ns * n in
+  let j = Cmat.make dim dim in
+  for s = 0 to ns - 1 do
+    for s' = 0 to ns - 1 do
+      let dss = Mat.get d s s' in
+      for i = 0 to n - 1 do
+        for jj = 0 to n - 1 do
+          let re = ref 0.0 and im = ref 0.0 in
+          if dss <> 0.0 then re := !re +. (dss *. Mat.get cs.(s') i jj);
+          if s = s' then begin
+            re := !re +. Mat.get gs.(s) i jj;
+            im := !im +. (w *. Mat.get cs.(s) i jj)
+          end;
+          if !re <> 0.0 || !im <> 0.0 then
+            Cmat.set j ((s * n) + i) ((s' * n) + jj) (Cx.make !re !im)
+        done
+      done
+    done
+  done;
+  Clu.factor j
+
+(* solve for the correlated-sideband response to a per-sample-modulated
+   complex current injection, returning the envelope harmonics of the
+   output *)
+let response_harmonics (hb : Hb.result) ~factor ~node ~inject =
+  let c = hb.Hb.circuit in
+  let x = hb.Hb.samples in
+  let ns = x.Mat.rows and n = x.Mat.cols in
+  let idx = Mna.node c node in
+  let rhs =
+    Cvec.init (ns * n) (fun flat ->
+        let s = flat / n and i = flat mod n in
+        (inject s i : Cx.t))
+  in
+  let sol = Clu.solve factor rhs in
+  let env = Cvec.init ns (fun s -> sol.((s * n) + idx)) in
+  let spec = Fft.forward env in
+  Cvec.scale_re (1.0 /. float_of_int ns) spec
+
+(* decompose an absolute frequency into (offset w, harmonic index k) with
+   |k| within the truncation *)
+let decompose (hb : Hb.result) nu =
+  let f0 = hb.Hb.freq in
+  let ns = hb.Hb.samples.Mat.rows in
+  let k = int_of_float (Float.round (nu /. f0)) in
+  let k = max (-((ns / 2) - 1)) (min ((ns / 2) - 1) k) in
+  let w = 2.0 *. Float.pi *. (nu -. (float_of_int k *. f0)) in
+  (w, k)
+
+let bin_of ~ns k = if k >= 0 then k else ns + k
+
+(* The total output PSD at nu = w + k f0 sums over every {e independent}
+   noise frequency of each source. The unit-PSD white process xi behind
+   source j exists at every absolute frequency; the component at
+   w + m f0 (each m independent) enters modulated by sqrt(S_j(t)), i.e.
+   with per-sample phase e^{j m w0 t_s}, and its correlated sidebands come
+   out of one complex solve. *)
+let output_noise (hb : Hb.result) ~node ~freqs =
+  let c = hb.Hb.circuit in
+  let x = hb.Hb.samples in
+  let ns = x.Mat.rows in
+  let w0 = 2.0 *. Float.pi *. hb.Hb.freq in
+  let period = 1.0 /. hb.Hb.freq in
+  let sources = Mna.noise_sources c in
+  let patterns = Array.map (Mna.noise_pattern c) sources in
+  (* per-sample modulation amplitudes sqrt(S_j(x(t_s))) *)
+  let amps =
+    Array.map
+      (fun (src : Device.noise_source) ->
+        Array.init ns (fun s -> sqrt (src.Device.psd_at (Mat.row x s))))
+      sources
+  in
+  let m_max = (ns / 2) - 1 in
+  Array.map
+    (fun nu ->
+      let w, k = decompose hb nu in
+      let factor = assemble_system hb ~w in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun j _src ->
+          for m = -m_max to m_max do
+            let inject s i =
+              let t_s = period *. float_of_int s /. float_of_int ns in
+              Cx.scale
+                (amps.(j).(s) *. patterns.(j).(i))
+                (Cx.expi (float_of_int m *. w0 *. t_s))
+            in
+            let harmonics = response_harmonics hb ~factor ~node ~inject in
+            let y = harmonics.(bin_of ~ns k) in
+            acc := !acc +. Cx.abs2 y
+          done)
+        sources;
+      !acc)
+    freqs
+
+let conversion_gains (hb : Hb.result) ~node ~source_pattern ~offset =
+  let ns = hb.Hb.samples.Mat.rows in
+  let w = 2.0 *. Float.pi *. offset in
+  let factor = assemble_system hb ~w in
+  let inject _s i = Cx.re source_pattern.(i) in
+  let harmonics = response_harmonics hb ~factor ~node ~inject in
+  List.init (ns - 1) (fun i ->
+      let k = i - ((ns / 2) - 1) in
+      (k, Cx.abs harmonics.(bin_of ~ns k)))

@@ -1,0 +1,45 @@
+(** Cyclostationary noise analysis of periodically driven (forced)
+    circuits.
+
+    The paper's Section 1: "Noise sources and signals in RF circuits are
+    modulated by time-varying signals and can only be modeled by
+    cyclo-stationary and nonstationary stochastic processes." For a forced
+    circuit in periodic steady state, the linearization is periodically
+    time-varying: noise injected at frequency [w] converts into every
+    sideband [w + k f0], and a modulated (cyclostationary) source has
+    {e correlated} sidebands.
+
+    Implementation: around the harmonic-balance steady state, the
+    small-signal system at baseband offset [w] is the HB Jacobian with the
+    spectral differentiation shifted by [j w]. Each device noise generator
+    is injected as its pattern scaled per time sample by
+    [sqrt(S_j(x(t)))] — which carries the periodic modulation (e.g. shot
+    noise following the switching current). The white process behind each
+    source has independent components at every input sideband [w + m f0];
+    each enters with per-sample phase [e^{j m w0 t}] and one complex solve
+    per (source, m) yields its correlated output sidebands. The output PSD
+    at [nu = w + k f0] sums [|Y_k|^2] over sources and input sidebands —
+    the full noise-folding picture.
+
+    For a time-invariant circuit this collapses to the stationary AC noise
+    analysis ({!Rfkit_circuit.Ac.output_noise}); for a switching mixer it
+    reproduces the classic noise-folding effect (image noise doubling the
+    output PSD). *)
+
+val output_noise :
+  Rfkit_rf.Hb.result -> node:string -> freqs:float array -> Rfkit_la.Vec.t
+(** One-sided output noise voltage PSD (V^2/Hz) at the given absolute
+    frequencies. Each frequency is decomposed as [nu = w + k f0] with [w]
+    in the first Nyquist zone of the harmonic truncation. White source
+    PSDs only (flicker corners are ignored here; see
+    {!Phase_noise.l_dbc_colored} for oscillators). *)
+
+val conversion_gains :
+  Rfkit_rf.Hb.result ->
+  node:string ->
+  source_pattern:Rfkit_la.Vec.t ->
+  offset:float ->
+  (int * float) list
+(** Diagnostic: magnitude of the transfer from a unit stationary current
+    source at baseband offset [offset] to the output node at each sideband
+    [offset + k f0] — the LPTV conversion-gain table. *)

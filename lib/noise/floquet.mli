@@ -1,0 +1,35 @@
+(** Floquet analysis of an oscillator's limit cycle.
+
+    Starting from an autonomous {!Rfkit_rf.Shooting.result}, computes the
+    Floquet multipliers and the {b perturbation projection vector} (PPV)
+    [v1(t)]: the periodic solution of the adjoint variational equation
+    associated with the unit multiplier, normalized so that
+
+    {v v1(t)^T C(x_s(t)) xdot_s(t) = 1  for all t v}
+
+    The PPV is the exact nonlinear sensitivity of the oscillator's phase
+    to a perturbing current — the central object of the paper's Section 3
+    theory [5]: a perturbation [e xi(t)] injected into the KCL equations
+    advances the phase at rate [v1(t)^T e xi(t)]. *)
+
+type t = {
+  orbit : Rfkit_rf.Shooting.result;
+  multipliers : Rfkit_la.Cx.t array;   (** sorted by decreasing magnitude *)
+  u1 : Rfkit_la.Mat.t;                 (** tangent xdot_s, steps x n *)
+  v1 : Rfkit_la.Mat.t;                 (** PPV samples, steps x n *)
+  normalization_drift : float;
+      (** max deviation of v1^T C u1 from 1 before pointwise rescaling —
+          a quality metric of the discretization *)
+}
+
+val compute : Rfkit_rf.Shooting.result -> t
+(** @raise Invalid_argument if the orbit has no near-unit multiplier (not
+    an autonomous steady state). *)
+
+val unit_multiplier_error : t -> float
+(** | |mu_1| - 1 |, how well the computed monodromy respects the
+    structural unit multiplier. *)
+
+val ppv_periodicity_error : t -> float
+(** Relative mismatch between the propagated PPV after one period and its
+    start — consistency check of the adjoint integration. *)

@@ -1,0 +1,89 @@
+open Rfkit_circuit
+open Rfkit_rf
+
+type bench = {
+  circuit : Mna.t;
+  freq_guess : float;
+  kick : Rfkit_la.Vec.t -> unit;
+  node : string;
+  label : string;
+}
+
+let van_der_pol ?(with_loss = true) ?(with_flicker = false) () =
+  let nl = Netlist.create () in
+  Netlist.capacitor nl "C1" "tank" "0" 1e-9;
+  Netlist.inductor nl "L1" "tank" "0" 1e-6;
+  if with_loss then begin
+    (* tank loss 2 kOhm (the thermal noise source), recompensated so the
+       net small-signal conductance is -1 mS as in the lossless version *)
+    Netlist.resistor nl "RL" "tank" "0" 2e3;
+    Netlist.cubic_conductor nl "GN" "tank" "0" ~g1:(-1.5e-3) ~g3:1e-3
+  end
+  else Netlist.cubic_conductor nl "GN" "tank" "0" ~g1:(-1e-3) ~g3:1e-3;
+  if with_flicker then begin
+    (* active-device excess noise: same magnitude as the tank resistor's
+       thermal noise, with a 50 kHz 1/f corner *)
+    let white =
+      4.0 *. Rfkit_circuit.Device.boltzmann *. Rfkit_circuit.Device.room_temp /. 2e3
+    in
+    Netlist.noise_current nl "NFL" "tank" "0" ~white ~flicker_corner:50e3
+  end;
+  let c = Mna.build nl in
+  {
+    circuit = c;
+    freq_guess = 1.0 /. (2.0 *. Float.pi *. sqrt (1e-6 *. 1e-9));
+    kick = (fun x -> x.(Mna.node c "tank") <- 0.3);
+    node = "tank";
+    label = "van-der-Pol LC";
+  }
+
+let negative_gm_lc () =
+  let nl = Netlist.create () in
+  Netlist.capacitor nl "C1" "tank" "0" 2e-12;
+  Netlist.inductor nl "L1" "tank" "0" 5e-9;
+  Netlist.resistor nl "RL" "tank" "0" 500.0;
+  (* cross-coupled pair macromodel: current -gm vsat tanh(v/vsat) into the
+     tank = negative conductance that saturates *)
+  Netlist.tanh_gm nl "XGM" "tank" "0" "0" "tank" ~gm:6e-3 ~vsat:0.2;
+  let c = Mna.build nl in
+  {
+    circuit = c;
+    freq_guess = 1.0 /. (2.0 *. Float.pi *. sqrt (5e-9 *. 2e-12));
+    kick = (fun x -> x.(Mna.node c "tank") <- 0.05);
+    node = "tank";
+    label = "-Gm LC VCO";
+  }
+
+let ring3 () =
+  let nl = Netlist.create () in
+  let stage i inp out =
+    Netlist.tanh_gm nl (Printf.sprintf "INV%d" i) out "0" inp "0" ~gm:4e-3 ~vsat:0.3;
+    Netlist.resistor nl (Printf.sprintf "R%d" i) out "0" 1e3;
+    Netlist.capacitor nl (Printf.sprintf "C%d" i) out "0" 1e-12
+  in
+  stage 1 "n3" "n1";
+  stage 2 "n1" "n2";
+  stage 3 "n2" "n3";
+  let c = Mna.build nl in
+  {
+    circuit = c;
+    (* ring frequency ~ 1/(2 N tau) with tau ~ RC *)
+    freq_guess = 1.0 /. (6.0 *. 1e3 *. 1e-12);
+    kick =
+      (fun x ->
+        x.(Mna.node c "n1") <- 0.2;
+        x.(Mna.node c "n2") <- -0.1);
+    node = "n1";
+    label = "3-stage ring";
+  }
+
+let solve ?(steps_per_period = 200) bench =
+  Shooting.solve_autonomous
+    ~options:
+      {
+        Shooting.default_options with
+        steps_per_period;
+        warm_periods = 40;
+        max_newton = 60;
+      }
+    bench.circuit ~freq_guess:bench.freq_guess ~kick:bench.kick

@@ -1,0 +1,30 @@
+(** Canonical oscillator benchmarks for the Section 3 experiments.
+
+    Each constructor returns the compiled circuit, a frequency guess for
+    {!Rfkit_rf.Shooting.solve_autonomous}, a kick function to knock the
+    integration off the DC equilibrium, and the name of the output node. *)
+
+type bench = {
+  circuit : Rfkit_circuit.Mna.t;
+  freq_guess : float;
+  kick : Rfkit_la.Vec.t -> unit;
+  node : string;
+  label : string;
+}
+
+val van_der_pol : ?with_loss:bool -> ?with_flicker:bool -> unit -> bench
+(** LC tank, cubic negative conductance; [with_loss] (default true) adds a
+    parallel loss resistor (the thermal-noise source) compensated by a
+    stronger negative conductance. [with_flicker] (default false) adds a
+    behavioural excess-noise generator with a 50 kHz 1/f corner, standing
+    in for the active device's flicker noise. *)
+
+val negative_gm_lc : unit -> bench
+(** Cross-coupled -Gm LC oscillator: saturating tanh transconductor in
+    positive feedback across a lossy tank — the workhorse RF VCO topology. *)
+
+val ring3 : unit -> bench
+(** Three-stage ring of saturating inverters with RC loads. *)
+
+val solve : ?steps_per_period:int -> bench -> Rfkit_rf.Shooting.result
+(** Convenience: autonomous shooting with sensible defaults. *)

@@ -1,0 +1,72 @@
+(** Phase noise characterization (paper Section 3, ref [5]).
+
+    The nonlinear perturbation theory: white noise currents injected into
+    an oscillator produce a phase deviation [alpha(t)] — a random walk
+    whose variance grows exactly linearly, [Var alpha(t) = c t] — plus a
+    bounded orbital deviation. Consequences implemented here:
+
+    - the scalar diffusion constant
+      [c = (1/T) int v1(t)^T B(t) B(t)^T v1(t) dt] from the PPV and the
+      device noise generators;
+    - the spectrum around each carrier harmonic is a {b Lorentzian},
+      finite at the carrier, with total carrier power preserved;
+    - LTI/LTV analyses instead predict a non-physical [1/fm^2] divergence
+      at the carrier ({!ltv_psd}, kept for the comparison the paper makes);
+    - per-cycle timing jitter [sigma = sqrt(c T)];
+    - per-noise-source contribution splitting. *)
+
+type result = {
+  floquet : Floquet.t;
+  c : float;  (** white phase diffusion constant, seconds *)
+  c_flicker : float;
+      (** flicker weight: the effective diffusion at offset [fm] is
+          [c + c_flicker / fm] (the [1 + fc/f] colored-PSD model folded
+          through the same PPV projections) *)
+  contributions : (string * float) list;
+      (** per noise generator (white parts), summing to [c] *)
+}
+
+val analyze : Rfkit_rf.Shooting.result -> result
+(** Runs {!Floquet.compute} and folds in every device noise generator of
+    the circuit (one-sided PSDs, evaluated along the orbit). *)
+
+val lorentzian : result -> harmonic:int -> float -> float
+(** [lorentzian res ~harmonic fm]: normalized (unit carrier power) PSD of
+    carrier harmonic [k] at offset [fm] from [k f0]:
+    [a / (pi^2 a^2 + fm^2)] with [a = k^2 f0^2 c]. Finite at [fm = 0];
+    integrates to 1 over all offsets. *)
+
+val l_dbc : result -> fm:float -> float
+(** Single-sideband phase noise L(fm) in dBc/Hz at the fundamental,
+    white noise only (pure -20 dB/decade). *)
+
+val l_dbc_colored : result -> fm:float -> float
+(** L(fm) including the flicker-induced [1/fm^3] region below
+    {!flicker_corner_offset} -- the full oscillator phase-noise shape
+    (Leeson regions). Uses the effective diffusion [c + c_flicker/fm];
+    valid for offsets well above the linewidth. *)
+
+val flicker_corner_offset : result -> float
+(** The 1/f^3 <-> 1/f^2 corner: offset where the flicker contribution
+    equals the white one ([c_flicker / c]); 0 when no colored sources. *)
+
+val ltv_psd : result -> harmonic:int -> float -> float
+(** The linear time-varying prediction [k^2 f0^2 c / fm^2]: asymptotically
+    equal to the Lorentzian for [fm >> pi a] but divergent at the carrier
+    (the paper's criticism of prior analyses). *)
+
+val corner_offset : result -> float
+(** Offset frequency [pi a] below which the Lorentzian flattens while the
+    LTV model keeps growing. *)
+
+val jitter_variance : result -> float -> float
+(** [jitter_variance res t = c * t] (s^2) — unbounded linear growth. *)
+
+val cycle_jitter : result -> float
+(** RMS jitter accumulated over one period, [sqrt(c T)] seconds. *)
+
+val total_power_ratio : result -> harmonic:int -> float
+(** Numerical integral of the Lorentzian over offsets divided by the
+    expected carrier power (= 1); checks power conservation. *)
+
+val oscillator_frequency : result -> float

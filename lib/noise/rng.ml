@@ -1,0 +1,31 @@
+type t = { mutable state : int64; mutable spare : float option }
+
+let create seed =
+  let s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) in
+  { state = s; spare = None }
+
+let next t =
+  (* xorshift64* *)
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let uniform t =
+  let x = Int64.shift_right_logical (next t) 11 in
+  (* 53 random bits to (0,1) *)
+  (Int64.to_float x +. 0.5) /. 9007199254740992.0
+
+let gaussian t =
+  match t.spare with
+  | Some v ->
+      t.spare <- None;
+      v
+  | None ->
+      let u1 = uniform t and u2 = uniform t in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.spare <- Some (r *. sin theta);
+      r *. cos theta

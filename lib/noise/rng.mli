@@ -1,0 +1,13 @@
+(** Small deterministic pseudo-random generator (xorshift64-star) with a
+    Box-Muller Gaussian, for reproducible Monte-Carlo noise ensembles. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the same seed always yields the same stream. *)
+
+val uniform : t -> float
+(** Uniform on (0, 1). *)
+
+val gaussian : t -> float
+(** Standard normal. *)

@@ -1,0 +1,48 @@
+open Rfkit_la
+open Rfkit_circuit
+
+exception No_convergence of string
+
+type options = { steps2 : int; n1 : int }
+
+let default_options = { steps2 = 50; n1 = 40 }
+
+type result = {
+  circuit : Mna.t;
+  f2 : float;
+  t1s : Vec.t;
+  slices : Mat.t array;
+}
+
+let run ?(options = default_options) c ~f1 ~f2 ~t1_stop =
+  let { steps2; n1 } = options in
+  let n = Mna.size c in
+  let period2 = 1.0 /. f2 in
+  let h1 = t1_stop /. float_of_int n1 in
+  let t1s = Vec.init (n1 + 1) (fun i -> float_of_int i *. h1) in
+  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let b_of t1 tau = Mpde.eval_b2 c ~f1 ~f2 t1 tau in
+  (* slice 0: fast-periodic steady state with slow sources frozen at 0 *)
+  let slice0 =
+    try Slice.solve_periodic c ~b:(b_of 0.0) ~period2 ~steps:steps2 ~y0:xdc
+    with Slice.No_convergence msg -> raise (No_convergence ("envelope init: " ^ msg))
+  in
+  let slices = Array.make (n1 + 1) slice0 in
+  for i = 1 to n1 do
+    let prev = slices.(i - 1) in
+    let q_ref = Array.init steps2 (fun k -> Mna.eval_q c (Mat.row prev k)) in
+    let coupling = { Slice.h1; q_ref } in
+    let y0 = Mat.row prev 0 in
+    slices.(i) <-
+      (try
+         Slice.solve_periodic ~coupling c ~b:(b_of t1s.(i)) ~period2 ~steps:steps2 ~y0
+       with Slice.No_convergence msg ->
+         raise (No_convergence (Printf.sprintf "envelope slice %d: %s" i msg)))
+  done;
+  { circuit = c; f2; t1s; slices }
+
+let envelope_magnitude res name ~harmonic =
+  let idx = Mna.node res.circuit name in
+  Array.map
+    (fun slice -> Grid.amplitude (Mat.col slice idx) harmonic)
+    res.slices

@@ -1,0 +1,42 @@
+open Rfkit_la
+
+let times ~period ~n =
+  Vec.init n (fun i -> period *. float_of_int i /. float_of_int n)
+
+let harmonic_freqs ~period ~n =
+  Vec.init n (fun k ->
+      let k' = if k <= n / 2 then k else k - n in
+      float_of_int k' /. period)
+
+let diff_samples ~period samples =
+  let n = Array.length samples in
+  let spec = Fft.forward_real samples in
+  let w0 = 2.0 *. Float.pi /. period in
+  let dspec =
+    Array.mapi
+      (fun k c ->
+        let k' = if k <= n / 2 then k else k - n in
+        (* zero the unpaired Nyquist bin on even grids *)
+        if n mod 2 = 0 && k = n / 2 then Cx.zero
+        else Cx.( *: ) (Cx.im (w0 *. float_of_int k')) c)
+      spec
+  in
+  Cvec.real (Fft.inverse dspec)
+
+let diff_matrix ~period ~n =
+  let d = Mat.make n n in
+  for j = 0 to n - 1 do
+    let e = Vec.create n in
+    e.(j) <- 1.0;
+    Mat.set_col d j (diff_samples ~period e)
+  done;
+  d
+
+let harmonic samples k =
+  let c = Fft.coefficients samples in
+  let n = Array.length c in
+  if k < 0 || k >= n then Cx.zero else c.(k)
+
+let amplitude samples k =
+  let c = harmonic samples k in
+  if k = 0 then Cx.abs c else 2.0 *. Cx.abs c

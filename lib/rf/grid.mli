@@ -1,0 +1,27 @@
+(** Uniform periodic time grids and spectral differentiation.
+
+    Steady-state engines represent waveforms by [n] uniform samples over
+    one period; differentiation is exact for band-limited signals
+    (multiply harmonic [k] by [j k w0] in the frequency domain). The
+    Nyquist harmonic of even-length grids is zeroed to keep d/dt real. *)
+
+val times : period:float -> n:int -> Rfkit_la.Vec.t
+(** Sample instants [0, T/n, ..., T (n-1)/n]. *)
+
+val harmonic_freqs : period:float -> n:int -> Rfkit_la.Vec.t
+(** Signed harmonic frequency of each FFT bin (bin k above n/2 is
+    negative). *)
+
+val diff_samples : period:float -> Rfkit_la.Vec.t -> Rfkit_la.Vec.t
+(** Spectral derivative of one period of samples. *)
+
+val diff_matrix : period:float -> n:int -> Rfkit_la.Mat.t
+(** Dense spectral differentiation operator (for direct HB Jacobians). *)
+
+val harmonic : Rfkit_la.Vec.t -> int -> Rfkit_la.Cx.t
+(** [harmonic samples k] is the complex Fourier coefficient of harmonic
+    [k >= 0] (so that the signal contains
+    [2 |c_k| cos(k w0 t + arg c_k)] for k > 0). *)
+
+val amplitude : Rfkit_la.Vec.t -> int -> float
+(** Amplitude of harmonic [k]: [|c_0|] for k = 0, [2 |c_k|] otherwise. *)

@@ -1,0 +1,258 @@
+open Rfkit_la
+open Rfkit_circuit
+
+type linear_solver = Direct | Matrix_free_gmres
+
+type options = {
+  n_samples : int;
+  max_newton : int;
+  tol : float;
+  solver : linear_solver;
+  warm_periods : int;
+  gmres_tol : float;
+  precondition : bool;
+}
+
+let default_options =
+  {
+    n_samples = 32;
+    max_newton = 60;
+    tol = 1e-9;
+    solver = Direct;
+    warm_periods = 2;
+    gmres_tol = 1e-12;
+    precondition = true;
+  }
+
+type result = {
+  circuit : Mna.t;
+  freq : float;
+  times : Vec.t;
+  samples : Mat.t;
+  newton_iters : int;
+  residual : float;
+  gmres_iters_total : int;
+}
+
+exception No_convergence of string
+
+(* residual R(X) = D q(X) + f(X) - B, flattened row-major (sample, unknown) *)
+let residual_mat c ~period ~times (x : Mat.t) =
+  let ns = x.Mat.rows and n = x.Mat.cols in
+  let qs = Mat.make ns n and r = Mat.make ns n in
+  for s = 0 to ns - 1 do
+    let xs = Mat.row x s in
+    Mat.set_row qs s (Mna.eval_q c xs);
+    let fs = Mna.eval_f c xs in
+    let bs = Mna.eval_b c times.(s) in
+    Mat.set_row r s (Vec.sub fs bs)
+  done;
+  (* add spectral d/dt of the charge columns *)
+  for j = 0 to n - 1 do
+    let dq = Grid.diff_samples ~period (Mat.col qs j) in
+    for s = 0 to ns - 1 do
+      Mat.update r s j (fun v -> v +. dq.(s))
+    done
+  done;
+  r
+
+let residual_norm c ~freq x =
+  let period = 1.0 /. freq in
+  let times = Grid.times ~period ~n:x.Mat.rows in
+  Mat.max_abs (residual_mat c ~period ~times x)
+
+let flatten (m : Mat.t) = Array.copy m.Mat.a
+let unflatten ~rows ~cols a : Mat.t = { Mat.rows; cols; a = Array.copy a }
+
+(* dense HB Jacobian: J[(s,i),(s',j)] = D[s,s'] C_{s'}[i,j] + delta_{ss'} G_s[i,j] *)
+let dense_jacobian c ~period (x : Mat.t) =
+  let ns = x.Mat.rows and n = x.Mat.cols in
+  let d = Grid.diff_matrix ~period ~n:ns in
+  let cs = Array.init ns (fun s -> Mna.jac_c c (Mat.row x s)) in
+  let gs = Array.init ns (fun s -> Mna.jac_g c (Mat.row x s)) in
+  let dim = ns * n in
+  let j = Mat.make dim dim in
+  for s = 0 to ns - 1 do
+    for s' = 0 to ns - 1 do
+      let dss = Mat.get d s s' in
+      if dss <> 0.0 || s = s' then
+        for i = 0 to n - 1 do
+          for jj = 0 to n - 1 do
+            let v = dss *. Mat.get cs.(s') i jj in
+            let v = if s = s' then v +. Mat.get gs.(s) i jj else v in
+            if v <> 0.0 then Mat.update j ((s * n) + i) ((s' * n) + jj) (fun w -> w +. v)
+          done
+        done
+    done
+  done;
+  j
+
+(* matrix-implicit application of the HB Jacobian to a flattened vector *)
+let apply_jacobian c ~period (x : Mat.t) (v : Vec.t) =
+  let ns = x.Mat.rows and n = x.Mat.cols in
+  let vm = unflatten ~rows:ns ~cols:n v in
+  let cv = Mat.make ns n and gv = Mat.make ns n in
+  for s = 0 to ns - 1 do
+    let xs = Mat.row x s in
+    let vs = Mat.row vm s in
+    Mat.set_row cv s (Mat.matvec (Mna.jac_c c xs) vs);
+    Mat.set_row gv s (Mat.matvec (Mna.jac_g c xs) vs)
+  done;
+  for j = 0 to n - 1 do
+    let dq = Grid.diff_samples ~period (Mat.col cv j) in
+    for s = 0 to ns - 1 do
+      Mat.update gv s j (fun w -> w +. dq.(s))
+    done
+  done;
+  flatten gv
+
+(* block-diagonal per-harmonic preconditioner built from time-averaged C
+   and G: P_k = j w_k C_avg + G_avg, factored once per Newton iteration *)
+let make_preconditioner c ~period (x : Mat.t) =
+  let ns = x.Mat.rows and n = x.Mat.cols in
+  let c_avg = Mat.make n n and g_avg = Mat.make n n in
+  for s = 0 to ns - 1 do
+    let xs = Mat.row x s in
+    Mat.add_inplace (Mna.jac_c c xs) c_avg;
+    Mat.add_inplace (Mna.jac_g c xs) g_avg
+  done;
+  let scale = 1.0 /. float_of_int ns in
+  let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+  let w0 = 2.0 *. Float.pi /. period in
+  let half = ns / 2 in
+  let factors =
+    Array.init (half + 1) (fun k ->
+        let wk = w0 *. float_of_int k in
+        let block =
+          Cmat.init n n (fun i j ->
+              Cx.make (Mat.get g_avg i j) (wk *. Mat.get c_avg i j))
+        in
+        Clu.factor block)
+  in
+  fun (v : Vec.t) ->
+    let vm = unflatten ~rows:ns ~cols:n v in
+    (* per-unknown FFT over samples *)
+    let spectra = Array.init n (fun j -> Fft.forward_real (Mat.col vm j)) in
+    (* per-harmonic complex block solves; conjugate symmetry halves work *)
+    let solved = Array.make ns [||] in
+    for k = 0 to half do
+      let rhs = Cvec.init n (fun j -> spectra.(j).(k)) in
+      solved.(k) <- Clu.solve factors.(k) rhs
+    done;
+    for k = half + 1 to ns - 1 do
+      (* mirror bin: P_{-k} = conj(P_k), rhs_{-k} = conj(rhs_k) *)
+      solved.(k) <- Cvec.map Cx.conj solved.(ns - k)
+    done;
+    let out = Mat.make ns n in
+    for j = 0 to n - 1 do
+      let col_spec = Cvec.init ns (fun k -> solved.(k).(j)) in
+      let col = Cvec.real (Fft.inverse col_spec) in
+      for s = 0 to ns - 1 do
+        Mat.set out s j col.(s)
+      done
+    done;
+    flatten out
+
+let initial_guess ?(x0 : Mat.t option) c ~options ~period ~times =
+  match x0 with
+  | Some m -> Mat.copy m
+  | None ->
+      let ns = options.n_samples in
+      let n = Mna.size c in
+      if options.warm_periods > 0 then begin
+        (* integrate a few periods of transient, then sample the last one *)
+        let t_stop = float_of_int options.warm_periods *. period in
+        let dt = period /. float_of_int ns in
+        let res =
+          try Tran.run ~method_:Tran.Backward_euler c ~t_stop ~dt
+          with Tran.Step_failed _ | Dc.No_convergence _ ->
+            { Tran.times = [| 0.0 |]; states = [| Vec.create n |] }
+        in
+        let m = Array.length res.Tran.times in
+        let guess = Mat.make ns n in
+        for s = 0 to ns - 1 do
+          let t = res.Tran.times.(m - 1) -. period +. times.(s) in
+          let row =
+            Vec.init n (fun i ->
+                let ys = Array.map (fun st -> st.(i)) res.Tran.states in
+                Interp.linear res.Tran.times ys (Float.max 0.0 t))
+          in
+          Mat.set_row guess s row
+        done;
+        guess
+      end
+      else begin
+        let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+        Mat.init ns n (fun _ i -> xdc.(i))
+      end
+
+let solve ?(options = default_options) ?x0 c ~freq =
+  let period = 1.0 /. freq in
+  let ns = options.n_samples in
+  let n = Mna.size c in
+  let times = Grid.times ~period ~n:ns in
+  let x = ref (initial_guess ?x0 c ~options ~period ~times) in
+  let gmres_total = ref 0 in
+  let iters = ref 0 in
+  let res_norm = ref infinity in
+  let converged = ref false in
+  while (not !converged) && !iters < options.max_newton do
+    incr iters;
+    let r = residual_mat c ~period ~times !x in
+    res_norm := Mat.max_abs r;
+    if !res_norm <= options.tol then converged := true
+    else begin
+      let rhs = flatten r in
+      let dx =
+        match options.solver with
+        | Direct -> begin
+            let j = dense_jacobian c ~period !x in
+            try Lu.solve (Lu.factor j) rhs
+            with Lu.Singular -> raise (No_convergence "singular HB Jacobian")
+          end
+        | Matrix_free_gmres ->
+            let precond =
+              if options.precondition then make_preconditioner c ~period !x
+              else fun v -> v
+            in
+            let op = apply_jacobian c ~period !x in
+            let sol, st =
+              Krylov.gmres ~m:80 ~tol:options.gmres_tol ~max_iter:2000 ~precond op rhs
+            in
+            gmres_total := !gmres_total + st.Krylov.iterations;
+            if not st.Krylov.converged then
+              raise (No_convergence "HB GMRES did not converge");
+            sol
+      in
+      (* damped Newton update *)
+      let step = Vec.norm_inf dx in
+      let scale = if step > 5.0 then 5.0 /. step else 1.0 in
+      let dxm = unflatten ~rows:ns ~cols:n dx in
+      let xm = !x in
+      for s = 0 to ns - 1 do
+        for i = 0 to n - 1 do
+          Mat.update xm s i (fun v -> v -. (scale *. Mat.get dxm s i))
+        done
+      done
+    end
+  done;
+  if not !converged then
+    raise
+      (No_convergence
+         (Printf.sprintf "HB Newton: residual %.3e after %d iterations" !res_norm
+            !iters));
+  {
+    circuit = c;
+    freq;
+    times;
+    samples = !x;
+    newton_iters = !iters;
+    residual = !res_norm;
+    gmres_iters_total = !gmres_total;
+  }
+
+let waveform res name =
+  let idx = Mna.node res.circuit name in
+  Mat.col res.samples idx
+
+let harmonic_amplitude res name k = Grid.amplitude (waveform res name) k

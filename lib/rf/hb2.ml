@@ -1,0 +1,289 @@
+open Rfkit_la
+open Rfkit_circuit
+
+exception No_convergence of string
+
+type options = {
+  n1 : int;
+  n2 : int;
+  max_newton : int;
+  tol : float;
+  gmres_tol : float;
+}
+
+let default_options =
+  { n1 = 8; n2 = 16; max_newton = 60; tol = 1e-9; gmres_tol = 1e-12 }
+
+type result = {
+  circuit : Mna.t;
+  f1 : float;
+  f2 : float;
+  options : options;
+  grid : Vec.t;
+  newton_iters : int;
+  residual : float;
+  gmres_iters_total : int;
+}
+
+let idx ~n2 ~n i1 i2 k = (((i1 * n2) + i2) * n) + k
+
+let point ~n2 ~n (x : Vec.t) i1 i2 = Array.init n (fun k -> x.(idx ~n2 ~n i1 i2 k))
+
+(* 2-D FFT of an n1 x n2 real field *)
+let fft2 (field : Mat.t) =
+  let n1 = field.Mat.rows and n2 = field.Mat.cols in
+  (* rows first *)
+  let rows = Array.init n1 (fun i -> Fft.forward_real (Mat.row field i)) in
+  (* then columns *)
+  let out = Cmat.make n1 n2 in
+  for j = 0 to n2 - 1 do
+    let col = Cvec.init n1 (fun i -> rows.(i).(j)) in
+    let t = Fft.forward col in
+    for i = 0 to n1 - 1 do
+      Cmat.set out i j t.(i)
+    done
+  done;
+  out
+
+let ifft2_real (spec : Cmat.t) =
+  let n1 = spec.Cmat.rows and n2 = spec.Cmat.cols in
+  let cols = Mat.make n1 n2 in
+  let tmp = Cmat.make n1 n2 in
+  for j = 0 to n2 - 1 do
+    let col = Cvec.init n1 (fun i -> Cmat.get spec i j) in
+    let t = Fft.inverse col in
+    for i = 0 to n1 - 1 do
+      Cmat.set tmp i j t.(i)
+    done
+  done;
+  for i = 0 to n1 - 1 do
+    let row = Cvec.init n2 (fun j -> Cmat.get tmp i j) in
+    let t = Fft.inverse row in
+    for j = 0 to n2 - 1 do
+      Mat.set cols i j t.(j).Cx.re
+    done
+  done;
+  cols
+
+let signed_bin k n = if k <= n / 2 then k else k - n
+
+(* (D1 + D2) applied to one unknown's bivariate samples *)
+let diff2 ~f1 ~f2 (field : Mat.t) =
+  let n1 = field.Mat.rows and n2 = field.Mat.cols in
+  let spec = fft2 field in
+  let w1 = 2.0 *. Float.pi *. f1 and w2 = 2.0 *. Float.pi *. f2 in
+  for i = 0 to n1 - 1 do
+    let k1 = signed_bin i n1 in
+    let k1 = if n1 mod 2 = 0 && i = n1 / 2 then 0 else k1 in
+    for j = 0 to n2 - 1 do
+      let k2 = signed_bin j n2 in
+      let k2 = if n2 mod 2 = 0 && j = n2 / 2 then 0 else k2 in
+      let w = (w1 *. float_of_int k1) +. (w2 *. float_of_int k2) in
+      Cmat.set spec i j (Cx.( *: ) (Cx.im w) (Cmat.get spec i j))
+    done
+  done;
+  ifft2_real spec
+
+let residual_vec c ~options ~f1 ~f2 (x : Vec.t) =
+  let { n1; n2; _ } = options in
+  let n = Mna.size c in
+  let t1_per = 1.0 /. f1 and t2_per = 1.0 /. f2 in
+  let r = Vec.create (n1 * n2 * n) in
+  let qs = Mat.make (n1 * n2) n in
+  for i1 = 0 to n1 - 1 do
+    for i2 = 0 to n2 - 1 do
+      let xp = point ~n2 ~n x i1 i2 in
+      Mat.set_row qs ((i1 * n2) + i2) (Mna.eval_q c xp);
+      let fv = Mna.eval_f c xp in
+      let t1 = t1_per *. float_of_int i1 /. float_of_int n1 in
+      let t2 = t2_per *. float_of_int i2 /. float_of_int n2 in
+      let bv = Mpde.eval_b2 c ~f1 ~f2 t1 t2 in
+      for k = 0 to n - 1 do
+        r.(idx ~n2 ~n i1 i2 k) <- fv.(k) -. bv.(k)
+      done
+    done
+  done;
+  for k = 0 to n - 1 do
+    let field = Mat.init n1 n2 (fun i1 i2 -> Mat.get qs ((i1 * n2) + i2) k) in
+    let dq = diff2 ~f1 ~f2 field in
+    for i1 = 0 to n1 - 1 do
+      for i2 = 0 to n2 - 1 do
+        r.(idx ~n2 ~n i1 i2 k) <- r.(idx ~n2 ~n i1 i2 k) +. Mat.get dq i1 i2
+      done
+    done
+  done;
+  r
+
+let apply_jacobian c ~options ~f1 ~f2 ~cs ~gs (v : Vec.t) =
+  let { n1; n2; _ } = options in
+  let n = Mna.size c in
+  let out = Vec.create (n1 * n2 * n) in
+  let cv = Mat.make (n1 * n2) n in
+  for i1 = 0 to n1 - 1 do
+    for i2 = 0 to n2 - 1 do
+      let vp = point ~n2 ~n v i1 i2 in
+      Mat.set_row cv ((i1 * n2) + i2) (Mat.matvec (cs : Mat.t array).((i1 * n2) + i2) vp);
+      let gv = Mat.matvec (gs : Mat.t array).((i1 * n2) + i2) vp in
+      for k = 0 to n - 1 do
+        out.(idx ~n2 ~n i1 i2 k) <- gv.(k)
+      done
+    done
+  done;
+  for k = 0 to n - 1 do
+    let field = Mat.init n1 n2 (fun i1 i2 -> Mat.get cv ((i1 * n2) + i2) k) in
+    let dq = diff2 ~f1 ~f2 field in
+    for i1 = 0 to n1 - 1 do
+      for i2 = 0 to n2 - 1 do
+        out.(idx ~n2 ~n i1 i2 k) <- out.(idx ~n2 ~n i1 i2 k) +. Mat.get dq i1 i2
+      done
+    done
+  done;
+  out
+
+let make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg =
+  let { n1; n2; _ } = options in
+  let n = (c_avg : Mat.t).Mat.rows in
+  let w1 = 2.0 *. Float.pi *. f1 and w2 = 2.0 *. Float.pi *. f2 in
+  let factors =
+    Array.init (n1 * n2) (fun bin ->
+        let i = bin / n2 and j = bin mod n2 in
+        let k1 = signed_bin i n1 in
+        let k1 = if n1 mod 2 = 0 && i = n1 / 2 then 0 else k1 in
+        let k2 = signed_bin j n2 in
+        let k2 = if n2 mod 2 = 0 && j = n2 / 2 then 0 else k2 in
+        let w = (w1 *. float_of_int k1) +. (w2 *. float_of_int k2) in
+        let blk =
+          Cmat.init n n (fun a b -> Cx.make (Mat.get g_avg a b) (w *. Mat.get c_avg a b))
+        in
+        Clu.factor blk)
+  in
+  fun (v : Vec.t) ->
+    let out = Vec.create (n1 * n2 * n) in
+    (* per-unknown 2-D FFT *)
+    let specs =
+      Array.init n (fun k ->
+          fft2 (Mat.init n1 n2 (fun i1 i2 -> v.(idx ~n2 ~n i1 i2 k))))
+    in
+    (* per-bin block solve *)
+    let solved = Cmat.make (n1 * n2) n in
+    for bin = 0 to (n1 * n2) - 1 do
+      let i = bin / n2 and j = bin mod n2 in
+      let rhs = Cvec.init n (fun k -> Cmat.get specs.(k) i j) in
+      let y = Clu.solve factors.(bin) rhs in
+      for k = 0 to n - 1 do
+        Cmat.set solved bin k y.(k)
+      done
+    done;
+    for k = 0 to n - 1 do
+      let spec = Cmat.init n1 n2 (fun i1 i2 -> Cmat.get solved ((i1 * n2) + i2) k) in
+      let field = ifft2_real spec in
+      for i1 = 0 to n1 - 1 do
+        for i2 = 0 to n2 - 1 do
+          out.(idx ~n2 ~n i1 i2 k) <- Mat.get field i1 i2
+        done
+      done
+    done;
+    out
+
+let solve ?(options = default_options) c ~f1 ~f2 =
+  let { n1; n2; _ } = options in
+  let n = Mna.size c in
+  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let x = Vec.create (n1 * n2 * n) in
+  for i1 = 0 to n1 - 1 do
+    for i2 = 0 to n2 - 1 do
+      for k = 0 to n - 1 do
+        x.(idx ~n2 ~n i1 i2 k) <- xdc.(k)
+      done
+    done
+  done;
+  let iters = ref 0 in
+  let gmres_total = ref 0 in
+  let res_norm = ref infinity in
+  let converged = ref false in
+  while (not !converged) && !iters < options.max_newton do
+    incr iters;
+    let r = residual_vec c ~options ~f1 ~f2 x in
+    res_norm := Vec.norm_inf r;
+    if !res_norm <= options.tol then converged := true
+    else begin
+      let cs = Array.make (n1 * n2) (Mat.make 0 0) in
+      let gs = Array.make (n1 * n2) (Mat.make 0 0) in
+      let c_avg = Mat.make n n and g_avg = Mat.make n n in
+      for i1 = 0 to n1 - 1 do
+        for i2 = 0 to n2 - 1 do
+          let xp = point ~n2 ~n x i1 i2 in
+          let cm = Mna.jac_c c xp and gm = Mna.jac_g c xp in
+          cs.((i1 * n2) + i2) <- cm;
+          gs.((i1 * n2) + i2) <- gm;
+          Mat.add_inplace cm c_avg;
+          Mat.add_inplace gm g_avg
+        done
+      done;
+      let scale = 1.0 /. float_of_int (n1 * n2) in
+      let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+      let precond = make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg in
+      let op = apply_jacobian c ~options ~f1 ~f2 ~cs ~gs in
+      let dx, st =
+        Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+      in
+      gmres_total := !gmres_total + st.Krylov.iterations;
+      if not st.Krylov.converged then raise (No_convergence "HB2 GMRES stalled");
+      let step = Vec.norm_inf dx in
+      let damp = if step > 5.0 then 5.0 /. step else 1.0 in
+      Vec.axpy (-.damp) dx x
+    end
+  done;
+  if not !converged then
+    raise
+      (No_convergence
+         (Printf.sprintf "HB2 Newton: residual %.3e after %d iters" !res_norm !iters));
+  {
+    circuit = c;
+    f1;
+    f2;
+    options;
+    grid = x;
+    newton_iters = !iters;
+    residual = !res_norm;
+    gmres_iters_total = !gmres_total;
+  }
+
+let node_grid res name =
+  let { n1; n2; _ } = res.options in
+  let n = Mna.size res.circuit in
+  let k = Mna.node res.circuit name in
+  Mat.init n1 n2 (fun i1 i2 -> res.grid.(idx ~n2 ~n i1 i2 k))
+
+let mix_coefficient res name ~k1 ~k2 =
+  let { n1; n2; _ } = res.options in
+  let field = node_grid res name in
+  let spec = fft2 field in
+  let bin1 = ((k1 mod n1) + n1) mod n1 in
+  let bin2 = ((k2 mod n2) + n2) mod n2 in
+  Cx.scale (1.0 /. float_of_int (n1 * n2)) (Cmat.get spec bin1 bin2)
+
+let mix_amplitude res name ~k1 ~k2 =
+  let c = mix_coefficient res name ~k1 ~k2 in
+  if k1 = 0 && k2 = 0 then Cx.abs c else 2.0 *. Cx.abs c
+
+type spur = { k1 : int; k2 : int; freq : float; amplitude : float }
+
+let spectrum res name =
+  let { n1; n2; _ } = res.options in
+  let field = node_grid res name in
+  let spec = fft2 field in
+  let scale = 1.0 /. float_of_int (n1 * n2) in
+  let out = ref [] in
+  for i = 0 to n1 - 1 do
+    for j = 0 to n2 - 1 do
+      let k1 = signed_bin i n1 and k2 = signed_bin j n2 in
+      let freq = (float_of_int k1 *. res.f1) +. (float_of_int k2 *. res.f2) in
+      if freq >= 0.0 then begin
+        let c = Cx.scale scale (Cmat.get spec i j) in
+        let amplitude = if k1 = 0 && k2 = 0 then Cx.abs c else 2.0 *. Cx.abs c in
+        if amplitude > 1e-16 then out := { k1; k2; freq; amplitude } :: !out
+      end
+    done
+  done;
+  List.sort (fun a b -> compare a.freq b.freq) !out

@@ -1,0 +1,287 @@
+open Rfkit_la
+open Rfkit_circuit
+
+exception No_convergence of string
+
+type options = {
+  dims : int array;
+  max_newton : int;
+  tol : float;
+  gmres_tol : float;
+}
+
+let default_dims ~n_tones = Array.make n_tones 8
+
+type result = {
+  circuit : Mna.t;
+  tones : float array;
+  options : options;
+  grid : Vec.t;
+  newton_iters : int;
+  residual : float;
+  gmres_iters_total : int;
+}
+
+(* ---------------------------------------------------------------- grids *)
+
+let total dims = Array.fold_left ( * ) 1 dims
+
+(* stride of axis a in the flattened row-major layout *)
+let stride dims a =
+  let s = ref 1 in
+  for i = a + 1 to Array.length dims - 1 do
+    s := !s * dims.(i)
+  done;
+  !s
+
+(* multi-index of a flat position *)
+let unflatten dims flat =
+  let d = Array.length dims in
+  let m = Array.make d 0 in
+  let rest = ref flat in
+  for a = d - 1 downto 0 do
+    m.(a) <- !rest mod dims.(a);
+    rest := !rest / dims.(a)
+  done;
+  m
+
+let signed_bin k n = if k <= n / 2 then k else k - n
+
+(* angular frequency of a mix bin, with even-grid Nyquist bins zeroed *)
+let bin_omega ~tones ~dims m =
+  let w = ref 0.0 in
+  Array.iteri
+    (fun a ka ->
+      let n = dims.(a) in
+      let k = if n mod 2 = 0 && ka = n / 2 then 0 else signed_bin ka n in
+      w := !w +. (2.0 *. Float.pi *. tones.(a) *. float_of_int k))
+    m;
+  !w
+
+(* in-place 1-D transforms along one axis of a complex field *)
+let transform_axis ~inverse dims a (field : Cvec.t) =
+  let s = stride dims a in
+  let n_a = dims.(a) in
+  let tot = total dims in
+  let lines = tot / n_a in
+  (* enumerate line bases: all flat indices with m.(a) = 0 *)
+  let line = Cvec.create n_a in
+  for l = 0 to lines - 1 do
+    (* decompose l into (outer, inner) around axis a *)
+    let inner = l mod s in
+    let outer = l / s in
+    let base = (outer * s * n_a) + inner in
+    for i = 0 to n_a - 1 do
+      line.(i) <- field.(base + (i * s))
+    done;
+    let out = if inverse then Fft.inverse line else Fft.forward line in
+    for i = 0 to n_a - 1 do
+      field.(base + (i * s)) <- out.(i)
+    done
+  done
+
+let fftn dims (real_field : Vec.t) =
+  let f = Cvec.of_real real_field in
+  for a = 0 to Array.length dims - 1 do
+    transform_axis ~inverse:false dims a f
+  done;
+  f
+
+let ifftn_real dims (spec : Cvec.t) =
+  let f = Cvec.copy spec in
+  for a = 0 to Array.length dims - 1 do
+    transform_axis ~inverse:true dims a f
+  done;
+  Cvec.real f
+
+(* spectral application of sum_a d/dt_a to one unknown's field *)
+let diffn ~tones ~dims (field : Vec.t) =
+  let spec = fftn dims field in
+  for flat = 0 to total dims - 1 do
+    let m = unflatten dims flat in
+    let w = bin_omega ~tones ~dims m in
+    spec.(flat) <- Cx.( *: ) (Cx.im w) spec.(flat)
+  done;
+  ifftn_real dims spec
+
+(* ------------------------------------------------------------- assembly *)
+
+let point ~n (x : Vec.t) flat = Array.init n (fun k -> x.((flat * n) + k))
+
+let grid_times ~tones ~dims flat =
+  let m = unflatten dims flat in
+  Array.mapi
+    (fun a ka -> float_of_int ka /. (tones.(a) *. float_of_int dims.(a)))
+    m
+
+let residual_vec c ~options ~tones (x : Vec.t) =
+  let dims = options.dims in
+  let n = Mna.size c in
+  let tot = total dims in
+  let r = Vec.create (tot * n) in
+  let qs = Mat.make tot n in
+  for flat = 0 to tot - 1 do
+    let xp = point ~n x flat in
+    Mat.set_row qs flat (Mna.eval_q c xp);
+    let fv = Mna.eval_f c xp in
+    let bv = Mpde.eval_bn c ~tones (grid_times ~tones ~dims flat) in
+    for k = 0 to n - 1 do
+      r.((flat * n) + k) <- fv.(k) -. bv.(k)
+    done
+  done;
+  for k = 0 to n - 1 do
+    let field = Vec.init tot (fun flat -> Mat.get qs flat k) in
+    let dq = diffn ~tones ~dims field in
+    for flat = 0 to tot - 1 do
+      r.((flat * n) + k) <- r.((flat * n) + k) +. dq.(flat)
+    done
+  done;
+  r
+
+let apply_jacobian c ~options ~tones ~cs ~gs (v : Vec.t) =
+  let dims = options.dims in
+  let n = Mna.size c in
+  let tot = total dims in
+  let out = Vec.create (tot * n) in
+  let cv = Mat.make tot n in
+  for flat = 0 to tot - 1 do
+    let vp = point ~n v flat in
+    Mat.set_row cv flat (Mat.matvec (cs : Mat.t array).(flat) vp);
+    let gv = Mat.matvec (gs : Mat.t array).(flat) vp in
+    for k = 0 to n - 1 do
+      out.((flat * n) + k) <- gv.(k)
+    done
+  done;
+  for k = 0 to n - 1 do
+    let field = Vec.init tot (fun flat -> Mat.get cv flat k) in
+    let dq = diffn ~tones ~dims field in
+    for flat = 0 to tot - 1 do
+      out.((flat * n) + k) <- out.((flat * n) + k) +. dq.(flat)
+    done
+  done;
+  out
+
+let make_preconditioner ~options ~tones ~c_avg ~g_avg =
+  let dims = options.dims in
+  let n = (c_avg : Mat.t).Mat.rows in
+  let tot = total dims in
+  let factors =
+    Array.init tot (fun flat ->
+        let m = unflatten dims flat in
+        let w = bin_omega ~tones ~dims m in
+        Clu.factor
+          (Cmat.init n n (fun i j ->
+               Cx.make (Mat.get g_avg i j) (w *. Mat.get c_avg i j))))
+  in
+  fun (v : Vec.t) ->
+    let out = Vec.create (tot * n) in
+    let specs =
+      Array.init n (fun k -> fftn dims (Vec.init tot (fun flat -> v.((flat * n) + k))))
+    in
+    let solved = Array.make tot [||] in
+    for flat = 0 to tot - 1 do
+      let rhs = Cvec.init n (fun k -> specs.(k).(flat)) in
+      solved.(flat) <- Clu.solve factors.(flat) rhs
+    done;
+    for k = 0 to n - 1 do
+      let spec = Cvec.init tot (fun flat -> solved.(flat).(k)) in
+      let field = ifftn_real dims spec in
+      for flat = 0 to tot - 1 do
+        out.((flat * n) + k) <- field.(flat)
+      done
+    done;
+    out
+
+(* ---------------------------------------------------------------- solve *)
+
+let solve ?options c ~tones =
+  let options =
+    match options with
+    | Some o -> o
+    | None ->
+        {
+          dims = default_dims ~n_tones:(Array.length tones);
+          max_newton = 60;
+          tol = 1e-9;
+          gmres_tol = 1e-12;
+        }
+  in
+  if Array.length options.dims <> Array.length tones then
+    invalid_arg "Hbn.solve: dims and tones length mismatch";
+  let dims = options.dims in
+  let n = Mna.size c in
+  let tot = total dims in
+  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let x = Vec.init (tot * n) (fun i -> xdc.(i mod n)) in
+  let iters = ref 0 in
+  let gmres_total = ref 0 in
+  let res_norm = ref infinity in
+  let converged = ref false in
+  while (not !converged) && !iters < options.max_newton do
+    incr iters;
+    let r = residual_vec c ~options ~tones x in
+    res_norm := Vec.norm_inf r;
+    if !res_norm <= options.tol then converged := true
+    else begin
+      let cs = Array.init tot (fun flat -> Mna.jac_c c (point ~n x flat)) in
+      let gs = Array.init tot (fun flat -> Mna.jac_g c (point ~n x flat)) in
+      let c_avg = Mat.make n n and g_avg = Mat.make n n in
+      Array.iter (fun m -> Mat.add_inplace m c_avg) cs;
+      Array.iter (fun m -> Mat.add_inplace m g_avg) gs;
+      let scale = 1.0 /. float_of_int tot in
+      let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+      let precond = make_preconditioner ~options ~tones ~c_avg ~g_avg in
+      let op = apply_jacobian c ~options ~tones ~cs ~gs in
+      let dx, st =
+        Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+      in
+      gmres_total := !gmres_total + st.Krylov.iterations;
+      if not st.Krylov.converged then raise (No_convergence "HBn GMRES stalled");
+      let step = Vec.norm_inf dx in
+      let damp = if step > 5.0 then 5.0 /. step else 1.0 in
+      Vec.axpy (-.damp) dx x
+    end
+  done;
+  if not !converged then
+    raise
+      (No_convergence
+         (Printf.sprintf "HBn Newton: residual %.3e after %d iters" !res_norm !iters));
+  {
+    circuit = c;
+    tones;
+    options;
+    grid = x;
+    newton_iters = !iters;
+    residual = !res_norm;
+    gmres_iters_total = !gmres_total;
+  }
+
+let mix_amplitude res name k_vec =
+  let dims = res.options.dims in
+  let n = Mna.size res.circuit in
+  let tot = total dims in
+  let idx = Mna.node res.circuit name in
+  let field = Vec.init tot (fun flat -> res.grid.((flat * n) + idx)) in
+  let spec = fftn dims field in
+  (* locate the bin of the signed mix vector *)
+  let flat = ref 0 in
+  Array.iteri
+    (fun a ka ->
+      let bin = ((ka mod dims.(a)) + dims.(a)) mod dims.(a) in
+      flat := (!flat * dims.(a)) + bin)
+    k_vec;
+  let coeff = Cx.scale (1.0 /. float_of_int tot) spec.(!flat) in
+  let all_zero = Array.for_all (fun k -> k = 0) k_vec in
+  if all_zero then Cx.abs coeff else 2.0 *. Cx.abs coeff
+
+let problem_size c ~dims = total dims * Mna.size c
+
+let memory_estimate c ~dims =
+  let n = Mna.size c in
+  let tot = total dims in
+  (* ~6 live grid-sized vectors in the Newton/GMRES loop, the per-point
+     Jacobian blocks, and the per-bin complex preconditioner factors *)
+  let grid_vectors = 8 * tot * n * 6 in
+  let jac_blocks = 8 * tot * n * n * 2 in
+  let precond = 16 * tot * n * n in
+  grid_vectors + jac_blocks + precond

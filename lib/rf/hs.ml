@@ -1,0 +1,70 @@
+open Rfkit_la
+open Rfkit_circuit
+
+exception No_convergence of string
+
+type options = { n1 : int; steps2 : int; max_sweeps : int; tol : float }
+
+let default_options = { n1 = 16; steps2 = 64; max_sweeps = 40; tol = 1e-7 }
+
+type result = {
+  circuit : Mna.t;
+  f1 : float;
+  f2 : float;
+  options : options;
+  slices : Mat.t array;
+  sweeps : int;
+}
+
+let solve ?(options = default_options) c ~f1 ~f2 =
+  let { n1; steps2; max_sweeps; tol } = options in
+  let n = Mna.size c in
+  let period1 = 1.0 /. f1 and period2 = 1.0 /. f2 in
+  let h1 = period1 /. float_of_int n1 in
+  let t1s = Array.init n1 (fun i -> float_of_int i *. h1) in
+  (* initial slices: uncoupled periodic solves with the slow excitation
+     frozen per slice (quasi-static start) *)
+  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let b_of i tau = Mpde.eval_b2 c ~f1 ~f2 t1s.(i) tau in
+  let slices =
+    Array.init n1 (fun i ->
+        try
+          Slice.solve_periodic c ~b:(b_of i) ~period2 ~steps:steps2 ~y0:xdc
+        with Slice.No_convergence msg -> raise (No_convergence ("HS init: " ^ msg)))
+  in
+  let q_of_slice s =
+    Array.init steps2 (fun k -> Mna.eval_q c (Mat.row slices.(s) k))
+  in
+  let sweeps = ref 0 in
+  let settled = ref false in
+  while (not !settled) && !sweeps < max_sweeps do
+    incr sweeps;
+    let max_change = ref 0.0 in
+    for i = 0 to n1 - 1 do
+      let prev = (i + n1 - 1) mod n1 in
+      let coupling = { Slice.h1; q_ref = q_of_slice prev } in
+      let y0 = Mat.row slices.(i) 0 in
+      let updated =
+        try Slice.solve_periodic ~coupling c ~b:(b_of i) ~period2 ~steps:steps2 ~y0
+        with Slice.No_convergence msg -> raise (No_convergence ("HS sweep: " ^ msg))
+      in
+      let change = Mat.max_abs (Mat.sub updated slices.(i)) in
+      if change > !max_change then max_change := change;
+      slices.(i) <- updated
+    done;
+    if !max_change <= tol then settled := true
+  done;
+  if not !settled then raise (No_convergence "HS Gauss-Seidel sweeps did not settle");
+  { circuit = c; f1; f2; options; slices; sweeps = !sweeps }
+
+let node_grid res name =
+  let k = Mna.node res.circuit name in
+  let { n1; steps2; _ } = res.options in
+  Mat.init n1 steps2 (fun i1 i2 -> Mat.get res.slices.(i1) i2 k)
+
+let node_diagonal res name ~n =
+  let grid = node_grid res name in
+  let period1 = 1.0 /. res.f1 and period2 = 1.0 /. res.f2 in
+  Vec.init n (fun k ->
+      let t = period1 *. float_of_int k /. float_of_int n in
+      Mpde.diagonal ~period1 ~period2 grid t)

@@ -1,0 +1,66 @@
+open Rfkit_la
+open Rfkit_circuit
+
+let fundamental_gain ~build ~node ~freq a =
+  let c = build a in
+  let res = Hb.solve c ~freq in
+  Hb.harmonic_amplitude res node 1 /. a
+
+let small_signal_gain ~build ~node ~freq = fundamental_gain ~build ~node ~freq 1e-3
+
+let compression_point_1db ?(a_start = 1e-3) ?(a_stop = 10.0) ~build ~node ~freq () =
+  let g0 = fundamental_gain ~build ~node ~freq a_start in
+  let target = g0 *. (10.0 ** (-1.0 /. 20.0)) in
+  (* geometric scan for the bracketing pair *)
+  let rec scan a =
+    if a > a_stop then raise Not_found
+    else begin
+      let g = fundamental_gain ~build ~node ~freq a in
+      if g <= target then a else scan (a *. 1.3)
+    end
+  in
+  let hi = scan (a_start *. 1.3) in
+  let lo = hi /. 1.3 in
+  (* bisection on log amplitude *)
+  let rec refine lo hi k =
+    if k = 0 then sqrt (lo *. hi)
+    else begin
+      let mid = sqrt (lo *. hi) in
+      let g = fundamental_gain ~build ~node ~freq mid in
+      if g <= target then refine lo mid (k - 1) else refine mid hi (k - 1)
+    end
+  in
+  refine lo hi 20
+
+let iip3 ?(a_probe = 1e-3) ~build ~node ~f1 ~f2 () =
+  let c = build a_probe in
+  let res = Hb2.solve c ~f1 ~f2 in
+  let a_fund = Hb2.mix_amplitude res node ~k1:1 ~k2:0 in
+  let a_im3 = Hb2.mix_amplitude res node ~k1:(-1) ~k2:2 in
+  if a_im3 <= 0.0 then infinity
+  else
+    (* fundamental grows 1:1 with input, IM3 3:1; they intersect at
+       a_probe * sqrt(A_fund / A_im3) *)
+    a_probe *. sqrt (a_fund /. a_im3)
+
+let noise_figure c ~source_resistor ~node ~freq =
+  let freqs = [| freq |] in
+  let total = (Ac.output_noise c ~node ~freqs).(0) in
+  (* the source resistor's own contribution through the same network *)
+  let sources = Mna.noise_sources c in
+  let x_op = try Dc.solve c with Dc.No_convergence _ -> Vec.create (Mna.size c) in
+  let from_source =
+    Array.fold_left
+      (fun acc (src : Device.noise_source) ->
+        if String.length src.Device.label >= String.length source_resistor
+           && String.sub src.Device.label 0 (String.length source_resistor)
+              = source_resistor
+        then begin
+          let h = Ac.solve_at ~x_op c ~rhs:(Mna.noise_pattern c src) ~freq in
+          acc +. (Cx.abs2 h.(Mna.node c node) *. src.Device.psd_at x_op)
+        end
+        else acc)
+      0.0 sources
+  in
+  if from_source <= 0.0 then invalid_arg "Measures.noise_figure: source has no noise";
+  Stats.db10 (total /. from_source)

@@ -1,0 +1,50 @@
+(** RF performance measures (paper Section 1: specifications "depend on
+    other performance measures such as noise figure, intercept point, and
+    1dB compression point. Verification tools need to be able to analyze
+    the design ... and predict the performance measures").
+
+    Circuits are supplied as builders parameterized by drive amplitude so
+    the sweeps can re-instantiate them; outputs are voltage-amplitude
+    referred (convert to power against a reference impedance as needed). *)
+
+val small_signal_gain :
+  build:(float -> Rfkit_circuit.Mna.t) -> node:string -> freq:float -> float
+(** Fundamental-output over input-amplitude at a drive small enough to be
+    linear (1 mV). *)
+
+val compression_point_1db :
+  ?a_start:float ->
+  ?a_stop:float ->
+  build:(float -> Rfkit_circuit.Mna.t) ->
+  node:string ->
+  freq:float ->
+  unit ->
+  float
+(** Input amplitude (volts) at which the fundamental gain has dropped 1 dB
+    below its small-signal value — the 1 dB compression point. Scans a
+    geometric amplitude grid and refines by bisection.
+    @raise Not_found if no compression occurs within [a_stop]. *)
+
+val iip3 :
+  ?a_probe:float ->
+  build:(float -> Rfkit_circuit.Mna.t) ->
+  node:string ->
+  f1:float ->
+  f2:float ->
+  unit ->
+  float
+(** Input-referred third-order intercept (volts amplitude, per tone): a
+    two-tone HB solve at small probe amplitude [a_probe] measures the
+    fundamental and the 2f2-f1 intermodulation product; the intercept
+    extrapolates at the textbook 1:3 slopes,
+    [A_IIP3 = a sqrt(A_fund / A_im3)]. *)
+
+val noise_figure :
+  Rfkit_circuit.Mna.t ->
+  source_resistor:string ->
+  node:string ->
+  freq:float ->
+  float
+(** Noise figure (dB) of a linear(ized) stage at [freq]: total output
+    noise over the part delivered by the named source resistor alone,
+    both through the AC noise analysis. *)

@@ -1,0 +1,202 @@
+open Rfkit_la
+open Rfkit_circuit
+
+exception No_convergence of string
+
+type linear_solver = Direct | Matrix_free_gmres
+
+type options = {
+  n1 : int;
+  n2 : int;
+  max_newton : int;
+  tol : float;
+  solver : linear_solver;
+  gmres_tol : float;
+}
+
+let default_options =
+  { n1 = 16; n2 = 32; max_newton = 50; tol = 1e-8; solver = Matrix_free_gmres; gmres_tol = 1e-10 }
+
+type result = {
+  circuit : Mna.t;
+  f1 : float;
+  f2 : float;
+  options : options;
+  grid : Vec.t;
+  newton_iters : int;
+  residual : float;
+}
+
+(* index helpers over the flattened grid *)
+let idx ~n2 ~n i1 i2 k = (((i1 * n2) + i2) * n) + k
+
+let point ~n2 ~n (x : Vec.t) i1 i2 =
+  Array.init n (fun k -> x.(idx ~n2 ~n i1 i2 k))
+
+let residual_vec c ~options ~t1s ~t2s ~h1 ~h2 ~f1 ~f2 (x : Vec.t) =
+  let { n1; n2; _ } = options in
+  let n = Mna.size c in
+  let r = Vec.create (n1 * n2 * n) in
+  (* precompute q at every grid point *)
+  let qs =
+    Array.init n1 (fun i1 ->
+        Array.init n2 (fun i2 -> Mna.eval_q c (point ~n2 ~n x i1 i2)))
+  in
+  for i1 = 0 to n1 - 1 do
+    for i2 = 0 to n2 - 1 do
+      let xp = point ~n2 ~n x i1 i2 in
+      let fv = Mna.eval_f c xp in
+      let bv = Mpde.eval_b2 c ~f1 ~f2 t1s.(i1) t2s.(i2) in
+      let q = qs.(i1).(i2) in
+      let qm1 = qs.((i1 + n1 - 1) mod n1).(i2) in
+      let qm2 = qs.(i1).((i2 + n2 - 1) mod n2) in
+      for k = 0 to n - 1 do
+        r.(idx ~n2 ~n i1 i2 k) <-
+          ((q.(k) -. qm1.(k)) /. h1)
+          +. ((q.(k) -. qm2.(k)) /. h2)
+          +. fv.(k) -. bv.(k)
+      done
+    done
+  done;
+  r
+
+(* Jacobian application: v -> J v using per-point C and G matrices *)
+let apply_jacobian ~options ~h1 ~h2 ~cs ~gs (v : Vec.t) =
+  let { n1; n2; _ } = options in
+  let n = (cs : Mat.t array array).(0).(0).Mat.rows in
+  let out = Vec.create (n1 * n2 * n) in
+  for i1 = 0 to n1 - 1 do
+    for i2 = 0 to n2 - 1 do
+      let vp = point ~n2 ~n v i1 i2 in
+      let cv = Mat.matvec cs.(i1).(i2) vp in
+      let gv = Mat.matvec gs.(i1).(i2) vp in
+      let im1 = (i1 + n1 - 1) mod n1 and im2 = (i2 + n2 - 1) mod n2 in
+      let cv1 = Mat.matvec cs.(im1).(i2) (point ~n2 ~n v im1 i2) in
+      let cv2 = Mat.matvec cs.(i1).(im2) (point ~n2 ~n v i1 im2) in
+      for k = 0 to n - 1 do
+        out.(idx ~n2 ~n i1 i2 k) <-
+          (cv.(k) *. ((1.0 /. h1) +. (1.0 /. h2)))
+          -. (cv1.(k) /. h1) -. (cv2.(k) /. h2)
+          +. gv.(k)
+      done
+    done
+  done;
+  out
+
+let solve ?(options = default_options) c ~f1 ~f2 =
+  let { n1; n2; _ } = options in
+  let n = Mna.size c in
+  let t1_per = 1.0 /. f1 and t2_per = 1.0 /. f2 in
+  let h1 = t1_per /. float_of_int n1 and h2 = t2_per /. float_of_int n2 in
+  let t1s = Array.init n1 (fun i -> float_of_int i *. h1) in
+  let t2s = Array.init n2 (fun i -> float_of_int i *. h2) in
+  (* initial guess: DC everywhere *)
+  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let x = Vec.create (n1 * n2 * n) in
+  for i1 = 0 to n1 - 1 do
+    for i2 = 0 to n2 - 1 do
+      for k = 0 to n - 1 do
+        x.(idx ~n2 ~n i1 i2 k) <- xdc.(k)
+      done
+    done
+  done;
+  let iters = ref 0 in
+  let res_norm = ref infinity in
+  let converged = ref false in
+  while (not !converged) && !iters < options.max_newton do
+    incr iters;
+    let r = residual_vec c ~options ~t1s ~t2s ~h1 ~h2 ~f1 ~f2 x in
+    res_norm := Vec.norm_inf r;
+    if !res_norm <= options.tol then converged := true
+    else begin
+      let cs =
+        Array.init n1 (fun i1 ->
+            Array.init n2 (fun i2 -> Mna.jac_c c (point ~n2 ~n x i1 i2)))
+      in
+      let gs =
+        Array.init n1 (fun i1 ->
+            Array.init n2 (fun i2 -> Mna.jac_g c (point ~n2 ~n x i1 i2)))
+      in
+      let dx =
+        match options.solver with
+        | Matrix_free_gmres ->
+            (* block-Jacobi preconditioner: per-point LU of the diagonal
+               block C (1/h1 + 1/h2) + G *)
+            let factors =
+              Array.init n1 (fun i1 ->
+                  Array.init n2 (fun i2 ->
+                      let blk =
+                        Mat.add
+                          (Mat.scale ((1.0 /. h1) +. (1.0 /. h2)) cs.(i1).(i2))
+                          gs.(i1).(i2)
+                      in
+                      try Lu.factor blk
+                      with Lu.Singular ->
+                        raise (No_convergence "singular MFDTD diagonal block")))
+            in
+            let precond v =
+              let out = Vec.create (n1 * n2 * n) in
+              for i1 = 0 to n1 - 1 do
+                for i2 = 0 to n2 - 1 do
+                  let sol = Lu.solve factors.(i1).(i2) (point ~n2 ~n v i1 i2) in
+                  for k = 0 to n - 1 do
+                    out.(idx ~n2 ~n i1 i2 k) <- sol.(k)
+                  done
+                done
+              done;
+              out
+            in
+            let op = apply_jacobian ~options ~h1 ~h2 ~cs ~gs in
+            let sol, st =
+              Krylov.gmres ~m:60 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+            in
+            if not st.Krylov.converged then
+              raise (No_convergence "MFDTD GMRES stalled");
+            sol
+        | Direct ->
+            let dim = n1 * n2 * n in
+            let j = Mat.make dim dim in
+            for i1 = 0 to n1 - 1 do
+              for i2 = 0 to n2 - 1 do
+                let im1 = (i1 + n1 - 1) mod n1 and im2 = (i2 + n2 - 1) mod n2 in
+                for kk = 0 to n - 1 do
+                  let row = idx ~n2 ~n i1 i2 kk in
+                  for jj = 0 to n - 1 do
+                    Mat.update j row (idx ~n2 ~n i1 i2 jj) (fun w ->
+                        w
+                        +. (Mat.get cs.(i1).(i2) kk jj *. ((1.0 /. h1) +. (1.0 /. h2)))
+                        +. Mat.get gs.(i1).(i2) kk jj);
+                    Mat.update j row (idx ~n2 ~n im1 i2 jj) (fun w ->
+                        w -. (Mat.get cs.(im1).(i2) kk jj /. h1));
+                    Mat.update j row (idx ~n2 ~n i1 im2 jj) (fun w ->
+                        w -. (Mat.get cs.(i1).(im2) kk jj /. h2))
+                  done
+                done
+              done
+            done;
+            (try Lu.solve (Lu.factor j) r
+             with Lu.Singular -> raise (No_convergence "singular MFDTD Jacobian"))
+      in
+      let step = Vec.norm_inf dx in
+      let scale = if step > 5.0 then 5.0 /. step else 1.0 in
+      Vec.axpy (-.scale) dx x
+    end
+  done;
+  if not !converged then
+    raise
+      (No_convergence
+         (Printf.sprintf "MFDTD Newton: residual %.3e after %d iters" !res_norm !iters));
+  { circuit = c; f1; f2; options; grid = x; newton_iters = !iters; residual = !res_norm }
+
+let node_grid res name =
+  let { n1; n2; _ } = res.options in
+  let n = Mna.size res.circuit in
+  let k = Mna.node res.circuit name in
+  Mat.init n1 n2 (fun i1 i2 -> res.grid.(idx ~n2 ~n i1 i2 k))
+
+let node_diagonal res name ~n =
+  let grid = node_grid res name in
+  let period1 = 1.0 /. res.f1 and period2 = 1.0 /. res.f2 in
+  Vec.init n (fun k ->
+      let t = period1 *. float_of_int k /. float_of_int n in
+      Mpde.diagonal ~period1 ~period2 grid t)

@@ -1,0 +1,167 @@
+open Rfkit_la
+open Rfkit_circuit
+
+let is_multiple f base =
+  if base <= 0.0 then false
+  else begin
+    let ratio = f /. base in
+    Float.abs (ratio -. Float.round ratio) < 1e-6 && ratio > 0.5
+  end
+
+let rec split_wave ~f1 ~f2 w =
+  match w with
+  | Wave.Dc _ | Wave.Pwl _ -> (w, Wave.Dc 0.0)
+  | Wave.Sine { freq; _ } | Wave.Square { freq; _ } | Wave.Pulse { freq; _ } ->
+      (* a tone commensurate with both fundamentals (e.g. the carrier when
+         f2 is an integer multiple of f1) belongs on the axis with the
+         larger base frequency -- fewer harmonics to represent it *)
+      let first, second, fw =
+        if f2 >= f1 then (f2, f1, fun w -> (Wave.Dc 0.0, w))
+        else (f1, f2, fun w -> (w, Wave.Dc 0.0))
+      in
+      if is_multiple freq first then fw w
+      else if is_multiple freq second then begin
+        if f2 >= f1 then (w, Wave.Dc 0.0) else (Wave.Dc 0.0, w)
+      end
+      else
+        invalid_arg
+          (Printf.sprintf "Mpde.split_wave: source frequency %g matches neither %g nor %g"
+             freq f1 f2)
+  | Wave.Sum ws ->
+      let parts = List.map (split_wave ~f1 ~f2) ws in
+      (Wave.Sum (List.map fst parts), Wave.Sum (List.map snd parts))
+
+let rec split_wave_multi ~tones w =
+  let d = Array.length tones in
+  let zeroes () = Array.make d (Wave.Dc 0.0) in
+  match w with
+  | Wave.Dc _ | Wave.Pwl _ ->
+      let out = zeroes () in
+      out.(0) <- w;
+      out
+  | Wave.Sine { freq; _ } | Wave.Square { freq; _ } | Wave.Pulse { freq; _ } ->
+      (* choose the largest fundamental that divides freq *)
+      let best = ref (-1) in
+      Array.iteri
+        (fun i f0 ->
+          if is_multiple freq f0 && (!best < 0 || f0 > tones.(!best)) then best := i)
+        tones;
+      if !best < 0 then
+        invalid_arg
+          (Printf.sprintf "Mpde.split_wave_multi: frequency %g matches no tone" freq);
+      let out = zeroes () in
+      out.(!best) <- w;
+      out
+  | Wave.Sum ws ->
+      let parts = List.map (split_wave_multi ~tones) ws in
+      Array.init d (fun i -> Wave.Sum (List.map (fun p -> p.(i)) parts))
+
+let eval_bn c ~tones ts =
+  if Array.length tones <> Array.length ts then invalid_arg "Mpde.eval_bn";
+  let nl = Mna.netlist c in
+  let n = Mna.size c in
+  let b = Vec.create n in
+  let add idx v = if idx >= 0 then b.(idx) <- b.(idx) +. v in
+  let value wave =
+    let parts = split_wave_multi ~tones wave in
+    let acc = ref 0.0 in
+    Array.iteri (fun i p -> acc := !acc +. Wave.eval p ts.(i)) parts;
+    !acc
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Device.Vsource { name; wave; _ } -> begin
+          match Mna.branch_index c name with
+          | Some bi -> b.(bi) <- b.(bi) +. value wave
+          | None -> ()
+        end
+      | Device.Isource { p; n = nn; wave; _ } ->
+          let i = value wave in
+          add p i;
+          add nn (-.i)
+      | _ -> ())
+    (Netlist.devices nl);
+  b
+
+let eval_b2 c ~f1 ~f2 t1 t2 =
+  let nl = Mna.netlist c in
+  let n = Mna.size c in
+  let b = Vec.create n in
+  let add idx v = if idx >= 0 then b.(idx) <- b.(idx) +. v in
+  List.iter
+    (fun d ->
+      match d with
+      | Device.Vsource { name; wave; _ } ->
+          let slow, fast = split_wave ~f1 ~f2 wave in
+          let v = Wave.eval slow t1 +. Wave.eval fast t2 in
+          (match Mna.branch_index c name with
+          | Some bi -> b.(bi) <- b.(bi) +. v
+          | None -> ())
+      | Device.Isource { p; n = nn; wave; _ } ->
+          let slow, fast = split_wave ~f1 ~f2 wave in
+          let i = Wave.eval slow t1 +. Wave.eval fast t2 in
+          add p i;
+          add nn (-.i)
+      | _ -> ())
+    (Netlist.devices nl);
+  b
+
+let diagonal ~period1 ~period2 (grid : Mat.t) t =
+  let n1 = grid.Mat.rows and n2 = grid.Mat.cols in
+  let wrap x p = x -. (p *. Float.floor (x /. p)) in
+  let u1 = wrap t period1 /. period1 *. float_of_int n1 in
+  let u2 = wrap t period2 /. period2 *. float_of_int n2 in
+  let i1 = int_of_float (Float.floor u1) mod n1 in
+  let i2 = int_of_float (Float.floor u2) mod n2 in
+  let a1 = u1 -. Float.floor u1 and a2 = u2 -. Float.floor u2 in
+  let j1 = (i1 + 1) mod n1 and j2 = (i2 + 1) mod n2 in
+  let g = Mat.get grid in
+  ((1.0 -. a1) *. (1.0 -. a2) *. g i1 i2)
+  +. (a1 *. (1.0 -. a2) *. g j1 i2)
+  +. ((1.0 -. a1) *. a2 *. g i1 j2)
+  +. (a1 *. a2 *. g j1 j2)
+
+module Cost = struct
+  type t = {
+    separation : float;
+    univariate_samples : int;
+    bivariate_samples : int;
+  }
+
+  let compare_representations ?(samples_per_pulse = 20) ?(n1 = 32) ~separation () =
+    if separation < 1.0 then invalid_arg "Mpde.Cost: separation must be >= 1";
+    (* slow period T1 = separation * T2; resolving each fast pulse over the
+       common period needs separation * samples_per_pulse points *)
+    let univariate = int_of_float (Float.round (separation *. float_of_int samples_per_pulse)) in
+    let n2 = samples_per_pulse in
+    { separation; univariate_samples = univariate; bivariate_samples = n1 * n2 }
+
+  (* the paper's example: y(t) = sin(2 pi t) * pulse(t / T2) *)
+  let example_pulse ~rise u =
+    let u = u -. Float.floor u in
+    if u < rise then u /. rise
+    else if u < 0.5 then 1.0
+    else if u < 0.5 +. rise then 1.0 -. ((u -. 0.5) /. rise)
+    else 0.0
+
+  let bivariate_reconstruction_error ~n1 ~n2 ~separation ~rise =
+    let period1 = separation and period2 = 1.0 in
+    let grid =
+      Mat.init n1 n2 (fun i1 i2 ->
+          let t1 = period1 *. float_of_int i1 /. float_of_int n1 in
+          let t2 = period2 *. float_of_int i2 /. float_of_int n2 in
+          sin (2.0 *. Float.pi *. t1 /. period1) *. example_pulse ~rise (t2 /. period2))
+    in
+    let exact t =
+      sin (2.0 *. Float.pi *. t /. period1) *. example_pulse ~rise (t /. period2)
+    in
+    let probes = 1999 in
+    let err = ref 0.0 in
+    for k = 0 to probes - 1 do
+      let t = period1 *. float_of_int k /. float_of_int probes in
+      let approx = diagonal ~period1 ~period2 grid t in
+      err := Float.max !err (Float.abs (approx -. exact t))
+    done;
+    !err
+end

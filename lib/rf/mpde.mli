@@ -1,0 +1,53 @@
+(** Multi-rate PDE (MPDE) utilities: bivariate signal representation.
+
+    The MPDE reformulation (paper eq. 4) replaces the circuit DAE by
+
+    {v dq(x^)/dt1 + dq(x^)/dt2 + f(x^) = b^(t1, t2) v}
+
+    with every waveform in bivariate form [x^(t1, t2)], periodic in each
+    argument; the physical solution is the diagonal [x(t) = x^(t, t)].
+    This module provides the source-splitting that builds [b^] from a
+    netlist's one-dimensional sources, diagonal extraction, and the
+    sample-count accounting behind the paper's Figs 2-3. *)
+
+val split_wave : f1:float -> f2:float -> Rfkit_circuit.Wave.t -> Rfkit_circuit.Wave.t * Rfkit_circuit.Wave.t
+(** Partition a source into (slow, fast) parts: spectral components that
+    are (near-)integer multiples of [f1] go on axis 1, multiples of [f2]
+    on axis 2; DC and aperiodic parts ride on axis 1.
+    @raise Invalid_argument for a component aligned with neither axis. *)
+
+val eval_b2 : Rfkit_circuit.Mna.t -> f1:float -> f2:float -> float -> float -> Rfkit_la.Vec.t
+(** [eval_b2 c ~f1 ~f2 t1 t2] is the bivariate excitation
+    [b^(t1, t2)]. Satisfies [b^(t, t) = b(t)]. *)
+
+val split_wave_multi : tones:float array -> Rfkit_circuit.Wave.t -> Rfkit_circuit.Wave.t array
+(** Generalization of {!split_wave} to any number of axes: each spectral
+    component is assigned to the axis with the largest fundamental that
+    divides its frequency; DC and aperiodic parts ride on axis 0. *)
+
+val eval_bn : Rfkit_circuit.Mna.t -> tones:float array -> float array -> Rfkit_la.Vec.t
+(** Multivariate excitation [b^(t_1, ..., t_d)] for the n-tone MPDE;
+    satisfies [b^(t, ..., t) = b(t)]. *)
+
+val diagonal : period1:float -> period2:float -> Rfkit_la.Mat.t -> float -> float
+(** [diagonal ~period1 ~period2 grid t] evaluates the diagonal
+    [y^(t, t)] of a bivariate sample grid ([n1] rows x [n2] cols) by
+    bilinear periodic interpolation. *)
+
+(** Figs 2-3: cost accounting for representing
+    [y(t) = sin(2 pi t / period1) * pulse(t / period2)]. *)
+module Cost : sig
+  type t = {
+    separation : float;       (** T1 / T2 *)
+    univariate_samples : int; (** samples to cover the common period with
+                                  [samples_per_pulse] points per pulse *)
+    bivariate_samples : int;  (** n1 * n2, independent of separation *)
+  }
+
+  val compare_representations : ?samples_per_pulse:int -> ?n1:int -> separation:float -> unit -> t
+
+  val bivariate_reconstruction_error :
+    n1:int -> n2:int -> separation:float -> rise:float -> float
+  (** Max |y(t) - interpolated y^(t,t)| over a dense probe of the common
+      period, for the paper's example waveform. *)
+end

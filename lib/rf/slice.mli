@@ -1,0 +1,41 @@
+(** Fast-axis slice solver shared by hierarchical shooting and the
+    time-domain envelope method.
+
+    A "slice" is the fast-time problem obtained from the MPDE after
+    discretizing d/dt1 by backward differences at one slow-time point:
+
+    {v dq(x)/dt2 + (q(x) - q_ref(t2)) / h1 + f(x) = b(t2) v}
+
+    where [q_ref] comes from the neighbouring slow-time slice. With
+    [h1 = infinity] (no coupling) this reduces to an ordinary forced
+    periodic problem. Solved by backward-Euler shooting with monodromy. *)
+
+exception No_convergence of string
+
+type coupling = { h1 : float; q_ref : Rfkit_la.Vec.t array }
+(** [q_ref.(k)] is the reference charge at fast step [k] (length = steps). *)
+
+val integrate :
+  ?coupling:coupling ->
+  Rfkit_circuit.Mna.t ->
+  b:(float -> Rfkit_la.Vec.t) ->
+  period2:float ->
+  steps:int ->
+  y0:Rfkit_la.Vec.t ->
+  with_monodromy:bool ->
+  Rfkit_la.Mat.t * Rfkit_la.Mat.t
+(** One fast period from [y0]: [(trajectory (steps+1) x n, monodromy)].
+    The monodromy matrix is empty when [with_monodromy] is false. *)
+
+val solve_periodic :
+  ?max_newton:int ->
+  ?tol:float ->
+  ?coupling:coupling ->
+  Rfkit_circuit.Mna.t ->
+  b:(float -> Rfkit_la.Vec.t) ->
+  period2:float ->
+  steps:int ->
+  y0:Rfkit_la.Vec.t ->
+  Rfkit_la.Mat.t
+(** Periodic solution of the slice: trajectory of [steps] samples (the
+    endpoint equals the start). [y0] seeds the shooting Newton. *)

@@ -1,0 +1,77 @@
+open Rfkit_la
+
+type line = { freq : float; amplitude : float }
+
+let dbc ~carrier a = Stats.db20 (a /. carrier)
+
+let of_samples ~period samples =
+  let n = Array.length samples in
+  let mags = Fft.magnitude_spectrum samples in
+  Array.to_list
+    (Array.mapi (fun k a -> { freq = float_of_int k /. period; amplitude = a }) mags)
+  |> List.filteri (fun k _ -> k <= n / 2)
+
+let of_transient ~times ~values ~window ~n_fft =
+  let m = Array.length times in
+  if m < 2 then invalid_arg "Spectrum.of_transient: too few points";
+  let t_end = times.(m - 1) in
+  let t_start = t_end -. window in
+  (* uniform resampling of the trailing window *)
+  let resampled =
+    Vec.init n_fft (fun k ->
+        let t = t_start +. (window *. float_of_int k /. float_of_int n_fft) in
+        Interp.linear times values t)
+  in
+  (* Hann window, compensated for coherent gain 0.5 *)
+  let windowed =
+    Array.mapi
+      (fun k v ->
+        let w =
+          0.5 *. (1.0 -. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n_fft))
+        in
+        2.0 *. w *. v)
+      resampled
+  in
+  let mags = Fft.magnitude_spectrum windowed in
+  Array.to_list
+    (Array.mapi (fun k a -> { freq = float_of_int k /. window; amplitude = a }) mags)
+
+let demodulate ~times ~values ~freq ~window =
+  let m = Array.length times in
+  if m < 2 then invalid_arg "Spectrum.demodulate: too few points";
+  let t_end = times.(m - 1) in
+  let t_start = t_end -. window in
+  let n = 4096 in
+  let acc = ref Cx.zero in
+  for k = 0 to n - 1 do
+    let t = t_start +. (window *. float_of_int k /. float_of_int n) in
+    let v = Interp.linear times values t in
+    acc := Cx.( +: ) !acc (Cx.scale v (Cx.expi (-2.0 *. Float.pi *. freq *. t)))
+  done;
+  2.0 *. Cx.abs (Cx.scale (1.0 /. float_of_int n) !acc)
+
+let noise_floor lines ~exclude ~tol =
+  let keep =
+    List.filter
+      (fun { freq; _ } ->
+        not
+          (List.exists
+             (fun f -> Float.abs (freq -. f) <= tol *. Float.max 1.0 (Float.abs f))
+             exclude))
+      lines
+  in
+  let amps = List.map (fun l -> l.amplitude) keep |> List.sort compare in
+  match amps with
+  | [] -> 0.0
+  | _ ->
+      let arr = Array.of_list amps in
+      arr.(Array.length arr / 2)
+
+let nearest lines f =
+  match lines with
+  | [] -> invalid_arg "Spectrum.nearest: empty"
+  | first :: rest ->
+      List.fold_left
+        (fun best l ->
+          if Float.abs (l.freq -. f) < Float.abs (best.freq -. f) then l else best)
+        first rest

@@ -1,0 +1,33 @@
+(** Spectrum post-processing shared by the steady-state engines and the
+    transient baseline: dBc bookkeeping and windowed FFT estimation of
+    transient spectra (the dynamic-range comparison of Section 2.1). *)
+
+type line = { freq : float; amplitude : float }
+
+val dbc : carrier:float -> float -> float
+(** [dbc ~carrier a] is [20 log10 (a / carrier)]. *)
+
+val of_samples : period:float -> Rfkit_la.Vec.t -> line list
+(** Harmonic lines of one steady-state period of samples. *)
+
+val of_transient :
+  times:float array -> values:float array -> window:float -> n_fft:int -> line list
+(** Spectrum estimate from the trailing [window] seconds of a transient
+    waveform: uniform resampling, Hann window, FFT. Bin frequencies are
+    [k / window]. This path has the limited numerical dynamic range the
+    paper attributes to transient analysis. *)
+
+val demodulate :
+  times:float array -> values:float array -> freq:float -> window:float -> float
+(** Leakage-free single-line estimate: amplitude [2 |c|] of the complex
+    average [c = (1/W) int v(t) e^{-j 2 pi f t} dt] over the trailing
+    [window] seconds (choose the window as an integer number of periods of
+    every tone present). *)
+
+val noise_floor : line list -> exclude:float list -> tol:float -> float
+(** Median amplitude of lines not within [tol] (relative) of any excluded
+    frequency — an estimate of the numerical noise floor. *)
+
+val nearest : line list -> float -> line
+(** The line closest in frequency.
+    @raise Invalid_argument on an empty list. *)

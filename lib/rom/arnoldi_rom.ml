@@ -1,0 +1,48 @@
+open Rfkit_la
+
+type rom = { h : Mat.t; lv : Vec.t; beta : float; s0 : float; order : int }
+
+let reduce (d : Descriptor.t) ~s0 ~q =
+  let matvec, _, r = Descriptor.expansion_ops d ~s0 in
+  let res = Arnoldi.run ~matvec ~start:r ~steps:q in
+  let order = res.Arnoldi.steps in
+  let lv = Vec.init order (fun k -> Vec.dot d.Descriptor.l res.Arnoldi.v.(k)) in
+  { h = res.Arnoldi.h; lv; beta = res.Arnoldi.start_norm; s0; order }
+
+let transfer rom s =
+  let q = rom.order in
+  if q = 0 then Cx.zero
+  else begin
+    let sigma = Cx.( -: ) s (Cx.re rom.s0) in
+    let a =
+      Cmat.init q q (fun i j ->
+          let hij = Cx.scale (Mat.get rom.h i j) sigma in
+          if i = j then Cx.( -: ) Cx.one hij else Cx.neg hij)
+    in
+    let e1 = Cvec.create q in
+    e1.(0) <- Cx.re rom.beta;
+    let y = Clu.lin_solve a e1 in
+    Cvec.dot_u (Cvec.of_real rom.lv) y
+  end
+
+let moments rom k =
+  let q = rom.order in
+  let m = Array.make k 0.0 in
+  if q > 0 then begin
+    let v = Vec.create q in
+    v.(0) <- rom.beta;
+    let cur = ref v in
+    for j = 0 to k - 1 do
+      m.(j) <- Vec.dot rom.lv !cur;
+      if j < k - 1 then cur := Mat.matvec rom.h !cur
+    done
+  end;
+  m
+
+let poles rom =
+  let ev = Eig.eigenvalues rom.h in
+  Array.to_list ev
+  |> List.filter_map (fun lambda ->
+         if Cx.abs lambda < 1e-12 then None
+         else Some (Cx.( +: ) (Cx.re rom.s0) (Cx.inv lambda)))
+  |> Array.of_list

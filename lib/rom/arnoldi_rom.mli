@@ -1,0 +1,20 @@
+(** Arnoldi-projection reduced-order model [2, 6, 34].
+
+    Orthonormal Krylov basis of [K_q(A, r)]; the Galerkin-projected model
+    matches {b q} moments — half of PVL's 2q for the same subspace
+    dimension, which is exactly the comparison the paper draws — but the
+    orthonormal basis is numerically gentler and (in PRIMA-style congruence
+    form) preserves passivity for RC networks. *)
+
+type rom = {
+  h : Rfkit_la.Mat.t;        (** projected Hessenberg matrix, q x q *)
+  lv : Rfkit_la.Vec.t;       (** l^T V, length q *)
+  beta : float;              (** ||r|| *)
+  s0 : float;
+  order : int;
+}
+
+val reduce : Descriptor.t -> s0:float -> q:int -> rom
+val transfer : rom -> Rfkit_la.Cx.t -> Rfkit_la.Cx.t
+val moments : rom -> int -> float array
+val poles : rom -> Rfkit_la.Cx.t array

@@ -1,0 +1,43 @@
+open Rfkit_la
+
+let hankel d ~s0 ~q =
+  let m = Descriptor.moments d ~s0 ~k:(2 * q) in
+  Mat.init q q (fun i j -> m.(i + j))
+
+let hankel_rcond d ~s0 ~q =
+  let h = hankel d ~s0 ~q in
+  match Lu.factor h with
+  | f -> Lu.rcond_estimate h f
+  | exception Lu.Singular -> 0.0
+
+(* Pade [q-1/q]: denominator 1 + a1 sigma + ... + aq sigma^q satisfies the
+   linear system sum_j a_j m_{k+q-j} = -m_{k+q}, k = 0..q-1 *)
+let pade_denominator d ~s0 ~q =
+  let m = Descriptor.moments d ~s0 ~k:(2 * q) in
+  let a = Mat.init q q (fun k j -> m.(k + q - 1 - j)) in
+  let rhs = Vec.init q (fun k -> -.m.(k + q)) in
+  match Lu.factor a with
+  | f -> Lu.solve f rhs
+  | exception Lu.Singular -> Vec.create q
+
+let poles d ~s0 ~q =
+  let den = pade_denominator d ~s0 ~q in
+  (* denominator D(sigma) = 1 + a1 sigma + ... + aq sigma^q; roots via the
+     companion matrix of the reversed polynomial *)
+  let aq = den.(q - 1) in
+  if Float.abs aq < 1e-300 then [||]
+  else begin
+    (* monic form: sigma^q + (a_{q-1}/a_q) sigma^{q-1} + ... + 1/a_q *)
+    let companion =
+      Mat.init q q (fun i j ->
+          if i = 0 then begin
+            let coeff = if j = q - 1 then 1.0 else den.(q - 2 - j) in
+            -.coeff /. aq
+          end
+          else if i = j + 1 then 1.0
+          else 0.0)
+    in
+    let sigma_roots = Eig.eigenvalues companion in
+    (* D(sigma) = 0 at the pole offsets themselves: s = s0 + sigma *)
+    Array.map (fun sg -> Cx.( +: ) (Cx.re s0) sg) sigma_roots
+  end

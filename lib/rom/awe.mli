@@ -1,0 +1,19 @@
+(** Explicit moment matching (AWE, [35, 36]) — kept as the cautionary
+    baseline: the paper notes that "the direct computation of Pade
+    approximations is numerically unstable", which is why PVL exists.
+
+    The Hankel matrix of high-order moments becomes catastrophically
+    ill-conditioned because [A^k r] aligns with the dominant eigenvector;
+    {!hankel_rcond} quantifies the collapse. *)
+
+val hankel_rcond : Descriptor.t -> s0:float -> q:int -> float
+(** Reciprocal condition of the q x q moment Hankel matrix [m_{i+j}];
+    drops toward machine epsilon within a handful of moments. *)
+
+val pade_denominator : Descriptor.t -> s0:float -> q:int -> Rfkit_la.Vec.t
+(** Denominator coefficients of the [q-1/q] Pade approximant from the
+    Hankel solve (the numerically fragile path). *)
+
+val poles : Descriptor.t -> s0:float -> q:int -> Rfkit_la.Cx.t array
+(** Poles from the companion matrix of the explicit Pade denominator;
+    compare against {!Pvl.poles} to see the instability. *)

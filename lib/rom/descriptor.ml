@@ -1,0 +1,126 @@
+open Rfkit_la
+open Rfkit_circuit
+
+type t = { g : Mat.t; c : Mat.t; b : Vec.t; l : Vec.t }
+
+let of_circuit_b circuit ~b ~output =
+  if not (Mna.is_linear circuit) then
+    invalid_arg "Descriptor.of_circuit: circuit contains nonlinear devices";
+  let g, c = Mna.linear_gc circuit in
+  let l = Vec.create (Mna.size circuit) in
+  l.(Mna.node circuit output) <- 1.0;
+  { g; c; b; l }
+
+let of_circuit circuit ~input ~output =
+  of_circuit_b circuit ~b:(Mna.source_pattern circuit input) ~output
+
+let size d = Array.length d.b
+
+let transfer d s =
+  let n = size d in
+  let a =
+    Cmat.init n n (fun i j ->
+        Cx.( +: ) (Cx.re (Mat.get d.g i j)) (Cx.( *: ) s (Cx.re (Mat.get d.c i j))))
+  in
+  let x = Clu.lin_solve a (Cvec.of_real d.b) in
+  Cvec.dot_u (Cvec.of_real d.l) x
+
+(* factor (G + s0 C) once; A v = -(G + s0 C)^-1 C v *)
+let expansion_ops d ~s0 =
+  let shifted = Mat.add d.g (Mat.scale s0 d.c) in
+  let f = Lu.factor shifted in
+  let matvec v = Vec.neg (Lu.solve f (Mat.matvec d.c v)) in
+  let matvec_t v = Vec.neg (Mat.matvec_t d.c (Lu.solve_transposed f v)) in
+  let r = Lu.solve f d.b in
+  (matvec, matvec_t, r)
+
+let moments d ~s0 ~k =
+  let matvec, _, r = expansion_ops d ~s0 in
+  let m = Array.make k 0.0 in
+  let v = ref (Vec.copy r) in
+  for j = 0 to k - 1 do
+    m.(j) <- Vec.dot d.l !v;
+    if j < k - 1 then v := matvec !v
+  done;
+  m
+
+let rc_line ~sections ~r_total ~c_total =
+  let nl = Netlist.create () in
+  let r_seg = r_total /. float_of_int sections in
+  let c_seg = c_total /. float_of_int sections in
+  Netlist.vsource nl "VIN" "n0" "0" (Wave.Dc 0.0);
+  for k = 1 to sections do
+    Netlist.resistor nl
+      (Printf.sprintf "R%d" k)
+      (Printf.sprintf "n%d" (k - 1))
+      (Printf.sprintf "n%d" k)
+      r_seg;
+    Netlist.capacitor nl (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0" c_seg
+  done;
+  let c = Mna.build nl in
+  of_circuit c ~input:"VIN" ~output:(Printf.sprintf "n%d" sections)
+
+let rc_line_i ~sections ~r_total ~c_total =
+  let nl = Netlist.create () in
+  let r_seg = r_total /. float_of_int sections in
+  let c_seg = c_total /. float_of_int sections in
+  Netlist.isource nl "IIN" "n1" "0" (Wave.Dc 0.0);
+  Netlist.capacitor nl "C0" "n1" "0" c_seg;
+  for k = 2 to sections do
+    Netlist.resistor nl
+      (Printf.sprintf "R%d" k)
+      (Printf.sprintf "n%d" (k - 1))
+      (Printf.sprintf "n%d" k)
+      r_seg;
+    Netlist.capacitor nl (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0" c_seg
+  done;
+  (* load keeps G nonsingular at DC *)
+  Netlist.resistor nl "RLOAD" (Printf.sprintf "n%d" sections) "0" (10.0 *. r_total);
+  let c = Mna.build nl in
+  of_circuit c ~input:"IIN" ~output:(Printf.sprintf "n%d" sections)
+
+let rlc_line_i ~sections ~r_total ~l_total ~c_total =
+  let nl = Netlist.create () in
+  let r_seg = r_total /. float_of_int sections in
+  let l_seg = l_total /. float_of_int sections in
+  let c_seg = c_total /. float_of_int sections in
+  Netlist.isource nl "IIN" "n1" "0" (Wave.Dc 0.0);
+  Netlist.capacitor nl "C0" "n1" "0" c_seg;
+  for k = 2 to sections do
+    Netlist.resistor nl
+      (Printf.sprintf "R%d" k)
+      (Printf.sprintf "n%d" (k - 1))
+      (Printf.sprintf "m%d" k)
+      r_seg;
+    Netlist.inductor nl
+      (Printf.sprintf "L%d" k)
+      (Printf.sprintf "m%d" k)
+      (Printf.sprintf "n%d" k)
+      l_seg;
+    Netlist.capacitor nl (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0" c_seg
+  done;
+  Netlist.resistor nl "RLOAD" (Printf.sprintf "n%d" sections) "0" (10.0 *. r_total);
+  let c = Mna.build nl in
+  of_circuit c ~input:"IIN" ~output:(Printf.sprintf "n%d" sections)
+
+let rlc_line ~sections ~r_total ~l_total ~c_total =
+  let nl = Netlist.create () in
+  let r_seg = r_total /. float_of_int sections in
+  let l_seg = l_total /. float_of_int sections in
+  let c_seg = c_total /. float_of_int sections in
+  Netlist.vsource nl "VIN" "n0" "0" (Wave.Dc 0.0);
+  for k = 1 to sections do
+    Netlist.resistor nl
+      (Printf.sprintf "R%d" k)
+      (Printf.sprintf "n%d" (k - 1))
+      (Printf.sprintf "m%d" k)
+      r_seg;
+    Netlist.inductor nl
+      (Printf.sprintf "L%d" k)
+      (Printf.sprintf "m%d" k)
+      (Printf.sprintf "n%d" k)
+      l_seg;
+    Netlist.capacitor nl (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0" c_seg
+  done;
+  let c = Mna.build nl in
+  of_circuit c ~input:"VIN" ~output:(Printf.sprintf "n%d" sections)

@@ -1,0 +1,71 @@
+open Rfkit_la
+
+type pole_residue = { poles : Cx.t array; residues : Cx.t array }
+
+(* Pole-residue extraction: poles from the reduced eigenvalues, residues
+   by sampling the reduced transfer function on a tiny circle around each
+   pole: res_i ~ (s - p_i) H(s). Averaging four points on the circle
+   cancels the regular part to second order, which is far more robust
+   than eigenvector pairing for close or complex-paired eigenvalues. *)
+let of_pvl (rom : Pvl.rom) =
+  let t = rom.Pvl.t in
+  let lambdas = Eig.eigenvalues t in
+  let pole_list =
+    Array.to_list lambdas
+    |> List.filter_map (fun lambda ->
+           if Cx.abs lambda < 1e-12 then None
+           else Some (Cx.( +: ) (Cx.re rom.Pvl.s0) (Cx.inv lambda)))
+  in
+  let scale =
+    List.fold_left (fun m p -> Float.max m (Cx.abs p)) 1.0 pole_list
+  in
+  let min_sep p =
+    List.fold_left
+      (fun acc p' ->
+        let d = Cx.abs (Cx.( -: ) p p') in
+        if d > 1e-12 *. scale then Float.min acc d else acc)
+      scale pole_list
+  in
+  let residues =
+    List.map
+      (fun p ->
+        let delta = 1e-3 *. Float.min (min_sep p) (0.1 *. scale) in
+        let acc = ref Cx.zero in
+        for k = 0 to 3 do
+          let dir = Cx.expi (Float.pi /. 4.0 *. float_of_int ((2 * k) + 1)) in
+          let s = Cx.( +: ) p (Cx.scale delta dir) in
+          let h = Pvl.transfer rom s in
+          acc := Cx.( +: ) !acc (Cx.( *: ) (Cx.( -: ) s p) h)
+        done;
+        Cx.scale 0.25 !acc)
+      pole_list
+  in
+  { poles = Array.of_list pole_list; residues = Array.of_list residues }
+
+let transfer pr s =
+  let acc = ref Cx.zero in
+  Array.iteri
+    (fun i pole -> acc := Cx.( +: ) !acc (Cx.( /: ) pr.residues.(i) (Cx.( -: ) s pole)))
+    pr.poles;
+  !acc
+
+let pole_scale pr =
+  Array.fold_left (fun m p -> Float.max m (Cx.abs p)) 1.0 pr.poles
+
+let is_stable pr =
+  let tol = 1e-9 *. pole_scale pr in
+  Array.for_all (fun (p : Cx.t) -> p.Cx.re <= tol) pr.poles
+
+let unstable_poles pr =
+  let tol = 1e-9 *. pole_scale pr in
+  Array.to_list pr.poles |> List.filter (fun (p : Cx.t) -> p.Cx.re > tol)
+
+let enforce_stability pr =
+  let tol = 1e-9 *. pole_scale pr in
+  {
+    pr with
+    poles =
+      Array.map
+        (fun (p : Cx.t) -> if p.Cx.re > tol then { p with Cx.re = -.p.Cx.re } else p)
+        pr.poles;
+  }

@@ -1,0 +1,25 @@
+(** Stability/passivity post-processing of reduced models.
+
+    The paper: "in certain cases, Lanczos-based methods may produce
+    non-passive reduced-order models of passive linear systems. In these
+    cases post-processing is required." We work on the pole-residue form:
+    unstable (right-half-plane) poles of a model of a known-passive block
+    are spurious and get reflected into the left half plane. *)
+
+type pole_residue = { poles : Rfkit_la.Cx.t array; residues : Rfkit_la.Cx.t array }
+
+val of_pvl : Pvl.rom -> pole_residue
+(** Eigen-decompose the reduced tridiagonal into pole-residue form (the
+    direct term is dropped; adequate for strictly proper transfers). *)
+
+val transfer : pole_residue -> Rfkit_la.Cx.t -> Rfkit_la.Cx.t
+
+val is_stable : pole_residue -> bool
+(** All poles strictly in the left half plane (tiny positive real parts
+    within roundoff of the imaginary axis are tolerated). *)
+
+val unstable_poles : pole_residue -> Rfkit_la.Cx.t list
+
+val enforce_stability : pole_residue -> pole_residue
+(** Reflect RHP poles through the imaginary axis, keeping residues — the
+    standard flip post-processing. *)

@@ -1,0 +1,57 @@
+open Rfkit_la
+
+type rom = {
+  g_r : Mat.t;
+  c_r : Mat.t;
+  b_r : Vec.t;
+  l_r : Vec.t;
+  order : int;
+}
+
+let reduce (d : Descriptor.t) ~s0 ~q =
+  let matvec, _, r = Descriptor.expansion_ops d ~s0 in
+  let res = Arnoldi.run ~matvec ~start:r ~steps:q in
+  let order = res.Arnoldi.steps in
+  let v = res.Arnoldi.v in
+  let project_mat m =
+    Mat.init order order (fun i j -> Vec.dot v.(i) (Mat.matvec m v.(j)))
+  in
+  {
+    g_r = project_mat d.Descriptor.g;
+    c_r = project_mat d.Descriptor.c;
+    b_r = Vec.init order (fun i -> Vec.dot v.(i) d.Descriptor.b);
+    l_r = Vec.init order (fun i -> Vec.dot v.(i) d.Descriptor.l);
+    order;
+  }
+
+let transfer rom s =
+  let q = rom.order in
+  if q = 0 then Cx.zero
+  else begin
+    let a =
+      Cmat.init q q (fun i j ->
+          Cx.( +: )
+            (Cx.re (Mat.get rom.g_r i j))
+            (Cx.( *: ) s (Cx.re (Mat.get rom.c_r i j))))
+    in
+    let x = Clu.lin_solve a (Cvec.of_real rom.b_r) in
+    Cvec.dot_u (Cvec.of_real rom.l_r) x
+  end
+
+let moments rom ~s0 k =
+  let d =
+    { Descriptor.g = rom.g_r; c = rom.c_r; b = rom.b_r; l = rom.l_r }
+  in
+  Descriptor.moments d ~s0 ~k
+
+let poles rom =
+  (* det(G + s C) = 0  <=>  s = -1/mu for nonzero mu in eig(G^-1 C) *)
+  match Lu.factor rom.g_r with
+  | exception Lu.Singular -> [||]
+  | f ->
+      let ginv_c = Lu.solve_mat f rom.c_r in
+      Eig.eigenvalues ginv_c
+      |> Array.to_list
+      |> List.filter_map (fun mu ->
+             if Cx.abs mu < 1e-14 then None else Some (Cx.neg (Cx.inv mu)))
+      |> Array.of_list

@@ -1,0 +1,29 @@
+(** PRIMA-style congruence-transform reduction ([34], [42] in the paper).
+
+    Same Krylov subspace as {!Arnoldi_rom}, but instead of projecting the
+    expansion operator, the orthonormal basis [V] is applied to the
+    descriptor matrices themselves:
+
+    {v G~ = V^T G V,  C~ = V^T C V,  b~ = V^T b,  l~ = V^T l v}
+
+    Congruence preserves definiteness, so for passive RC/RLC blocks the
+    reduced model is passive by construction — the remedy the paper points
+    to for Lanczos-based methods that "may produce non-passive
+    reduced-order models of passive linear systems". Matches q moments
+    (like Arnoldi, half of PVL's 2q). *)
+
+type rom = {
+  g_r : Rfkit_la.Mat.t;
+  c_r : Rfkit_la.Mat.t;
+  b_r : Rfkit_la.Vec.t;
+  l_r : Rfkit_la.Vec.t;
+  order : int;
+}
+
+val reduce : Descriptor.t -> s0:float -> q:int -> rom
+val transfer : rom -> Rfkit_la.Cx.t -> Rfkit_la.Cx.t
+val moments : rom -> s0:float -> int -> float array
+(** Moments of the reduced descriptor at [s0] (for the matching check). *)
+
+val poles : rom -> Rfkit_la.Cx.t array
+(** Roots of [det(G~ + s C~)] via the generalized eigenproblem. *)

@@ -1,0 +1,47 @@
+open Rfkit_la
+
+type rom = { t : Mat.t; kappa : float; s0 : float; order : int }
+
+let reduce (d : Descriptor.t) ~s0 ~q =
+  let matvec, matvec_t, r = Descriptor.expansion_ops d ~s0 in
+  let res = Lanczos.run ~matvec ~matvec_t ~r ~l:d.Descriptor.l ~steps:q in
+  let t = Lanczos.projected ~matvec res in
+  let kappa = res.Lanczos.scale *. Lanczos.d1 res in
+  { t; kappa; s0; order = res.Lanczos.steps }
+
+let transfer rom s =
+  let q = rom.order in
+  if q = 0 then Cx.zero
+  else begin
+    let sigma = Cx.( -: ) s (Cx.re rom.s0) in
+    (* (I - sigma T) y = e1 *)
+    let a =
+      Cmat.init q q (fun i j ->
+          let tij = Cx.scale (Mat.get rom.t i j) sigma in
+          if i = j then Cx.( -: ) Cx.one tij else Cx.neg tij)
+    in
+    let e1 = Cvec.create q in
+    e1.(0) <- Cx.one;
+    let y = Clu.lin_solve a e1 in
+    Cx.scale rom.kappa y.(0)
+  end
+
+let moments rom k =
+  let q = rom.order in
+  let e1 = Vec.create q in
+  if q > 0 then e1.(0) <- 1.0;
+  let m = Array.make k 0.0 in
+  let v = ref (Vec.copy e1) in
+  for j = 0 to k - 1 do
+    m.(j) <- (if q = 0 then 0.0 else rom.kappa *. Vec.dot e1 !v);
+    if j < k - 1 && q > 0 then v := Mat.matvec rom.t !v
+  done;
+  m
+
+let poles rom =
+  let ev = Eig.eigenvalues rom.t in
+  Array.to_list ev
+  |> List.filter_map (fun lambda ->
+         if Cx.abs lambda < 1e-12 then None
+         else Some (Cx.( +: ) (Cx.re rom.s0) (Cx.inv lambda)))
+  |> Array.of_list

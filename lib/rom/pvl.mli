@@ -1,0 +1,30 @@
+(** Padé via Lanczos (PVL) reduced-order modeling [8, 9].
+
+    Runs two-sided Lanczos on the expansion operator
+    [A = -(G + s0 C)^{-1} C] with right start [r = (G + s0 C)^{-1} b] and
+    left start [l]; the order-q reduced model
+
+    {v H_q(s0 + sigma) = kappa e1^T (I - sigma T_q)^{-1} e1 v}
+
+    matches the first {b 2q} moments of the exact transfer function — the
+    paper's headline advantage over Arnoldi-based reduction (q moments for
+    the same work), with none of the numerical instability of explicit
+    moment matching (AWE). *)
+
+type rom = {
+  t : Rfkit_la.Mat.t;   (** projected matrix, q x q *)
+  kappa : float;        (** moment scaling: scale * d1 *)
+  s0 : float;
+  order : int;          (** q actually completed (breakdown shrinks it) *)
+}
+
+val reduce : Descriptor.t -> s0:float -> q:int -> rom
+val transfer : rom -> Rfkit_la.Cx.t -> Rfkit_la.Cx.t
+(** Evaluate the reduced model at a complex frequency [s]: one q x q
+    complex solve. *)
+
+val moments : rom -> int -> float array
+(** First [k] moments of the reduced model (for the matching property). *)
+
+val poles : rom -> Rfkit_la.Cx.t array
+(** Approximate system poles [s0 + 1 / eig(T)] (finite ones). *)

@@ -1,0 +1,42 @@
+open Rfkit_la
+
+type sim = { times : float array; output : float array }
+
+(* backward-Euler step of T z' = (I + s0 T) z - e1 u:
+   (T/h - I - s0 T) z1 = (T/h) z0 - e1 u(t1) *)
+let simulate (rom : Pvl.rom) ~u ~t_stop ~dt =
+  let q = rom.Pvl.order in
+  let t = rom.Pvl.t in
+  let lhs =
+    Mat.init q q (fun i j ->
+        (Mat.get t i j *. ((1.0 /. dt) -. rom.Pvl.s0)) -. if i = j then 1.0 else 0.0)
+  in
+  let f = Lu.factor lhs in
+  let steps = int_of_float (Float.ceil (t_stop /. dt)) in
+  let times = Array.make (steps + 1) 0.0 in
+  let output = Array.make (steps + 1) 0.0 in
+  let z = ref (Vec.create q) in
+  for k = 1 to steps do
+    let tk = float_of_int k *. dt in
+    times.(k) <- tk;
+    let rhs = Mat.matvec t (Vec.scale (1.0 /. dt) !z) in
+    rhs.(0) <- rhs.(0) -. u tk;
+    z := Lu.solve f rhs;
+    output.(k) <- rom.Pvl.kappa *. !z.(0)
+  done;
+  { times; output }
+
+let dc_gain rom = (Pvl.transfer rom Cx.zero).Cx.re
+
+let step_response_final rom =
+  (* settle for several dominant time constants estimated from the poles *)
+  let poles = Pvl.poles rom in
+  let slowest =
+    Array.fold_left
+      (fun acc (p : Cx.t) ->
+        if p.Cx.re < -1e-12 then Float.max acc (1.0 /. -.p.Cx.re) else acc)
+      1e-12 poles
+  in
+  let t_stop = 10.0 *. slowest in
+  let sim = simulate rom ~u:(fun _ -> 1.0) ~t_stop ~dt:(t_stop /. 2000.0) in
+  sim.output.(Array.length sim.output - 1)

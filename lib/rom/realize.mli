@@ -1,0 +1,23 @@
+(** Time-domain realization of a reduced model — Section 5's requirement
+    that the ROM "have efficient representations in both the time and
+    frequency domains".
+
+    From the PVL matrices, the q-dimensional descriptor realization
+
+    {v T z' = (I + s0 T) z - e1 u(t),   y = kappa e1^T z v}
+
+    reproduces [H(s)] exactly and integrates with backward Euler alongside
+    any transient — a drop-in replacement for the original n-dimensional
+    linear block. *)
+
+type sim = { times : float array; output : float array }
+
+val simulate :
+  Pvl.rom -> u:(float -> float) -> t_stop:float -> dt:float -> sim
+(** Drive the realization with [u(t)] from rest. *)
+
+val step_response_final : Pvl.rom -> float
+(** Steady-state unit-step response; must equal [H(0)] (cross-domain
+    consistency). *)
+
+val dc_gain : Pvl.rom -> float

@@ -1,0 +1,34 @@
+open Rfkit_la
+open Rfkit_circuit
+
+let direct c ~node ~freqs = Ac.output_noise c ~node ~freqs
+
+let via_rom ?(q = 8) c ~node ~freqs =
+  let x_op = Vec.create (Mna.size c) in
+  let sources = Mna.noise_sources c in
+  (* one ROM per noise generator: b = its injection pattern *)
+  let roms =
+    Array.map
+      (fun src ->
+        let d = Descriptor.of_circuit_b c ~b:(Mna.noise_pattern c src) ~output:node in
+        (Pvl.reduce d ~s0:0.0 ~q, src))
+      sources
+  in
+  Array.map
+    (fun f ->
+      let s = Cx.im (2.0 *. Float.pi *. f) in
+      Array.fold_left
+        (fun acc (rom, (src : Device.noise_source)) ->
+          let h = Pvl.transfer rom s in
+          acc +. (Cx.abs2 h *. src.Device.psd_at x_op))
+        0.0 roms)
+    freqs
+
+let solve_counts c ~n_freqs ~q =
+  let n = Mna.size c in
+  let n_src = Array.length (Mna.noise_sources c) in
+  (* direct: one n^3 factorization per frequency; rom: one n^3-ish reduction
+     per source plus q^3 solves per frequency per source *)
+  let direct_ops = n_freqs * n * n * n in
+  let rom_ops = (n_src * n * n * n) + (n_freqs * n_src * q * q * q) in
+  (direct_ops, rom_ops)

@@ -1,0 +1,20 @@
+(** ROM-accelerated noise analysis of linear blocks ([7] in the paper:
+    "circuit noise evaluation by Pade approximation based model reduction").
+
+    Output noise PSD of a linear circuit sums [|H_j(j w)|^2 S_j] over the
+    device noise generators. Direct evaluation refactors the full MNA
+    matrix at every frequency; the ROM path reduces each source-to-output
+    transfer once (order q) and then evaluates q x q solves across the
+    whole sweep — the wideband win the paper describes. *)
+
+val direct : Rfkit_circuit.Mna.t -> node:string -> freqs:float array -> Rfkit_la.Vec.t
+(** Reference per-frequency full solves (wraps {!Rfkit_circuit.Ac}). *)
+
+val via_rom :
+  ?q:int -> Rfkit_circuit.Mna.t -> node:string -> freqs:float array -> Rfkit_la.Vec.t
+(** PVL-compressed evaluation (default order 8). *)
+
+val solve_counts :
+  Rfkit_circuit.Mna.t -> n_freqs:int -> q:int -> int * int
+(** [(direct_ops, rom_ops)]: rough O(n^3)-equivalent work units for the
+    two paths, the headline of the speedup table. *)

@@ -1,0 +1,447 @@
+(* Tests for rfkit_em: geometry, Green's functions, MoM extraction, IES3
+   compression, the FD/MoM Table-1 contrast, partial inductance, and the
+   resonator assembly. *)
+
+open Rfkit_la
+open Rfkit_em
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ----------------------------------------------------------------- Geo3 *)
+
+let test_geo3_vectors () =
+  let a = Geo3.v3 1.0 2.0 3.0 and b = Geo3.v3 4.0 (-5.0) 6.0 in
+  check_float "dot" 12.0 (Geo3.dot a b);
+  let c = Geo3.cross (Geo3.v3 1.0 0.0 0.0) (Geo3.v3 0.0 1.0 0.0) in
+  check_float "cross z" 1.0 c.Geo3.z;
+  check_float "dist" (Geo3.norm (Geo3.sub a b)) (Geo3.dist a b);
+  let m = Geo3.mirror_z 1.0 (Geo3.v3 0.0 0.0 3.0) in
+  check_float "mirror" (-1.0) m.Geo3.z
+
+let test_geo3_plate_mesh () =
+  let plate =
+    Geo3.mesh_plate ~name:"p" ~origin:(Geo3.v3 0.0 0.0 0.0) ~u:(Geo3.v3 1.0 0.0 0.0)
+      ~v:(Geo3.v3 0.0 2.0 0.0) ~nu:4 ~nv:8
+  in
+  Alcotest.(check int) "panel count" 32 (Array.length plate.Geo3.panels);
+  let total =
+    Array.fold_left (fun s p -> s +. p.Geo3.area) 0.0 plate.Geo3.panels
+  in
+  check_float ~eps:1e-12 "total area" 2.0 total
+
+let test_geo3_quadrature () =
+  let p =
+    Geo3.make_panel ~center:(Geo3.v3 0.0 0.0 0.0) ~half_u:(Geo3.v3 0.5 0.0 0.0)
+      ~half_v:(Geo3.v3 0.0 0.25 0.0)
+  in
+  check_float ~eps:1e-12 "area" 0.5 p.Geo3.area;
+  let pts = Geo3.quadrature_points p 3 in
+  let wsum = Array.fold_left (fun s (_, w) -> s +. w) 0.0 pts in
+  check_float ~eps:1e-12 "weights sum to area" 0.5 wsum
+
+let test_geo3_spiral () =
+  let cond, segs =
+    Geo3.mesh_square_spiral ~name:"s" ~turns:2 ~outer:100e-6 ~width:5e-6
+      ~spacing:5e-6 ~z:1e-6 ~segments_per_side:3
+  in
+  Alcotest.(check int) "sides" 8 (List.length segs);
+  Alcotest.(check int) "panels" 24 (Array.length cond.Geo3.panels);
+  (* all panels at the spiral height *)
+  Array.iter
+    (fun (p : Geo3.panel) -> check_float "height" 1e-6 p.Geo3.center.Geo3.z)
+    cond.Geo3.panels
+
+(* --------------------------------------------------------------- Kernel *)
+
+let test_kernel_point () =
+  let g = Kernel.free_space in
+  let v = Kernel.eval g (Geo3.v3 0.0 0.0 0.0) (Geo3.v3 1.0 0.0 0.0) in
+  check_float ~eps:1e-3 "coulomb" (1.0 /. (4.0 *. Float.pi *. Kernel.eps0)) v
+
+let test_kernel_image_reduces () =
+  (* a perfect ground plane image reduces the potential *)
+  let free = Kernel.free_space in
+  let grounded = Kernel.over_substrate ~z_interface:0.0 ~eps_ratio:1.0 in
+  let p = Geo3.v3 0.0 0.0 1e-6 and q = Geo3.v3 1e-6 0.0 1e-6 in
+  Alcotest.(check bool) "reduced" true (Kernel.eval grounded p q < Kernel.eval free p q)
+
+let test_kernel_self_positive () =
+  let p =
+    Geo3.make_panel ~center:(Geo3.v3 0.0 0.0 0.0) ~half_u:(Geo3.v3 1e-6 0.0 0.0)
+      ~half_v:(Geo3.v3 0.0 1e-6 0.0)
+  in
+  let v = Kernel.panel_potential Kernel.free_space ~at:p.Geo3.center p in
+  Alcotest.(check bool) "positive and large" true (v > 0.0)
+
+(* ------------------------------------------------------------------ MoM *)
+
+let square_plate ?(z = 0.0) ?(n = 8) side name =
+  Geo3.mesh_plate ~name ~origin:(Geo3.v3 (-.side /. 2.0) (-.side /. 2.0) z)
+    ~u:(Geo3.v3 side 0.0 0.0) ~v:(Geo3.v3 0.0 side 0.0) ~nu:n ~nv:n
+
+let test_mom_unit_square_capacitance () =
+  (* capacitance of a unit square plate: C = eps0 * side * 0.367 * 4pi /
+     ... classic result: C ~ 40.8 pF for a 1 m square (literature ~ 40.6-41) *)
+  let p = Mom.make Kernel.free_space [| square_plate ~n:12 1.0 "sq" |] in
+  let sol = Mom.solve_dense p in
+  let c = Mom.self_capacitance sol 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "square plate %.3g pF" (c *. 1e12))
+    true
+    (c > 38e-12 && c < 43e-12)
+
+let test_mom_parallel_plate () =
+  let side = 1e-3 and gap = 50e-6 in
+  let top = square_plate ~z:gap ~n:10 side "top" in
+  let bottom = square_plate ~z:0.0 ~n:10 side "bottom" in
+  let p = Mom.make Kernel.free_space [| top; bottom |] in
+  let sol = Mom.solve_dense p in
+  let c_mutual = Mom.coupling_capacitance sol 0 1 in
+  let analytic = Mom.parallel_plate_analytic ~area:(side *. side) ~gap in
+  (* fringing adds capacitance: expect within [1x, 1.6x] of the ideal *)
+  Alcotest.(check bool)
+    (Printf.sprintf "C = %.3g vs ideal %.3g" c_mutual analytic)
+    true
+    (c_mutual > 0.95 *. analytic && c_mutual < 1.6 *. analytic);
+  (* the P matrix of the integral formulation is well conditioned (Table 1) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rcond %.2e" sol.Mom.rcond)
+    true (sol.Mom.rcond > 1e-4)
+
+let test_mom_symmetry () =
+  let side = 1e-3 in
+  let a = square_plate ~z:0.0 ~n:6 side "a" in
+  let b = square_plate ~z:100e-6 ~n:6 side "b" in
+  let p = Mom.make Kernel.free_space [| a; b |] in
+  let sol = Mom.solve_dense p in
+  check_float
+    ~eps:(1e-6 *. Float.abs (Mat.get sol.Mom.cap_matrix 0 1))
+    "C12 = C21"
+    (Mat.get sol.Mom.cap_matrix 0 1)
+    (Mat.get sol.Mom.cap_matrix 1 0)
+
+(* ----------------------------------------------------------------- IES3 *)
+
+let test_ies3_matvec_matches_dense () =
+  let p = Mom.make Kernel.free_space [| square_plate ~n:16 1e-3 "sq" |] in
+  let t = Ies3.build_mom p in
+  let dense = Mom.dense_matrix p in
+  let n = Mom.n_panels p in
+  let x = Vec.init n (fun i -> sin (float_of_int i)) in
+  let y_fast = Ies3.matvec t x in
+  let y_dense = Mat.matvec dense x in
+  let rel = Vec.dist2 y_fast y_dense /. Vec.norm2 y_dense in
+  Alcotest.(check bool) (Printf.sprintf "relative error %.2e" rel) true (rel < 1e-4)
+
+let test_ies3_compresses () =
+  let p = Mom.make Kernel.free_space [| square_plate ~n:32 1e-3 "sq" |] in
+  let t = Ies3.build_mom p in
+  let st = Ies3.stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f with %d lowrank blocks" st.Ies3.compression_ratio
+       st.Ies3.lowrank_blocks)
+    true
+    (st.Ies3.compression_ratio > 1.6 && st.Ies3.lowrank_blocks > 0);
+  (* kernel evaluations stay within a small multiple of n^2 at this size
+     (asymptotically they fall below n^2; Fig 6's bench shows the trend) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d entries" st.Ies3.entries_sampled (st.Ies3.n * st.Ies3.n))
+    true
+    (st.Ies3.entries_sampled < 2 * st.Ies3.n * st.Ies3.n)
+
+let test_ies3_capacitance_matches_dense () =
+  let p =
+    Mom.make Kernel.free_space
+      [| square_plate ~z:50e-6 ~n:10 1e-3 "top"; square_plate ~z:0.0 ~n:10 1e-3 "bot" |]
+  in
+  let dense = Mom.solve_dense p in
+  let fast = Ies3.solve_capacitance p in
+  let c_dense = Mom.coupling_capacitance dense 0 1 in
+  let c_fast = -.Mat.get fast 0 1 in
+  check_float ~eps:(0.01 *. c_dense) "capacitance agrees" c_dense c_fast
+
+(* ------------------------------------------------------------------- FD *)
+
+let test_fd_parallel_plate () =
+  let cell = 10e-6 in
+  let res = Fd.parallel_plate ~n:24 ~plate_cells:10 ~gap_cells:4 ~cell in
+  (* plate side = 9 cells (10 nodes), area/gap known only coarsely: check
+     the right order of magnitude vs the ideal formula *)
+  let side = 9.0 *. cell in
+  let analytic = Mom.parallel_plate_analytic ~area:(side *. side) ~gap:(4.0 *. cell) in
+  Alcotest.(check bool)
+    (Printf.sprintf "C = %.3g vs ideal %.3g" res.Fd.capacitance analytic)
+    true
+    (res.Fd.capacitance > analytic && res.Fd.capacitance < 4.0 *. analytic);
+  (* sparse, volume discretization: huge unknown count, tiny density *)
+  Alcotest.(check bool) "many unknowns" true (res.Fd.unknowns > 5000);
+  Alcotest.(check bool) "sparse" true (res.Fd.density < 1e-2)
+
+let test_fd_conditioning_degrades () =
+  (* Table 1: differential-method conditioning worsens with refinement *)
+  let r1 = Fd.parallel_plate ~n:10 ~plate_cells:4 ~gap_cells:2 ~cell:10e-6 in
+  let r2 = Fd.parallel_plate ~n:18 ~plate_cells:8 ~gap_cells:4 ~cell:5e-6 in
+  let k1 = Fd.condition_estimate r1.Fd.matrix in
+  let k2 = Fd.condition_estimate r2.Fd.matrix in
+  Alcotest.(check bool)
+    (Printf.sprintf "cond %.1f -> %.1f" k1 k2)
+    true (k2 > 1.5 *. k1)
+
+(* ------------------------------------------------------------ Inductance *)
+
+let straight len =
+  {
+    Inductance.start = Geo3.v3 0.0 0.0 0.0;
+    stop = Geo3.v3 len 0.0 0.0;
+    width = 10e-6;
+    thickness = 1e-6;
+  }
+
+let test_inductance_self () =
+  (* 1 mm of 10 um x 1 um trace: ~1 nH per mm rule of thumb *)
+  let l = Inductance.self_inductance (straight 1e-3) in
+  Alcotest.(check bool) (Printf.sprintf "L = %.3g nH" (l *. 1e9)) true
+    (l > 0.5e-9 && l < 2e-9)
+
+let test_inductance_mutual_orientation () =
+  let a = straight 1e-3 in
+  let b =
+    {
+      Inductance.start = Geo3.v3 0.0 100e-6 0.0;
+      stop = Geo3.v3 1e-3 100e-6 0.0;
+      width = 10e-6;
+      thickness = 1e-6;
+    }
+  in
+  let m_par = Inductance.mutual_inductance a b in
+  Alcotest.(check bool) "parallel positive" true (m_par > 0.0);
+  Alcotest.(check bool) "mutual below self" true
+    (m_par < Inductance.self_inductance a);
+  (* anti-parallel flips sign *)
+  let b_rev = { b with Inductance.start = b.Inductance.stop; stop = b.Inductance.start } in
+  check_float ~eps:(1e-6 *. m_par) "antiparallel" (-.m_par)
+    (Inductance.mutual_inductance a b_rev);
+  (* perpendicular couples not at all *)
+  let c =
+    {
+      Inductance.start = Geo3.v3 0.0 0.0 0.0;
+      stop = Geo3.v3 0.0 1e-3 0.0;
+      width = 10e-6;
+      thickness = 1e-6;
+    }
+  in
+  check_float ~eps:1e-18 "perpendicular" 0.0 (Inductance.mutual_inductance a c)
+
+let test_inductance_skin_effect () =
+  (* thick conductor: 10 um x 5 um so 20 GHz skin depth (~0.5 um) bites *)
+  let s = { (straight 1e-3) with Inductance.thickness = 5e-6 } in
+  let r_dc = Inductance.dc_resistance ~sigma:Inductance.copper_sigma s in
+  let r_low = Inductance.ac_resistance ~sigma:Inductance.copper_sigma ~freq:1e6 s in
+  let r_high = Inductance.ac_resistance ~sigma:Inductance.copper_sigma ~freq:20e9 s in
+  check_float ~eps:(1e-3 *. r_dc) "low frequency = dc" r_dc r_low;
+  Alcotest.(check bool)
+    (Printf.sprintf "skin raises R: %.3g -> %.3g" r_dc r_high)
+    true
+    (r_high > 1.2 *. r_dc)
+
+let spiral_model = lazy (Inductance.spiral_on_substrate ~segments_per_side:3 ())
+
+let test_spiral_inductance_plausible () =
+  let m = Lazy.force spiral_model in
+  (* 3-turn 300 um spiral: a few nH *)
+  Alcotest.(check bool)
+    (Printf.sprintf "L = %.3g nH" (m.Inductance.inductance *. 1e9))
+    true
+    (m.Inductance.inductance > 1e-9 && m.Inductance.inductance < 20e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "Cox = %.3g fF" (m.Inductance.c_ox *. 1e15))
+    true
+    (m.Inductance.c_ox > 0.5e-12 && m.Inductance.c_ox < 3e-12)
+
+let test_spiral_frequency_response () =
+  let m = Lazy.force spiral_model in
+  let f_sr = Inductance.self_resonance m in
+  (* below resonance the effective inductance is flat near L *)
+  let l_low = Inductance.effective_inductance m (f_sr /. 100.0) in
+  check_float ~eps:(0.05 *. m.Inductance.inductance) "flat low-frequency L"
+    m.Inductance.inductance l_low;
+  (* above resonance it goes capacitive (negative) *)
+  let l_high = Inductance.effective_inductance m (2.0 *. f_sr) in
+  Alcotest.(check bool) "capacitive above resonance" true (l_high < 0.0);
+  (* Q rises then falls: sample three decades *)
+  let q1 = Inductance.quality_factor m (f_sr /. 200.0) in
+  let q2 = Inductance.quality_factor m (f_sr /. 10.0) in
+  Alcotest.(check bool) (Printf.sprintf "Q grows %.2f -> %.2f" q1 q2) true (q2 > q1)
+
+(* -------------------------------------------------------------- Sparams *)
+
+let test_sparams_basics () =
+  let open Sparams in
+  let s_matched = s11_of_z (Cx.re 50.0) in
+  check_float ~eps:1e-12 "matched" 0.0 (Cx.abs s_matched);
+  let s_short = s11_of_z Cx.zero in
+  check_float ~eps:1e-12 "short" (-1.0) s_short.Cx.re;
+  let s_open = s11_of_z (Cx.re 1e12) in
+  check_float ~eps:1e-6 "open" 1.0 s_open.Cx.re
+
+let test_sparams_matrix_passive () =
+  (* a resistive divider Z-matrix gives |S| <= 1 *)
+  let z = Cmat.init 2 2 (fun i j -> if i = j then Cx.re 75.0 else Cx.re 25.0) in
+  let s = Sparams.s_of_z z in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      Alcotest.(check bool) "passive" true (Cx.abs (Cmat.get s i j) <= 1.0)
+    done
+  done
+
+(* ------------------------------------------------------------ Resonator *)
+
+let test_resonator_assembly () =
+  let ex = Resonator.extract () in
+  Alcotest.(check bool) "positive elements" true
+    (ex.Resonator.l1 > 0.0 && ex.Resonator.c1 > 0.0);
+  (* coplanar side-by-side coils link opposing flux: mutual is negative
+     and much smaller than the self inductances *)
+  Alcotest.(check bool)
+    (Printf.sprintf "coupling %.3g vs L %.3g" ex.Resonator.m_coupling ex.Resonator.l1)
+    true
+    (ex.Resonator.m_coupling <> 0.0
+    && Float.abs ex.Resonator.m_coupling < 0.5 *. ex.Resonator.l1);
+  let f0 = Resonator.resonant_frequency ex in
+  let freqs = Array.init 61 (fun i -> f0 *. (0.2 +. (0.05 *. float_of_int i))) in
+  let s21 = Resonator.s21 ex ~z0:50.0 ~freqs in
+  (* transmission peaks somewhere near f0 and rolls off well below it *)
+  let peak = ref 0.0 and peak_f = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+      let m = Cx.abs s in
+      if m > !peak then begin
+        peak := m;
+        peak_f := freqs.(i)
+      end)
+    s21;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.2f at %.3g Hz (f0 %.3g)" !peak !peak_f f0)
+    true
+    (!peak_f > 0.3 *. f0 && !peak_f < 3.0 *. f0);
+  let low = Cx.abs s21.(0) in
+  Alcotest.(check bool) "selectivity" true (!peak > 3.0 *. low)
+
+(* ------------------------------------------------------------ properties *)
+
+let qcheck_suite =
+  let open QCheck in
+  let panel_params =
+    make
+      Gen.(triple (float_range 1.0 50.0) (float_range 1.0 50.0) (float_range 0.5 100.0))
+      ~print:Print.(triple float float float)
+  in
+  [
+    Test.make ~name:"kernel: panel potential symmetric between equal panels"
+      ~count:40 panel_params (fun (a_um, b_um, d_um) ->
+        let a = a_um *. 1e-6 and b = b_um *. 1e-6 and d = d_um *. 1e-6 in
+        let p1 =
+          Geo3.make_panel ~center:(Geo3.v3 0.0 0.0 0.0)
+            ~half_u:(Geo3.v3 (a /. 2.0) 0.0 0.0) ~half_v:(Geo3.v3 0.0 (b /. 2.0) 0.0)
+        in
+        let p2 =
+          Geo3.make_panel ~center:(Geo3.v3 0.0 0.0 d)
+            ~half_u:(Geo3.v3 (a /. 2.0) 0.0 0.0) ~half_v:(Geo3.v3 0.0 (b /. 2.0) 0.0)
+        in
+        let v12 = Kernel.panel_potential Kernel.free_space ~at:p1.Geo3.center p2 in
+        let v21 = Kernel.panel_potential Kernel.free_space ~at:p2.Geo3.center p1 in
+        Float.abs (v12 -. v21) < 1e-9 *. Float.abs v12);
+    Test.make ~name:"kernel: potential decreases with distance" ~count:40
+      panel_params (fun (a_um, b_um, d_um) ->
+        let a = a_um *. 1e-6 and b = b_um *. 1e-6 and d = d_um *. 1e-6 in
+        let p =
+          Geo3.make_panel ~center:(Geo3.v3 0.0 0.0 0.0)
+            ~half_u:(Geo3.v3 (a /. 2.0) 0.0 0.0) ~half_v:(Geo3.v3 0.0 (b /. 2.0) 0.0)
+        in
+        let v_near = Kernel.panel_potential Kernel.free_space ~at:(Geo3.v3 0.0 0.0 d) p in
+        let v_far =
+          Kernel.panel_potential Kernel.free_space ~at:(Geo3.v3 0.0 0.0 (2.0 *. d)) p
+        in
+        v_near > v_far && v_far > 0.0);
+    Test.make ~name:"mom: capacitance matrix is a symmetric M-matrix" ~count:15
+      (QCheck.make Gen.(float_range 20.0 200.0) ~print:Print.float)
+      (fun gap_um ->
+        let side = 500e-6 in
+        let plate z name =
+          Geo3.mesh_plate ~name
+            ~origin:(Geo3.v3 (-.side /. 2.0) (-.side /. 2.0) z)
+            ~u:(Geo3.v3 side 0.0 0.0) ~v:(Geo3.v3 0.0 side 0.0) ~nu:5 ~nv:5
+        in
+        let p =
+          Mom.make Kernel.free_space
+            [| plate (gap_um *. 1e-6) "top"; plate 0.0 "bottom" |]
+        in
+        let sol = Mom.solve_dense p in
+        let m = sol.Mom.cap_matrix in
+        Mat.get m 0 0 > 0.0
+        && Mat.get m 1 1 > 0.0
+        && Mat.get m 0 1 < 0.0
+        && Float.abs (Mat.get m 0 1 -. Mat.get m 1 0)
+           < 1e-3 *. Float.abs (Mat.get m 0 1)
+        && Mat.get m 0 0 +. Mat.get m 0 1 > 0.0);
+    Test.make ~name:"inductance: mutual shrinks with spacing" ~count:40
+      (QCheck.make Gen.(float_range 10.0 500.0) ~print:Print.float)
+      (fun gap_um ->
+        let seg y =
+          {
+            Inductance.start = Geo3.v3 0.0 (y *. 1e-6) 0.0;
+            stop = Geo3.v3 1e-3 (y *. 1e-6) 0.0;
+            width = 10e-6;
+            thickness = 1e-6;
+          }
+        in
+        let m_near = Inductance.mutual_inductance (seg 0.0) (seg gap_um) in
+        let m_far = Inductance.mutual_inductance (seg 0.0) (seg (2.0 *. gap_um)) in
+        m_near > m_far && m_far > 0.0);
+  ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    ( "em.geo3",
+      [
+        tc "vectors" test_geo3_vectors;
+        tc "plate mesh" test_geo3_plate_mesh;
+        tc "quadrature" test_geo3_quadrature;
+        tc "spiral" test_geo3_spiral;
+      ] );
+    ( "em.kernel",
+      [
+        tc "point" test_kernel_point;
+        tc "image reduces" test_kernel_image_reduces;
+        tc "self positive" test_kernel_self_positive;
+      ] );
+    ( "em.mom",
+      [
+        slow "unit square" test_mom_unit_square_capacitance;
+        slow "parallel plate" test_mom_parallel_plate;
+        tc "symmetry" test_mom_symmetry;
+      ] );
+    ( "em.ies3",
+      [
+        slow "matvec vs dense" test_ies3_matvec_matches_dense;
+        slow "compresses" test_ies3_compresses;
+        slow "capacitance" test_ies3_capacitance_matches_dense;
+      ] );
+    ( "em.fd",
+      [ slow "parallel plate" test_fd_parallel_plate; slow "conditioning" test_fd_conditioning_degrades ] );
+    ( "em.inductance",
+      [
+        tc "self" test_inductance_self;
+        tc "mutual orientation" test_inductance_mutual_orientation;
+        tc "skin effect" test_inductance_skin_effect;
+        slow "spiral plausible" test_spiral_inductance_plausible;
+        slow "spiral response" test_spiral_frequency_response;
+      ] );
+    ( "em.sparams",
+      [ tc "basics" test_sparams_basics; tc "matrix passive" test_sparams_matrix_passive ] );
+    ("em.resonator", [ slow "assembly" test_resonator_assembly ]);
+    ("em.properties", List.map QCheck_alcotest.to_alcotest qcheck_suite);
+  ]

@@ -1,0 +1,401 @@
+(* Tests for rfkit_rom: PVL vs Arnoldi moment matching (2q vs q), AWE
+   instability, passivity post-processing, dual-domain realization, and
+   ROM-accelerated noise. *)
+
+open Rfkit_la
+open Rfkit_rom
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let line = lazy (Descriptor.rc_line ~sections:40 ~r_total:4e3 ~c_total:4e-12)
+let rlc = lazy (Descriptor.rlc_line ~sections:20 ~r_total:100.0 ~l_total:10e-9 ~c_total:4e-12)
+
+(* ------------------------------------------------------------ Descriptor *)
+
+let test_descriptor_dc_gain () =
+  (* RC line at DC passes the input straight through *)
+  let d = Lazy.force line in
+  let h0 = Descriptor.transfer d Cx.zero in
+  check_float ~eps:1e-9 "dc gain" 1.0 h0.Cx.re
+
+let test_descriptor_lowpass () =
+  let d = Lazy.force line in
+  (* Elmore-style estimate of the line's time constant: R C / 2 *)
+  let tau = 4e3 *. 4e-12 /. 2.0 in
+  let f3 = 1.0 /. (2.0 *. Float.pi *. tau) in
+  let h_lo = Descriptor.transfer d (Cx.im (2.0 *. Float.pi *. f3 /. 100.0)) in
+  let h_hi = Descriptor.transfer d (Cx.im (2.0 *. Float.pi *. f3 *. 100.0)) in
+  Alcotest.(check bool) "passband" true (Cx.abs h_lo > 0.99);
+  Alcotest.(check bool) "rolloff" true (Cx.abs h_hi < 0.05)
+
+let test_descriptor_moments_sanity () =
+  let d = Lazy.force line in
+  let m = Descriptor.moments d ~s0:0.0 ~k:4 in
+  check_float ~eps:1e-9 "m0 = dc gain" 1.0 m.(0);
+  (* first moment = -Elmore delay of the line: -sum over stages *)
+  Alcotest.(check bool) "m1 negative (delay)" true (m.(1) < 0.0)
+
+(* ------------------------------------------------------------------ PVL *)
+
+let test_pvl_matches_2q_moments () =
+  let d = Lazy.force line in
+  let q = 5 in
+  let rom = Pvl.reduce d ~s0:0.0 ~q in
+  let exact = Descriptor.moments d ~s0:0.0 ~k:(2 * q) in
+  let reduced = Pvl.moments rom (2 * q) in
+  for k = 0 to (2 * q) - 1 do
+    (* moments decay like (RC)^k, so only the relative error means anything *)
+    let rel = Float.abs (exact.(k) -. reduced.(k)) /. Float.abs exact.(k) in
+    Alcotest.(check bool)
+      (Printf.sprintf "moment %d: %g vs %g (rel %.2e)" k exact.(k) reduced.(k) rel)
+      true (rel < 1e-6)
+  done
+
+let test_pvl_transfer_accuracy () =
+  let d = Lazy.force line in
+  let rom = Pvl.reduce d ~s0:0.0 ~q:8 in
+  (* across three decades around the corner *)
+  let tau = 4e3 *. 4e-12 /. 2.0 in
+  let f3 = 1.0 /. (2.0 *. Float.pi *. tau) in
+  List.iter
+    (fun mult ->
+      let s = Cx.im (2.0 *. Float.pi *. f3 *. mult) in
+      let h_exact = Descriptor.transfer d s in
+      let h_rom = Pvl.transfer rom s in
+      let err = Cx.abs (Cx.( -: ) h_exact h_rom) in
+      Alcotest.(check bool)
+        (Printf.sprintf "f = %.2g f3: err %.2e" mult err)
+        true
+        (err < 1e-3 *. Float.max 1e-3 (Cx.abs h_exact)))
+    [ 0.01; 0.1; 1.0; 3.0; 10.0 ]
+
+let test_pvl_beats_arnoldi_same_order () =
+  (* same q, evaluate both ROMs well beyond the corner where the extra
+     matched moments matter *)
+  let d = Lazy.force rlc in
+  let q = 6 in
+  let pvl = Pvl.reduce d ~s0:0.0 ~q in
+  let arn = Arnoldi_rom.reduce d ~s0:0.0 ~q in
+  let err rom_transfer =
+    let acc = ref 0.0 in
+    List.iter
+      (fun f ->
+        let s = Cx.im (2.0 *. Float.pi *. f) in
+        let h = Descriptor.transfer d s in
+        acc := !acc +. Cx.abs (Cx.( -: ) h (rom_transfer s)))
+      [ 1e8; 3e8; 1e9; 2e9; 4e9 ];
+    !acc
+  in
+  let e_pvl = err (Pvl.transfer pvl) in
+  let e_arn = err (Arnoldi_rom.transfer arn) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pvl %.3e vs arnoldi %.3e" e_pvl e_arn)
+    true (e_pvl < e_arn)
+
+let test_pvl_poles_stable_for_rc () =
+  let d = Lazy.force line in
+  let rom = Pvl.reduce d ~s0:0.0 ~q:6 in
+  let poles = Pvl.poles rom in
+  Array.iter
+    (fun (p : Cx.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pole %.3e%+.3ei in LHP" p.Cx.re p.Cx.im)
+        true (p.Cx.re < 0.0))
+    poles
+
+(* -------------------------------------------------------------- Arnoldi *)
+
+let test_arnoldi_matches_q_moments () =
+  let d = Lazy.force line in
+  let q = 5 in
+  let rom = Arnoldi_rom.reduce d ~s0:0.0 ~q in
+  let exact = Descriptor.moments d ~s0:0.0 ~k:q in
+  let reduced = Arnoldi_rom.moments rom q in
+  for k = 0 to q - 1 do
+    let rel = Float.abs (exact.(k) -. reduced.(k)) /. Float.abs exact.(k) in
+    Alcotest.(check bool) (Printf.sprintf "moment %d (rel %.2e)" k rel) true (rel < 1e-6)
+  done
+
+let test_arnoldi_misses_later_moments () =
+  (* some moment in q..2q-1 is NOT matched by Arnoldi at order q (PVL
+     matches them all) -- the paper's 2q-vs-q comparison *)
+  let d = Lazy.force rlc in
+  let q = 4 in
+  let rom = Arnoldi_rom.reduce d ~s0:0.0 ~q in
+  let exact = Descriptor.moments d ~s0:0.0 ~k:(2 * q) in
+  let reduced = Arnoldi_rom.moments rom (2 * q) in
+  let worst = ref 0.0 in
+  for k = q to (2 * q) - 1 do
+    let rel = Float.abs (exact.(k) -. reduced.(k)) /. Float.abs exact.(k) in
+    if rel > !worst then worst := rel
+  done;
+  Alcotest.(check bool) (Printf.sprintf "worst late-moment error %.2e" !worst) true
+    (!worst > 1e-6);
+  (* while PVL at the same order matches those same moments *)
+  let pvl = Pvl.reduce d ~s0:0.0 ~q in
+  let pvl_m = Pvl.moments pvl (2 * q) in
+  for k = 0 to (2 * q) - 1 do
+    let rel = Float.abs (exact.(k) -. pvl_m.(k)) /. Float.abs exact.(k) in
+    Alcotest.(check bool) (Printf.sprintf "pvl moment %d (%.1e)" k rel) true (rel < 1e-5)
+  done
+
+(* ------------------------------------------------------------------ AWE *)
+
+let test_awe_hankel_collapses () =
+  let d = Lazy.force line in
+  let r2 = Awe.hankel_rcond d ~s0:0.0 ~q:2 in
+  let r8 = Awe.hankel_rcond d ~s0:0.0 ~q:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rcond %.2e -> %.2e" r2 r8)
+    true
+    (r8 < 1e-10 && r8 < r2 /. 1e6)
+
+let test_awe_poles_vs_pvl () =
+  (* at low order both agree on the dominant pole; AWE's estimate of the
+     same pole degrades at higher order while PVL stays put *)
+  let d = Lazy.force line in
+  let dominant poles =
+    Array.fold_left
+      (fun acc (p : Cx.t) ->
+        if p.Cx.re < 0.0 && Float.abs p.Cx.re < Float.abs acc then p.Cx.re else acc)
+      neg_infinity poles
+  in
+  let awe2 = dominant (Awe.poles d ~s0:0.0 ~q:2) in
+  let pvl2 = dominant (Pvl.poles (Pvl.reduce d ~s0:0.0 ~q:2)) in
+  check_float ~eps:(0.05 *. Float.abs pvl2) "low order agreement" pvl2 awe2
+
+(* ---------------------------------------------------------------- PRIMA *)
+
+let line_i = lazy (Descriptor.rc_line_i ~sections:40 ~r_total:4e3 ~c_total:4e-12)
+
+let rlc_i =
+  lazy (Descriptor.rlc_line_i ~sections:20 ~r_total:100.0 ~l_total:10e-9 ~c_total:4e-12)
+
+let test_prima_matches_q_moments () =
+  let d = Lazy.force line_i in
+  let q = 5 in
+  let rom = Prima.reduce d ~s0:0.0 ~q in
+  let exact = Descriptor.moments d ~s0:0.0 ~k:q in
+  let reduced = Prima.moments rom ~s0:0.0 q in
+  for k = 0 to q - 1 do
+    let rel = Float.abs (exact.(k) -. reduced.(k)) /. Float.abs exact.(k) in
+    Alcotest.(check bool) (Printf.sprintf "moment %d (rel %.2e)" k rel) true (rel < 1e-6)
+  done
+
+let test_prima_transfer_tracks_exact () =
+  let d = Lazy.force rlc_i in
+  let rom = Prima.reduce d ~s0:0.0 ~q:8 in
+  List.iter
+    (fun f ->
+      let s = Cx.im (2.0 *. Float.pi *. f) in
+      let h = Descriptor.transfer d s in
+      let hr = Prima.transfer rom s in
+      let err = Cx.abs (Cx.( -: ) h hr) in
+      Alcotest.(check bool)
+        (Printf.sprintf "f=%g err %.2e" f err)
+        true
+        (err < 0.02 *. Float.max 0.01 (Cx.abs h)))
+    [ 1e7; 1e8; 5e8; 1e9 ]
+
+let test_prima_poles_stable () =
+  (* congruence preserves passivity: RLC-line PRIMA poles stay in the LHP
+     at orders where aggressive reduction could misbehave *)
+  List.iter
+    (fun q ->
+      let d = Lazy.force rlc_i in
+      let rom = Prima.reduce d ~s0:0.0 ~q in
+      Array.iter
+        (fun (p : Cx.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%d pole %.3e%+.3ei" q p.Cx.re p.Cx.im)
+            true
+            (p.Cx.re < 1e-3 *. Cx.abs p))
+        (Prima.poles rom))
+    [ 4; 8; 12 ]
+
+(* ------------------------------------------------------------ Passivity *)
+
+let test_pole_residue_transfer () =
+  let d = Lazy.force line in
+  let rom = Pvl.reduce d ~s0:0.0 ~q:6 in
+  let pr = Passivity.of_pvl rom in
+  List.iter
+    (fun f ->
+      let s = Cx.im (2.0 *. Float.pi *. f) in
+      let h_rom = Pvl.transfer rom s in
+      let h_pr = Passivity.transfer pr s in
+      let err = Cx.abs (Cx.( -: ) h_rom h_pr) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pole-residue matches rom at %g (err %.2e)" f err)
+        true
+        (err < 1e-5 *. Float.max 1e-6 (Cx.abs h_rom)))
+    [ 1e6; 1e7; 1e8 ]
+
+let test_enforce_stability () =
+  (* inject a synthetic RHP pole and check the flip *)
+  let pr =
+    {
+      Passivity.poles = [| Cx.make (-1e8) 0.0; Cx.make 5e7 1e9 |];
+      residues = [| Cx.re 1.0; Cx.re 0.5 |];
+    }
+  in
+  Alcotest.(check bool) "detects instability" false (Passivity.is_stable pr);
+  Alcotest.(check int) "one bad pole" 1 (List.length (Passivity.unstable_poles pr));
+  let fixed = Passivity.enforce_stability pr in
+  Alcotest.(check bool) "fixed" true (Passivity.is_stable fixed);
+  check_float "imaginary part kept" 1e9 fixed.Passivity.poles.(1).Cx.im;
+  check_float "real part reflected" (-5e7) fixed.Passivity.poles.(1).Cx.re
+
+(* -------------------------------------------------------------- Realize *)
+
+let test_realize_step_matches_dc () =
+  let d = Lazy.force line in
+  let rom = Pvl.reduce d ~s0:0.0 ~q:6 in
+  let final = Realize.step_response_final rom in
+  check_float ~eps:1e-3 "step settles to H(0)" (Realize.dc_gain rom) final
+
+let test_realize_sine_matches_frequency_domain () =
+  (* drive the realization with a sine in-band; steady-state amplitude must
+     equal |H(j w)| -- the dual-domain consistency Section 5 demands *)
+  let d = Lazy.force line in
+  let rom = Pvl.reduce d ~s0:0.0 ~q:8 in
+  let f = 2e7 in
+  let w = 2.0 *. Float.pi *. f in
+  let expected = Cx.abs (Pvl.transfer rom (Cx.im w)) in
+  let sim =
+    Realize.simulate rom
+      ~u:(fun t -> sin (w *. t))
+      ~t_stop:(20.0 /. f) ~dt:(1.0 /. f /. 400.0)
+  in
+  (* amplitude over the last two periods *)
+  let n = Array.length sim.Realize.output in
+  let tail = Array.sub sim.Realize.output (n - (2 * 400)) (2 * 400) in
+  let amp = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 tail in
+  check_float ~eps:(0.02 *. expected) "steady-state amplitude" expected amp
+
+(* ------------------------------------------------------------ ROM noise *)
+
+let noisy_filter () =
+  let open Rfkit_circuit in
+  let nl = Netlist.create () in
+  Netlist.vsource nl "VIN" "in" "0" (Wave.Dc 0.0);
+  Netlist.resistor nl "R1" "in" "a" 1e3;
+  Netlist.capacitor nl "C1" "a" "0" 1e-12;
+  Netlist.resistor nl "R2" "a" "out" 5e3;
+  Netlist.capacitor nl "C2" "out" "0" 0.5e-12;
+  Netlist.resistor nl "R3" "out" "0" 20e3;
+  Mna.build nl
+
+let test_rom_noise_matches_direct () =
+  let c = noisy_filter () in
+  let freqs = [| 1e6; 1e7; 1e8; 1e9 |] in
+  let d = Rom_noise.direct c ~node:"out" ~freqs in
+  let r = Rom_noise.via_rom ~q:6 c ~node:"out" ~freqs in
+  Array.iteri
+    (fun i psd_direct ->
+      (* serious Lanczos breakdown (no look-ahead) costs a few percent on
+         far-out-of-band sources; the shape claim survives *)
+      check_float
+        ~eps:(0.05 *. psd_direct)
+        (Printf.sprintf "psd at %g" freqs.(i))
+        psd_direct r.(i))
+    d
+
+let test_rom_noise_cheaper () =
+  (* the win needs a genuinely large linear block: a long RC ladder *)
+  let open Rfkit_circuit in
+  let nl = Netlist.create () in
+  Netlist.vsource nl "VIN" "n0" "0" (Wave.Dc 0.0);
+  for k = 1 to 60 do
+    Netlist.resistor nl (Printf.sprintf "R%d" k)
+      (Printf.sprintf "n%d" (k - 1)) (Printf.sprintf "n%d" k) 100.0;
+    Netlist.capacitor nl (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0" 1e-13
+  done;
+  let c = Mna.build nl in
+  let direct_ops, rom_ops = Rom_noise.solve_counts c ~n_freqs:1000 ~q:6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d vs %d ops" direct_ops rom_ops)
+    true (rom_ops < direct_ops)
+
+(* ------------------------------------------------------------ properties *)
+
+let qcheck_suite =
+  let open QCheck in
+  let line_params =
+    make
+      Gen.(triple (int_range 5 25) (float_range 0.5 10.0) (float_range 0.5 10.0))
+      ~print:Print.(triple int float float)
+  in
+  [
+    Test.make ~name:"pvl: 2q moments match on random RC lines" ~count:25 line_params
+      (fun (sections, r_k, c_p) ->
+        let d =
+          Descriptor.rc_line ~sections ~r_total:(r_k *. 1e3) ~c_total:(c_p *. 1e-12)
+        in
+        let q = 4 in
+        let rom = Pvl.reduce d ~s0:0.0 ~q in
+        let exact = Descriptor.moments d ~s0:0.0 ~k:(2 * q) in
+        let red = Pvl.moments rom (2 * q) in
+        let ok = ref true in
+        Array.iteri
+          (fun k m ->
+            if Float.abs (m -. red.(k)) > 1e-5 *. Float.abs m then ok := false)
+          exact;
+        !ok);
+    Test.make ~name:"descriptor: voltage-driven RC line has unit DC gain" ~count:25
+      line_params (fun (sections, r_k, c_p) ->
+        let d =
+          Descriptor.rc_line ~sections ~r_total:(r_k *. 1e3) ~c_total:(c_p *. 1e-12)
+        in
+        Cx.abs (Cx.( -: ) (Descriptor.transfer d Cx.zero) Cx.one) < 1e-8);
+    Test.make ~name:"pvl: rom transfer agrees with exact in the passband" ~count:25
+      line_params (fun (sections, r_k, c_p) ->
+        let r = r_k *. 1e3 and cc = c_p *. 1e-12 in
+        let d = Descriptor.rc_line ~sections ~r_total:r ~c_total:cc in
+        let rom = Pvl.reduce d ~s0:0.0 ~q:6 in
+        let f3 = 2.0 /. (2.0 *. Float.pi *. r *. cc) in
+        let s = Cx.im (2.0 *. Float.pi *. f3 /. 10.0) in
+        Cx.abs (Cx.( -: ) (Descriptor.transfer d s) (Pvl.transfer rom s)) < 1e-4);
+  ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "rom.descriptor",
+      [
+        tc "dc gain" test_descriptor_dc_gain;
+        tc "lowpass" test_descriptor_lowpass;
+        tc "moments" test_descriptor_moments_sanity;
+      ] );
+    ( "rom.pvl",
+      [
+        tc "matches 2q moments" test_pvl_matches_2q_moments;
+        tc "transfer accuracy" test_pvl_transfer_accuracy;
+        tc "beats arnoldi" test_pvl_beats_arnoldi_same_order;
+        tc "stable rc poles" test_pvl_poles_stable_for_rc;
+      ] );
+    ( "rom.arnoldi",
+      [
+        tc "matches q moments" test_arnoldi_matches_q_moments;
+        tc "misses 2q moments" test_arnoldi_misses_later_moments;
+      ] );
+    ( "rom.awe",
+      [ tc "hankel collapses" test_awe_hankel_collapses; tc "poles vs pvl" test_awe_poles_vs_pvl ] );
+    ( "rom.prima",
+      [
+        tc "matches q moments" test_prima_matches_q_moments;
+        tc "transfer accuracy" test_prima_transfer_tracks_exact;
+        tc "poles stable" test_prima_poles_stable;
+      ] );
+    ( "rom.passivity",
+      [ tc "pole-residue transfer" test_pole_residue_transfer; tc "enforce" test_enforce_stability ] );
+    ( "rom.realize",
+      [
+        tc "step matches dc" test_realize_step_matches_dc;
+        tc "sine matches H(jw)" test_realize_sine_matches_frequency_domain;
+      ] );
+    ( "rom.noise",
+      [ tc "matches direct" test_rom_noise_matches_direct; tc "cheaper" test_rom_noise_cheaper ] );
+    ("rom.properties", List.map QCheck_alcotest.to_alcotest qcheck_suite);
+  ]
