@@ -2,8 +2,11 @@
 
    Reads a SPICE-like deck (see Rfkit.Circuit.Deck for the grammar) and
    runs the analyses given on the command line or embedded as deck
-   directives (.dc/.tran/.ac/.hb).
+   directives (.dc/.tran/.ac/.hb). Every analysis first runs the static
+   netlist analyzer (Rfkit.Lint) and refuses to start numerics on an
+   error-severity diagnostic unless --no-lint is given.
 
+     rfsim lint circuit.cir [--json] [--strict]
      rfsim run circuit.cir
      rfsim dc circuit.cir
      rfsim tran circuit.cir --t-stop 1e-6 --dt 1e-9 --node out
@@ -14,14 +17,30 @@ open Rfkit
 open Circuit
 open Cmdliner
 
-let load path =
-  try Deck.parse_file path with
+let load_located path =
+  try Deck.parse_file_located path with
   | Deck.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: %s\n" path line msg;
       exit 1
   | Sys_error msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
+
+(* Pre-flight: refuse to hand a structurally broken deck to the solvers.
+   Warnings and hints are printed but do not block the run. *)
+let load ?(no_lint = false) path =
+  let nl, located = load_located path in
+  if not no_lint then begin
+    let ds = Lint.run nl located in
+    let text, fatal = Lint.report ~path ds in
+    if ds <> [] then Printf.eprintf "%s\n" text;
+    if fatal then begin
+      Printf.eprintf
+        "%s: %s; refusing to run (use --no-lint to override)\n" path (Lint.summary ds);
+      exit 1
+    end
+  end;
+  (nl, List.map snd located)
 
 let print_nodes nl =
   let names = List.init (Netlist.node_count nl) (Netlist.node_name nl) in
@@ -104,61 +123,92 @@ let deck_arg =
 let node_arg default =
   Arg.(value & opt string default & info [ "node" ] ~docv:"NODE" ~doc:"Output node.")
 
+let no_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lint" ] ~doc:"Skip the pre-flight static netlist analyzer.")
+
+let lint_cmd =
+  let doc = "statically analyze a deck without running it (RF DRC)" in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON-lines output.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as errors.")
+  in
+  let run path json strict =
+    let nl, located = load_located path in
+    let ds = Lint.run nl located in
+    if json then begin
+      if ds <> [] then print_endline (Lint.report_json ~path ds)
+    end
+    else begin
+      let text, _ = Lint.report ~path ds in
+      if ds <> [] then print_endline text;
+      Printf.printf "%s: %s\n" path (Lint.summary ds)
+    end;
+    let _, fatal = Lint.report ~path ~strict ds in
+    if fatal then exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ deck_arg $ json $ strict)
+
 let dc_cmd =
   let doc = "DC operating point" in
-  let run path =
-    let nl, _ = load path in
+  let run path no_lint =
+    let nl, _ = load ~no_lint path in
     run_dc (Mna.build nl)
   in
-  Cmd.v (Cmd.info "dc" ~doc) Term.(const run $ deck_arg)
+  Cmd.v (Cmd.info "dc" ~doc) Term.(const run $ deck_arg $ no_lint_arg)
 
 let tran_cmd =
   let doc = "transient analysis (CSV on stdout)" in
   let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"Stop time (s).") in
   let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
-  let run path t_stop dt node =
-    let nl, _ = load path in
+  let run path no_lint t_stop dt node =
+    let nl, _ = load ~no_lint path in
     run_tran (Mna.build nl) ~t_stop ~dt ~nodes:[ node ]
   in
-  Cmd.v (Cmd.info "tran" ~doc) Term.(const run $ deck_arg $ t_stop $ dt $ node_arg "out")
+  Cmd.v (Cmd.info "tran" ~doc)
+    Term.(const run $ deck_arg $ no_lint_arg $ t_stop $ dt $ node_arg "out")
 
 let ac_cmd =
   let doc = "AC small-signal sweep (CSV on stdout)" in
   let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
   let source = Arg.(value & opt string "V1" & info [ "source" ] ~doc:"Driving source name.") in
-  let run path f_start f_stop source node =
-    let nl, _ = load path in
+  let run path no_lint f_start f_stop source node =
+    let nl, _ = load ~no_lint path in
     run_ac (Mna.build nl) ~f_start ~f_stop ~source ~node
   in
   Cmd.v (Cmd.info "ac" ~doc)
-    Term.(const run $ deck_arg $ f_start $ f_stop $ source $ node_arg "out")
+    Term.(const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ source $ node_arg "out")
 
 let noise_cmd =
   let doc = "output-noise PSD sweep (CSV on stdout)" in
   let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
-  let run path f_start f_stop node =
-    let nl, _ = load path in
+  let run path no_lint f_start f_stop node =
+    let nl, _ = load ~no_lint path in
     run_noise (Mna.build nl) ~f_start ~f_stop ~node
   in
   Cmd.v (Cmd.info "noise" ~doc)
-    Term.(const run $ deck_arg $ f_start $ f_stop $ node_arg "out")
+    Term.(const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ node_arg "out")
 
 let hb_cmd =
   let doc = "harmonic-balance periodic steady state" in
   let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
-  let run path freq harmonics node =
-    let nl, _ = load path in
+  let run path no_lint freq harmonics node =
+    let nl, _ = load ~no_lint path in
     run_hb (Mna.build nl) ~freq ~node ~harmonics
   in
-  Cmd.v (Cmd.info "hb" ~doc) Term.(const run $ deck_arg $ freq $ harmonics $ node_arg "out")
+  Cmd.v (Cmd.info "hb" ~doc)
+    Term.(const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out")
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in
-  let run path =
-    let nl, directives = load path in
+  let run path no_lint =
+    let nl, directives = load ~no_lint path in
     let c = Mna.build nl in
     Printf.printf "deck: %d nodes (%s), %d devices, %d directives\n\n"
       (Netlist.node_count nl) (print_nodes nl)
@@ -195,9 +245,11 @@ let run_cmd =
         | Deck.Print _ -> ())
       directives
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ deck_arg)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ deck_arg $ no_lint_arg)
 
 let () =
   let doc = "rfkit circuit simulator" in
   let info = Cmd.info "rfsim" ~version:Rfkit.version ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd; noise_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; lint_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd; noise_cmd ]))

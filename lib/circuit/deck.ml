@@ -20,31 +20,33 @@ let suffix_value = function
   | "t" -> 1e12
   | _ -> raise Not_found
 
-let parse_value s =
+(* Multiplier of a trailing alphabetic tail. SPICE semantics: the scale
+   prefix is the longest engineering suffix starting the tail; any letters
+   after it are a unit annotation ("1kohm", "47pF", "2.2MEGohm", "5v").
+   "meg" must be matched before the single letter "m" (milli). *)
+let tail_multiplier suf =
+  if suf = "" then 1.0
+  else if String.length suf >= 3 && String.sub suf 0 3 = "meg" then 1e6
+  else
+    match suffix_value (String.sub suf 0 1) with
+    | mult -> mult
+    | exception Not_found -> 1.0
+
+let parse_value ?(lineno = 0) s =
+  let fail msg = raise (Parse_error (lineno, msg)) in
   let s = String.lowercase_ascii (String.trim s) in
+  if s = "" then fail "empty numeric value";
   (* split trailing alphabetic suffix *)
   let n = String.length s in
-  let is_suffix_char ch = (ch >= 'a' && ch <= 'z') in
+  let is_suffix_char ch = ch >= 'a' && ch <= 'z' in
   let cut = ref n in
   while !cut > 0 && is_suffix_char s.[!cut - 1] do
     decr cut
   done;
   let num = String.sub s 0 !cut and suf = String.sub s !cut (n - !cut) in
-  let base =
-    match float_of_string_opt num with
-    | Some v -> v
-    | None -> failwith ("Deck.parse_value: bad number " ^ s)
-  in
-  if suf = "" then base
-  else begin
-    match suffix_value suf with
-    | mult -> base *. mult
-    | exception Not_found ->
-        (* common unit tails like "1kohm", "5v": try the first letter *)
-        (match suffix_value (String.sub suf 0 1) with
-        | mult -> base *. mult
-        | exception Not_found -> base)
-  end
+  match float_of_string_opt num with
+  | Some v -> v *. tail_multiplier suf
+  | None -> fail ("bad numeric value " ^ s)
 
 (* tokenize, keeping SIN(...) style groups as single tokens *)
 let tokenize line =
@@ -80,6 +82,7 @@ let tokenize line =
 let parse_source lineno tokens =
   (* tokens after the node names, e.g. ["DC"; "5"] or ["SIN(0 1 1e6)"] *)
   let fail msg = raise (Parse_error (lineno, msg)) in
+  let value = parse_value ~lineno in
   match tokens with
   | [] -> fail "missing source value"
   | [ v ] when String.length v >= 4 && String.uppercase_ascii (String.sub v 0 4) = "SIN(" ->
@@ -87,21 +90,16 @@ let parse_source lineno tokens =
       (match String.split_on_char ' ' (String.trim inner) |> List.filter (( <> ) "") with
       | [ offset; ampl; freq ] ->
           Wave.Sine
-            {
-              offset = parse_value offset;
-              ampl = parse_value ampl;
-              freq = parse_value freq;
-              phase = 0.0;
-            }
+            { offset = value offset; ampl = value ampl; freq = value freq; phase = 0.0 }
       | _ -> fail "SIN expects (offset ampl freq)")
   | [ v ]
     when String.length v >= 7 && String.uppercase_ascii (String.sub v 0 7) = "SQUARE(" ->
       let inner = String.sub v 7 (String.length v - 8) in
       (match String.split_on_char ' ' (String.trim inner) |> List.filter (( <> ) "") with
-      | [ ampl; freq ] -> Wave.square (parse_value ampl) (parse_value freq)
+      | [ ampl; freq ] -> Wave.square (value ampl) (value freq)
       | _ -> fail "SQUARE expects (ampl freq)")
-  | [ kw; v ] when String.uppercase_ascii kw = "DC" -> Wave.Dc (parse_value v)
-  | [ v ] -> Wave.Dc (parse_value v)
+  | [ kw; v ] when String.uppercase_ascii kw = "DC" -> Wave.Dc (value v)
+  | [ v ] -> Wave.Dc (value v)
   | _ -> fail "unrecognized source specification"
 
 let parse_params lineno tokens =
@@ -110,11 +108,11 @@ let parse_params lineno tokens =
       match String.index_opt tok '=' with
       | Some i ->
           ( String.uppercase_ascii (String.sub tok 0 i),
-            parse_value (String.sub tok (i + 1) (String.length tok - i - 1)) )
+            parse_value ~lineno (String.sub tok (i + 1) (String.length tok - i - 1)) )
       | None -> raise (Parse_error (lineno, "expected NAME=value, got " ^ tok)))
     tokens
 
-let parse_string text =
+let parse_string_located text =
   let nl = Netlist.create () in
   let directives = ref [] in
   let lines = String.split_on_char '\n' text in
@@ -129,57 +127,55 @@ let parse_string text =
         | [] -> ()
         | head :: rest -> begin
             let fail msg = raise (Parse_error (lineno, msg)) in
+            let value = parse_value ~lineno in
+            let directive d = directives := (lineno, d) :: !directives in
             let upper = String.uppercase_ascii head in
             if upper.[0] = '.' then begin
               match (String.lowercase_ascii head, rest) with
               | ".end", _ -> ()
-              | ".dc", _ -> directives := Dc_op :: !directives
+              | ".dc", _ -> directive Dc_op
               | ".tran", [ tstop; dt ] ->
-                  directives :=
-                    Tran { t_stop = parse_value tstop; dt = parse_value dt }
-                    :: !directives
+                  directive (Tran { t_stop = value tstop; dt = value dt })
               | ".ac", [ f1; f2 ] ->
-                  directives :=
-                    Ac_sweep { f_start = parse_value f1; f_stop = parse_value f2 }
-                    :: !directives
+                  directive (Ac_sweep { f_start = value f1; f_stop = value f2 })
               | ".noise", [ f1; f2 ] ->
-                  directives :=
-                    Noise_sweep { f_start = parse_value f1; f_stop = parse_value f2 }
-                    :: !directives
-              | ".hb", [ h ] ->
-                  directives := Hb { harmonics = int_of_float (parse_value h) } :: !directives
-              | ".print", nodes -> directives := Print nodes :: !directives
+                  directive (Noise_sweep { f_start = value f1; f_stop = value f2 })
+              | ".hb", [ h ] -> directive (Hb { harmonics = int_of_float (value h) })
+              | ".print", nodes -> directive (Print nodes)
               | d, _ -> fail ("unknown or malformed directive " ^ d)
             end
             else begin
+              let origin = lineno in
               match (upper.[0], rest) with
-              | 'R', [ p; n; v ] -> Netlist.resistor nl head p n (parse_value v)
-              | 'C', [ p; n; v ] -> Netlist.capacitor nl head p n (parse_value v)
-              | 'L', [ p; n; v ] -> Netlist.inductor nl head p n (parse_value v)
-              | 'V', p :: n :: src -> Netlist.vsource nl head p n (parse_source lineno src)
-              | 'I', p :: n :: src -> Netlist.isource nl head p n (parse_source lineno src)
+              | 'R', [ p; n; v ] -> Netlist.resistor nl ~origin head p n (value v)
+              | 'C', [ p; n; v ] -> Netlist.capacitor nl ~origin head p n (value v)
+              | 'L', [ p; n; v ] -> Netlist.inductor nl ~origin head p n (value v)
+              | 'V', p :: n :: src ->
+                  Netlist.vsource nl ~origin head p n (parse_source lineno src)
+              | 'I', p :: n :: src ->
+                  Netlist.isource nl ~origin head p n (parse_source lineno src)
               | 'G', [ p; n; cp; cn; gm ] ->
-                  Netlist.vccs nl head p n cp cn (parse_value gm)
+                  Netlist.vccs nl ~origin head p n cp cn (value gm)
               | 'D', p :: n :: params ->
                   let ps = parse_params lineno params in
                   let get key default =
                     match List.assoc_opt key ps with Some v -> v | None -> default
                   in
-                  Netlist.diode nl head p n ~is:(get "IS" 1e-14) ~nvt:(get "NVT" 0.02585)
-                    ~cj:(get "CJ" 0.0) ()
+                  Netlist.diode nl ~origin head p n ~is:(get "IS" 1e-14)
+                    ~nvt:(get "NVT" 0.02585) ~cj:(get "CJ" 0.0) ()
               | 'N', p :: n :: params ->
                   let ps = parse_params lineno params in
                   let get key default =
                     match List.assoc_opt key ps with Some v -> v | None -> default
                   in
-                  Netlist.noise_current nl head p n ~white:(get "WHITE" 1e-22)
+                  Netlist.noise_current nl ~origin head p n ~white:(get "WHITE" 1e-22)
                     ~flicker_corner:(get "FC" 0.0)
               | 'M', d :: g :: s :: params ->
                   let ps = parse_params lineno params in
                   let get key default =
                     match List.assoc_opt key ps with Some v -> v | None -> default
                   in
-                  Netlist.mosfet nl head ~d ~g ~s ~kp:(get "KP" 2e-4)
+                  Netlist.mosfet nl ~origin head ~d ~g ~s ~kp:(get "KP" 2e-4)
                     ~vth:(get "VTH" 0.5) ~lambda:(get "LAMBDA" 0.01)
                     ~cgs:(get "CGS" 1e-15) ~cgd:(get "CGD" 1e-16) ()
               | _ -> fail ("unrecognized card: " ^ line)
@@ -189,9 +185,16 @@ let parse_string text =
     lines;
   (nl, List.rev !directives)
 
-let parse_file path =
+let parse_string text =
+  let nl, located = parse_string_located text in
+  (nl, List.map snd located)
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string text
+  text
+
+let parse_file_located path = parse_string_located (read_file path)
+let parse_file path = parse_string (read_file path)

@@ -13,7 +13,13 @@
     - directives: [.tran tstop dt], [.ac fstart fstop], [.dc], [.hb harms],
       [.noise fstart fstop], [.print node ...], [.end]
 
-    Engineering suffixes f p n u m k meg g t are understood. *)
+    Engineering suffixes f p n u m k meg g t are understood (case
+    insensitive, [MEG] wins over milli); letters after the scale prefix are
+    a unit annotation ([47pF], [1kohm], [5v]).
+
+    Parsed devices carry their 1-based deck line as [Device.origin], and
+    the [_located] entry points pair each directive with its line, so the
+    {!Rfkit_lint} analyzer can point diagnostics at the offending card. *)
 
 type directive =
   | Tran of { t_stop : float; dt : float }
@@ -26,9 +32,15 @@ type directive =
 exception Parse_error of int * string
 (** Line number and message. *)
 
-val parse_value : string -> float
+val parse_value : ?lineno:int -> string -> float
 (** Numeric literal with engineering suffix.
-    @raise Failure on malformed input. *)
+    @raise Parse_error on malformed input (line [lineno], default [0]). *)
 
 val parse_string : string -> Netlist.t * directive list
 val parse_file : string -> Netlist.t * directive list
+
+val parse_string_located : string -> Netlist.t * (int * directive) list
+(** Like {!parse_string}, but each directive is paired with its 1-based
+    deck line number. *)
+
+val parse_file_located : string -> Netlist.t * (int * directive) list

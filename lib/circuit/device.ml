@@ -1,13 +1,29 @@
 type node = int
 
 type t =
-  | Resistor of { name : string; p : node; n : node; r : float }
-  | Capacitor of { name : string; p : node; n : node; c : float }
-  | Inductor of { name : string; p : node; n : node; l : float }
-  | Vsource of { name : string; p : node; n : node; wave : Wave.t }
-  | Isource of { name : string; p : node; n : node; wave : Wave.t }
-  | Vccs of { name : string; p : node; n : node; cp : node; cn : node; gm : float }
-  | Diode of { name : string; p : node; n : node; is : float; nvt : float; cj : float }
+  | Resistor of { name : string; p : node; n : node; r : float; origin : int option }
+  | Capacitor of { name : string; p : node; n : node; c : float; origin : int option }
+  | Inductor of { name : string; p : node; n : node; l : float; origin : int option }
+  | Vsource of { name : string; p : node; n : node; wave : Wave.t; origin : int option }
+  | Isource of { name : string; p : node; n : node; wave : Wave.t; origin : int option }
+  | Vccs of {
+      name : string;
+      p : node;
+      n : node;
+      cp : node;
+      cn : node;
+      gm : float;
+      origin : int option;
+    }
+  | Diode of {
+      name : string;
+      p : node;
+      n : node;
+      is : float;
+      nvt : float;
+      cj : float;
+      origin : int option;
+    }
   | Tanh_gm of {
       name : string;
       p : node;
@@ -16,9 +32,24 @@ type t =
       cn : node;
       gm : float;
       vsat : float;
+      origin : int option;
     }
-  | Cubic_conductor of { name : string; p : node; n : node; g1 : float; g3 : float }
-  | Nl_capacitor of { name : string; p : node; n : node; c0 : float; c1 : float }
+  | Cubic_conductor of {
+      name : string;
+      p : node;
+      n : node;
+      g1 : float;
+      g3 : float;
+      origin : int option;
+    }
+  | Nl_capacitor of {
+      name : string;
+      p : node;
+      n : node;
+      c0 : float;
+      c1 : float;
+      origin : int option;
+    }
   | Mult_vccs of {
       name : string;
       p : node;
@@ -28,6 +59,7 @@ type t =
       b_p : node;
       b_n : node;
       k : float;
+      origin : int option;
     }
   | Mosfet of {
       name : string;
@@ -39,6 +71,7 @@ type t =
       lambda : float;
       cgs : float;
       cgd : float;
+      origin : int option;
     }
   | Noise_current of {
       name : string;
@@ -46,6 +79,7 @@ type t =
       n : node;
       white : float;
       flicker_corner : float;
+      origin : int option;
     }
 
 let name = function
@@ -62,6 +96,37 @@ let name = function
   | Mult_vccs { name; _ }
   | Mosfet { name; _ }
   | Noise_current { name; _ } -> name
+
+let origin = function
+  | Resistor { origin; _ }
+  | Capacitor { origin; _ }
+  | Inductor { origin; _ }
+  | Vsource { origin; _ }
+  | Isource { origin; _ }
+  | Vccs { origin; _ }
+  | Diode { origin; _ }
+  | Tanh_gm { origin; _ }
+  | Cubic_conductor { origin; _ }
+  | Nl_capacitor { origin; _ }
+  | Mult_vccs { origin; _ }
+  | Mosfet { origin; _ }
+  | Noise_current { origin; _ } -> origin
+
+let terminals = function
+  | Resistor { p; n; _ }
+  | Capacitor { p; n; _ }
+  | Inductor { p; n; _ }
+  | Vsource { p; n; _ }
+  | Isource { p; n; _ }
+  | Diode { p; n; _ }
+  | Cubic_conductor { p; n; _ }
+  | Nl_capacitor { p; n; _ }
+  | Noise_current { p; n; _ } -> [ ("p", p); ("n", n) ]
+  | Vccs { p; n; cp; cn; _ } | Tanh_gm { p; n; cp; cn; _ } ->
+      [ ("p", p); ("n", n); ("cp", cp); ("cn", cn) ]
+  | Mult_vccs { p; n; a_p; a_n; b_p; b_n; _ } ->
+      [ ("p", p); ("n", n); ("ap", a_p); ("an", a_n); ("bp", b_p); ("bn", b_n) ]
+  | Mosfet { d; g; s; _ } -> [ ("d", d); ("g", g); ("s", s) ]
 
 let is_linear = function
   | Resistor _ | Capacitor _ | Inductor _ | Vsource _ | Isource _ | Vccs _
@@ -98,7 +163,7 @@ let room_temp = 300.0
 let noise_sources ~node_voltage dev =
   let kt4 = 4.0 *. boltzmann *. room_temp in
   match dev with
-  | Resistor { name; p; n; r } when r > 0.0 ->
+  | Resistor { name; p; n; r; _ } when r > 0.0 ->
       [
         {
           label = name ^ ":thermal";
@@ -129,7 +194,7 @@ let noise_sources ~node_voltage dev =
       in
       (* the 1/f corner of a late-90s CMOS device: ~100 kHz *)
       [ { label = name ^ ":channel"; np = d; nn = s; psd_at; flicker_corner = 1e5 } ]
-  | Noise_current { name; p; n; white; flicker_corner } ->
+  | Noise_current { name; p; n; white; flicker_corner; _ } ->
       [
         {
           label = name ^ ":excess";

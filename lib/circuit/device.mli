@@ -4,6 +4,10 @@
     nodes are [0 ..]. Branch-current unknowns (voltage sources, inductors)
     are allocated by {!Mna}.
 
+    Every element carries an optional [origin]: the 1-based deck line the
+    element was parsed from ([None] for programmatically built netlists).
+    Lint diagnostics and runtime errors use it to cite the offending card.
+
     The nonlinear behavioral elements ([Tanh_gm], [Cubic_conductor]) are
     the workhorses of RF macro-modeling: a tanh transconductor is a
     switching mixer core / limiting amplifier, and a cubic conductor with
@@ -13,16 +17,30 @@
 type node = int
 
 type t =
-  | Resistor of { name : string; p : node; n : node; r : float }
-  | Capacitor of { name : string; p : node; n : node; c : float }
-  | Inductor of { name : string; p : node; n : node; l : float }
-  | Vsource of { name : string; p : node; n : node; wave : Wave.t }
-  | Isource of { name : string; p : node; n : node; wave : Wave.t }
+  | Resistor of { name : string; p : node; n : node; r : float; origin : int option }
+  | Capacitor of { name : string; p : node; n : node; c : float; origin : int option }
+  | Inductor of { name : string; p : node; n : node; l : float; origin : int option }
+  | Vsource of { name : string; p : node; n : node; wave : Wave.t; origin : int option }
+  | Isource of { name : string; p : node; n : node; wave : Wave.t; origin : int option }
       (** Injects [wave t] amperes into node [p] and removes from [n]. *)
-  | Vccs of { name : string; p : node; n : node; cp : node; cn : node; gm : float }
-      (** Current [gm * v(cp,cn)] flows from [p] to [n] inside the device. *)
-  | Diode of { name : string; p : node; n : node; is : float; nvt : float; cj : float }
-      (** [i = is (e^{v/nvt} - 1)], linear junction capacitance [cj]. *)
+  | Vccs of {
+      name : string;
+      p : node;
+      n : node;
+      cp : node;
+      cn : node;
+      gm : float;
+      origin : int option;
+    }  (** Current [gm * v(cp,cn)] flows from [p] to [n] inside the device. *)
+  | Diode of {
+      name : string;
+      p : node;
+      n : node;
+      is : float;
+      nvt : float;
+      cj : float;
+      origin : int option;
+    }  (** [i = is (e^{v/nvt} - 1)], linear junction capacitance [cj]. *)
   | Tanh_gm of {
       name : string;
       p : node;
@@ -31,11 +49,24 @@ type t =
       cn : node;
       gm : float;
       vsat : float;
+      origin : int option;
     }  (** Saturating transconductor: [i = gm vsat tanh(v_c / vsat)]. *)
-  | Cubic_conductor of { name : string; p : node; n : node; g1 : float; g3 : float }
-      (** [i = g1 v + g3 v^3]; [g1 < 0 < g3] gives a van der Pol element. *)
-  | Nl_capacitor of { name : string; p : node; n : node; c0 : float; c1 : float }
-      (** Charge [q = c0 v + c1 v^2 / 2] (varactor-like). *)
+  | Cubic_conductor of {
+      name : string;
+      p : node;
+      n : node;
+      g1 : float;
+      g3 : float;
+      origin : int option;
+    }  (** [i = g1 v + g3 v^3]; [g1 < 0 < g3] gives a van der Pol element. *)
+  | Nl_capacitor of {
+      name : string;
+      p : node;
+      n : node;
+      c0 : float;
+      c1 : float;
+      origin : int option;
+    }  (** Charge [q = c0 v + c1 v^2 / 2] (varactor-like). *)
   | Mult_vccs of {
       name : string;
       p : node;
@@ -45,6 +76,7 @@ type t =
       b_p : node;
       b_n : node;
       k : float;
+      origin : int option;
     }  (** Multiplying transconductor: [i = k v(a) v(b)] from [p] to [n] --
           the behavioral mixer/modulator core (a Gilbert cell at the
           macromodel level). *)
@@ -58,6 +90,7 @@ type t =
       lambda : float;  (** channel-length modulation *)
       cgs : float;
       cgd : float;
+      origin : int option;
     }  (** N-channel square-law device; handles reverse operation by
           source/drain exchange. *)
   | Noise_current of {
@@ -66,11 +99,20 @@ type t =
       n : node;
       white : float;          (** one-sided PSD, A^2/Hz *)
       flicker_corner : float; (** 1/f corner, Hz; 0 for white *)
+      origin : int option;
     }  (** Behavioural noise generator: electrically inert, but registers
           a (possibly colored) current noise source between its nodes --
           how excess device noise enters macromodels. *)
 
 val name : t -> string
+
+val origin : t -> int option
+(** Deck line number the element came from, when parsed from a deck. *)
+
+val terminals : t -> (string * node) list
+(** Labeled terminal nodes, e.g. [[("p", 3); ("n", -1)]]; MOSFETs report
+    [d]/[g]/[s], controlled sources include their control pins. *)
+
 val is_linear : t -> bool
 val has_branch_current : t -> bool
 (** True for elements needing an MNA branch unknown. *)

@@ -7,8 +7,10 @@ type t = {
 let gnd = -1
 let create () = { names = []; next = 0; devs = [] }
 
+let is_ground name = name = "0" || String.lowercase_ascii name = "gnd"
+
 let node nl name =
-  if name = "0" || String.lowercase_ascii name = "gnd" then gnd
+  if is_ground name then gnd
   else
     match List.assoc_opt name nl.names with
     | Some idx -> idx
@@ -17,6 +19,9 @@ let node nl name =
         nl.names <- (name, idx) :: nl.names;
         nl.next <- idx + 1;
         idx
+
+let find_node nl name =
+  if is_ground name then Some gnd else List.assoc_opt name nl.names
 
 let node_count nl = nl.next
 
@@ -30,41 +35,50 @@ let node_name nl idx =
 let devices nl = List.rev nl.devs
 let add nl d = nl.devs <- d :: nl.devs
 
-let resistor nl name p n r =
-  add nl (Device.Resistor { name; p = node nl p; n = node nl n; r })
+let resistor nl ?origin name p n r =
+  add nl (Device.Resistor { name; p = node nl p; n = node nl n; r; origin })
 
-let capacitor nl name p n c =
-  add nl (Device.Capacitor { name; p = node nl p; n = node nl n; c })
+let capacitor nl ?origin name p n c =
+  add nl (Device.Capacitor { name; p = node nl p; n = node nl n; c; origin })
 
-let inductor nl name p n l =
-  add nl (Device.Inductor { name; p = node nl p; n = node nl n; l })
+let inductor nl ?origin name p n l =
+  add nl (Device.Inductor { name; p = node nl p; n = node nl n; l; origin })
 
-let vsource nl name p n wave =
-  add nl (Device.Vsource { name; p = node nl p; n = node nl n; wave })
+let vsource nl ?origin name p n wave =
+  add nl (Device.Vsource { name; p = node nl p; n = node nl n; wave; origin })
 
-let isource nl name p n wave =
-  add nl (Device.Isource { name; p = node nl p; n = node nl n; wave })
+let isource nl ?origin name p n wave =
+  add nl (Device.Isource { name; p = node nl p; n = node nl n; wave; origin })
 
-let vccs nl name p n cp cn gm =
+let vccs nl ?origin name p n cp cn gm =
   add nl
     (Device.Vccs
-       { name; p = node nl p; n = node nl n; cp = node nl cp; cn = node nl cn; gm })
+       { name; p = node nl p; n = node nl n; cp = node nl cp; cn = node nl cn; gm; origin })
 
-let diode nl name p n ?(is = 1e-14) ?(nvt = 0.02585) ?(cj = 0.0) () =
-  add nl (Device.Diode { name; p = node nl p; n = node nl n; is; nvt; cj })
+let diode nl ?origin name p n ?(is = 1e-14) ?(nvt = 0.02585) ?(cj = 0.0) () =
+  add nl (Device.Diode { name; p = node nl p; n = node nl n; is; nvt; cj; origin })
 
-let tanh_gm nl name p n cp cn ~gm ~vsat =
+let tanh_gm nl ?origin name p n cp cn ~gm ~vsat =
   add nl
     (Device.Tanh_gm
-       { name; p = node nl p; n = node nl n; cp = node nl cp; cn = node nl cn; gm; vsat })
+       {
+         name;
+         p = node nl p;
+         n = node nl n;
+         cp = node nl cp;
+         cn = node nl cn;
+         gm;
+         vsat;
+         origin;
+       })
 
-let cubic_conductor nl name p n ~g1 ~g3 =
-  add nl (Device.Cubic_conductor { name; p = node nl p; n = node nl n; g1; g3 })
+let cubic_conductor nl ?origin name p n ~g1 ~g3 =
+  add nl (Device.Cubic_conductor { name; p = node nl p; n = node nl n; g1; g3; origin })
 
-let nl_capacitor nl name p n ~c0 ~c1 =
-  add nl (Device.Nl_capacitor { name; p = node nl p; n = node nl n; c0; c1 })
+let nl_capacitor nl ?origin name p n ~c0 ~c1 =
+  add nl (Device.Nl_capacitor { name; p = node nl p; n = node nl n; c0; c1; origin })
 
-let mult_vccs nl name p n ~a:(ap, an) ~b:(bp, bn) ~k =
+let mult_vccs nl ?origin name p n ~a:(ap, an) ~b:(bp, bn) ~k =
   add nl
     (Device.Mult_vccs
        {
@@ -76,15 +90,27 @@ let mult_vccs nl name p n ~a:(ap, an) ~b:(bp, bn) ~k =
          b_p = node nl bp;
          b_n = node nl bn;
          k;
+         origin;
        })
 
-let noise_current nl name p n ~white ~flicker_corner =
+let noise_current nl ?origin name p n ~white ~flicker_corner =
   add nl
     (Device.Noise_current
-       { name; p = node nl p; n = node nl n; white; flicker_corner })
+       { name; p = node nl p; n = node nl n; white; flicker_corner; origin })
 
-let mosfet nl name ~d ~g ~s ?(kp = 2e-4) ?(vth = 0.5) ?(lambda = 0.01) ?(cgs = 1e-15)
-    ?(cgd = 1e-16) () =
+let mosfet nl ?origin name ~d ~g ~s ?(kp = 2e-4) ?(vth = 0.5) ?(lambda = 0.01)
+    ?(cgs = 1e-15) ?(cgd = 1e-16) () =
   add nl
     (Device.Mosfet
-       { name; d = node nl d; g = node nl g; s = node nl s; kp; vth; lambda; cgs; cgd })
+       {
+         name;
+         d = node nl d;
+         g = node nl g;
+         s = node nl s;
+         kp;
+         vth;
+         lambda;
+         cgs;
+         cgd;
+         origin;
+       })

@@ -9,6 +9,7 @@
     - {!Noise}: oscillator Floquet/PPV phase-noise theory
     - {!Em}: MoM extraction, IES3 compression, partial inductance
     - {!Rom}: PVL/Arnoldi reduced-order modeling
+    - {!Lint}: static netlist analyzer (pre-flight "RF DRC" diagnostics)
 
     Each alias re-exports a library whose modules carry their own
     documentation; start with {!Rf.Hb} and {!Circuit.Netlist}. *)
@@ -19,6 +20,7 @@ module Rf = Rfkit_rf
 module Noise = Rfkit_noise
 module Em = Rfkit_em
 module Rom = Rfkit_rom
+module Lint = Rfkit_lint
 
 (** Library version. *)
 let version = "1.0.0"

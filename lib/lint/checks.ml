@@ -1,0 +1,404 @@
+open Rfkit_circuit
+module D = Diagnostic
+
+(* ------------------------------------------------------------- helpers -- *)
+
+let devices_touching nl =
+  (* node index -> devices attached to one of its terminals, deck order *)
+  let n = Netlist.node_count nl in
+  let table = Array.make n [] in
+  List.iter
+    (fun dev ->
+      let seen = ref [] in
+      List.iter
+        (fun (_, nd) ->
+          if nd >= 0 && not (List.memq nd !seen) then begin
+            seen := nd :: !seen;
+            table.(nd) <- dev :: table.(nd)
+          end)
+        (Device.terminals dev))
+    (Netlist.devices nl);
+  Array.map List.rev table
+
+let earliest_origin devs =
+  List.fold_left
+    (fun acc dev ->
+      match (acc, Device.origin dev) with
+      | None, o -> o
+      | Some a, Some b -> Some (min a b)
+      | Some _, None -> acc)
+    None devs
+
+let name_list nl nodes =
+  String.concat ", " (List.map (Netlist.node_name nl) nodes)
+
+(* group the nodes failing [reached] into islands by union-find root *)
+let islands_of nl graph ~reached =
+  let n = Netlist.node_count nl in
+  let groups = Hashtbl.create 8 in
+  for nd = n - 1 downto 0 do
+    if not (reached nd) then begin
+      (* key the island by its lowest member seen so far *)
+      let key =
+        let rec probe k = if k = nd || Graph.connected graph k nd then k else probe (k + 1) in
+        probe 0
+      in
+      let prev = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (nd :: prev)
+    end
+  done;
+  Hashtbl.fold (fun _ nodes acc -> List.sort compare nodes :: acc) groups []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+(* ------------------------------------------------- L001 floating nodes -- *)
+
+let floating_nodes nl =
+  let touching = devices_touching nl in
+  let g = Graph.of_netlist ~edges_of:Graph.galvanic_edges nl in
+  islands_of nl g ~reached:(Graph.reaches_ground g)
+  |> List.map (fun nodes ->
+         let devs = List.concat_map (fun nd -> touching.(nd)) nodes in
+         let msg =
+           match nodes with
+           | [ _ ] ->
+               Printf.sprintf "node %s has no electrical path to ground (floating)"
+                 (name_list nl nodes)
+           | _ ->
+               Printf.sprintf
+                 "nodes %s form a connectivity island with no path to ground"
+                 (name_list nl nodes)
+         in
+         D.error ?line:(earliest_origin devs) ~subject:(name_list nl nodes) "L001" msg)
+
+(* --------------------------------------- L002 voltage-source / L loops -- *)
+
+let source_loops nl =
+  let g = Graph.create ~node_count:(Netlist.node_count nl) in
+  List.filter_map
+    (fun dev ->
+      let loop_edge kind p n =
+        if p = n then None (* self-shorts are L004's business *)
+        else if Graph.adds_cycle g p n then
+          Some
+            (D.error ?line:(Device.origin dev) ~subject:(Device.name dev) "L002"
+               (Printf.sprintf
+                  "%s %s closes a loop of voltage sources/inductors: branch currents \
+                   are underdetermined and the MNA matrix is singular"
+                  kind (Device.name dev)))
+        else None
+      in
+      match dev with
+      | Device.Vsource { p; n; _ } -> loop_edge "voltage source" p n
+      | Device.Inductor { p; n; _ } -> loop_edge "inductor" p n
+      | _ -> None)
+    (Netlist.devices nl)
+
+(* ------------------------------------ L003 C / I-source cutsets (no DC) -- *)
+
+let dc_path_cutsets nl =
+  let touching = devices_touching nl in
+  let galvanic = Graph.of_netlist ~edges_of:Graph.galvanic_edges nl in
+  let conductive = Graph.of_netlist ~edges_of:Graph.dc_path_edges nl in
+  (* only nodes that L001 does NOT already flag: wired up, but isolated at DC *)
+  islands_of nl conductive ~reached:(fun nd ->
+      Graph.reaches_ground conductive nd || not (Graph.reaches_ground galvanic nd))
+  |> List.map (fun nodes ->
+         let devs = List.concat_map (fun nd -> touching.(nd)) nodes in
+         let what =
+           match nodes with
+           | [ _ ] -> Printf.sprintf "node %s has" (name_list nl nodes)
+           | _ -> Printf.sprintf "nodes %s have" (name_list nl nodes)
+         in
+         D.error ?line:(earliest_origin devs) ~subject:(name_list nl nodes) "L003"
+           (Printf.sprintf
+              "%s no DC path to ground (capacitor/current-source cutset): the DC \
+               conductance matrix is singular"
+              what))
+
+(* -------------------------------------- L004 dangling / shorted pins -- *)
+
+let terminal_sanity nl =
+  let touching = devices_touching nl in
+  let shorts =
+    List.filter_map
+      (fun dev ->
+        let line = Device.origin dev and subject = Device.name dev in
+        match dev with
+        | Device.Vsource { p; n; _ } when p = n ->
+            Some
+              (D.error ?line ~subject "L004"
+                 (Printf.sprintf
+                    "voltage source %s has both terminals on node %s: a nonzero EMF \
+                     across a short is contradictory"
+                    subject (Netlist.node_name nl p)))
+        | Device.Resistor { p; n; _ }
+        | Device.Capacitor { p; n; _ }
+        | Device.Inductor { p; n; _ }
+        | Device.Isource { p; n; _ }
+        | Device.Diode { p; n; _ }
+        | Device.Cubic_conductor { p; n; _ }
+        | Device.Nl_capacitor { p; n; _ }
+        | Device.Noise_current { p; n; _ }
+          when p = n ->
+            Some
+              (D.warning ?line ~subject "L004"
+                 (Printf.sprintf "%s is shorted to itself on node %s (no effect)"
+                    subject (Netlist.node_name nl p)))
+        | Device.Vccs { p = _; n = _; cp; cn; _ } | Device.Tanh_gm { cp; cn; _ }
+          when cp = cn ->
+            Some
+              (D.warning ?line ~subject "L004"
+                 (Printf.sprintf
+                    "%s senses v(%s,%s) = 0: the controlled source never turns on"
+                    subject (Netlist.node_name nl cp) (Netlist.node_name nl cn)))
+        | Device.Mosfet { d; s; _ } when d = s ->
+            Some
+              (D.warning ?line ~subject "L004"
+                 (Printf.sprintf "%s has drain and source on node %s" subject
+                    (Netlist.node_name nl d)))
+        | _ -> None)
+      (Netlist.devices nl)
+  in
+  let dangling =
+    Array.to_list touching
+    |> List.mapi (fun nd devs -> (nd, devs))
+    |> List.filter_map (fun (nd, devs) ->
+           match devs with
+           | [ dev ] ->
+               (* a single attachment can still be legitimate (a probe hung on a
+                  source), so this is a warning, not an error *)
+               let uses = List.filter (fun (_, n) -> n = nd) (Device.terminals dev) in
+               if List.length uses = 1 then
+                 Some
+                   (D.warning
+                      ?line:(Device.origin dev)
+                      ~subject:(Netlist.node_name nl nd) "L004"
+                      (Printf.sprintf
+                         "node %s connects to a single device terminal (%s): dangling?"
+                         (Netlist.node_name nl nd) (Device.name dev)))
+               else None
+           | _ -> None)
+  in
+  shorts @ dangling
+
+(* --------------------------------------------- L005 element values -- *)
+
+let wave_params = function
+  | Wave.Dc v -> [ ("dc", v) ]
+  | Wave.Sine { ampl; freq; phase; offset } ->
+      [ ("ampl", ampl); ("freq", freq); ("phase", phase); ("offset", offset) ]
+  | Wave.Square { ampl; freq; rise; offset } ->
+      [ ("ampl", ampl); ("freq", freq); ("rise", rise); ("offset", offset) ]
+  | Wave.Pulse { low; high; freq; duty; rise } ->
+      [ ("low", low); ("high", high); ("freq", freq); ("duty", duty); ("rise", rise) ]
+  | Wave.Pwl pts ->
+      Array.to_list pts
+      |> List.concat_map (fun (t, v) -> [ ("t", t); ("v", v) ])
+  | Wave.Sum _ -> []
+
+let rec wave_all_params w =
+  match w with
+  | Wave.Sum ws -> List.concat_map wave_all_params ws
+  | w -> wave_params w
+
+let element_values nl =
+  let finite v = Float.is_finite v && not (Float.is_nan v) in
+  List.concat_map
+    (fun dev ->
+      let line = Device.origin dev and subject = Device.name dev in
+      let err fmt = Printf.ksprintf (fun m -> D.error ?line ~subject "L005" m) fmt in
+      let warn fmt = Printf.ksprintf (fun m -> D.warning ?line ~subject "L005" m) fmt in
+      let hint fmt = Printf.ksprintf (fun m -> D.hint ?line ~subject "L005" m) fmt in
+      let nonfinite what v =
+        if finite v then [] else [ err "%s of %s is %g (not finite)" what subject v ]
+      in
+      match dev with
+      | Device.Resistor { r; _ } ->
+          if not (finite r) then [ err "resistance of %s is not finite" subject ]
+          else if r = 0.0 then
+            [ err "%s has zero resistance: use a voltage source or merge the nodes" subject ]
+          else if r < 0.0 then
+            [ warn "%s has negative resistance %g ohm (intentional macromodel?)" subject r ]
+          else if r > 1e12 then
+            [ hint "%s = %g ohm is suspiciously large: check the unit suffix" subject r ]
+          else if r < 1e-6 then
+            [ hint "%s = %g ohm is suspiciously small: check the unit suffix" subject r ]
+          else []
+      | Device.Capacitor { c; _ } ->
+          if not (finite c) then [ err "capacitance of %s is not finite" subject ]
+          else if c <= 0.0 then [ warn "%s has non-positive capacitance %g F" subject c ]
+          else if c >= 1.0 then
+            [ hint "%s = %g F is suspiciously large: check the unit suffix" subject c ]
+          else []
+      | Device.Inductor { l; _ } ->
+          if not (finite l) then [ err "inductance of %s is not finite" subject ]
+          else if l <= 0.0 then [ warn "%s has non-positive inductance %g H" subject l ]
+          else if l >= 1.0 then
+            [ hint "%s = %g H is suspiciously large: check the unit suffix" subject l ]
+          else []
+      | Device.Vsource { wave; _ } | Device.Isource { wave; _ } ->
+          List.concat_map
+            (fun (what, v) ->
+              if not (finite v) then [ err "%s of %s is not finite" what subject ]
+              else if what = "freq" && v < 0.0 then
+                [ err "%s of %s is negative (%g Hz)" what subject v ]
+              else if what = "freq" && v = 0.0 then
+                [ warn "%s drives a periodic wave at 0 Hz" subject ]
+              else [])
+            (wave_all_params wave)
+      | Device.Vccs { gm; _ } -> nonfinite "transconductance" gm
+      | Device.Diode { is; nvt; cj; _ } ->
+          (if is <= 0.0 then [ err "%s has non-positive saturation current IS=%g" subject is ]
+           else [])
+          @ (if nvt <= 0.0 then [ err "%s has non-positive thermal voltage NVT=%g" subject nvt ]
+             else [])
+          @ (if cj < 0.0 then [ warn "%s has negative junction capacitance CJ=%g" subject cj ]
+             else [])
+      | Device.Tanh_gm { gm; vsat; _ } ->
+          nonfinite "transconductance" gm
+          @ if vsat <= 0.0 then [ err "%s has non-positive saturation voltage" subject ] else []
+      | Device.Cubic_conductor { g1; g3; _ } ->
+          nonfinite "linear conductance" g1 @ nonfinite "cubic coefficient" g3
+      | Device.Nl_capacitor { c0; _ } ->
+          if c0 <= 0.0 then [ warn "%s has non-positive base capacitance %g F" subject c0 ]
+          else []
+      | Device.Mult_vccs { k; _ } -> nonfinite "gain" k
+      | Device.Mosfet { kp; cgs; cgd; _ } ->
+          (if kp <= 0.0 then [ warn "%s has non-positive KP=%g: the device never conducts" subject kp ]
+           else [])
+          @ (if cgs < 0.0 || cgd < 0.0 then [ warn "%s has negative gate capacitance" subject ]
+             else [])
+      | Device.Noise_current { white; _ } ->
+          if white < 0.0 then [ err "%s has negative noise PSD %g" subject white ] else []
+      )
+    (Netlist.devices nl)
+
+(* ------------------------------------------- L010..L013 directive sanity -- *)
+
+let source_fundamentals nl =
+  List.concat_map
+    (fun dev ->
+      match dev with
+      | Device.Vsource { wave; _ } | Device.Isource { wave; _ } -> Wave.fundamentals wave
+      | _ -> [])
+    (Netlist.devices nl)
+  |> List.sort_uniq compare
+
+let directive_sanity nl located =
+  let has_nonlinear = List.exists (fun d -> not (Device.is_linear d)) (Netlist.devices nl) in
+  let fundamentals = source_fundamentals nl in
+  List.concat_map
+    (fun (line, dir) ->
+      match dir with
+      | Deck.Tran { t_stop; dt } ->
+          let err m = D.error ~line ~subject:".tran" "L010" m in
+          let warn m = D.warning ~line ~subject:".tran" "L010" m in
+          if dt <= 0.0 then [ err (Printf.sprintf "time step dt = %g must be positive" dt) ]
+          else if t_stop <= 0.0 then
+            [ err (Printf.sprintf "stop time %g must be positive" t_stop) ]
+          else if dt > t_stop then
+            [ err (Printf.sprintf "time step %g exceeds stop time %g" dt t_stop) ]
+          else begin
+            let steps = t_stop /. dt in
+            (if steps > 1e7 then
+               [ warn
+                   (Printf.sprintf
+                      "t_stop/dt = %.3g time steps: this transient will be very slow"
+                      steps) ]
+             else if steps < 10.0 then
+               [ warn (Printf.sprintf "only %.0f time steps: nothing will be resolved" steps) ]
+             else [])
+            @
+            match fundamentals with
+            | [] -> []
+            | fs ->
+                let fmax = List.fold_left max 0.0 fs in
+                if fmax > 0.0 && dt *. fmax > 0.2 then
+                  [ warn
+                      (Printf.sprintf
+                         "dt = %g under-samples the %g Hz source (%.1f points per period)"
+                         dt fmax (1.0 /. (dt *. fmax))) ]
+                else []
+          end
+      | Deck.Hb { harmonics } ->
+          let err m = D.error ~line ~subject:".hb" "L011" m in
+          if harmonics <= 0 then
+            [ err (Printf.sprintf "harmonic count %d must be positive" harmonics) ]
+          else
+            (if fundamentals = [] then
+               [ err "no periodic source in the deck: harmonic balance has no fundamental" ]
+             else [])
+            @ (if not has_nonlinear then
+                 [ D.hint ~line ~subject:".hb" "L011"
+                     "every device is linear: a single AC solve would give the same answer"
+                 ]
+               else [])
+            @
+            if harmonics > 512 then
+              [ D.warning ~line ~subject:".hb" "L011"
+                  (Printf.sprintf "%d harmonics is a very large HB system" harmonics)
+              ]
+            else []
+      | Deck.Ac_sweep { f_start; f_stop } | Deck.Noise_sweep { f_start; f_stop } ->
+          let subject =
+            match dir with Deck.Noise_sweep _ -> ".noise" | _ -> ".ac" in
+          let err m = D.error ~line ~subject "L012" m in
+          if f_start <= 0.0 then
+            [ err
+                (Printf.sprintf
+                   "start frequency %g must be positive (sweeps are logarithmic)" f_start)
+            ]
+          else if f_stop < f_start then
+            [ err (Printf.sprintf "sweep bounds are reversed (%g .. %g Hz)" f_start f_stop) ]
+          else []
+      | Deck.Print names ->
+          List.filter_map
+            (fun name ->
+              match Netlist.find_node nl name with
+              | Some _ -> None
+              | None ->
+                  Some
+                    (D.warning ~line ~subject:name "L013"
+                       (Printf.sprintf ".print references unknown node %s" name)))
+            names
+      | Deck.Dc_op -> [])
+    located
+
+(* --------------------------------------- L020 conductance-spread risk -- *)
+
+let conductance_spread nl =
+  let entries =
+    List.filter_map
+      (fun dev ->
+        let entry g = Some (Device.name dev, Device.origin dev, Float.abs g) in
+        match dev with
+        | Device.Resistor { r; _ } when r <> 0.0 && Float.is_finite r -> entry (1.0 /. r)
+        | Device.Vccs { gm; _ } when gm <> 0.0 -> entry gm
+        | Device.Tanh_gm { gm; _ } when gm <> 0.0 -> entry gm
+        | Device.Cubic_conductor { g1; _ } when g1 <> 0.0 -> entry g1
+        | _ -> None)
+      (Netlist.devices nl)
+  in
+  match entries with
+  | [] | [ _ ] -> []
+  | entries ->
+      let smallest = List.fold_left (fun a (_, _, g) -> min a g) Float.infinity entries in
+      let largest = List.fold_left (fun a (_, _, g) -> max a g) 0.0 entries in
+      if largest /. smallest > 1e12 then begin
+        let name_of g = List.find (fun (_, _, x) -> x = g) entries in
+        let lo_name, lo_line, _ = name_of smallest and hi_name, _, _ = name_of largest in
+        [
+          D.warning ?line:lo_line ~subject:lo_name "L020"
+            (Printf.sprintf
+               "conductance spread of %.1e between %s and %s: the stamped Jacobian will \
+                be badly conditioned and Newton may stall"
+               (largest /. smallest) hi_name lo_name);
+        ]
+      end
+      else []
+
+let structural nl =
+  floating_nodes nl @ source_loops nl @ dc_path_cutsets nl @ terminal_sanity nl
+  @ element_values nl @ conductance_spread nl
+
+let all nl located = structural nl @ directive_sanity nl located

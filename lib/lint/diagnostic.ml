@@ -1,0 +1,97 @@
+type severity = Error | Warning | Hint
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  line : int option;
+  subject : string option;
+}
+
+let make ?line ?subject ~code ~severity message =
+  { code; severity; message; line; subject }
+
+let error ?line ?subject code message = make ?line ?subject ~code ~severity:Error message
+
+let warning ?line ?subject code message =
+  make ?line ?subject ~code ~severity:Warning message
+
+let hint ?line ?subject code message = make ?line ?subject ~code ~severity:Hint message
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+(* deck order first (unlocated diagnostics last), then severity, then code *)
+let compare a b =
+  let line_key = function Some l -> l | None -> max_int in
+  match Int.compare (line_key a.line) (line_key b.line) with
+  | 0 -> begin
+      match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> String.compare a.code b.code
+      | c -> c
+    end
+  | c -> c
+
+let sort ds = List.sort compare ds
+
+let to_string ?path d =
+  let buf = Buffer.create 80 in
+  (match path with
+  | Some p -> Buffer.add_string buf (p ^ ":")
+  | None -> ());
+  (match d.line with
+  | Some l -> Buffer.add_string buf (string_of_int l ^ ":")
+  | None -> ());
+  if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+  Buffer.add_string buf
+    (Printf.sprintf "%s[%s]: %s" (severity_label d.severity) d.code d.message);
+  (match d.subject with
+  | Some s -> Buffer.add_string buf (Printf.sprintf " (%s)" s)
+  | None -> ());
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?path d =
+  let fields = ref [] in
+  let add k v = fields := Printf.sprintf "\"%s\":%s" k v :: !fields in
+  (match d.subject with
+  | Some s -> add "subject" (Printf.sprintf "\"%s\"" (json_escape s))
+  | None -> ());
+  add "message" (Printf.sprintf "\"%s\"" (json_escape d.message));
+  (match d.line with Some l -> add "line" (string_of_int l) | None -> ());
+  (match path with
+  | Some p -> add "file" (Printf.sprintf "\"%s\"" (json_escape p))
+  | None -> ());
+  add "severity" (Printf.sprintf "\"%s\"" (severity_label d.severity));
+  add "code" (Printf.sprintf "\"%s\"" (json_escape d.code));
+  "{" ^ String.concat "," !fields ^ "}"
+
+let summary ds =
+  let e = count Error ds and w = count Warning ds and h = count Hint ds in
+  let part n what = if n = 0 then [] else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ] in
+  match part e "error" @ part w "warning" @ part h "hint" with
+  | [] -> "clean"
+  | parts -> String.concat ", " parts

@@ -1,0 +1,41 @@
+(** Lint diagnostics: stable code, severity, message, and deck location.
+
+    A diagnostic points at the deck card it came from via [line] (1-based,
+    threaded from {!Rfkit_circuit.Deck} through [Device.origin]) and names
+    the offending device or node in [subject]. Codes are stable across
+    releases — see DESIGN.md for the L001–L020 catalogue. *)
+
+type severity = Error | Warning | Hint
+
+type t = {
+  code : string;  (** stable code, e.g. ["L002"] *)
+  severity : severity;
+  message : string;
+  line : int option;  (** 1-based deck line of the offending card *)
+  subject : string option;  (** device or node name *)
+}
+
+val make : ?line:int -> ?subject:string -> code:string -> severity:severity -> string -> t
+val error : ?line:int -> ?subject:string -> string -> string -> t
+(** [error code message]. *)
+
+val warning : ?line:int -> ?subject:string -> string -> string -> t
+val hint : ?line:int -> ?subject:string -> string -> string -> t
+val severity_label : severity -> string
+val is_error : t -> bool
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+
+val compare : t -> t -> int
+(** Deck order (unlocated last), then severity, then code. *)
+
+val sort : t list -> t list
+
+val to_string : ?path:string -> t -> string
+(** Pretty one-liner: ["deck.cir:4: error[L002]: ... (V2)"]. *)
+
+val to_json : ?path:string -> t -> string
+(** One JSON object (machine-readable JSON-lines renderer). *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning"], or ["clean"]. *)

@@ -1,0 +1,24 @@
+open Rfkit_circuit
+
+let run nl located = Diagnostic.sort (Checks.all nl located)
+let run_netlist nl = Diagnostic.sort (Checks.structural nl)
+
+let lint_string text =
+  let nl, located = Deck.parse_string_located text in
+  run nl located
+
+let lint_file path =
+  let nl, located = Deck.parse_file_located path in
+  run nl located
+
+let has_errors = Diagnostic.has_errors
+
+let report ?path ?(strict = false) ds =
+  let worst_is_error =
+    has_errors ds || (strict && List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Warning) ds)
+  in
+  let lines = List.map (Diagnostic.to_string ?path) ds in
+  (String.concat "\n" lines, worst_is_error)
+
+let report_json ?path ds = String.concat "\n" (List.map (Diagnostic.to_json ?path) ds)
+let summary = Diagnostic.summary

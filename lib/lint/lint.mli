@@ -1,0 +1,34 @@
+(** Static netlist analyzer ("RF DRC"): the pre-flight pass.
+
+    Runs the {!Checks} catalogue over a parsed deck and renders the
+    resulting {!Diagnostic.t}s. [rfsim] calls {!run} before every analysis
+    and refuses to start numerics when an error-severity diagnostic is
+    present — a structurally singular MNA system wastes an entire HB or
+    transient run before the solver even reports failure, so ill-posed
+    decks are rejected while they are still cheap to reject. *)
+
+open Rfkit_circuit
+
+val run : Netlist.t -> (int * Deck.directive) list -> Diagnostic.t list
+(** All checks, sorted in deck order. *)
+
+val run_netlist : Netlist.t -> Diagnostic.t list
+(** Structural checks only, for programmatically built netlists. *)
+
+val lint_string : string -> Diagnostic.t list
+(** Parse a deck text and lint it.
+    @raise Deck.Parse_error as the parser does. *)
+
+val lint_file : string -> Diagnostic.t list
+
+val has_errors : Diagnostic.t list -> bool
+
+val report : ?path:string -> ?strict:bool -> Diagnostic.t list -> string * bool
+(** Pretty multi-line report plus "should this fail the run?": [true] when
+    errors are present, or — with [~strict:true] (warnings-as-errors) —
+    when warnings are. *)
+
+val report_json : ?path:string -> Diagnostic.t list -> string
+(** JSON-lines rendering, one object per diagnostic. *)
+
+val summary : Diagnostic.t list -> string

@@ -1,0 +1,9 @@
+(** Static netlist analyzer ("RF DRC").
+
+    [Rfkit_lint.run] is {!Lint.run}; the diagnostic type and the raw check
+    catalogue are exposed as submodules. *)
+
+module Diagnostic = Diagnostic
+module Graph = Graph
+module Checks = Checks
+include Lint

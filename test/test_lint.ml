@@ -1,0 +1,283 @@
+(* Tests for the rfkit_lint static netlist analyzer: one alcotest case per
+   diagnostic code, the deliberately broken decks under examples/decks/bad,
+   and property tests (random netlists never crash the linter, well-formed
+   ladders are never flagged, parse_value round-trips). *)
+
+open Rfkit_circuit
+open Rfkit_lint
+
+let codes ds = List.map (fun d -> d.Diagnostic.code) ds
+let has_code c ds = List.mem c (codes ds)
+
+let find_code c ds =
+  match List.find_opt (fun d -> d.Diagnostic.code = c) ds with
+  | Some d -> d
+  | None ->
+      Alcotest.failf "expected a %s diagnostic, got [%s]" c
+        (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let check_code ?line ?severity c ds =
+  let d = find_code c ds in
+  (match line with
+  | Some l -> Alcotest.(check (option int)) (c ^ " line") (Some l) d.Diagnostic.line
+  | None -> ());
+  match severity with
+  | Some s ->
+      Alcotest.(check string) (c ^ " severity")
+        (Diagnostic.severity_label s)
+        (Diagnostic.severity_label d.Diagnostic.severity)
+  | None -> ()
+
+(* ------------------------------------------------------ the catalogue -- *)
+
+let test_l001_floating_island () =
+  let ds =
+    lint_string "V1 in 0 DC 1\nR1 in out 1k\nR2 out 0 1k\nR3 x y 1k\n.dc\n"
+  in
+  check_code ~line:4 ~severity:Diagnostic.Error "L001" ds;
+  (* exactly one island: the grounded part of the circuit is not flagged *)
+  Alcotest.(check int) "one island" 1
+    (List.length (List.filter (fun d -> d.Diagnostic.code = "L001") ds))
+
+let test_l002_vsource_loop () =
+  let ds = lint_string "V1 a 0 DC 5\nV2 a 0 DC 5\nR1 a 0 1k\n.dc\n" in
+  check_code ~line:2 ~severity:Diagnostic.Error "L002" ds
+
+let test_l002_inductor_loop () =
+  (* an inductor directly across a voltage source shorts it at DC *)
+  let ds = lint_string "V1 a 0 DC 1\nL1 a 0 1u\nR1 a 0 50\n" in
+  check_code ~line:2 ~severity:Diagnostic.Error "L002" ds;
+  (* a series RL to ground is fine *)
+  let ok = lint_string "V1 a 0 DC 1\nL1 a b 1u\nR1 b 0 50\n" in
+  Alcotest.(check bool) "series RL clean" false (has_code "L002" ok)
+
+let test_l003_cap_cutset () =
+  (* node a is wired up, but only through capacitors: no DC path *)
+  let ds = lint_string "V1 in 0 DC 1\nR1 in 0 1k\nC1 in a 1n\nC2 a 0 1n\n" in
+  check_code ~severity:Diagnostic.Error "L003" ds;
+  Alcotest.(check bool) "not misreported as floating" false (has_code "L001" ds)
+
+let test_l004_self_short_and_dangling () =
+  let ds = lint_string "V1 a 0 DC 1\nR1 a a 1k\nR2 a 0 1k\n" in
+  check_code ~line:2 ~severity:Diagnostic.Warning "L004" ds;
+  let ds2 = lint_string "V1 a 0 DC 1\nR1 a 0 1k\nR2 a hang 1k\n" in
+  let d = find_code "L004" ds2 in
+  Alcotest.(check (option string)) "dangling node named" (Some "hang") d.Diagnostic.subject
+
+let test_l005_element_values () =
+  let ds = lint_string "V1 a 0 DC 1\nR1 a 0 0\n" in
+  check_code ~line:2 ~severity:Diagnostic.Error "L005" ds;
+  let ds2 = lint_string "V1 a 0 DC 1\nR1 a 0 1k\nD1 a 0 IS=-1\n" in
+  check_code ~line:3 ~severity:Diagnostic.Error "L005" ds2;
+  (* suspicious magnitude is only a hint *)
+  let ds3 = lint_string "V1 a 0 DC 1\nR1 a 0 1k\nC1 a 0 2\n" in
+  check_code ~line:3 ~severity:Diagnostic.Hint "L005" ds3
+
+let test_l010_tran_sanity () =
+  let ds = lint_string "V1 a 0 DC 1\nR1 a 0 1k\n.tran 1n 1u\n" in
+  check_code ~line:3 ~severity:Diagnostic.Error "L010" ds;
+  (* under-sampling a 1 MHz source *)
+  let ds2 = lint_string "V1 a 0 SIN(0 1 1meg)\nR1 a 0 1k\n.tran 1m 1u\n" in
+  check_code ~line:3 ~severity:Diagnostic.Warning "L010" ds2
+
+let test_l011_hb_sanity () =
+  (* no periodic source: HB has no fundamental *)
+  let ds = lint_string "V1 a 0 DC 1\nR1 a 0 1k\nD1 a 0\n.hb 8\n" in
+  check_code ~line:4 ~severity:Diagnostic.Error "L011" ds;
+  (* purely linear deck: HB is pointless but not wrong *)
+  let ds2 = lint_string "V1 a 0 SIN(0 1 1meg)\nR1 a 0 1k\n.hb 8\n" in
+  check_code ~line:3 ~severity:Diagnostic.Hint "L011" ds2
+
+let test_l012_sweep_bounds () =
+  let ds = lint_string "V1 a 0 DC 1\nR1 a 0 1k\n.ac 0 1meg\n" in
+  check_code ~line:3 ~severity:Diagnostic.Error "L012" ds;
+  let ds2 = lint_string "V1 a 0 DC 1\nR1 a 0 1k\n.noise 1meg 1k\n" in
+  check_code ~line:3 ~severity:Diagnostic.Error "L012" ds2
+
+let test_l013_print_unknown_node () =
+  let ds = lint_string "V1 a 0 DC 1\nR1 a 0 1k\n.print a bogus\n" in
+  let d = find_code "L013" ds in
+  Alcotest.(check (option string)) "names the node" (Some "bogus") d.Diagnostic.subject;
+  Alcotest.(check (option int)) "line" (Some 3) d.Diagnostic.line
+
+let test_l020_conductance_spread () =
+  let ds = lint_string "V1 a 0 DC 1\nR1 a 0 1m\nR2 a 0 1t\n" in
+  check_code ~severity:Diagnostic.Warning "L020" ds
+
+let test_good_decks_clean () =
+  List.iter
+    (fun path ->
+      let ds = lint_file path in
+      Alcotest.(check (list string)) (path ^ " clean") [] (codes ds))
+    [
+      "../examples/decks/lowpass.cir";
+      "../examples/decks/mos_amp.cir";
+      "../examples/decks/rectifier.cir";
+    ]
+
+let test_bad_decks_trip () =
+  List.iter
+    (fun (path, code) ->
+      let ds = lint_file path in
+      Alcotest.(check bool) (path ^ " trips " ^ code) true (has_code code ds);
+      Alcotest.(check bool) (path ^ " has errors") true (has_errors ds))
+    [
+      ("../examples/decks/bad/floating.cir", "L001");
+      ("../examples/decks/bad/vloop.cir", "L002");
+      ("../examples/decks/bad/baddirective.cir", "L010");
+    ]
+
+let test_vloop_line_number () =
+  (* acceptance: bad/vloop.cir reports L002 against the V2 card (line 3) *)
+  let ds = lint_file "../examples/decks/bad/vloop.cir" in
+  let d = find_code "L002" ds in
+  Alcotest.(check (option int)) "line" (Some 3) d.Diagnostic.line;
+  Alcotest.(check (option string)) "subject" (Some "V2") d.Diagnostic.subject
+
+let test_renderers () =
+  let ds = lint_string "V1 a 0 DC 5\nV2 a 0 DC 5\nR1 a 0 1k\n" in
+  let d = find_code "L002" ds in
+  let pretty = Diagnostic.to_string ~path:"deck.cir" d in
+  Alcotest.(check bool) "pretty has location" true
+    (String.length pretty > 12 && String.sub pretty 0 11 = "deck.cir:2:");
+  let json = Diagnostic.to_json ~path:"deck.cir" d in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json code field" true (contains "\"code\":\"L002\"" json);
+  Alcotest.(check bool) "json line field" true (contains "\"line\":2" json);
+  Alcotest.(check bool) "json severity" true (contains "\"severity\":\"error\"" json)
+
+let test_origin_threading () =
+  let nl, _ = Deck.parse_string "V1 a 0 DC 1\n* comment\nR1 a 0 1k\n" in
+  let origins = List.map Device.origin (Netlist.devices nl) in
+  Alcotest.(check (list (option int))) "origins follow cards" [ Some 1; Some 3 ] origins
+
+let test_parse_value_fixes () =
+  let check_float msg expected actual =
+    Alcotest.(check (float 1e-9)) msg expected actual
+  in
+  check_float "MEG case-insensitive" 2.2e6 (Deck.parse_value "2.2MEG");
+  check_float "megohm keeps meg" 2.2e6 (Deck.parse_value "2.2MEGohm");
+  check_float "milli" 1e-3 (Deck.parse_value "1m");
+  check_float "trailing unit letters" 47e-12 (Deck.parse_value "47pF");
+  check_float "kohm" 1e3 (Deck.parse_value "1kohm");
+  check_float "plain unit tail" 5.0 (Deck.parse_value "5v");
+  let rejects s =
+    Alcotest.(check bool) ("rejects " ^ (if s = "" then "<empty>" else s)) true
+      (try
+         ignore (Deck.parse_value s);
+         false
+       with Deck.Parse_error _ -> true)
+  in
+  rejects "";
+  rejects "   ";
+  rejects "abc";
+  rejects "meg";
+  rejects "1.2.3k"
+
+(* -------------------------------------------------------- properties -- *)
+
+let qcheck_suite =
+  let open QCheck in
+  let node_name = function 0 -> "0" | k -> Printf.sprintf "n%d" k in
+  let random_netlist =
+    (* devices wired between arbitrary nodes of a small pool; frequently
+       ill-formed on purpose — the linter must never raise on any of it *)
+    let gen =
+      Gen.(
+        list_size (int_range 1 14)
+          (triple (int_range 0 2) (pair (int_range 0 5) (int_range 0 5))
+             (float_range (-2.0) 12.0)))
+    in
+    make gen
+      ~print:
+        Print.(list (triple int (pair int int) float))
+  in
+  let build cards =
+    let nl = Netlist.create () in
+    List.iteri
+      (fun i (kind, (a, b), v) ->
+        let name prefix = Printf.sprintf "%s%d" prefix i in
+        let p = node_name a and n = node_name b in
+        match kind with
+        | 0 -> Netlist.resistor nl ~origin:(i + 1) (name "R") p n v
+        | 1 -> Netlist.capacitor nl ~origin:(i + 1) (name "C") p n (v *. 1e-9)
+        | _ -> Netlist.inductor nl ~origin:(i + 1) (name "L") p n (v *. 1e-6))
+      cards;
+    nl
+  in
+  [
+    Test.make ~name:"lint: never crashes on random RLC netlists" ~count:200
+      random_netlist (fun cards ->
+        let nl = build cards in
+        let ds = run_netlist nl in
+        (* and every diagnostic renders *)
+        List.iter (fun d -> ignore (Diagnostic.to_string d); ignore (Diagnostic.to_json d)) ds;
+        true);
+    Test.make ~name:"lint: well-formed RC ladder is never flagged" ~count:50
+      (make Gen.(int_range 1 8) ~print:Print.int) (fun stages ->
+        let nl = Netlist.create () in
+        Netlist.vsource nl "V1" "n0" "0" (Wave.sine 1.0 1e6);
+        for k = 1 to stages do
+          Netlist.resistor nl
+            (Printf.sprintf "R%d" k)
+            (Printf.sprintf "n%d" (k - 1))
+            (Printf.sprintf "n%d" k)
+            1e3;
+          Netlist.capacitor nl (Printf.sprintf "C%d" k) (Printf.sprintf "n%d" k) "0" 1e-9
+        done;
+        run_netlist nl = []);
+    Test.make ~name:"deck: parse_value round-trips scale and unit tails" ~count:200
+      (make
+         Gen.(
+           triple (float_range 0.001 999.0) (int_range 0 8)
+             (pair (int_range 0 3) bool))
+         ~print:Print.(triple float int (pair int bool)))
+      (fun (v, si, (ti, upper)) ->
+        let suffixes = [| ""; "f"; "p"; "n"; "u"; "m"; "k"; "meg"; "g" |] in
+        let mults = [| 1.0; 1e-15; 1e-12; 1e-9; 1e-6; 1e-3; 1e3; 1e6; 1e9 |] in
+        let tails = [| ""; "hz"; "ohm"; "v" |] in
+        (* a unit tail directly after a bare number would itself be read as
+           a scale suffix, so only attach tails to scaled literals *)
+        let tail = if suffixes.(si) = "" then "" else tails.(ti) in
+        let s = Printf.sprintf "%.17g%s%s" v suffixes.(si) tail in
+        let s = if upper then String.uppercase_ascii s else s in
+        let parsed = Deck.parse_value s in
+        let expected = v *. mults.(si) in
+        Float.abs (parsed -. expected) <= 1e-9 *. Float.abs expected);
+  ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "lint.codes",
+      [
+        tc "L001 floating island" test_l001_floating_island;
+        tc "L002 vsource loop" test_l002_vsource_loop;
+        tc "L002 inductor loop" test_l002_inductor_loop;
+        tc "L003 capacitor cutset" test_l003_cap_cutset;
+        tc "L004 shorts and dangling" test_l004_self_short_and_dangling;
+        tc "L005 element values" test_l005_element_values;
+        tc "L010 tran sanity" test_l010_tran_sanity;
+        tc "L011 hb sanity" test_l011_hb_sanity;
+        tc "L012 sweep bounds" test_l012_sweep_bounds;
+        tc "L013 print unknown node" test_l013_print_unknown_node;
+        tc "L020 conductance spread" test_l020_conductance_spread;
+      ] );
+    ( "lint.decks",
+      [
+        tc "good decks clean" test_good_decks_clean;
+        tc "bad decks trip" test_bad_decks_trip;
+        tc "vloop line number" test_vloop_line_number;
+      ] );
+    ( "lint.infrastructure",
+      [
+        tc "renderers" test_renderers;
+        tc "origin threading" test_origin_threading;
+        tc "parse_value fixes" test_parse_value_fixes;
+      ] );
+    ("lint.properties", List.map QCheck_alcotest.to_alcotest qcheck_suite);
+  ]

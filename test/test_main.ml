@@ -1,1 +1,1 @@
-let () = Alcotest.run "rfkit" (Test_la.suite @ Test_circuit.suite @ Test_rf.suite @ Test_noise.suite @ Test_em.suite @ Test_rom.suite @ Test_circuits.suite @ Test_integration.suite)
+let () = Alcotest.run "rfkit" (Test_la.suite @ Test_circuit.suite @ Test_rf.suite @ Test_noise.suite @ Test_em.suite @ Test_rom.suite @ Test_circuits.suite @ Test_integration.suite @ Test_lint.suite)
