@@ -156,7 +156,8 @@ let report () =
             else nan
           in
           Printf.printf "  %-6d %-12.3f %-12.3f\n" k (a1 *. 1e3) (a3 *. 1e3)
-      | exception Rf.Mmft.No_convergence msg -> Printf.printf "  %-6d %s\n" k msg)
+      | exception Rf.Mmft.No_convergence e ->
+          Printf.printf "  %-6d %s\n" k (Rfkit.Solve.Error.to_string e))
     [ 1; 2; 3; 4 ];
   Printf.printf "  (K = 3 -- the paper's choice -- already captures both outputs)\n"
 

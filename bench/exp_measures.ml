@@ -30,8 +30,12 @@ let report () =
   (* 1 dB compression of a tanh limiter *)
   let vsat = 0.3 in
   let p1db =
-    Rf.Measures.compression_point_1db ~build:(tanh_stage vsat) ~node:"out"
-      ~freq:10e6 ()
+    match
+      Rf.Measures.compression_point_1db ~build:(tanh_stage vsat) ~node:"out"
+        ~freq:10e6 ()
+    with
+    | Some a -> a
+    | None -> nan
   in
   Util.verdict ~label:"1 dB compression point (tanh stage)"
     ~paper:"predictable (Sec 1)"

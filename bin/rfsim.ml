@@ -11,20 +11,50 @@
      rfsim dc circuit.cir
      rfsim tran circuit.cir --t-stop 1e-6 --dt 1e-9 --node out
      rfsim ac circuit.cir --f-start 1e3 --f-stop 1e9 --source V1 --node out
-     rfsim hb circuit.cir --freq 1e6 --node out --harmonics 8 *)
+     rfsim hb circuit.cir --freq 1e6 --node out --harmonics 8
+
+   Exit codes: 0 success; 1 usage or deck parse error; 2 lint fatal;
+   3 convergence failure (the attempt ladder is printed on stderr). *)
 
 open Rfkit
 open Circuit
 open Cmdliner
 
+let exit_parse = 1
+let exit_lint = 2
+let exit_no_convergence = 3
+
+(* on a supervised failure: print the full attempt ladder, exit 3 *)
+let die_failure (f : Solve.Supervisor.failure) =
+  Printf.eprintf "%s\n" (Solve.Supervisor.failure_to_string f);
+  exit exit_no_convergence
+
+(* note non-first-rung recoveries so deck problems stay visible *)
+let note_recovery (r : Solve.Supervisor.report) =
+  match r.Solve.Supervisor.strategy with
+  | Solve.Supervisor.Base -> ()
+  | s ->
+      Printf.eprintf "note: %s converged via %s after %d attempts\n"
+        r.Solve.Supervisor.engine
+        (Solve.Supervisor.strategy_name s)
+        (List.length r.Solve.Supervisor.attempts)
+
+(* testing hook: force the first N linear solves of an engine to report a
+   singular Jacobian so the retry ladder (and exit codes) can be exercised
+   from the command line *)
+let arm_injection ~engine n =
+  if n > 0 then
+    Solve.Faults.arm
+      { Solve.Faults.none with engine = Some engine; singular_attempts = n }
+
 let load_located path =
   try Deck.parse_file_located path with
   | Deck.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: %s\n" path line msg;
-      exit 1
+      exit exit_parse
   | Sys_error msg ->
       Printf.eprintf "%s\n" msg;
-      exit 1
+      exit exit_parse
 
 (* Pre-flight: refuse to hand a structurally broken deck to the solvers.
    Warnings and hints are printed but do not block the run. *)
@@ -37,7 +67,7 @@ let load ?(no_lint = false) path =
     if fatal then begin
       Printf.eprintf
         "%s: %s; refusing to run (use --no-lint to override)\n" path (Lint.summary ds);
-      exit 1
+      exit exit_lint
     end
   end;
   (nl, List.map snd located)
@@ -48,10 +78,11 @@ let print_nodes nl =
 
 let run_dc c =
   let x =
-    try Dc.solve c
-    with Dc.No_convergence msg ->
-      Printf.eprintf "DC did not converge: %s\n" msg;
-      exit 1
+    match Dc.solve_outcome c with
+    | Solve.Supervisor.Converged (x, report) ->
+        note_recovery report;
+        x
+    | Solve.Supervisor.Failed f -> die_failure f
   in
   Printf.printf "DC operating point:\n";
   let nl = Mna.netlist c in
@@ -60,7 +91,13 @@ let run_dc c =
   done
 
 let run_tran c ~t_stop ~dt ~nodes =
-  let res = Tran.run c ~t_stop ~dt in
+  let res =
+    match Tran.run_outcome c ~t_stop ~dt with
+    | Solve.Supervisor.Converged (res, report) ->
+        note_recovery report;
+        res
+    | Solve.Supervisor.Failed f -> die_failure f
+  in
   let n = Array.length res.Tran.times in
   Printf.printf "time";
   List.iter (Printf.printf ",v(%s)") nodes;
@@ -97,14 +134,16 @@ let run_noise c ~f_start ~f_stop ~node =
 
 let run_hb c ~freq ~node ~harmonics =
   let res =
-    try
-      Rf.Hb.solve
+    match
+      Rf.Hb.solve_outcome
         ~options:
           { Rf.Hb.default_options with n_samples = La.Fft.next_pow2 (4 * harmonics) }
         c ~freq
-    with Rf.Hb.No_convergence msg ->
-      Printf.eprintf "HB did not converge: %s\n" msg;
-      exit 1
+    with
+    | Solve.Supervisor.Converged (res, report) ->
+        note_recovery report;
+        res
+    | Solve.Supervisor.Failed f -> die_failure f
   in
   Printf.printf "harmonic balance at %.6g Hz (%d Newton iterations):\n" freq
     res.Rf.Hb.newton_iters;
@@ -128,6 +167,14 @@ let no_lint_arg =
     value & flag
     & info [ "no-lint" ] ~doc:"Skip the pre-flight static netlist analyzer.")
 
+let inject_singular_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "inject-singular" ] ~docv:"N"
+        ~doc:
+          "Testing hook: report a singular Jacobian on the first $(docv) \
+           solver attempts, forcing the supervisor down its retry ladder.")
+
 let lint_cmd =
   let doc = "statically analyze a deck without running it (RF DRC)" in
   let json =
@@ -148,17 +195,19 @@ let lint_cmd =
       Printf.printf "%s: %s\n" path (Lint.summary ds)
     end;
     let _, fatal = Lint.report ~path ~strict ds in
-    if fatal then exit 1
+    if fatal then exit exit_lint
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ deck_arg $ json $ strict)
 
 let dc_cmd =
   let doc = "DC operating point" in
-  let run path no_lint =
+  let run path no_lint inject =
     let nl, _ = load ~no_lint path in
+    arm_injection ~engine:"dc" inject;
     run_dc (Mna.build nl)
   in
-  Cmd.v (Cmd.info "dc" ~doc) Term.(const run $ deck_arg $ no_lint_arg)
+  Cmd.v (Cmd.info "dc" ~doc)
+    Term.(const run $ deck_arg $ no_lint_arg $ inject_singular_arg)
 
 let tran_cmd =
   let doc = "transient analysis (CSV on stdout)" in
@@ -198,12 +247,15 @@ let hb_cmd =
   let doc = "harmonic-balance periodic steady state" in
   let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
-  let run path no_lint freq harmonics node =
+  let run path no_lint freq harmonics node inject =
     let nl, _ = load ~no_lint path in
+    arm_injection ~engine:"hb" inject;
     run_hb (Mna.build nl) ~freq ~node ~harmonics
   in
   Cmd.v (Cmd.info "hb" ~doc)
-    Term.(const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out")
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out"
+      $ inject_singular_arg)
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in

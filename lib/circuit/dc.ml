@@ -1,69 +1,163 @@
 open Rfkit_la
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
 
 type options = { max_iter : int; tol : float; damping : float; gmin_steps : int }
 
 let default_options = { max_iter = 100; tol = 1e-9; damping = 2.0; gmin_steps = 8 }
 
-(* Newton on f(x) + gmin*x_nodes = b, returning None on failure *)
-let newton ~options ~gmin c b x0 =
+let engine = "dc"
+
+(* Instrumented Newton on f(x) + gmin*x_nodes = b. Returns the solution or
+   a typed cause, plus the iterations spent and the last residual norm. *)
+let newton ~options ~damping ~iter_cap ~gmin c b x0 =
   let nn = Mna.n_nodes c in
   let x = Vec.copy x0 in
-  let ok = ref false in
   let iter = ref 0 in
-  (try
-     while (not !ok) && !iter < options.max_iter do
-       incr iter;
-       let f = Mna.eval_f c x in
-       (* residual r = b - f(x) - gmin*x on node rows *)
-       let r = Vec.sub b f in
-       for i = 0 to nn - 1 do
-         r.(i) <- r.(i) -. (gmin *. x.(i))
-       done;
-       if Vec.norm_inf r <= options.tol then ok := true
-       else begin
-         let g = Mna.jac_g c x in
-         for i = 0 to nn - 1 do
-           Mat.update g i i (fun v -> v +. gmin)
-         done;
-         let dx =
-           try Lu.solve (Lu.factor g) r with Lu.Singular -> raise Exit
-         in
-         (* damp the Newton step to keep exponentials in range *)
-         let step = Vec.norm_inf dx in
-         let scale = if step > options.damping then options.damping /. step else 1.0 in
-         Vec.axpy scale dx x
-       end
-     done
-   with Exit -> ());
-  if !ok then Some x else None
+  let last_res = ref infinity in
+  let max_iter = min options.max_iter iter_cap in
+  let solution = ref None in
+  let cause =
+    try
+      while !solution = None && !iter < max_iter do
+        incr iter;
+        Guard.check ~engine ~iter:!iter x;
+        let f = Mna.eval_f c x in
+        (* residual r = b - f(x) - gmin*x on node rows *)
+        let r = Vec.sub b f in
+        for i = 0 to nn - 1 do
+          r.(i) <- r.(i) -. (gmin *. x.(i))
+        done;
+        last_res := Vec.norm_inf r;
+        if !last_res <= options.tol then solution := Some (Vec.copy x)
+        else begin
+          let g = Mna.jac_g c x in
+          for i = 0 to nn - 1 do
+            Mat.update g i i (fun v -> v +. gmin)
+          done;
+          if Faults.singular_now ~engine then raise Lu.Singular;
+          let dx = Lu.solve (Lu.factor g) r in
+          (* damp the Newton step to keep exponentials in range *)
+          let step = Vec.norm_inf dx in
+          let scale = if step > damping then damping /. step else 1.0 in
+          Vec.axpy scale dx x
+        end
+      done;
+      None
+    with
+    | Lu.Singular -> Some Supervisor.Singular_jacobian
+    | Guard.Non_finite_found { iter; index } ->
+        Some (Supervisor.Non_finite { iter; index })
+  in
+  let stats =
+    {
+      Supervisor.iterations = !iter;
+      residual = !last_res;
+      krylov_iterations = 0;
+    }
+  in
+  match (!solution, cause) with
+  | Some x, _ -> Ok (x, stats)
+  | None, Some c -> Error (c, stats)
+  | None, None ->
+      Error
+        ( Supervisor.Newton_stall { iterations = !iter; residual = !last_res },
+          stats )
 
-let solve_b ?(options = default_options) ?x0 c b =
+(* Sum the per-stage stats of a continuation run. *)
+let ( ++ ) (a : Supervisor.stats) (b : Supervisor.stats) =
+  {
+    Supervisor.iterations = a.Supervisor.iterations + b.Supervisor.iterations;
+    residual = b.Supervisor.residual;
+    krylov_iterations = a.Supervisor.krylov_iterations + b.Supervisor.krylov_iterations;
+  }
+
+(* gmin stepping: start with a large conductance to ground on every node
+   and relax it geometrically, warm-starting each level from the last *)
+let gmin_continuation ~options ~iter_cap ~levels c b x0 =
+  let x = ref (Vec.copy x0) in
+  let acc = ref Supervisor.no_stats in
+  let left () = iter_cap - !acc.Supervisor.iterations in
+  let rec go gmin level =
+    if left () <= 0 then
+      Error (Supervisor.Budget_exhausted Supervisor.Iterations, !acc)
+    else if level > levels then begin
+      (* final polish at gmin = 0 *)
+      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin:0.0 c b !x with
+      | Ok (x', st) -> Ok (x', !acc ++ st)
+      | Error (cause, st) -> Error (cause, !acc ++ st)
+    end
+    else begin
+      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin c b !x with
+      | Ok (x', st) ->
+          x := x';
+          acc := !acc ++ st;
+          go (gmin /. 10.0) (level + 1)
+      | Error (cause, st) -> Error (cause, !acc ++ st)
+    end
+  in
+  go 1e-2 1
+
+(* source stepping: ramp the excitation amplitude up linearly, tracking
+   the solution branch from the trivial zero-drive circuit *)
+let source_ramp ~options ~iter_cap ~steps c b x0 =
+  let x = ref (Vec.copy x0) in
+  let acc = ref Supervisor.no_stats in
+  let left () = iter_cap - !acc.Supervisor.iterations in
+  let rec go k =
+    if left () <= 0 then
+      Error (Supervisor.Budget_exhausted Supervisor.Iterations, !acc)
+    else begin
+      let alpha = float_of_int k /. float_of_int steps in
+      let bk = Vec.scale alpha b in
+      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin:0.0 c bk !x with
+      | Ok (x', st) ->
+          acc := !acc ++ st;
+          if k = steps then Ok (x', !acc)
+          else begin
+            x := x';
+            go (k + 1)
+          end
+      | Error (cause, st) -> Error (cause, !acc ++ st)
+    end
+  in
+  go 1
+
+let solve_b_outcome ?budget ?(options = default_options) ?x0 c b =
   let n = Mna.size c in
   let x0 = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
-  match newton ~options ~gmin:0.0 c b x0 with
-  | Some x -> x
-  | None ->
-      (* gmin stepping: start with a large conductance to ground on every
-         node and relax it geometrically *)
-      if options.gmin_steps <= 0 then
-        raise (No_convergence "Newton failed and gmin stepping disabled");
-      let x = ref x0 in
-      let gmin = ref 1e-2 in
-      let failed = ref false in
-      for _step = 1 to options.gmin_steps do
-        if not !failed then begin
-          match newton ~options ~gmin:!gmin c b !x with
-          | Some x' -> x := x'
-          | None -> failed := true
-        end;
-        gmin := !gmin /. 10.0
-      done;
-      if !failed then raise (No_convergence "gmin stepping failed");
-      (match newton ~options ~gmin:0.0 c b !x with
-      | Some x -> x
-      | None -> raise (No_convergence "final gmin=0 Newton failed"))
+  let ladder =
+    [ Supervisor.Base; Supervisor.Tighten_damping (options.damping /. 4.0) ]
+    @ (if options.gmin_steps > 0 then
+         [ Supervisor.Gmin_stepping options.gmin_steps ]
+       else [])
+    @ [ Supervisor.Source_ramping 8 ]
+  in
+  Supervisor.run ?budget ~engine ~ladder
+    ~attempt:(fun strategy ~iter_cap ->
+      match strategy with
+      | Supervisor.Base ->
+          newton ~options ~damping:options.damping ~iter_cap ~gmin:0.0 c b x0
+      | Supervisor.Tighten_damping d ->
+          newton ~options ~damping:d ~iter_cap ~gmin:0.0 c b x0
+      | Supervisor.Gmin_stepping levels ->
+          gmin_continuation ~options ~iter_cap ~levels c b x0
+      | Supervisor.Source_ramping steps ->
+          source_ramp ~options ~iter_cap ~steps c b x0
+      | _ -> Error (Supervisor.Unsupported "strategy not applicable to DC", Supervisor.no_stats))
+    ()
+
+let solve_outcome ?budget ?options ?x0 c =
+  solve_b_outcome ?budget ?options ?x0 c (Mna.dc_b c)
+
+let solve_at_outcome ?budget ?options ?x0 c t =
+  solve_b_outcome ?budget ?options ?x0 c (Mna.eval_b c t)
+
+let solve_b ?options ?x0 c b =
+  match solve_b_outcome ?options ?x0 c b with
+  | Supervisor.Converged (x, _) -> x
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let solve ?options ?x0 c = solve_b ?options ?x0 c (Mna.dc_b c)
 let solve_at ?options ?x0 c t = solve_b ?options ?x0 c (Mna.eval_b c t)

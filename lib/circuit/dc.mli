@@ -1,20 +1,45 @@
-(** DC operating point: Newton-Raphson on [f(x) = b_dc] with step damping
-    and gmin stepping for convergence on strongly nonlinear circuits. *)
+(** DC operating point: Newton-Raphson on [f(x) = b_dc] run under the
+    {!Rfkit_solve.Supervisor} with the ladder
 
-exception No_convergence of string
+    {v base -> tightened damping -> gmin stepping -> source ramping v}
+
+    Each rung is attempted in order under the supervisor's iteration and
+    wall-clock budgets; the winning strategy and per-attempt trace come
+    back in the report. *)
+
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. *)
 
 type options = {
-  max_iter : int;       (** Newton iterations per gmin level (default 100) *)
+  max_iter : int;       (** Newton iterations per continuation level (default 100) *)
   tol : float;          (** residual infinity-norm target (default 1e-9) *)
   damping : float;      (** max Newton step infinity-norm in volts (default 2.0) *)
-  gmin_steps : int;     (** gmin continuation levels, 0 = plain Newton (default 8) *)
+  gmin_steps : int;     (** gmin continuation levels, 0 = drop the rung (default 8) *)
 }
 
 val default_options : options
 
+val solve_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  ?x0:Rfkit_la.Vec.t ->
+  Mna.t ->
+  Rfkit_la.Vec.t Rfkit_solve.Supervisor.outcome
+(** Operating point with all sources at their DC value, as a typed
+    supervisor outcome (never raises on convergence trouble). *)
+
+val solve_at_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  ?x0:Rfkit_la.Vec.t ->
+  Mna.t ->
+  float ->
+  Rfkit_la.Vec.t Rfkit_solve.Supervisor.outcome
+(** Like {!solve_outcome} with sources evaluated at time [t]. *)
+
 val solve : ?options:options -> ?x0:Rfkit_la.Vec.t -> Mna.t -> Rfkit_la.Vec.t
-(** Operating point with all sources at their DC value.
-    @raise No_convergence with a diagnostic when Newton fails. *)
+(** Exception shim over {!solve_outcome}.
+    @raise No_convergence with the attempt ladder when every rung fails. *)
 
 val solve_at : ?options:options -> ?x0:Rfkit_la.Vec.t -> Mna.t -> float -> Rfkit_la.Vec.t
 (** Like {!solve} but with sources evaluated at time [t] (the implicit

@@ -1,10 +1,13 @@
 open Rfkit_la
+open Rfkit_solve
 
 exception Step_failed of float
 
 type method_ = Backward_euler | Trapezoidal
 
 type result = { times : float array; states : Vec.t array }
+
+let engine = "tran"
 
 let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt =
   let t1 = t_prev +. dt in
@@ -46,10 +49,13 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt 
   let iter = ref 0 in
   while (not !ok) && !iter < max_iter do
     incr iter;
+    (try Guard.check ~engine ~iter:!iter x
+     with Guard.Non_finite_found _ -> raise (Step_failed t1));
     let r = residual x in
     if Vec.norm_inf r <= tol then ok := true
     else begin
       let j = jac x in
+      if Faults.singular_now ~engine then raise (Step_failed t1);
       let dx =
         try Lu.solve (Lu.factor j) r with Lu.Singular -> raise (Step_failed t1)
       in
@@ -78,6 +84,55 @@ let run ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) c ~t_stop ~dt =
       implicit_step ~tol c ~method_ ~x_prev:states.(k - 1) ~t_prev ~dt:dt_k
   done;
   { times; states }
+
+(* Fixed-step transient under the supervisor: a Newton blow-up at some
+   step is retried with the whole run at a finer step before giving up.
+   The default budget is step-count based and generous — a transient's
+   cost is dominated by its step count, not its per-step Newton depth. *)
+let default_budget =
+  {
+    Supervisor.attempt_iterations = 1_000_000;
+    total_iterations = 3_000_000;
+    wall_clock = 300.0;
+  }
+
+let run_outcome ?(budget = default_budget) ?(method_ = Trapezoidal) ?x0
+    ?(tol = 1e-9) c ~t_stop ~dt =
+  Supervisor.run ~budget ~engine
+    ~ladder:
+      [ Supervisor.Base; Supervisor.Refine_timestep 2; Supervisor.Refine_timestep 8 ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let dt =
+        match strategy with
+        | Supervisor.Refine_timestep f -> dt /. float_of_int f
+        | _ -> dt
+      in
+      let steps = int_of_float (Float.ceil (t_stop /. dt)) in
+      if steps > iter_cap then
+        Error (Supervisor.Budget_exhausted Supervisor.Iterations, Supervisor.no_stats)
+      else
+        try
+          let res = run ~method_ ?x0 ~tol c ~t_stop ~dt in
+          Ok
+            ( res,
+              {
+                Supervisor.iterations = Array.length res.times - 1;
+                residual = 0.0;
+                krylov_iterations = 0;
+              } )
+        with
+        | Step_failed t ->
+            Error
+              ( Supervisor.Newton_stall { iterations = steps; residual = infinity },
+                {
+                  Supervisor.iterations =
+                    (let k = int_of_float (Float.ceil (t /. dt)) in
+                     max 0 (min steps k));
+                  residual = infinity;
+                  krylov_iterations = 0;
+                } )
+        | Error.No_convergence e -> Error (e.Error.cause, Supervisor.no_stats))
+    ()
 
 let run_adaptive ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?(lte_tol = 1e-6)
     ?(dt_min = 1e-18) ?dt_max c ~t_stop ~dt0 =

@@ -37,6 +37,20 @@ val run :
   result
 (** Fixed-step transient from the DC operating point (or [x0]). *)
 
+val run_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?method_:method_ ->
+  ?x0:Rfkit_la.Vec.t ->
+  ?tol:float ->
+  Mna.t ->
+  t_stop:float ->
+  dt:float ->
+  result Rfkit_solve.Supervisor.outcome
+(** {!run} under the solver supervisor: a diverging Newton step retries
+    the whole run at [dt/2] then [dt/8] before reporting a typed failure.
+    The stats count integration steps as iterations; the default budget
+    is sized accordingly (millions of steps, 300 s wall clock). *)
+
 val run_adaptive :
   ?method_:method_ ->
   ?x0:Rfkit_la.Vec.t ->

@@ -4,6 +4,8 @@
     (Dunlop et al., DAC 1998). One alias per subsystem:
 
     - {!La}: dense/sparse linear algebra, Krylov solvers, FFT, eigenvalues
+    - {!Solve}: solver supervision — typed failures, retry ladders,
+      budgets, fault injection
     - {!Circuit}: netlists, MNA, DC/transient/AC, SPICE-like decks
     - {!Rf}: harmonic balance, shooting, the MPDE multi-time family
     - {!Noise}: oscillator Floquet/PPV phase-noise theory
@@ -15,6 +17,7 @@
     documentation; start with {!Rf.Hb} and {!Circuit.Netlist}. *)
 
 module La = Rfkit_la
+module Solve = Rfkit_solve
 module Circuit = Rfkit_circuit
 module Rf = Rfkit_rf
 module Noise = Rfkit_noise

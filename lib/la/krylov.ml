@@ -1,7 +1,44 @@
 open Cx
 type stats = { iterations : int; residual : float; converged : bool }
 
+exception Non_finite of int
+
 let id_precond v = v
+
+(* NaN/Inf guard on a candidate basis vector: one poisoned entry turns
+   every later Givens rotation and axpy into NaN soup, so fail fast with
+   the offending unknown index. [norm] is a cheap pre-check — only when
+   it is non-finite do we pay for the scan. *)
+let guard_real norm (w : Vec.t) =
+  if not (Float.is_finite norm) then begin
+    let n = Array.length w in
+    let idx = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if not (Float.is_finite w.(i)) then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    raise (Non_finite !idx)
+  end
+
+let guard_complex norm (w : Cvec.t) =
+  if not (Float.is_finite norm) then begin
+    let n = Array.length w in
+    let idx = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if not (Float.is_finite w.(i).Cx.re && Float.is_finite w.(i).Cx.im)
+         then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    raise (Non_finite !idx)
+  end
 
 (* One GMRES(m) cycle from initial guess x0. Returns (x, residual_norm,
    iterations_done, converged). Arnoldi with modified Gram-Schmidt and
@@ -11,6 +48,7 @@ let gmres_cycle ~m ~tol ~bnorm precond a b x0 =
   let ax0 = a x0 in
   let r0 = precond (Vec.sub b ax0) in
   let beta = Vec.norm2 r0 in
+  guard_real beta r0;
   if beta <= tol *. bnorm then (x0, beta, 0, true)
   else begin
     let v = Array.make (m + 1) [||] in
@@ -31,6 +69,7 @@ let gmres_cycle ~m ~tol ~bnorm precond a b x0 =
            Vec.axpy (-.hik) v.(i) w
          done;
          let hk1 = Vec.norm2 w in
+         guard_real hk1 w;
          Mat.set h (k + 1) k hk1;
          if hk1 > 1e-300 then v.(k + 1) <- Vec.scale (1.0 /. hk1) w
          else v.(k + 1) <- Vec.create n;
@@ -104,6 +143,7 @@ let gmres_complex_cycle ~m ~tol ~bnorm precond a b x0 =
   let n = Array.length b in
   let r0 = precond (Cvec.sub b (a x0)) in
   let beta = Cvec.norm2 r0 in
+  guard_complex beta r0;
   if beta <= tol *. bnorm then (x0, beta, 0, true)
   else begin
     let v = Array.make (m + 1) [||] in
@@ -123,6 +163,7 @@ let gmres_complex_cycle ~m ~tol ~bnorm precond a b x0 =
            Cvec.axpy (Cx.neg hik) v.(i) w
          done;
          let hk1 = Cvec.norm2 w in
+         guard_complex hk1 w;
          Cmat.set h (k + 1) k (Cx.re hk1);
          if hk1 > 1e-300 then v.(k + 1) <- Cvec.scale_re (1.0 /. hk1) w
          else v.(k + 1) <- Cvec.create n;

@@ -9,6 +9,12 @@
 
 type stats = { iterations : int; residual : float; converged : bool }
 
+exception Non_finite of int
+(** Raised by {!gmres}/{!gmres_complex} when a residual or Arnoldi basis
+    vector picks up a NaN/Inf; the payload is the first offending unknown
+    index. Failing fast here keeps one poisoned entry from silently
+    corrupting the whole Krylov basis. *)
+
 val gmres :
   ?m:int ->
   ?tol:float ->

@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "envelope"
 
 type options = { steps2 : int; n1 : int }
 
@@ -14,18 +17,27 @@ type result = {
   slices : Mat.t array;
 }
 
-let run ?(options = default_options) c ~f1 ~f2 ~t1_stop =
+let with_slice i t f =
+  try f ()
+  with Error.No_convergence e ->
+    raise (Error.No_convergence { e with Error.engine; slice = Some i; time = Some t })
+
+let run_core ~options c ~f1 ~f2 ~t1_stop =
   let { steps2; n1 } = options in
   let n = Mna.size c in
   let period2 = 1.0 /. f2 in
   let h1 = t1_stop /. float_of_int n1 in
   let t1s = Vec.init (n1 + 1) (fun i -> float_of_int i *. h1) in
-  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let xdc =
+    match Dc.solve_outcome c with
+    | Supervisor.Converged (x, _) -> x
+    | Supervisor.Failed _ -> Vec.create n
+  in
   let b_of t1 tau = Mpde.eval_b2 c ~f1 ~f2 t1 tau in
   (* slice 0: fast-periodic steady state with slow sources frozen at 0 *)
   let slice0 =
-    try Slice.solve_periodic c ~b:(b_of 0.0) ~period2 ~steps:steps2 ~y0:xdc
-    with Slice.No_convergence msg -> raise (No_convergence ("envelope init: " ^ msg))
+    with_slice 0 0.0 (fun () ->
+        Slice.solve_periodic c ~b:(b_of 0.0) ~period2 ~steps:steps2 ~y0:xdc)
   in
   let slices = Array.make (n1 + 1) slice0 in
   for i = 1 to n1 do
@@ -34,12 +46,37 @@ let run ?(options = default_options) c ~f1 ~f2 ~t1_stop =
     let coupling = { Slice.h1; q_ref } in
     let y0 = Mat.row prev 0 in
     slices.(i) <-
-      (try
-         Slice.solve_periodic ~coupling c ~b:(b_of t1s.(i)) ~period2 ~steps:steps2 ~y0
-       with Slice.No_convergence msg ->
-         raise (No_convergence (Printf.sprintf "envelope slice %d: %s" i msg)))
+      with_slice i t1s.(i) (fun () ->
+          Slice.solve_periodic ~coupling c ~b:(b_of t1s.(i)) ~period2 ~steps:steps2
+            ~y0)
   done;
-  { circuit = c; f2; t1s; slices }
+  ({ circuit = c; f2; t1s; slices }, n1 + 1)
+
+let run_outcome ?budget ?(options = default_options) c ~f1 ~f2 ~t1_stop =
+  Supervisor.run ?budget ~engine
+    ~ladder:[ Supervisor.Base; Supervisor.Refine_timestep 2 ]
+    ~attempt:(fun strategy ~iter_cap:_ ->
+      let options =
+        match strategy with
+        | Supervisor.Refine_timestep f -> { options with n1 = options.n1 * f }
+        | _ -> options
+      in
+      try
+        let res, slices_solved = run_core ~options c ~f1 ~f2 ~t1_stop in
+        Ok
+          ( res,
+            {
+              Supervisor.iterations = slices_solved;
+              residual = 0.0;
+              krylov_iterations = 0;
+            } )
+      with Error.No_convergence e -> Error (e.Error.cause, Supervisor.no_stats))
+    ()
+
+let run ?options c ~f1 ~f2 ~t1_stop =
+  match run_outcome ?options c ~f1 ~f2 ~t1_stop with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let envelope_magnitude res name ~harmonic =
   let idx = Mna.node res.circuit name in

@@ -1,5 +1,6 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
 type linear_solver = Direct | Matrix_free_gmres
 
@@ -34,7 +35,9 @@ type result = {
   gmres_iters_total : int;
 }
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "hb"
 
 (* residual R(X) = D q(X) + f(X) - B, flattened row-major (sample, unknown) *)
 let residual_mat c ~period ~times (x : Mat.t) =
@@ -186,7 +189,9 @@ let initial_guess ?(x0 : Mat.t option) c ~options ~period ~times =
         Mat.init ns n (fun _ i -> xdc.(i))
       end
 
-let solve ?(options = default_options) ?x0 c ~freq =
+let default_damping = 5.0
+
+let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
   let period = 1.0 /. freq in
   let ns = options.n_samples in
   let n = Mna.size c in
@@ -196,60 +201,119 @@ let solve ?(options = default_options) ?x0 c ~freq =
   let iters = ref 0 in
   let res_norm = ref infinity in
   let converged = ref false in
-  while (not !converged) && !iters < options.max_newton do
-    incr iters;
-    let r = residual_mat c ~period ~times !x in
-    res_norm := Mat.max_abs r;
-    if !res_norm <= options.tol then converged := true
-    else begin
-      let rhs = flatten r in
-      let dx =
-        match options.solver with
-        | Direct -> begin
-            let j = dense_jacobian c ~period !x in
-            try Lu.solve (Lu.factor j) rhs
-            with Lu.Singular -> raise (No_convergence "singular HB Jacobian")
-          end
-        | Matrix_free_gmres ->
-            let precond =
-              if options.precondition then make_preconditioner c ~period !x
-              else fun v -> v
-            in
-            let op = apply_jacobian c ~period !x in
-            let sol, st =
-              Krylov.gmres ~m:80 ~tol:options.gmres_tol ~max_iter:2000 ~precond op rhs
-            in
-            gmres_total := !gmres_total + st.Krylov.iterations;
-            if not st.Krylov.converged then
-              raise (No_convergence "HB GMRES did not converge");
-            sol
-      in
-      (* damped Newton update *)
-      let step = Vec.norm_inf dx in
-      let scale = if step > 5.0 then 5.0 /. step else 1.0 in
-      let dxm = unflatten ~rows:ns ~cols:n dx in
-      let xm = !x in
-      for s = 0 to ns - 1 do
-        for i = 0 to n - 1 do
-          Mat.update xm s i (fun v -> v -. (scale *. Mat.get dxm s i))
+  let stats () =
+    {
+      Supervisor.iterations = !iters;
+      residual = !res_norm;
+      krylov_iterations = !gmres_total;
+    }
+  in
+  let cap = min options.max_newton iter_cap in
+  try
+    while (not !converged) && !iters < cap do
+      incr iters;
+      let r = residual_mat c ~period ~times !x in
+      res_norm := Mat.max_abs r;
+      if !res_norm <= options.tol then converged := true
+      else begin
+        let rhs = flatten r in
+        if Faults.singular_now ~engine then raise Lu.Singular;
+        let dx =
+          match options.solver with
+          | Direct ->
+              let j = dense_jacobian c ~period !x in
+              Lu.solve (Lu.factor j) rhs
+          | Matrix_free_gmres ->
+              let precond =
+                if options.precondition then make_preconditioner c ~period !x
+                else fun v -> v
+              in
+              let op = apply_jacobian c ~period !x in
+              let sol, st =
+                Krylov.gmres ~m:80 ~tol:options.gmres_tol ~max_iter:2000 ~precond
+                  op rhs
+              in
+              gmres_total := !gmres_total + st.Krylov.iterations;
+              if (not st.Krylov.converged) || Faults.krylov_stall_now ~engine then
+                Error.fail ~engine
+                  ~cause:
+                    (Supervisor.Krylov_stall
+                       {
+                         iterations = st.Krylov.iterations;
+                         residual = st.Krylov.residual;
+                       })
+                  "HB GMRES did not converge";
+              sol
+        in
+        Guard.check ~engine ~iter:!iters dx;
+        (* damped Newton update *)
+        let step = Vec.norm_inf dx in
+        let scale = if step > damping then damping /. step else 1.0 in
+        let dxm = unflatten ~rows:ns ~cols:n dx in
+        let xm = !x in
+        for s = 0 to ns - 1 do
+          for i = 0 to n - 1 do
+            Mat.update xm s i (fun v -> v -. (scale *. Mat.get dxm s i))
+          done
         done
-      done
-    end
-  done;
-  if not !converged then
-    raise
-      (No_convergence
-         (Printf.sprintf "HB Newton: residual %.3e after %d iterations" !res_norm
-            !iters));
-  {
-    circuit = c;
-    freq;
-    times;
-    samples = !x;
-    newton_iters = !iters;
-    residual = !res_norm;
-    gmres_iters_total = !gmres_total;
-  }
+      end
+    done;
+    if not !converged then
+      Error
+        ( Supervisor.Newton_stall { iterations = !iters; residual = !res_norm },
+          stats () )
+    else
+      Ok
+        ( {
+            circuit = c;
+            freq;
+            times;
+            samples = !x;
+            newton_iters = !iters;
+            residual = !res_norm;
+            gmres_iters_total = !gmres_total;
+          },
+          stats () )
+  with
+  | Lu.Singular -> Error (Supervisor.Singular_jacobian, stats ())
+  | Krylov.Non_finite index ->
+      Error (Supervisor.Non_finite { iter = !iters; index }, stats ())
+  | Guard.Non_finite_found { iter; index } ->
+      Error (Supervisor.Non_finite { iter; index }, stats ())
+  | Error.No_convergence e -> Error (e.Error.cause, stats ())
+
+let solve_outcome ?budget ?(options = default_options) ?x0 c ~freq =
+  Supervisor.run ?budget ~engine
+    ~ladder:
+      [
+        Supervisor.Base;
+        Supervisor.Tighten_damping (default_damping /. 4.0);
+        Supervisor.Warm_start (4 * max 1 options.warm_periods);
+        Supervisor.Escalate_samples 2;
+      ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let damping, options =
+        match strategy with
+        | Supervisor.Tighten_damping d -> (d, options)
+        | Supervisor.Warm_start p ->
+            (default_damping, { options with warm_periods = p })
+        | Supervisor.Escalate_samples f ->
+            (* a user-supplied x0 pins the sample count; re-run base instead *)
+            let options =
+              match x0 with
+              | None -> { options with n_samples = options.n_samples * f }
+              | Some _ -> options
+            in
+            (default_damping, options)
+        | _ -> (default_damping, options)
+      in
+      solve_core ~options ~damping ~iter_cap ?x0 c ~freq)
+    ()
+
+let solve ?options ?x0 c ~freq =
+  match solve_outcome ?options ?x0 c ~freq with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let waveform res name =
   let idx = Mna.node res.circuit name in

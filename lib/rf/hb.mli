@@ -40,12 +40,26 @@ type result = {
   gmres_iters_total : int;
 }
 
-exception No_convergence of string
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. *)
+
+val solve_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  ?x0:Rfkit_la.Mat.t ->
+  Rfkit_circuit.Mna.t ->
+  freq:float ->
+  result Rfkit_solve.Supervisor.outcome
+(** Supervised solve. Retry ladder: base, tightened Newton damping, longer
+    transient warm-start, then doubled sample count (skipped when [x0]
+    pins the grid). GMRES iteration totals surface in the report's
+    [krylov_iterations]. *)
 
 val solve :
   ?options:options -> ?x0:Rfkit_la.Mat.t -> Rfkit_circuit.Mna.t -> freq:float -> result
 (** Periodic steady state at fundamental [freq]. [x0] optionally seeds the
-    sample matrix (e.g. from a coarser run). *)
+    sample matrix (e.g. from a coarser run). Exception shim over
+    {!solve_outcome}. *)
 
 val waveform : result -> string -> Rfkit_la.Vec.t
 (** One period of a node voltage. *)

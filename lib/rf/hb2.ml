@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "hb2"
 
 type options = {
   n1 : int;
@@ -185,10 +188,16 @@ let make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg =
     done;
     out
 
-let solve ?(options = default_options) c ~f1 ~f2 =
+let default_damping = 5.0
+
+let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
   let { n1; n2; _ } = options in
   let n = Mna.size c in
-  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let xdc =
+    match Dc.solve_outcome c with
+    | Supervisor.Converged (x, _) -> x
+    | Supervisor.Failed _ -> Vec.create n
+  in
   let x = Vec.create (n1 * n2 * n) in
   for i1 = 0 to n1 - 1 do
     for i2 = 0 to n2 - 1 do
@@ -201,53 +210,96 @@ let solve ?(options = default_options) c ~f1 ~f2 =
   let gmres_total = ref 0 in
   let res_norm = ref infinity in
   let converged = ref false in
-  while (not !converged) && !iters < options.max_newton do
-    incr iters;
-    let r = residual_vec c ~options ~f1 ~f2 x in
-    res_norm := Vec.norm_inf r;
-    if !res_norm <= options.tol then converged := true
-    else begin
-      let cs = Array.make (n1 * n2) (Mat.make 0 0) in
-      let gs = Array.make (n1 * n2) (Mat.make 0 0) in
-      let c_avg = Mat.make n n and g_avg = Mat.make n n in
-      for i1 = 0 to n1 - 1 do
-        for i2 = 0 to n2 - 1 do
-          let xp = point ~n2 ~n x i1 i2 in
-          let cm = Mna.jac_c c xp and gm = Mna.jac_g c xp in
-          cs.((i1 * n2) + i2) <- cm;
-          gs.((i1 * n2) + i2) <- gm;
-          Mat.add_inplace cm c_avg;
-          Mat.add_inplace gm g_avg
-        done
-      done;
-      let scale = 1.0 /. float_of_int (n1 * n2) in
-      let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
-      let precond = make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg in
-      let op = apply_jacobian c ~options ~f1 ~f2 ~cs ~gs in
-      let dx, st =
-        Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+  let stats () =
+    {
+      Supervisor.iterations = !iters;
+      residual = !res_norm;
+      krylov_iterations = !gmres_total;
+    }
+  in
+  let cap = min options.max_newton iter_cap in
+  try
+    while (not !converged) && !iters < cap do
+      incr iters;
+      let r = residual_vec c ~options ~f1 ~f2 x in
+      res_norm := Vec.norm_inf r;
+      if !res_norm <= options.tol then converged := true
+      else begin
+        let cs = Array.make (n1 * n2) (Mat.make 0 0) in
+        let gs = Array.make (n1 * n2) (Mat.make 0 0) in
+        let c_avg = Mat.make n n and g_avg = Mat.make n n in
+        for i1 = 0 to n1 - 1 do
+          for i2 = 0 to n2 - 1 do
+            let xp = point ~n2 ~n x i1 i2 in
+            let cm = Mna.jac_c c xp and gm = Mna.jac_g c xp in
+            cs.((i1 * n2) + i2) <- cm;
+            gs.((i1 * n2) + i2) <- gm;
+            Mat.add_inplace cm c_avg;
+            Mat.add_inplace gm g_avg
+          done
+        done;
+        let scale = 1.0 /. float_of_int (n1 * n2) in
+        let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+        if Faults.singular_now ~engine then raise Lu.Singular;
+        let precond = make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg in
+        let op = apply_jacobian c ~options ~f1 ~f2 ~cs ~gs in
+        let dx, st =
+          Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+        in
+        gmres_total := !gmres_total + st.Krylov.iterations;
+        if (not st.Krylov.converged) || Faults.krylov_stall_now ~engine then
+          Error.fail ~engine
+            ~cause:
+              (Supervisor.Krylov_stall
+                 { iterations = st.Krylov.iterations; residual = st.Krylov.residual })
+            "HB2 GMRES stalled";
+        Guard.check ~engine ~iter:!iters dx;
+        let step = Vec.norm_inf dx in
+        let damp = if step > damping then damping /. step else 1.0 in
+        Vec.axpy (-.damp) dx x
+      end
+    done;
+    if not !converged then
+      Error
+        ( Supervisor.Newton_stall { iterations = !iters; residual = !res_norm },
+          stats () )
+    else
+      Ok
+        ( {
+            circuit = c;
+            f1;
+            f2;
+            options;
+            grid = x;
+            newton_iters = !iters;
+            residual = !res_norm;
+            gmres_iters_total = !gmres_total;
+          },
+          stats () )
+  with
+  | Lu.Singular | Clu.Singular -> Error (Supervisor.Singular_jacobian, stats ())
+  | Krylov.Non_finite index ->
+      Error (Supervisor.Non_finite { iter = !iters; index }, stats ())
+  | Guard.Non_finite_found { iter; index } ->
+      Error (Supervisor.Non_finite { iter; index }, stats ())
+  | Error.No_convergence e -> Error (e.Error.cause, stats ())
+
+let solve_outcome ?budget ?(options = default_options) c ~f1 ~f2 =
+  Supervisor.run ?budget ~engine
+    ~ladder:[ Supervisor.Base; Supervisor.Tighten_damping (default_damping /. 4.0) ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let damping =
+        match strategy with
+        | Supervisor.Tighten_damping d -> d
+        | _ -> default_damping
       in
-      gmres_total := !gmres_total + st.Krylov.iterations;
-      if not st.Krylov.converged then raise (No_convergence "HB2 GMRES stalled");
-      let step = Vec.norm_inf dx in
-      let damp = if step > 5.0 then 5.0 /. step else 1.0 in
-      Vec.axpy (-.damp) dx x
-    end
-  done;
-  if not !converged then
-    raise
-      (No_convergence
-         (Printf.sprintf "HB2 Newton: residual %.3e after %d iters" !res_norm !iters));
-  {
-    circuit = c;
-    f1;
-    f2;
-    options;
-    grid = x;
-    newton_iters = !iters;
-    residual = !res_norm;
-    gmres_iters_total = !gmres_total;
-  }
+      solve_core ~options ~damping ~iter_cap c ~f1 ~f2)
+    ()
+
+let solve ?options c ~f1 ~f2 =
+  match solve_outcome ?options c ~f1 ~f2 with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let node_grid res name =
   let { n1; n2; _ } = res.options in

@@ -12,7 +12,8 @@
     is the engine for Fig 1's modulator spectrum: tones at 80 kHz and
     1.62 GHz, six decades apart, cost the same as any other pair. *)
 
-exception No_convergence of string
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. *)
 
 type options = {
   n1 : int;             (** samples along the tone-1 (slow) axis *)
@@ -35,7 +36,18 @@ type result = {
   gmres_iters_total : int;
 }
 
+val solve_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  Rfkit_circuit.Mna.t ->
+  f1:float ->
+  f2:float ->
+  result Rfkit_solve.Supervisor.outcome
+(** Supervised solve: base attempt, then a tightened-damping retry. GMRES
+    stalls surface as {!Rfkit_solve.Supervisor.Krylov_stall}. *)
+
 val solve : ?options:options -> Rfkit_circuit.Mna.t -> f1:float -> f2:float -> result
+(** Exception shim over {!solve_outcome}. *)
 
 val node_grid : result -> string -> Rfkit_la.Mat.t
 (** Bivariate node waveform ([n1] x [n2]). *)

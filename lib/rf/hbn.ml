@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "hbn"
 
 type options = {
   dims : int array;
@@ -194,7 +197,88 @@ let make_preconditioner ~options ~tones ~c_avg ~g_avg =
 
 (* ---------------------------------------------------------------- solve *)
 
-let solve ?options c ~tones =
+let default_damping = 5.0
+
+let solve_core ~options ~damping ~iter_cap c ~tones =
+  let dims = options.dims in
+  let n = Mna.size c in
+  let tot = total dims in
+  let xdc =
+    match Dc.solve_outcome c with
+    | Supervisor.Converged (x, _) -> x
+    | Supervisor.Failed _ -> Vec.create n
+  in
+  let x = Vec.init (tot * n) (fun i -> xdc.(i mod n)) in
+  let iters = ref 0 in
+  let gmres_total = ref 0 in
+  let res_norm = ref infinity in
+  let converged = ref false in
+  let stats () =
+    {
+      Supervisor.iterations = !iters;
+      residual = !res_norm;
+      krylov_iterations = !gmres_total;
+    }
+  in
+  let cap = min options.max_newton iter_cap in
+  try
+    while (not !converged) && !iters < cap do
+      incr iters;
+      let r = residual_vec c ~options ~tones x in
+      res_norm := Vec.norm_inf r;
+      if !res_norm <= options.tol then converged := true
+      else begin
+        let cs = Array.init tot (fun flat -> Mna.jac_c c (point ~n x flat)) in
+        let gs = Array.init tot (fun flat -> Mna.jac_g c (point ~n x flat)) in
+        let c_avg = Mat.make n n and g_avg = Mat.make n n in
+        Array.iter (fun m -> Mat.add_inplace m c_avg) cs;
+        Array.iter (fun m -> Mat.add_inplace m g_avg) gs;
+        let scale = 1.0 /. float_of_int tot in
+        let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+        if Faults.singular_now ~engine then raise Lu.Singular;
+        let precond = make_preconditioner ~options ~tones ~c_avg ~g_avg in
+        let op = apply_jacobian c ~options ~tones ~cs ~gs in
+        let dx, st =
+          Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+        in
+        gmres_total := !gmres_total + st.Krylov.iterations;
+        if (not st.Krylov.converged) || Faults.krylov_stall_now ~engine then
+          Error.fail ~engine
+            ~cause:
+              (Supervisor.Krylov_stall
+                 { iterations = st.Krylov.iterations; residual = st.Krylov.residual })
+            "HBn GMRES stalled";
+        Guard.check ~engine ~iter:!iters dx;
+        let step = Vec.norm_inf dx in
+        let damp = if step > damping then damping /. step else 1.0 in
+        Vec.axpy (-.damp) dx x
+      end
+    done;
+    if not !converged then
+      Error
+        ( Supervisor.Newton_stall { iterations = !iters; residual = !res_norm },
+          stats () )
+    else
+      Ok
+        ( {
+            circuit = c;
+            tones;
+            options;
+            grid = x;
+            newton_iters = !iters;
+            residual = !res_norm;
+            gmres_iters_total = !gmres_total;
+          },
+          stats () )
+  with
+  | Lu.Singular | Clu.Singular -> Error (Supervisor.Singular_jacobian, stats ())
+  | Krylov.Non_finite index ->
+      Error (Supervisor.Non_finite { iter = !iters; index }, stats ())
+  | Guard.Non_finite_found { iter; index } ->
+      Error (Supervisor.Non_finite { iter; index }, stats ())
+  | Error.No_convergence e -> Error (e.Error.cause, stats ())
+
+let solve_outcome ?budget ?options c ~tones =
   let options =
     match options with
     | Some o -> o
@@ -208,53 +292,21 @@ let solve ?options c ~tones =
   in
   if Array.length options.dims <> Array.length tones then
     invalid_arg "Hbn.solve: dims and tones length mismatch";
-  let dims = options.dims in
-  let n = Mna.size c in
-  let tot = total dims in
-  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
-  let x = Vec.init (tot * n) (fun i -> xdc.(i mod n)) in
-  let iters = ref 0 in
-  let gmres_total = ref 0 in
-  let res_norm = ref infinity in
-  let converged = ref false in
-  while (not !converged) && !iters < options.max_newton do
-    incr iters;
-    let r = residual_vec c ~options ~tones x in
-    res_norm := Vec.norm_inf r;
-    if !res_norm <= options.tol then converged := true
-    else begin
-      let cs = Array.init tot (fun flat -> Mna.jac_c c (point ~n x flat)) in
-      let gs = Array.init tot (fun flat -> Mna.jac_g c (point ~n x flat)) in
-      let c_avg = Mat.make n n and g_avg = Mat.make n n in
-      Array.iter (fun m -> Mat.add_inplace m c_avg) cs;
-      Array.iter (fun m -> Mat.add_inplace m g_avg) gs;
-      let scale = 1.0 /. float_of_int tot in
-      let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
-      let precond = make_preconditioner ~options ~tones ~c_avg ~g_avg in
-      let op = apply_jacobian c ~options ~tones ~cs ~gs in
-      let dx, st =
-        Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
+  Supervisor.run ?budget ~engine
+    ~ladder:[ Supervisor.Base; Supervisor.Tighten_damping (default_damping /. 4.0) ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let damping =
+        match strategy with
+        | Supervisor.Tighten_damping d -> d
+        | _ -> default_damping
       in
-      gmres_total := !gmres_total + st.Krylov.iterations;
-      if not st.Krylov.converged then raise (No_convergence "HBn GMRES stalled");
-      let step = Vec.norm_inf dx in
-      let damp = if step > 5.0 then 5.0 /. step else 1.0 in
-      Vec.axpy (-.damp) dx x
-    end
-  done;
-  if not !converged then
-    raise
-      (No_convergence
-         (Printf.sprintf "HBn Newton: residual %.3e after %d iters" !res_norm !iters));
-  {
-    circuit = c;
-    tones;
-    options;
-    grid = x;
-    newton_iters = !iters;
-    residual = !res_norm;
-    gmres_iters_total = !gmres_total;
-  }
+      solve_core ~options ~damping ~iter_cap c ~tones)
+    ()
+
+let solve ?options c ~tones =
+  match solve_outcome ?options c ~tones with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let mix_amplitude res name k_vec =
   let dims = res.options.dims in

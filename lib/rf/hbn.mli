@@ -15,7 +15,9 @@
     frequencies". {!problem_size} and {!memory_estimate} expose the
     scaling, and the harness sweeps the tone count. *)
 
-exception No_convergence of string
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. A
+    dims/tones length mismatch still raises [Invalid_argument]. *)
 
 type options = {
   dims : int array;    (** samples per tone axis *)
@@ -37,7 +39,16 @@ type result = {
   gmres_iters_total : int;
 }
 
+val solve_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  Rfkit_circuit.Mna.t ->
+  tones:float array ->
+  result Rfkit_solve.Supervisor.outcome
+(** Supervised solve: base attempt, then a tightened-damping retry. *)
+
 val solve : ?options:options -> Rfkit_circuit.Mna.t -> tones:float array -> result
+(** Exception shim over {!solve_outcome}. *)
 
 val mix_amplitude : result -> string -> int array -> float
 (** Amplitude of the line at [sum_i k_i f_i] for the signed mix vector. *)

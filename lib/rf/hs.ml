@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "hs"
 
 type options = { n1 : int; steps2 : int; max_sweeps : int; tol : float }
 
@@ -16,7 +19,13 @@ type result = {
   sweeps : int;
 }
 
-let solve ?(options = default_options) c ~f1 ~f2 =
+(* tag an inner slice failure with the slow-slice index it came from *)
+let with_slice i f =
+  try f ()
+  with Error.No_convergence e ->
+    raise (Error.No_convergence { e with Error.engine; slice = Some i })
+
+let solve_core ~options ~iter_cap c ~f1 ~f2 =
   let { n1; steps2; max_sweeps; tol } = options in
   let n = Mna.size c in
   let period1 = 1.0 /. f1 and period2 = 1.0 /. f2 in
@@ -24,20 +33,25 @@ let solve ?(options = default_options) c ~f1 ~f2 =
   let t1s = Array.init n1 (fun i -> float_of_int i *. h1) in
   (* initial slices: uncoupled periodic solves with the slow excitation
      frozen per slice (quasi-static start) *)
-  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let xdc =
+    match Dc.solve_outcome c with
+    | Supervisor.Converged (x, _) -> x
+    | Supervisor.Failed _ -> Vec.create n
+  in
   let b_of i tau = Mpde.eval_b2 c ~f1 ~f2 t1s.(i) tau in
   let slices =
     Array.init n1 (fun i ->
-        try
-          Slice.solve_periodic c ~b:(b_of i) ~period2 ~steps:steps2 ~y0:xdc
-        with Slice.No_convergence msg -> raise (No_convergence ("HS init: " ^ msg)))
+        with_slice i (fun () ->
+            Slice.solve_periodic c ~b:(b_of i) ~period2 ~steps:steps2 ~y0:xdc))
   in
   let q_of_slice s =
     Array.init steps2 (fun k -> Mna.eval_q c (Mat.row slices.(s) k))
   in
   let sweeps = ref 0 in
   let settled = ref false in
-  while (not !settled) && !sweeps < max_sweeps do
+  let last_change = ref infinity in
+  let cap = min max_sweeps iter_cap in
+  while (not !settled) && !sweeps < cap do
     incr sweeps;
     let max_change = ref 0.0 in
     for i = 0 to n1 - 1 do
@@ -45,17 +59,47 @@ let solve ?(options = default_options) c ~f1 ~f2 =
       let coupling = { Slice.h1; q_ref = q_of_slice prev } in
       let y0 = Mat.row slices.(i) 0 in
       let updated =
-        try Slice.solve_periodic ~coupling c ~b:(b_of i) ~period2 ~steps:steps2 ~y0
-        with Slice.No_convergence msg -> raise (No_convergence ("HS sweep: " ^ msg))
+        with_slice i (fun () ->
+            Slice.solve_periodic ~coupling c ~b:(b_of i) ~period2 ~steps:steps2 ~y0)
       in
       let change = Mat.max_abs (Mat.sub updated slices.(i)) in
       if change > !max_change then max_change := change;
       slices.(i) <- updated
     done;
+    last_change := !max_change;
     if !max_change <= tol then settled := true
   done;
-  if not !settled then raise (No_convergence "HS Gauss-Seidel sweeps did not settle");
-  { circuit = c; f1; f2; options; slices; sweeps = !sweeps }
+  let stats =
+    {
+      Supervisor.iterations = !sweeps;
+      residual = !last_change;
+      krylov_iterations = 0;
+    }
+  in
+  if not !settled then
+    Error
+      ( Supervisor.Newton_stall { iterations = !sweeps; residual = !last_change },
+        stats )
+  else Ok ({ circuit = c; f1; f2; options; slices; sweeps = !sweeps }, stats)
+
+let solve_outcome ?budget ?(options = default_options) c ~f1 ~f2 =
+  Supervisor.run ?budget ~engine
+    ~ladder:[ Supervisor.Base; Supervisor.Escalate_samples 2 ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let options =
+        match strategy with
+        | Supervisor.Escalate_samples f ->
+            { options with steps2 = options.steps2 * f }
+        | _ -> options
+      in
+      try solve_core ~options ~iter_cap c ~f1 ~f2
+      with Error.No_convergence e -> Error (e.Error.cause, Supervisor.no_stats))
+    ()
+
+let solve ?options c ~f1 ~f2 =
+  match solve_outcome ?options c ~f1 ~f2 with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let node_grid res name =
   let k = Mna.node res.circuit name in

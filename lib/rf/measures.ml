@@ -13,24 +13,26 @@ let compression_point_1db ?(a_start = 1e-3) ?(a_stop = 10.0) ~build ~node ~freq 
   let target = g0 *. (10.0 ** (-1.0 /. 20.0)) in
   (* geometric scan for the bracketing pair *)
   let rec scan a =
-    if a > a_stop then raise Not_found
+    if a > a_stop then None
     else begin
       let g = fundamental_gain ~build ~node ~freq a in
-      if g <= target then a else scan (a *. 1.3)
+      if g <= target then Some a else scan (a *. 1.3)
     end
   in
-  let hi = scan (a_start *. 1.3) in
-  let lo = hi /. 1.3 in
-  (* bisection on log amplitude *)
-  let rec refine lo hi k =
-    if k = 0 then sqrt (lo *. hi)
-    else begin
-      let mid = sqrt (lo *. hi) in
-      let g = fundamental_gain ~build ~node ~freq mid in
-      if g <= target then refine lo mid (k - 1) else refine mid hi (k - 1)
-    end
-  in
-  refine lo hi 20
+  match scan (a_start *. 1.3) with
+  | None -> None
+  | Some hi ->
+      let lo = hi /. 1.3 in
+      (* bisection on log amplitude *)
+      let rec refine lo hi k =
+        if k = 0 then sqrt (lo *. hi)
+        else begin
+          let mid = sqrt (lo *. hi) in
+          let g = fundamental_gain ~build ~node ~freq mid in
+          if g <= target then refine lo mid (k - 1) else refine mid hi (k - 1)
+        end
+      in
+      Some (refine lo hi 20)
 
 let iip3 ?(a_probe = 1e-3) ~build ~node ~f1 ~f2 () =
   let c = build a_probe in

@@ -19,11 +19,12 @@ val compression_point_1db :
   node:string ->
   freq:float ->
   unit ->
-  float
+  float option
 (** Input amplitude (volts) at which the fundamental gain has dropped 1 dB
     below its small-signal value — the 1 dB compression point. Scans a
-    geometric amplitude grid and refines by bisection.
-    @raise Not_found if no compression occurs within [a_stop]. *)
+    geometric amplitude grid and refines by bisection. Returns [None] if
+    no compression occurs within [a_stop] (e.g. a perfectly linear
+    stage). *)
 
 val iip3 :
   ?a_probe:float ->

@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "mfdtd"
 
 type linear_solver = Direct | Matrix_free_gmres
 
@@ -83,7 +86,9 @@ let apply_jacobian ~options ~h1 ~h2 ~cs ~gs (v : Vec.t) =
   done;
   out
 
-let solve ?(options = default_options) c ~f1 ~f2 =
+let default_damping = 5.0
+
+let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
   let { n1; n2; _ } = options in
   let n = Mna.size c in
   let t1_per = 1.0 /. f1 and t2_per = 1.0 /. f2 in
@@ -91,7 +96,11 @@ let solve ?(options = default_options) c ~f1 ~f2 =
   let t1s = Array.init n1 (fun i -> float_of_int i *. h1) in
   let t2s = Array.init n2 (fun i -> float_of_int i *. h2) in
   (* initial guess: DC everywhere *)
-  let xdc = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+  let xdc =
+    match Dc.solve_outcome c with
+    | Supervisor.Converged (x, _) -> x
+    | Supervisor.Failed _ -> Vec.create n
+  in
   let x = Vec.create (n1 * n2 * n) in
   for i1 = 0 to n1 - 1 do
     for i2 = 0 to n2 - 1 do
@@ -102,8 +111,18 @@ let solve ?(options = default_options) c ~f1 ~f2 =
   done;
   let iters = ref 0 in
   let res_norm = ref infinity in
+  let krylov_total = ref 0 in
   let converged = ref false in
-  while (not !converged) && !iters < options.max_newton do
+  let stats () =
+    {
+      Supervisor.iterations = !iters;
+      residual = !res_norm;
+      krylov_iterations = !krylov_total;
+    }
+  in
+  let cap = min options.max_newton iter_cap in
+  try
+  while (not !converged) && !iters < cap do
     incr iters;
     let r = residual_vec c ~options ~t1s ~t2s ~h1 ~h2 ~f1 ~f2 x in
     res_norm := Vec.norm_inf r;
@@ -117,6 +136,7 @@ let solve ?(options = default_options) c ~f1 ~f2 =
         Array.init n1 (fun i1 ->
             Array.init n2 (fun i2 -> Mna.jac_g c (point ~n2 ~n x i1 i2)))
       in
+      if Faults.singular_now ~engine then raise Lu.Singular;
       let dx =
         match options.solver with
         | Matrix_free_gmres ->
@@ -130,9 +150,7 @@ let solve ?(options = default_options) c ~f1 ~f2 =
                           (Mat.scale ((1.0 /. h1) +. (1.0 /. h2)) cs.(i1).(i2))
                           gs.(i1).(i2)
                       in
-                      try Lu.factor blk
-                      with Lu.Singular ->
-                        raise (No_convergence "singular MFDTD diagonal block")))
+                      Lu.factor blk))
             in
             let precond v =
               let out = Vec.create (n1 * n2 * n) in
@@ -150,8 +168,16 @@ let solve ?(options = default_options) c ~f1 ~f2 =
             let sol, st =
               Krylov.gmres ~m:60 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r
             in
-            if not st.Krylov.converged then
-              raise (No_convergence "MFDTD GMRES stalled");
+            krylov_total := !krylov_total + st.Krylov.iterations;
+            if (not st.Krylov.converged) || Faults.krylov_stall_now ~engine then
+              Error.fail ~engine
+                ~cause:
+                  (Supervisor.Krylov_stall
+                     {
+                       iterations = st.Krylov.iterations;
+                       residual = st.Krylov.residual;
+                     })
+                "MFDTD GMRES stalled";
             sol
         | Direct ->
             let dim = n1 * n2 * n in
@@ -174,19 +200,54 @@ let solve ?(options = default_options) c ~f1 ~f2 =
                 done
               done
             done;
-            (try Lu.solve (Lu.factor j) r
-             with Lu.Singular -> raise (No_convergence "singular MFDTD Jacobian"))
+            Lu.solve (Lu.factor j) r
       in
+      Guard.check ~engine ~iter:!iters dx;
       let step = Vec.norm_inf dx in
-      let scale = if step > 5.0 then 5.0 /. step else 1.0 in
+      let scale = if step > damping then damping /. step else 1.0 in
       Vec.axpy (-.scale) dx x
     end
   done;
   if not !converged then
-    raise
-      (No_convergence
-         (Printf.sprintf "MFDTD Newton: residual %.3e after %d iters" !res_norm !iters));
-  { circuit = c; f1; f2; options; grid = x; newton_iters = !iters; residual = !res_norm }
+    Error
+      ( Supervisor.Newton_stall { iterations = !iters; residual = !res_norm },
+        stats () )
+  else
+    Ok
+      ( {
+          circuit = c;
+          f1;
+          f2;
+          options;
+          grid = x;
+          newton_iters = !iters;
+          residual = !res_norm;
+        },
+        stats () )
+  with
+  | Lu.Singular -> Error (Supervisor.Singular_jacobian, stats ())
+  | Krylov.Non_finite index ->
+      Error (Supervisor.Non_finite { iter = !iters; index }, stats ())
+  | Guard.Non_finite_found { iter; index } ->
+      Error (Supervisor.Non_finite { iter; index }, stats ())
+  | Error.No_convergence e -> Error (e.Error.cause, stats ())
+
+let solve_outcome ?budget ?(options = default_options) c ~f1 ~f2 =
+  Supervisor.run ?budget ~engine
+    ~ladder:[ Supervisor.Base; Supervisor.Tighten_damping (default_damping /. 4.0) ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let damping =
+        match strategy with
+        | Supervisor.Tighten_damping d -> d
+        | _ -> default_damping
+      in
+      solve_core ~options ~damping ~iter_cap c ~f1 ~f2)
+    ()
+
+let solve ?options c ~f1 ~f2 =
+  match solve_outcome ?options c ~f1 ~f2 with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 let node_grid res name =
   let { n1; n2; _ } = res.options in

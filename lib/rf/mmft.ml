@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "mmft"
 
 type options = {
   slow_harmonics : int;
@@ -63,14 +66,20 @@ let integrate_fast c ~y0 ~t0 ~period2 ~steps ~with_monodromy =
     let x_prev = !x in
     let x_next =
       try Tran.implicit_step c ~method_:Tran.Backward_euler ~x_prev ~t_prev ~dt:h
-      with Tran.Step_failed t -> raise (No_convergence (Printf.sprintf "step failed at t=%g" t))
+      with Tran.Step_failed t ->
+        Error.fail ~engine ~time:t
+          ~cause:(Supervisor.Newton_stall { iterations = kk; residual = infinity })
+          (Printf.sprintf "step failed at t=%g" t)
     in
     if with_monodromy then begin
       let c1 = Mna.jac_c c x_next and g1 = Mna.jac_g c x_next in
       let j = Mat.add (Mat.scale (1.0 /. h) c1) g1 in
       let c0 = Mat.scale (1.0 /. h) (Mna.jac_c c x_prev) in
       let f =
-        try Lu.factor j with Lu.Singular -> raise (No_convergence "singular step Jacobian")
+        try Lu.factor j
+        with Lu.Singular ->
+          Error.fail ~engine ~cause:Supervisor.Singular_jacobian
+            "singular step Jacobian"
       in
       mono := Lu.solve_mat f (Mat.mul c0 !mono)
     end;
@@ -79,21 +88,24 @@ let integrate_fast c ~y0 ~t0 ~period2 ~steps ~with_monodromy =
   done;
   (traj, !mono)
 
-let solve ?(options = default_options) c ~f1 ~f2 =
+let solve_core ~options ~iter_cap c ~f1 ~f2 =
   let { slow_harmonics = k; steps2; max_newton; tol } = options in
   let n = Mna.size c in
   let m_count = (2 * k) + 1 in
   let period1 = 1.0 /. f1 and period2 = 1.0 /. f2 in
   (* slow sample instants snapped to multiples of the fast period so every
      phase sees the same fast-carrier phase (Kundert's MFT condition);
-     requires f2 >> f1, which is the method's domain anyway *)
+     requires f2 >> f1, which is the method's domain anyway — a violation
+     is a modelling error, so it fail-fasts the ladder as [Unsupported] *)
   let ratio = period1 /. period2 in
-  if ratio < float_of_int (2 * m_count) then
-    raise
-      (No_convergence
-         (Printf.sprintf
-            "MMFT needs widely separated tones (T1/T2 = %.1f too small for %d phases)"
-            ratio m_count));
+  if ratio < float_of_int (2 * m_count) then begin
+    let what =
+      Printf.sprintf
+        "MMFT needs widely separated tones (T1/T2 = %.1f too small for %d phases)"
+        ratio m_count
+    in
+    Error.fail ~engine ~cause:(Supervisor.Unsupported what) what
+  end;
   let s =
     Array.init m_count (fun m ->
         let ideal = period1 *. float_of_int m /. float_of_int m_count in
@@ -116,7 +128,9 @@ let solve ?(options = default_options) c ~f1 ~f2 =
   let dim = m_count * n in
   let iters = ref 0 in
   let converged = ref false in
-  while (not !converged) && !iters < max_newton do
+  let last_res = ref infinity in
+  let cap = min max_newton iter_cap in
+  while (not !converged) && !iters < cap do
     incr iters;
     (* integrate every phase with monodromy *)
     let phis = Array.make m_count [||] in
@@ -142,6 +156,7 @@ let solve ?(options = default_options) c ~f1 ~f2 =
         scale_ref := Float.max !scale_ref (Float.abs phis.(m).(i))
       done
     done;
+    last_res := Vec.norm_inf r /. !scale_ref;
     if Vec.norm_inf r <= tol *. !scale_ref then converged := true
     else begin
       (* Jacobian: blockdiag(M_m) - D (x) I_n *)
@@ -156,10 +171,16 @@ let solve ?(options = default_options) c ~f1 ~f2 =
           done
         done
       done;
+      if Faults.singular_now ~engine then
+        Error.fail ~engine ~cause:Supervisor.Singular_jacobian
+          "MMFT Jacobian singular (injected)";
       let dy =
         try Lu.solve (Lu.factor j) r
-        with Lu.Singular -> raise (No_convergence "MMFT Jacobian singular")
+        with Lu.Singular ->
+          Error.fail ~engine ~cause:Supervisor.Singular_jacobian
+            "MMFT Jacobian singular"
       in
+      Guard.check ~engine ~iter:!iters dy;
       for m = 0 to m_count - 1 do
         for i = 0 to n - 1 do
           y.(m).(i) <- y.(m).(i) -. dy.((m * n) + i)
@@ -167,7 +188,13 @@ let solve ?(options = default_options) c ~f1 ~f2 =
       done
     end
   done;
-  if not !converged then raise (No_convergence "MMFT Newton did not converge");
+  let stats =
+    { Supervisor.iterations = !iters; residual = !last_res; krylov_iterations = 0 }
+  in
+  if not !converged then
+    Error.fail ~engine
+      ~cause:(Supervisor.Newton_stall { iterations = !iters; residual = !last_res })
+      "MMFT Newton did not converge";
   (* final trajectories for output processing *)
   let slices =
     Array.init m_count (fun m ->
@@ -177,16 +204,39 @@ let solve ?(options = default_options) c ~f1 ~f2 =
         total_steps := !total_steps + steps2;
         Mat.init steps2 n (fun kk i -> Mat.get traj kk i))
   in
-  {
-    circuit = c;
-    f1;
-    f2;
-    options;
-    sample_times = s;
-    slices;
-    newton_iters = !iters;
-    integration_steps = !total_steps;
-  }
+  Ok
+    ( {
+        circuit = c;
+        f1;
+        f2;
+        options;
+        sample_times = s;
+        slices;
+        newton_iters = !iters;
+        integration_steps = !total_steps;
+      },
+      stats )
+
+let solve_outcome ?budget ?(options = default_options) c ~f1 ~f2 =
+  Supervisor.run ?budget ~engine
+    ~ladder:[ Supervisor.Base; Supervisor.Escalate_samples 2 ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let options =
+        match strategy with
+        | Supervisor.Escalate_samples f ->
+            { options with steps2 = options.steps2 * f }
+        | _ -> options
+      in
+      try solve_core ~options ~iter_cap c ~f1 ~f2 with
+      | Error.No_convergence e -> Error (e.Error.cause, Supervisor.no_stats)
+      | Guard.Non_finite_found { iter; index } ->
+          Error (Supervisor.Non_finite { iter; index }, Supervisor.no_stats))
+    ()
+
+let solve ?options c ~f1 ~f2 =
+  match solve_outcome ?options c ~f1 ~f2 with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 (* Time-varying slow harmonic of a node: at fast offset tau,
    x(s_m + tau) = sum_j A_j(tau) e^{j j w1 s_m}; the coefficients come from

@@ -16,7 +16,10 @@
     with [D] the frequency-domain delay-by-T2 operator on band-limited
     T1-periodic sequences. Newton solves the coupled system. *)
 
-exception No_convergence of string
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. A
+    tone-spacing violation carries the fail-fast
+    {!Rfkit_solve.Supervisor.Unsupported} cause. *)
 
 type options = {
   slow_harmonics : int;  (** K: slow Fourier series has 2K+1 terms *)
@@ -48,7 +51,18 @@ val delay_matrix_at :
   kmax:int -> period1:float -> delay:float -> float array -> Rfkit_la.Mat.t
 (** Delay operator for arbitrary (distinct) sample instants. *)
 
+val solve_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  Rfkit_circuit.Mna.t ->
+  f1:float ->
+  f2:float ->
+  result Rfkit_solve.Supervisor.outcome
+(** Supervised solve: base attempt, then a fast-axis oversampling retry.
+    Tone-spacing violations abort the ladder immediately. *)
+
 val solve : ?options:options -> Rfkit_circuit.Mna.t -> f1:float -> f2:float -> result
+(** Exception shim over {!solve_outcome}. *)
 
 val harmonic_waveform : result -> string -> int -> Rfkit_la.Cvec.t
 (** [harmonic_waveform res node j]: the time-varying slow harmonic

@@ -1,7 +1,10 @@
 open Rfkit_la
 open Rfkit_circuit
+open Rfkit_solve
 
-exception No_convergence of string
+exception No_convergence = Error.No_convergence
+
+let engine = "shooting"
 
 type options = {
   steps_per_period : int;
@@ -30,7 +33,7 @@ type result = {
    backward Euler it does not damp oscillator amplitudes to first order,
    and unlike trapezoidal it does not make algebraic MNA rows oscillate
    (which would park a Floquet multiplier at -1 and break (M - I)). *)
-let gear2_step c ~x_prev ~x_prev2 ~t1 ~h =
+let gear2_step ?(damping = 5.0) c ~x_prev ~x_prev2 ~t1 ~h =
   let n = Mna.size c in
   let q0 = Mna.eval_q c x_prev and qm1 = Mna.eval_q c x_prev2 in
   let b1 = Mna.eval_b c t1 in
@@ -53,12 +56,15 @@ let gear2_step c ~x_prev ~x_prev2 ~t1 ~h =
       let j = Mat.add (Mat.scale (1.5 /. h) (Mna.jac_c c x)) (Mna.jac_g c x) in
       let dx =
         try Lu.solve (Lu.factor j) r
-        with Lu.Singular -> raise (No_convergence "singular Gear2 step Jacobian")
+        with Lu.Singular ->
+          Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
+            "singular Gear2 step Jacobian"
       in
+      Guard.check ~engine ~iter:!iter dx;
       let step = Vec.norm_inf dx in
       if step <= 1e-11 *. Float.max 1.0 (Vec.norm_inf x) then ok := true
       else begin
-        let scale = if step > 5.0 then 5.0 /. step else 1.0 in
+        let scale = if step > damping then damping /. step else 1.0 in
         Vec.axpy (-.scale) dx x
       end
     end
@@ -72,7 +78,7 @@ let gear2_step c ~x_prev ~x_prev2 ~t1 ~h =
      BE:    (C1/h + G1)        dx1 = (C0/h) dx0
      Gear2: (3C1/(2h) + G1)    dx1 = (2/h) C0 dx0 - (1/(2h)) C_m1 dx_m1
    Returns (trajectory including endpoint, monodromy). *)
-let integrate_period ?(with_monodromy = true) c ~x0 ~period ~m ~t_offset =
+let integrate_period ?(with_monodromy = true) ?damping c ~x0 ~period ~m ~t_offset =
   let n = Mna.size c in
   let h = period /. float_of_int m in
   let traj = Mat.make (m + 1) n in
@@ -88,7 +94,7 @@ let integrate_period ?(with_monodromy = true) c ~x0 ~period ~m ~t_offset =
       if k = 1 then
         Tran.implicit_step c ~method_:Tran.Backward_euler ~x_prev
           ~t_prev:(t1 -. h) ~dt:h
-      else gear2_step c ~x_prev ~x_prev2:!x_prev2 ~t1 ~h
+      else gear2_step ?damping c ~x_prev ~x_prev2:!x_prev2 ~t1 ~h
     in
     if with_monodromy then begin
       let c1 = Mna.jac_c c x_next and g1 = Mna.jac_g c x_next in
@@ -97,7 +103,9 @@ let integrate_period ?(with_monodromy = true) c ~x0 ~period ~m ~t_offset =
         let c0 = Mat.scale (1.0 /. h) (Mna.jac_c c x_prev) in
         let f =
           try Lu.factor j
-          with Lu.Singular -> raise (No_convergence "singular step Jacobian")
+          with Lu.Singular ->
+            Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
+              "singular step Jacobian"
         in
         mono_prev := Mat.identity n;
         mono := Lu.solve_mat f (Mat.mul c0 (Mat.identity n))
@@ -112,7 +120,9 @@ let integrate_period ?(with_monodromy = true) c ~x0 ~period ~m ~t_offset =
         in
         let f =
           try Lu.factor j
-          with Lu.Singular -> raise (No_convergence "singular step Jacobian")
+          with Lu.Singular ->
+            Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
+              "singular step Jacobian"
         in
         let m_next = Lu.solve_mat f rhs in
         mono_prev := !mono;
@@ -125,38 +135,51 @@ let integrate_period ?(with_monodromy = true) c ~x0 ~period ~m ~t_offset =
   done;
   (traj, !mono)
 
-let newton_shooting c ~x_init ~period ~m ~options =
+let newton_shooting ?damping ?(iter_cap = max_int) c ~x_init ~period ~m ~options =
   let n = Mna.size c in
   let x0 = ref (Vec.copy x_init) in
   let iters = ref 0 in
   let total_steps = ref 0 in
   let converged = ref false in
+  let last_res = ref infinity in
   let final = ref None in
-  while (not !converged) && !iters < options.max_newton do
+  let cap = min options.max_newton iter_cap in
+  while (not !converged) && !iters < cap do
     incr iters;
-    let traj, mono = integrate_period c ~x0:!x0 ~period ~m ~t_offset:0.0 in
+    let traj, mono = integrate_period ?damping c ~x0:!x0 ~period ~m ~t_offset:0.0 in
     total_steps := !total_steps + m;
     let xt = Mat.row traj m in
     let r = Vec.sub xt !x0 in
+    last_res := Vec.norm_inf r;
     if Vec.norm_inf r <= options.tol *. Float.max 1.0 (Vec.norm_inf xt) then begin
       converged := true;
       final := Some (traj, mono)
     end
     else begin
       (* (M - I) dx = -r *)
+      if Faults.singular_now ~engine then
+        Error.fail ~engine ~cause:Supervisor.Singular_jacobian
+          "M - I singular (injected)";
       let a = Mat.sub mono (Mat.identity n) in
       let dx =
         try Lu.solve (Lu.factor a) (Vec.neg r)
-        with Lu.Singular -> raise (No_convergence "M - I singular (try autonomous solver?)")
+        with Lu.Singular ->
+          Error.fail ~engine ~cause:Supervisor.Singular_jacobian
+            "M - I singular (try autonomous solver?)"
       in
+      Guard.check ~engine ~iter:!iters dx;
       Vec.add_inplace dx !x0
     end
   done;
   match !final with
   | Some (traj, mono) -> (traj, mono, !iters, !total_steps)
-  | None -> raise (No_convergence "shooting Newton did not converge")
+  | None ->
+      Error.fail ~engine
+        ~cause:
+          (Supervisor.Newton_stall { iterations = !iters; residual = !last_res })
+        "shooting Newton did not converge"
 
-let solve ?(options = default_options) ?x0 c ~freq =
+let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
   let period = 1.0 /. freq in
   let m = options.steps_per_period in
   let n = Mna.size c in
@@ -164,21 +187,28 @@ let solve ?(options = default_options) ?x0 c ~freq =
     match x0 with
     | Some v -> Vec.copy v
     | None ->
-        let start = try Dc.solve c with Dc.No_convergence _ -> Vec.create n in
+        let start =
+          match Dc.solve_outcome c with
+          | Supervisor.Converged (x, _) -> x
+          | Supervisor.Failed _ -> Vec.create n
+        in
         if options.warm_periods = 0 then start
         else begin
           let traj = ref start in
           for p = 0 to options.warm_periods - 1 do
             let t_offset = float_of_int p *. period in
             let tr, _ =
-              integrate_period ~with_monodromy:false c ~x0:!traj ~period ~m ~t_offset
+              integrate_period ~with_monodromy:false ~damping c ~x0:!traj ~period
+                ~m ~t_offset
             in
             traj := Mat.row tr m
           done;
           !traj
         end
   in
-  let traj, mono, iters, steps = newton_shooting c ~x_init ~period ~m ~options in
+  let traj, mono, iters, steps =
+    newton_shooting ~damping ~iter_cap c ~x_init ~period ~m ~options
+  in
   {
     circuit = c;
     period;
@@ -189,6 +219,43 @@ let solve ?(options = default_options) ?x0 c ~freq =
     newton_iters = iters;
     integration_steps = steps + (options.warm_periods * m);
   }
+
+let default_damping = 5.0
+
+let solve_outcome ?budget ?(options = default_options) ?x0 c ~freq =
+  Supervisor.run ?budget ~engine
+    ~ladder:
+      [
+        Supervisor.Base;
+        Supervisor.Tighten_damping (default_damping /. 4.0);
+        Supervisor.Warm_start (4 * max 1 options.warm_periods);
+      ]
+    ~attempt:(fun strategy ~iter_cap ->
+      let damping, options =
+        match strategy with
+        | Supervisor.Tighten_damping d -> (d, options)
+        | Supervisor.Warm_start p -> (default_damping, { options with warm_periods = p })
+        | _ -> (default_damping, options)
+      in
+      try
+        let res = solve_core ~options ~damping ~iter_cap ?x0 c ~freq in
+        Ok
+          ( res,
+            {
+              Supervisor.iterations = res.newton_iters;
+              residual = 0.0;
+              krylov_iterations = 0;
+            } )
+      with
+      | Error.No_convergence e -> Error (e.Error.cause, Supervisor.no_stats)
+      | Guard.Non_finite_found { iter; index } ->
+          Error (Supervisor.Non_finite { iter; index }, Supervisor.no_stats))
+    ()
+
+let solve ?options ?x0 c ~freq =
+  match solve_outcome ?options ?x0 c ~freq with
+  | Supervisor.Converged (res, _) -> res
+  | Supervisor.Failed f -> Error.raise_failure ~engine f
 
 (* crude period estimate from mean crossings of the widest-swinging state *)
 let estimate_period times trace =
@@ -253,8 +320,10 @@ let solve_autonomous ?(options = default_options) c ~freq_guess ~kick =
       best := i
     end
   done;
-  if !best_swing < 1e-9 then
-    raise (No_convergence "no oscillation detected after warm-up (kick too small?)");
+  if !best_swing < 1e-9 then begin
+    let what = "no oscillation detected after warm-up (kick too small?)" in
+    Error.fail ~engine ~cause:(Supervisor.Unsupported what) what
+  end;
   let anchor = !best in
   let tail_times = Array.sub warm_times lo (total + 1 - lo) in
   let tail_trace = Array.init (total + 1 - lo) (fun k -> Mat.get warm_traj (lo + k) anchor) in
@@ -308,8 +377,11 @@ let solve_autonomous ?(options = default_options) c ~freq_guess ~kick =
       rhs.(n) <- anchor_value -. !x0.(anchor);
       let delta =
         try Lu.solve (Lu.factor a) rhs
-        with Lu.Singular -> raise (No_convergence "bordered shooting system singular")
+        with Lu.Singular ->
+          Error.fail ~engine ~cause:Supervisor.Singular_jacobian
+            "bordered shooting system singular"
       in
+      Guard.check ~engine ~iter:!iters delta;
       (* damp the bordered Newton step: the period column is badly scaled
          against the state columns, so early iterations can overshoot *)
       let dT = delta.(n) in
@@ -330,7 +402,11 @@ let solve_autonomous ?(options = default_options) c ~freq_guess ~kick =
     end
   done;
   match !final with
-  | None -> raise (No_convergence "autonomous shooting did not converge")
+  | None ->
+      Error.fail ~engine
+        ~cause:
+          (Supervisor.Newton_stall { iterations = !iters; residual = infinity })
+        "autonomous shooting did not converge"
   | Some (traj, mono) ->
       {
         circuit = c;

@@ -13,7 +13,8 @@
     [solve_autonomous] extends the system with the unknown period and a
     phase-anchor condition for oscillators. *)
 
-exception No_convergence of string
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. *)
 
 type options = {
   steps_per_period : int;
@@ -35,9 +36,20 @@ type result = {
   integration_steps : int;          (** total BE steps spent *)
 }
 
+val solve_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?options:options ->
+  ?x0:Rfkit_la.Vec.t ->
+  Rfkit_circuit.Mna.t ->
+  freq:float ->
+  result Rfkit_solve.Supervisor.outcome
+(** Supervised forced solve: base attempt, tightened Newton damping, then
+    a longer transient warm-start before shooting. *)
+
 val solve :
   ?options:options -> ?x0:Rfkit_la.Vec.t -> Rfkit_circuit.Mna.t -> freq:float -> result
-(** Forced circuit at known fundamental [freq]. *)
+(** Forced circuit at known fundamental [freq]. Exception shim over
+    {!solve_outcome}. *)
 
 val solve_autonomous :
   ?options:options ->

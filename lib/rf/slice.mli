@@ -10,12 +10,14 @@
     [h1 = infinity] (no coupling) this reduces to an ordinary forced
     periodic problem. Solved by backward-Euler shooting with monodromy. *)
 
-exception No_convergence of string
+exception No_convergence of Rfkit_solve.Error.t
+(** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. *)
 
 type coupling = { h1 : float; q_ref : Rfkit_la.Vec.t array }
 (** [q_ref.(k)] is the reference charge at fast step [k] (length = steps). *)
 
 val integrate :
+  ?damping:float ->
   ?coupling:coupling ->
   Rfkit_circuit.Mna.t ->
   b:(float -> Rfkit_la.Vec.t) ->
@@ -25,7 +27,22 @@ val integrate :
   with_monodromy:bool ->
   Rfkit_la.Mat.t * Rfkit_la.Mat.t
 (** One fast period from [y0]: [(trajectory (steps+1) x n, monodromy)].
-    The monodromy matrix is empty when [with_monodromy] is false. *)
+    The monodromy matrix is empty when [with_monodromy] is false.
+    [damping] caps the inner Newton step inf-norm (default 5.0). *)
+
+val solve_periodic_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?max_newton:int ->
+  ?tol:float ->
+  ?coupling:coupling ->
+  Rfkit_circuit.Mna.t ->
+  b:(float -> Rfkit_la.Vec.t) ->
+  period2:float ->
+  steps:int ->
+  y0:Rfkit_la.Vec.t ->
+  Rfkit_la.Mat.t Rfkit_solve.Supervisor.outcome
+(** Supervised periodic solve: base attempt, then a tightened-damping
+    retry; NaN guards and fault hooks active in the inner Newton loops. *)
 
 val solve_periodic :
   ?max_newton:int ->

@@ -1,0 +1,34 @@
+type t = {
+  engine : string;
+  what : string;
+  cause : Supervisor.cause;
+  slice : int option;
+  time : float option;
+}
+
+exception No_convergence of t
+
+let fail ?slice ?time ?cause ~engine what =
+  let cause =
+    match cause with Some c -> c | None -> Supervisor.Unsupported what
+  in
+  raise (No_convergence { engine; what; cause; slice; time })
+
+let of_failure ~engine (f : Supervisor.failure) =
+  {
+    engine;
+    what = Supervisor.failure_to_string f;
+    cause = f.Supervisor.cause;
+    slice = None;
+    time = None;
+  }
+
+let raise_failure ~engine f = raise (No_convergence (of_failure ~engine f))
+
+let to_string e =
+  let ctx =
+    (match e.slice with Some i -> [ Printf.sprintf "slice %d" i ] | None -> [])
+    @ match e.time with Some t -> [ Printf.sprintf "t=%g" t ] | None -> []
+  in
+  Printf.sprintf "[%s] %s%s" e.engine e.what
+    (match ctx with [] -> "" | l -> " (" ^ String.concat ", " l ^ ")")

@@ -1,0 +1,30 @@
+(** The one structured convergence-failure type shared by every engine.
+
+    Replaces the per-module [exception No_convergence of string] copies:
+    context (engine, slice index, simulated time, typed cause) is carried
+    as data instead of being baked into printf strings, and every
+    engine's [No_convergence] name is a rebinding of this single
+    exception, so a caller can catch any engine's failure uniformly. *)
+
+type t = {
+  engine : string;  (** "dc", "hb", "slice", ... *)
+  what : string;  (** human-readable summary, may embed the attempt trail *)
+  cause : Supervisor.cause;
+  slice : int option;  (** slice/phase index for the MPDE family *)
+  time : float option;  (** simulated time of the failing step *)
+}
+
+exception No_convergence of t
+
+val fail :
+  ?slice:int -> ?time:float -> ?cause:Supervisor.cause -> engine:string -> string -> 'a
+(** Raise {!No_convergence}. [cause] defaults to an unsupported-model
+    marker carrying the message. *)
+
+val of_failure : engine:string -> Supervisor.failure -> t
+(** Summarize a supervisor failure, embedding the rendered attempt ladder
+    in [what]. *)
+
+val raise_failure : engine:string -> Supervisor.failure -> 'a
+
+val to_string : t -> string

@@ -1,0 +1,48 @@
+type plan = {
+  engine : string option;
+  singular_attempts : int;
+  krylov_stall_attempts : int;
+  nan_at : (int * int) option;
+}
+
+let none =
+  { engine = None; singular_attempts = 0; krylov_stall_attempts = 0; nan_at = None }
+
+let current : plan option ref = ref None
+let attempt_no = ref 0
+
+let arm p =
+  current := Some p;
+  attempt_no := 0
+
+let disarm () =
+  current := None;
+  attempt_no := 0
+
+let armed () = !current <> None
+
+let matches p ~engine =
+  match p.engine with None -> true | Some e -> String.equal e engine
+
+let begin_attempt ~engine =
+  match !current with
+  | Some p when matches p ~engine -> incr attempt_no
+  | _ -> ()
+
+let singular_now ~engine =
+  match !current with
+  | Some p when matches p ~engine -> !attempt_no <= p.singular_attempts
+  | _ -> false
+
+let krylov_stall_now ~engine =
+  match !current with
+  | Some p when matches p ~engine -> !attempt_no <= p.krylov_stall_attempts
+  | _ -> false
+
+let nan_site ~engine ~iter =
+  match !current with
+  | Some p when matches p ~engine -> (
+      match p.nan_at with
+      | Some (at_iter, index) when at_iter = iter -> Some index
+      | _ -> None)
+  | _ -> None

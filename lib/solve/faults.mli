@@ -1,0 +1,45 @@
+(** Deterministic fault injection for the solver supervisor.
+
+    Recovery code that only runs when real hardware misbehaves is dead
+    code until the day it matters. This hook lets tests force the three
+    failure classes the supervisor must survive — singular LU, stalled
+    GMRES, injected NaN — at chosen attempts/iterations, with no
+    randomness anywhere, so every retry rung and fail-fast guard is
+    exercised by an ordinary unit test.
+
+    A single global plan is armed at a time (the engines poll these hooks
+    from their inner loops; tests arm/disarm around each case). When no
+    plan is armed every hook is a single ref-load returning the benign
+    answer, so production runs pay nothing. *)
+
+type plan = {
+  engine : string option;
+      (** only inject into supervisor runs of this engine (None = all) *)
+  singular_attempts : int;
+      (** force a singular Jacobian during the first [k] attempts *)
+  krylov_stall_attempts : int;
+      (** force the inner Krylov solve to report a stall during the first
+          [k] attempts *)
+  nan_at : (int * int) option;
+      (** poison unknown [index] with NaN at Newton iteration [iter],
+          every attempt: [(iter, index)] *)
+}
+
+val none : plan
+(** All axes disabled; build plans with [{ Faults.none with ... }]. *)
+
+val arm : plan -> unit
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val begin_attempt : engine:string -> unit
+(** Called by {!Supervisor.run} before each rung; counts attempts of the
+    matching engine so [singular_attempts]-style axes know when to stop
+    firing. Resets nothing — arming resets the counter. *)
+
+(** Hooks polled by the engines. All return the benign answer when no
+    plan is armed or the engine does not match. *)
+
+val singular_now : engine:string -> bool
+val krylov_stall_now : engine:string -> bool
+val nan_site : engine:string -> iter:int -> int option

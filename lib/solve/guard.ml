@@ -1,0 +1,20 @@
+exception Non_finite_found of { iter : int; index : int }
+
+let find_non_finite (v : float array) =
+  let n = Array.length v in
+  let rec scan i =
+    if i >= n then None
+    else
+      match Float.classify_float v.(i) with
+      | FP_nan | FP_infinite -> Some i
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+let check ~engine ~iter (v : float array) =
+  (match Faults.nan_site ~engine ~iter with
+  | Some index when index < Array.length v -> v.(index) <- Float.nan
+  | _ -> ());
+  match find_non_finite v with
+  | Some index -> raise (Non_finite_found { iter; index })
+  | None -> ()

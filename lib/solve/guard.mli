@@ -1,0 +1,16 @@
+(** Non-finite guards for Newton iterates and Krylov basis vectors.
+
+    One NaN in an iterate silently poisons every dot product, norm, and
+    LU factor downstream; by the time "did not converge" surfaces the
+    evidence is gone. These helpers find the first offending unknown so
+    engines can fail fast with {!Supervisor.Non_finite} naming the index. *)
+
+val find_non_finite : float array -> int option
+(** Index of the first NaN/Inf entry, if any. *)
+
+val check : engine:string -> iter:int -> float array -> unit
+(** Poll {!Faults.nan_site} (poisoning the vector in place when a fault
+    plan says so), then scan; raises {!Supervisor.cause} wrapped in
+    {!Non_finite_found} on the first non-finite entry. *)
+
+exception Non_finite_found of { iter : int; index : int }
