@@ -12,9 +12,19 @@
      rfsim tran circuit.cir --t-stop 1e-6 --dt 1e-9 --node out
      rfsim ac circuit.cir --f-start 1e3 --f-stop 1e9 --source V1 --node out
      rfsim hb circuit.cir --freq 1e6 --node out --harmonics 8
+     rfsim hb circuit.cir --freq 1e6 --cascade
+
+   DC, transient and HB results are certified a posteriori (independent
+   re-evaluation of the residuals; see Solve.Certify) unless --no-certify
+   is given; --certify-scale multiplies every certification threshold.
+   --cascade runs HB through the full PSS fallback chain
+   (hb -> hb-gmres -> shooting -> tran-fft) and prints the escalation
+   trace.
 
    Exit codes: 0 success; 1 usage or deck parse error; 2 lint fatal;
-   3 convergence failure (the attempt ladder is printed on stderr). *)
+   3 convergence failure (the attempt ladder is printed on stderr);
+   4 certification failure (the analysis converged but its result failed
+   the a-posteriori checks; the certificate is printed on stdout). *)
 
 open Rfkit
 open Circuit
@@ -23,6 +33,7 @@ open Cmdliner
 let exit_parse = 1
 let exit_lint = 2
 let exit_no_convergence = 3
+let exit_certify = 4
 
 (* on a supervised failure: print the full attempt ladder, exit 3 *)
 let die_failure (f : Solve.Supervisor.failure) =
@@ -46,6 +57,18 @@ let arm_injection ~engine n =
   if n > 0 then
     Solve.Faults.arm
       { Solve.Faults.none with engine = Some engine; singular_attempts = n }
+
+(* certification settings shared by the dc/tran/hb commands: how the
+   caller asked the a-posteriori verdicts to be handled *)
+type certify_mode = { enabled : bool; tol_scale : float }
+
+(* print the certificate; a Suspect verdict is a distinct exit code so
+   scripted flows can tell "converged but not trustworthy" from "diverged" *)
+let emit_certificate cert =
+  print_endline (Solve.Certify.certificate_to_string cert);
+  if not (Solve.Certify.is_certified cert) then exit exit_certify
+
+let certify_when mode make_cert = if mode.enabled then emit_certificate (make_cert ())
 
 let load_located path =
   try Deck.parse_file_located path with
@@ -76,7 +99,7 @@ let print_nodes nl =
   let names = List.init (Netlist.node_count nl) (Netlist.node_name nl) in
   String.concat ", " names
 
-let run_dc c =
+let run_dc ?(certify = { enabled = true; tol_scale = 1.0 }) c =
   let x =
     match Dc.solve_outcome c with
     | Solve.Supervisor.Converged (x, report) ->
@@ -88,9 +111,10 @@ let run_dc c =
   let nl = Mna.netlist c in
   for i = 0 to Netlist.node_count nl - 1 do
     Printf.printf "  v(%s) = %.9g V\n" (Netlist.node_name nl i) x.(i)
-  done
+  done;
+  certify_when certify (fun () -> Dc.certify ~tol_scale:certify.tol_scale c x)
 
-let run_tran c ~t_stop ~dt ~nodes =
+let run_tran ?(certify = { enabled = true; tol_scale = 1.0 }) c ~t_stop ~dt ~nodes =
   let res =
     match Tran.run_outcome c ~t_stop ~dt with
     | Solve.Supervisor.Converged (res, report) ->
@@ -98,6 +122,7 @@ let run_tran c ~t_stop ~dt ~nodes =
         res
     | Solve.Supervisor.Failed f -> die_failure f
   in
+  certify_when certify (fun () -> Tran.certify ~tol_scale:certify.tol_scale c res);
   let n = Array.length res.Tran.times in
   Printf.printf "time";
   List.iter (Printf.printf ",v(%s)") nodes;
@@ -132,7 +157,13 @@ let run_noise c ~f_start ~f_stop ~node =
     (fun i s -> Printf.printf "%.6e,%.6e,%.6e\n" freqs.(i) s (sqrt s))
     psd
 
-let run_hb c ~freq ~node ~harmonics =
+let print_harmonics ~freq ~harmonics amplitude =
+  Printf.printf "harmonic,freq,amplitude\n";
+  for k = 0 to harmonics do
+    Printf.printf "%d,%.6e,%.6e\n" k (float_of_int k *. freq) (amplitude k)
+  done
+
+let run_hb ?(certify = { enabled = true; tol_scale = 1.0 }) c ~freq ~node ~harmonics =
   let res =
     match
       Rf.Hb.solve_outcome
@@ -147,12 +178,25 @@ let run_hb c ~freq ~node ~harmonics =
   in
   Printf.printf "harmonic balance at %.6g Hz (%d Newton iterations):\n" freq
     res.Rf.Hb.newton_iters;
-  Printf.printf "harmonic,freq,amplitude\n";
-  for k = 0 to harmonics do
-    Printf.printf "%d,%.6e,%.6e\n" k
-      (float_of_int k *. freq)
-      (Rf.Hb.harmonic_amplitude res node k)
-  done
+  certify_when certify (fun () ->
+      Rf.Pss.certify ~tol_scale:certify.tol_scale (Rf.Pss.of_hb res));
+  print_harmonics ~freq ~harmonics (Rf.Hb.harmonic_amplitude res node)
+
+(* --cascade: the engine-agnostic PSS chain. The escalation trace goes to
+   stdout (it is part of the result: which route produced the answer),
+   rendered without timings so repeated runs are byte-identical. *)
+let run_hb_cascade ?(certify = { enabled = true; tol_scale = 1.0 }) c ~freq ~node
+    ~harmonics =
+  let n_samples = La.Fft.next_pow2 (4 * harmonics) in
+  match Rf.Pss.solve_outcome ~chain:(Rf.Pss.default_chain ~n_samples ()) c ~freq with
+  | Solve.Cascade.Completed (sol, report) ->
+      print_endline (Solve.Cascade.report_to_string report);
+      certify_when certify (fun () ->
+          Rf.Pss.certify ~tol_scale:certify.tol_scale sol);
+      print_harmonics ~freq ~harmonics (Rf.Pss.harmonic_amplitude sol node)
+  | Solve.Cascade.Exhausted f ->
+      Printf.eprintf "%s\n" (Solve.Cascade.failure_to_string f);
+      exit exit_no_convergence
 
 (* ---------------------------------------------------------------- CLI -- *)
 
@@ -174,6 +218,33 @@ let inject_singular_arg =
         ~doc:
           "Testing hook: report a singular Jacobian on the first $(docv) \
            solver attempts, forcing the supervisor down its retry ladder.")
+
+let no_certify_arg =
+  Arg.(
+    value & flag
+    & info [ "no-certify" ]
+        ~doc:"Skip the a-posteriori result certification (Solve.Certify).")
+
+let certify_scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "certify-scale" ] ~docv:"S"
+        ~doc:
+          "Multiply every certification threshold by $(docv); a tiny value \
+           forces a Suspect verdict (exit 4) on any real result, a large \
+           one waves marginal results through.")
+
+let certify_mode no_certify scale = { enabled = not no_certify; tol_scale = scale }
+
+let cascade_arg =
+  Arg.(
+    value & flag
+    & info [ "cascade" ]
+        ~doc:
+          "Run the engine-agnostic PSS cascade (hb, hb-gmres, shooting, \
+           tran-fft) instead of bare HB: each engine exhausts its retry \
+           ladder before the chain escalates, and the escalation trace is \
+           printed with the result.")
 
 let lint_cmd =
   let doc = "statically analyze a deck without running it (RF DRC)" in
@@ -201,24 +272,29 @@ let lint_cmd =
 
 let dc_cmd =
   let doc = "DC operating point" in
-  let run path no_lint inject =
+  let run path no_lint inject no_certify scale =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"dc" inject;
-    run_dc (Mna.build nl)
+    run_dc ~certify:(certify_mode no_certify scale) (Mna.build nl)
   in
   Cmd.v (Cmd.info "dc" ~doc)
-    Term.(const run $ deck_arg $ no_lint_arg $ inject_singular_arg)
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ inject_singular_arg $ no_certify_arg
+      $ certify_scale_arg)
 
 let tran_cmd =
   let doc = "transient analysis (CSV on stdout)" in
   let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"Stop time (s).") in
   let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
-  let run path no_lint t_stop dt node =
+  let run path no_lint t_stop dt node no_certify scale =
     let nl, _ = load ~no_lint path in
-    run_tran (Mna.build nl) ~t_stop ~dt ~nodes:[ node ]
+    run_tran ~certify:(certify_mode no_certify scale) (Mna.build nl) ~t_stop ~dt
+      ~nodes:[ node ]
   in
   Cmd.v (Cmd.info "tran" ~doc)
-    Term.(const run $ deck_arg $ no_lint_arg $ t_stop $ dt $ node_arg "out")
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ t_stop $ dt $ node_arg "out"
+      $ no_certify_arg $ certify_scale_arg)
 
 let ac_cmd =
   let doc = "AC small-signal sweep (CSV on stdout)" in
@@ -247,15 +323,18 @@ let hb_cmd =
   let doc = "harmonic-balance periodic steady state" in
   let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
-  let run path no_lint freq harmonics node inject =
+  let run path no_lint freq harmonics node inject cascade no_certify scale =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"hb" inject;
-    run_hb (Mna.build nl) ~freq ~node ~harmonics
+    let certify = certify_mode no_certify scale in
+    let c = Mna.build nl in
+    if cascade then run_hb_cascade ~certify c ~freq ~node ~harmonics
+    else run_hb ~certify c ~freq ~node ~harmonics
   in
   Cmd.v (Cmd.info "hb" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out"
-      $ inject_singular_arg)
+      $ inject_singular_arg $ cascade_arg $ no_certify_arg $ certify_scale_arg)
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in

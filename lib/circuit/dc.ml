@@ -154,6 +154,26 @@ let solve_outcome ?budget ?options ?x0 c =
 let solve_at_outcome ?budget ?options ?x0 c t =
   solve_b_outcome ?budget ?options ?x0 c (Mna.eval_b c t)
 
+(* A-posteriori certification: re-derive the KCL residual from the result
+   alone instead of trusting the Newton loop's own convergence flag. *)
+let certify ?(tol_scale = 1.0) c (x : Vec.t) =
+  let non_finite =
+    Array.fold_left
+      (fun acc v -> if Float.is_finite v then acc else acc +. 1.0)
+      0.0 x
+  in
+  let b = Mna.dc_b c in
+  let f = Mna.eval_f c x in
+  let scale = Float.max (Vec.norm_inf b) (Vec.norm_inf f) in
+  let scale = if scale > 0.0 then scale else 1.0 in
+  let residual = Vec.norm_inf (Vec.sub b f) /. scale in
+  Certify.assemble ~subject:"dc"
+    [
+      Certify.check ~name:"finite" ~measured:non_finite ~threshold:0.5;
+      Certify.check ~name:"kcl-residual" ~measured:residual
+        ~threshold:(1e-6 *. tol_scale);
+    ]
+
 let solve_b ?options ?x0 c b =
   match solve_b_outcome ?options ?x0 c b with
   | Supervisor.Converged (x, _) -> x

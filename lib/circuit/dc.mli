@@ -37,6 +37,14 @@ val solve_at_outcome :
   Rfkit_la.Vec.t Rfkit_solve.Supervisor.outcome
 (** Like {!solve_outcome} with sources evaluated at time [t]. *)
 
+val certify :
+  ?tol_scale:float -> Mna.t -> Rfkit_la.Vec.t -> Rfkit_solve.Certify.certificate
+(** A-posteriori verification of a claimed operating point: finiteness
+    plus the re-evaluated KCL residual [|b - f(x)|_inf], normalized by the
+    excitation scale, against a 1e-6 relative threshold. [tol_scale]
+    multiplies every threshold (tighten for an engineered-Suspect test,
+    loosen for sloppy models). *)
+
 val solve : ?options:options -> ?x0:Rfkit_la.Vec.t -> Mna.t -> Rfkit_la.Vec.t
 (** Exception shim over {!solve_outcome}.
     @raise No_convergence with the attempt ladder when every rung fails. *)

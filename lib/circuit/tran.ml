@@ -175,6 +175,59 @@ let run_adaptive ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?(lte_tol = 1e-6)
     states = Array.of_list (List.rev !states);
   }
 
+(* A-posteriori certification: re-derive the implicit-step residual at a
+   sample of accepted steps (every step for short runs, ~64 spread across
+   long ones) instead of trusting each step's own Newton exit. A result
+   whose states were corrupted after the solve, or a step accepted on a
+   stall, shows up as a violated discrete DAE balance. *)
+let certify ?(tol_scale = 1.0) ?(method_ = Trapezoidal) c (res : result) =
+  let n_steps = Array.length res.times - 1 in
+  if n_steps < 1 then invalid_arg "Tran.certify: empty result";
+  let non_finite = ref 0.0 in
+  Array.iter
+    (fun x ->
+      Array.iter (fun v -> if not (Float.is_finite v) then non_finite := 1.0) x)
+    res.states;
+  let worst = ref 0.0 in
+  let stride = max 1 (n_steps / 64) in
+  let k = ref 1 in
+  while !k <= n_steps do
+    let x0 = res.states.(!k - 1) and x1 = res.states.(!k) in
+    let t0 = res.times.(!k - 1) and t1 = res.times.(!k) in
+    let dt = t1 -. t0 in
+    if dt > 0.0 then begin
+      let q0 = Mna.eval_q c x0 and q1 = Mna.eval_q c x1 in
+      let f1 = Mna.eval_f c x1 and b1 = Mna.eval_b c t1 in
+      let r, scale =
+        match method_ with
+        | Backward_euler ->
+            let r =
+              Vec.init (Mna.size c) (fun i ->
+                  ((q1.(i) -. q0.(i)) /. dt) +. f1.(i) -. b1.(i))
+            in
+            (r, Float.max (Vec.norm_inf f1) (Vec.norm_inf b1))
+        | Trapezoidal ->
+            let f0 = Mna.eval_f c x0 and b0 = Mna.eval_b c t0 in
+            let r =
+              Vec.init (Mna.size c) (fun i ->
+                  ((q1.(i) -. q0.(i)) /. dt)
+                  +. (0.5 *. (f1.(i) +. f0.(i)))
+                  -. (0.5 *. (b1.(i) +. b0.(i))))
+            in
+            (r, Float.max (Vec.norm_inf f1) (Vec.norm_inf b1))
+      in
+      let scale = if scale > 0.0 then scale else 1.0 in
+      worst := Float.max !worst (Vec.norm_inf r /. scale)
+    end;
+    k := !k + stride
+  done;
+  Certify.assemble ~subject:"tran"
+    [
+      Certify.check ~name:"finite" ~measured:!non_finite ~threshold:0.5;
+      Certify.check ~name:"step-residual" ~measured:!worst
+        ~threshold:(1e-5 *. tol_scale);
+    ]
+
 let voltage_trace c res name =
   let idx = Mna.node c name in
   Array.map (fun x -> x.(idx)) res.states

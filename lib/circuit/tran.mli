@@ -37,6 +37,11 @@ val run :
   result
 (** Fixed-step transient from the DC operating point (or [x0]). *)
 
+val default_budget : Rfkit_solve.Supervisor.budget
+(** Step-count-sized budget used by {!run_outcome} (a transient's cost is
+    its step count, not its per-step Newton depth); exposed so cascade
+    layers can merge it with a shared wall clock. *)
+
 val run_outcome :
   ?budget:Rfkit_solve.Supervisor.budget ->
   ?method_:method_ ->
@@ -64,6 +69,19 @@ val run_adaptive :
   result
 (** Step-doubling local-error control: each accepted step compares one
     [dt] step against two [dt/2] steps. *)
+
+val certify :
+  ?tol_scale:float ->
+  ?method_:method_ ->
+  Mna.t ->
+  result ->
+  Rfkit_solve.Certify.certificate
+(** A-posteriori verification of a transient result: finiteness plus the
+    re-evaluated implicit-step residual of [method_] (the method that
+    produced the result) at up to 64 steps spread across the run,
+    normalized per step by the excitation scale. [tol_scale] multiplies
+    every threshold.
+    @raise Invalid_argument on an empty result. *)
 
 val voltage_trace : Mna.t -> result -> string -> float array
 (** Node-voltage waveform of a named node. *)

@@ -1,4 +1,5 @@
 open Rfkit_la
+open Rfkit_solve
 
 type result = {
   capacitance : float;
@@ -12,7 +13,7 @@ type result = {
 (* node classification for the parallel-plate problem *)
 type node_kind = Free of int (* unknown index *) | Fixed of float
 
-let parallel_plate ~n ~plate_cells ~gap_cells ~cell =
+let assemble ~n ~plate_cells ~gap_cells =
   if plate_cells >= n - 2 || gap_cells >= n - 2 then
     invalid_arg "Fd.parallel_plate: plates do not fit in the box";
   let mid = n / 2 in
@@ -61,9 +62,10 @@ let parallel_plate ~n ~plate_cells ~gap_cells ~cell =
     done
   done;
   let matrix = Sparse.of_triplets ~rows:nu ~cols:nu !triplets in
-  let phi, st = Krylov.cg ~tol:1e-10 ~max_iter:20000 (Sparse.matvec matrix) rhs in
-  if not st.Krylov.converged then failwith "Fd.parallel_plate: CG stalled";
-  (* charge on the driven plate: eps0 * h * sum over plate-adjacent links *)
+  (matrix, rhs, kind, on_plate1, neighbors, id)
+
+(* charge on the driven plate: eps0 * h * sum over plate-adjacent links *)
+let charge ~n ~cell (kind, on_plate1, neighbors, id) (phi : Vec.t) =
   let value i j k =
     match kind.(id i j k) with Fixed v -> v | Free idx -> phi.(idx)
   in
@@ -86,15 +88,85 @@ let parallel_plate ~n ~plate_cells ~gap_cells ~cell =
       done
     done
   done;
-  let capacitance = Kernel.eps0 *. cell *. !q in
-  {
-    capacitance;
-    unknowns = nu;
-    nnz = Sparse.nnz matrix;
-    density = Sparse.density matrix;
-    cg_iterations = st.Krylov.iterations;
-    matrix;
-  }
+  Kernel.eps0 *. cell *. !q
+
+let base_cg_iter = 20000
+
+(* Supervised solve: the SPD Laplacian goes to CG; a stall retries with
+   an enlarged iteration allowance (the CG analogue of restarting
+   GMRES(m) with a larger basis) before reporting a typed failure. *)
+let parallel_plate_outcome ?budget ~n ~plate_cells ~gap_cells ~cell () =
+  let matrix, rhs, kind, on_plate1, neighbors, id =
+    assemble ~n ~plate_cells ~gap_cells
+  in
+  let nu = Sparse.rows matrix in
+  let engine = "em-fd" in
+  Supervisor.run ?budget ~engine
+    ~ladder:
+      [
+        Supervisor.Base;
+        Supervisor.Enlarge_krylov 4;
+        Supervisor.Enlarge_krylov 16;
+      ]
+    ~attempt:(fun strategy ~iter_cap:_ ->
+      let factor =
+        match strategy with
+        | Supervisor.Base -> Some 1
+        | Supervisor.Enlarge_krylov f -> Some f
+        | _ -> None
+      in
+      match factor with
+      | None ->
+          Error
+            ( Supervisor.Unsupported "strategy not applicable to FD extraction",
+              Supervisor.no_stats )
+      | Some f ->
+          let max_iter = base_cg_iter * f in
+          if Faults.krylov_stall_now ~engine then
+            Error
+              ( Supervisor.Krylov_stall { iterations = 0; residual = infinity },
+                Supervisor.no_stats )
+          else begin
+            let phi, st =
+              Krylov.cg ~tol:1e-10 ~max_iter (Sparse.matvec matrix) rhs
+            in
+            let stats =
+              {
+                Supervisor.iterations = st.Krylov.iterations;
+                residual = st.Krylov.residual;
+                krylov_iterations = st.Krylov.iterations;
+              }
+            in
+            if not st.Krylov.converged then
+              Error
+                ( Supervisor.Krylov_stall
+                    {
+                      iterations = st.Krylov.iterations;
+                      residual = st.Krylov.residual;
+                    },
+                  stats )
+            else begin
+              let capacitance =
+                charge ~n ~cell (kind, on_plate1, neighbors, id) phi
+              in
+              Ok
+                ( {
+                    capacitance;
+                    unknowns = nu;
+                    nnz = Sparse.nnz matrix;
+                    density = Sparse.density matrix;
+                    cg_iterations = st.Krylov.iterations;
+                    matrix;
+                  },
+                  stats )
+            end
+          end)
+    ()
+
+let parallel_plate ~n ~plate_cells ~gap_cells ~cell =
+  match parallel_plate_outcome ~n ~plate_cells ~gap_cells ~cell () with
+  | Supervisor.Converged (r, _) -> r
+  | Supervisor.Failed f -> Error.raise_failure ~engine:"em-fd" f
 
 let condition_estimate m =
   let n = Sparse.rows m in

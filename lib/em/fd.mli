@@ -16,11 +16,27 @@ type result = {
   matrix : Rfkit_la.Sparse.t;   (** the assembled Laplacian *)
 }
 
-val parallel_plate :
-  n:int -> plate_cells:int -> gap_cells:int -> cell:float -> result
+val parallel_plate_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  n:int ->
+  plate_cells:int ->
+  gap_cells:int ->
+  cell:float ->
+  unit ->
+  result Rfkit_solve.Supervisor.outcome
 (** Two square plates of [plate_cells] x [plate_cells] grid nodes,
     [gap_cells] apart, centred in an [n^3] grounded box with grid pitch
-    [cell] metres; plate 1 driven at 1 V, plate 2 grounded. *)
+    [cell] metres; plate 1 driven at 1 V, plate 2 grounded. The CG solve
+    runs under the solver supervisor as engine ["em-fd"]: a stall retries
+    with a 4x then 16x iteration allowance
+    ({!Rfkit_solve.Supervisor.Enlarge_krylov}) before the typed failure
+    surfaces. *)
+
+val parallel_plate :
+  n:int -> plate_cells:int -> gap_cells:int -> cell:float -> result
+(** Exception shim over {!parallel_plate_outcome}.
+    @raise Rfkit_solve.Error.No_convergence when the ladder is
+    exhausted. *)
 
 val condition_estimate : Rfkit_la.Sparse.t -> float
 (** lambda_max / lambda_min of the (SPD) matrix via power iteration and

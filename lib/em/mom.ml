@@ -1,4 +1,5 @@
 open Rfkit_la
+open Rfkit_solve
 
 type problem = {
   conductors : Geo3.conductor array;
@@ -61,17 +62,85 @@ let solve_dense p =
   let rcond = Lu.rcond_estimate mat f in
   { cap_matrix = cap_from_charges p charges; charges; rcond }
 
-let solve_operator ?(tol = 1e-10) p ~matvec ~precond_diag =
+let base_gmres_m = 60
+let base_gmres_iter = 3000
+
+(* Supervised operator solve: a GMRES stall on any excitation retries the
+   whole excitation set with the restart basis (and iteration allowance)
+   enlarged — the classic GMRES(m) escalation — before reporting a typed
+   failure. *)
+let solve_operator_outcome ?budget ?(tol = 1e-10) p ~matvec ~precond_diag () =
   let n = n_panels p in
   let nc = Array.length p.conductors in
   let precond v = Array.mapi (fun i vi -> vi /. precond_diag.(i)) v in
-  let charges = Mat.make n nc in
-  for k = 0 to nc - 1 do
-    let q, st = Krylov.gmres ~m:60 ~tol ~max_iter:3000 ~precond matvec (rhs_for p k) in
-    if not st.Krylov.converged then failwith "Mom.solve_operator: GMRES stalled";
-    Mat.set_col charges k q
-  done;
-  cap_from_charges p charges
+  let engine = "em-mom" in
+  Supervisor.run ?budget ~engine
+    ~ladder:
+      [
+        Supervisor.Base;
+        Supervisor.Enlarge_krylov 2;
+        Supervisor.Enlarge_krylov 4;
+      ]
+    ~attempt:(fun strategy ~iter_cap:_ ->
+      let factor =
+        match strategy with
+        | Supervisor.Base -> Some 1
+        | Supervisor.Enlarge_krylov f -> Some f
+        | _ -> None
+      in
+      match factor with
+      | None ->
+          Error
+            ( Supervisor.Unsupported "strategy not applicable to MoM extraction",
+              Supervisor.no_stats )
+      | Some f ->
+          let m = base_gmres_m * f and max_iter = base_gmres_iter * f in
+          if Faults.krylov_stall_now ~engine then
+            Error
+              ( Supervisor.Krylov_stall { iterations = 0; residual = infinity },
+                Supervisor.no_stats )
+          else begin
+            let charges = Mat.make n nc in
+            let stall = ref None in
+            let total = ref 0 and worst = ref 0.0 in
+            (try
+               for k = 0 to nc - 1 do
+                 let q, st =
+                   Krylov.gmres ~m ~tol ~max_iter ~precond matvec (rhs_for p k)
+                 in
+                 total := !total + st.Krylov.iterations;
+                 worst := Float.max !worst st.Krylov.residual;
+                 if not st.Krylov.converged then begin
+                   stall := Some st;
+                   raise Exit
+                 end;
+                 Mat.set_col charges k q
+               done
+             with Exit -> ());
+            let stats =
+              {
+                Supervisor.iterations = !total;
+                residual = !worst;
+                krylov_iterations = !total;
+              }
+            in
+            match !stall with
+            | Some st ->
+                Error
+                  ( Supervisor.Krylov_stall
+                      {
+                        iterations = st.Krylov.iterations;
+                        residual = st.Krylov.residual;
+                      },
+                    stats )
+            | None -> Ok (cap_from_charges p charges, stats)
+          end)
+    ()
+
+let solve_operator ?(tol = 1e-10) p ~matvec ~precond_diag =
+  match solve_operator_outcome ~tol p ~matvec ~precond_diag () with
+  | Supervisor.Converged (cap, _) -> cap
+  | Supervisor.Failed f -> Error.raise_failure ~engine:"em-mom" f
 
 let self_capacitance s i = Mat.get s.cap_matrix i i
 let coupling_capacitance s i j = -.Mat.get s.cap_matrix i j

@@ -30,15 +30,31 @@ type solution = {
 val solve_dense : problem -> solution
 (** LU on the dense [P]; reference path. *)
 
+val solve_operator_outcome :
+  ?budget:Rfkit_solve.Supervisor.budget ->
+  ?tol:float ->
+  problem ->
+  matvec:(Rfkit_la.Vec.t -> Rfkit_la.Vec.t) ->
+  precond_diag:Rfkit_la.Vec.t ->
+  unit ->
+  Rfkit_la.Mat.t Rfkit_solve.Supervisor.outcome
+(** Capacitance matrix via GMRES against an arbitrary operator
+    (the IES3-compressed path plugs in here); [precond_diag] is the
+    diagonal of [P]. Runs under the solver supervisor as engine
+    ["em-mom"]: a stall retries with the restart basis enlarged
+    GMRES(60) -> GMRES(120) -> GMRES(240)
+    ({!Rfkit_solve.Supervisor.Enlarge_krylov}) before the typed failure
+    surfaces. *)
+
 val solve_operator :
   ?tol:float ->
   problem ->
   matvec:(Rfkit_la.Vec.t -> Rfkit_la.Vec.t) ->
   precond_diag:Rfkit_la.Vec.t ->
   Rfkit_la.Mat.t
-(** Capacitance matrix via GMRES against an arbitrary operator
-    (the IES3-compressed path plugs in here); [precond_diag] is the
-    diagonal of [P]. *)
+(** Exception shim over {!solve_operator_outcome}.
+    @raise Rfkit_solve.Error.No_convergence when the ladder is
+    exhausted. *)
 
 val self_capacitance : solution -> int -> float
 val coupling_capacitance : solution -> int -> int -> float

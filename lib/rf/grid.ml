@@ -32,6 +32,18 @@ let diff_matrix ~period ~n =
   done;
   d
 
+let resample ~factor samples =
+  if factor < 1 then invalid_arg "Grid.resample: factor < 1";
+  if factor = 1 then Array.copy samples
+  else begin
+    let n = Array.length samples in
+    let coeffs = Fft.coefficients samples in
+    Vec.init (n * factor)
+      (fun s ->
+        Fft.synthesize coeffs
+          (2.0 *. Float.pi *. float_of_int s /. float_of_int (n * factor)))
+  end
+
 let harmonic samples k =
   let c = Fft.coefficients samples in
   let n = Array.length c in

@@ -18,6 +18,12 @@ val diff_samples : period:float -> Rfkit_la.Vec.t -> Rfkit_la.Vec.t
 val diff_matrix : period:float -> n:int -> Rfkit_la.Mat.t
 (** Dense spectral differentiation operator (for direct HB Jacobians). *)
 
+val resample : factor:int -> Rfkit_la.Vec.t -> Rfkit_la.Vec.t
+(** Trigonometric interpolation of one period of samples onto a grid
+    [factor] times denser (exact for band-limited signals); used by the
+    a-posteriori certifier to re-evaluate residuals between the
+    collocation points an engine optimized at. *)
+
 val harmonic : Rfkit_la.Vec.t -> int -> Rfkit_la.Cx.t
 (** [harmonic samples k] is the complex Fourier coefficient of harmonic
     [k >= 0] (so that the signal contains

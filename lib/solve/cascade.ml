@@ -1,0 +1,133 @@
+type 'a stage = {
+  engine : string;
+  solve : budget:Supervisor.budget -> unit -> 'a Supervisor.outcome;
+}
+
+let stage ~engine solve = { engine; solve }
+
+type escalation = { from_engine : string; failure : Supervisor.failure }
+
+type report = {
+  winner : string;
+  winner_rank : int;
+  winner_report : Supervisor.report;
+  escalations : escalation list;
+  stages_tried : int;
+  total_iterations : int;
+  elapsed : float;
+}
+
+type failure = {
+  x_escalations : escalation list;
+  x_cause : Supervisor.cause;
+  x_total_iterations : int;
+  x_elapsed : float;
+}
+
+type 'a outcome = Completed of 'a * report | Exhausted of failure
+
+let failure_iterations (f : Supervisor.failure) =
+  List.fold_left
+    (fun acc (a : Supervisor.attempt) ->
+      acc + a.Supervisor.stats.Supervisor.iterations)
+    0 f.Supervisor.f_attempts
+
+(* escalate on every per-engine failure: even fail-fast causes (NaN,
+   Unsupported) only condemn THAT formulation — a different engine takes a
+   different numerical route to the same periodic solution. Only the
+   shared budget stops the chain early. *)
+let run ?(budget = Supervisor.default_budget) (chain : 'a stage list) =
+  if chain = [] then invalid_arg "Cascade.run: empty chain";
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let spent = ref 0 in
+  let trail = ref [] in
+  let exhausted cause =
+    Exhausted
+      {
+        x_escalations = List.rev !trail;
+        x_cause = cause;
+        x_total_iterations = !spent;
+        x_elapsed = elapsed ();
+      }
+  in
+  let rec step rank = function
+    | [] ->
+        let cause =
+          match !trail with
+          | { failure; _ } :: _ -> failure.Supervisor.cause
+          | [] -> Supervisor.Unsupported "empty escalation trail"
+        in
+        exhausted cause
+    | s :: rest ->
+        let wall_left = budget.Supervisor.wall_clock -. elapsed () in
+        let iters_left = budget.Supervisor.total_iterations - !spent in
+        if wall_left <= 0.0 then
+          exhausted (Supervisor.Budget_exhausted Supervisor.Wall_clock)
+        else if iters_left <= 0 then
+          exhausted (Supervisor.Budget_exhausted Supervisor.Iterations)
+        else begin
+          let stage_budget =
+            {
+              budget with
+              Supervisor.total_iterations = iters_left;
+              wall_clock = wall_left;
+            }
+          in
+          match s.solve ~budget:stage_budget () with
+          | Supervisor.Converged (x, r) ->
+              spent := !spent + r.Supervisor.total_iterations;
+              Completed
+                ( x,
+                  {
+                    winner = s.engine;
+                    winner_rank = rank;
+                    winner_report = r;
+                    escalations = List.rev !trail;
+                    stages_tried = rank;
+                    total_iterations = !spent;
+                    elapsed = elapsed ();
+                  } )
+          | Supervisor.Failed f ->
+              spent := !spent + failure_iterations f;
+              trail := { from_engine = s.engine; failure = f } :: !trail;
+              step (rank + 1) rest
+        end
+  in
+  step 1 chain
+
+(* Deterministic renderings: no wall-clock times anywhere, so two runs
+   with the same fault plan produce byte-identical traces (asserted by
+   the runtest smoke in examples/decks). *)
+
+let pp_attempt_line ppf i (a : Supervisor.attempt) =
+  Format.fprintf ppf "@,      attempt %d: %-20s newton=%-4d %s" (i + 1)
+    (Supervisor.strategy_name a.Supervisor.strategy)
+    a.Supervisor.stats.Supervisor.iterations
+    (match a.Supervisor.cause with
+    | None -> "converged"
+    | Some c -> Supervisor.cause_to_string c)
+
+let pp_escalation ppf i (e : escalation) =
+  Format.fprintf ppf "@,  [%d] %s: failed (%s)%a" (i + 1) e.from_engine
+    (Supervisor.cause_to_string e.failure.Supervisor.cause)
+    (fun ppf l -> List.iteri (pp_attempt_line ppf) l)
+    e.failure.Supervisor.f_attempts
+
+let pp_trace ppf (escalations : escalation list) =
+  List.iteri (pp_escalation ppf) escalations
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "@[<v>cascade: converged via %s (engine %d of chain, rung %s)%a@]" r.winner
+    r.winner_rank
+    (Supervisor.strategy_name r.winner_report.Supervisor.strategy)
+    pp_trace r.escalations
+
+let pp_failure ppf (f : failure) =
+  Format.fprintf ppf "@[<v>cascade: every engine failed: %s%a@]"
+    (Supervisor.cause_to_string f.x_cause)
+    pp_trace f.x_escalations
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+let failure_to_string f = Format.asprintf "%a" pp_failure f

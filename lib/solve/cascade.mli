@@ -1,0 +1,72 @@
+(** Cross-engine fallback cascade.
+
+    The paper's core observation is that HB, shooting and the MPDE
+    variants are {e interchangeable routes to the same steady state}; a
+    robust flow should therefore treat "engine X diverged" as a reason to
+    translate the problem to engine Y, not as the end of the run. A
+    cascade is a declarative chain of {!stage}s; {!run} walks it in
+    order, moving to the next stage only after the previous engine's
+    whole {!Supervisor} retry ladder is exhausted, under ONE shared
+    wall-clock/iteration budget, and records the full escalation trace
+    (engine, rungs, causes) either way.
+
+    This module is engine-agnostic: a stage is a closure returning a
+    supervised outcome for a common result type. The PSS and multi-rate
+    chains over the concrete rfkit engines live in [Rf.Pss] and
+    [Rf.Qpss]; EM and DC callers can build ad-hoc chains directly. *)
+
+type 'a stage = {
+  engine : string;  (** display name for the escalation trace *)
+  solve : budget:Supervisor.budget -> unit -> 'a Supervisor.outcome;
+      (** run this engine under (at most) the given budget *)
+}
+
+val stage :
+  engine:string ->
+  (budget:Supervisor.budget -> unit -> 'a Supervisor.outcome) ->
+  'a stage
+
+(** One failed engine on the way to the winner (or to exhaustion). *)
+type escalation = { from_engine : string; failure : Supervisor.failure }
+
+type report = {
+  winner : string;
+  winner_rank : int;  (** 1-based position of the winner in the chain *)
+  winner_report : Supervisor.report;  (** the winning engine's own report *)
+  escalations : escalation list;  (** every engine that failed before it *)
+  stages_tried : int;
+  total_iterations : int;  (** summed across ALL stages, winners and losers *)
+  elapsed : float;
+}
+
+type failure = {
+  x_escalations : escalation list;
+  x_cause : Supervisor.cause;  (** the last (or budget) cause *)
+  x_total_iterations : int;
+  x_elapsed : float;
+}
+
+type 'a outcome = Completed of 'a * report | Exhausted of failure
+
+val run : ?budget:Supervisor.budget -> 'a stage list -> 'a outcome
+(** Execute the chain. Each stage receives the budget REMAINING after its
+    predecessors (shared wall clock and total-iteration pool; the
+    per-attempt cap passes through unchanged). Every failure escalates —
+    including fail-fast causes, which condemn one formulation but not a
+    different engine's route — until the chain or the shared budget is
+    exhausted.
+
+    @raise Invalid_argument on an empty chain. *)
+
+val failure_iterations : Supervisor.failure -> int
+(** Newton iterations burned across a failure's attempt trail. *)
+
+val pp_trace : Format.formatter -> escalation list -> unit
+val pp_report : Format.formatter -> report -> unit
+val pp_failure : Format.formatter -> failure -> unit
+
+val report_to_string : report -> string
+val failure_to_string : failure -> string
+(** Renderings are deliberately wall-clock-free so that two runs with the
+    same deterministic fault plan are byte-identical (the determinism
+    smoke test diffs them). *)

@@ -1,0 +1,42 @@
+type check = { name : string; measured : float; threshold : float }
+
+let check ~name ~measured ~threshold = { name; measured; threshold }
+
+(* NaN compares false against everything, so an explicit finiteness test
+   is required to keep a poisoned metric from passing *)
+let passed c = Float.is_finite c.measured && c.measured <= c.threshold
+
+type verdict = Certified | Suspect of check list
+
+type certificate = { subject : string; checks : check list; verdict : verdict }
+
+let assemble ~subject checks =
+  if checks = [] then invalid_arg "Certify.assemble: no checks";
+  let failing = List.filter (fun c -> not (passed c)) checks in
+  {
+    subject;
+    checks;
+    verdict = (match failing with [] -> Certified | l -> Suspect l);
+  }
+
+let is_certified cert = match cert.verdict with Certified -> true | Suspect _ -> false
+
+let verdict_to_string = function
+  | Certified -> "Certified"
+  | Suspect failing ->
+      Printf.sprintf "Suspect of defect (%d failing check%s: %s)"
+        (List.length failing)
+        (if List.length failing = 1 then "" else "s")
+        (String.concat ", " (List.map (fun c -> c.name) failing))
+
+let pp_check ppf c =
+  Format.fprintf ppf "@,  %-24s %.3e <= %.3e  %s" c.name c.measured c.threshold
+    (if passed c then "ok" else "FAIL")
+
+let pp_certificate ppf cert =
+  Format.fprintf ppf "@[<v>certificate[%s]: %s%a@]" cert.subject
+    (verdict_to_string cert.verdict)
+    (fun ppf l -> List.iter (pp_check ppf) l)
+    cert.checks
+
+let certificate_to_string cert = Format.asprintf "%a" pp_certificate cert

@@ -1,0 +1,42 @@
+(** A-posteriori result certification.
+
+    A converged flag from the winning engine proves only that ITS
+    iteration met ITS stopping rule — a wrong Jacobian, an aliased grid,
+    a spurious transient balance or an injected fault can all "converge".
+    Certification re-derives independent quality metrics from the result
+    itself (dense-grid residuals, re-integrated periodicity error, KCL
+    residuals, cross-engine spectra) and attaches a typed verdict:
+    {!Certified} when every check passes, {!Suspect} naming the failing
+    checks otherwise. [rfsim] exits with code 4 on a [Suspect] verdict
+    instead of silently printing unverified numbers.
+
+    This module is the engine-agnostic core (checks, verdicts,
+    rendering); the concrete measurements live next to each engine
+    ([Dc.certify], [Tran.certify], [Rf.Pss.certify], ...). *)
+
+(** One measurement compared against its acceptance threshold. A check
+    passes iff [measured] is finite and [measured <= threshold] — NaN
+    never certifies. *)
+type check = { name : string; measured : float; threshold : float }
+
+val check : name:string -> measured:float -> threshold:float -> check
+val passed : check -> bool
+
+type verdict =
+  | Certified
+  | Suspect of check list  (** the failing checks, in declaration order *)
+
+type certificate = { subject : string; checks : check list; verdict : verdict }
+
+val assemble : subject:string -> check list -> certificate
+(** Build the certificate; the verdict is [Suspect] iff any check fails.
+    @raise Invalid_argument on an empty check list — certifying nothing
+    certifies nothing. *)
+
+val is_certified : certificate -> bool
+
+val verdict_to_string : verdict -> string
+val pp_certificate : Format.formatter -> certificate -> unit
+val certificate_to_string : certificate -> string
+(** Deterministic rendering (no timestamps): one line per check with
+    measured value, threshold and pass/fail. *)

@@ -9,34 +9,49 @@ let none =
   { engine = None; singular_attempts = 0; krylov_stall_attempts = 0; nan_at = None }
 
 let current : plan option ref = ref None
-let attempt_no = ref 0
+
+(* Attempt counters are kept PER ENGINE, not per process: a cascade runs
+   several supervised engines (and engines nest — shooting warm-starts
+   through the DC supervisor), so a single global counter would let one
+   engine's attempts consume another's sabotage budget and make plans
+   non-composable with Cascade.run. Each engine sees its own first-N
+   attempts sabotaged, independently of what ran before it. *)
+let counts : (string, int) Hashtbl.t = Hashtbl.create 8
 
 let arm p =
   current := Some p;
-  attempt_no := 0
+  Hashtbl.reset counts
 
 let disarm () =
   current := None;
-  attempt_no := 0
+  Hashtbl.reset counts
 
 let armed () = !current <> None
 
 let matches p ~engine =
   match p.engine with None -> true | Some e -> String.equal e engine
 
+let attempts_of engine =
+  Option.value ~default:0 (Hashtbl.find_opt counts engine)
+
 let begin_attempt ~engine =
   match !current with
-  | Some p when matches p ~engine -> incr attempt_no
+  | Some p when matches p ~engine ->
+      Hashtbl.replace counts engine (attempts_of engine + 1)
   | _ -> ()
 
 let singular_now ~engine =
   match !current with
-  | Some p when matches p ~engine -> !attempt_no <= p.singular_attempts
+  | Some p when matches p ~engine ->
+      let a = attempts_of engine in
+      a >= 1 && a <= p.singular_attempts
   | _ -> false
 
 let krylov_stall_now ~engine =
   match !current with
-  | Some p when matches p ~engine -> !attempt_no <= p.krylov_stall_attempts
+  | Some p when matches p ~engine ->
+      let a = attempts_of engine in
+      a >= 1 && a <= p.krylov_stall_attempts
   | _ -> false
 
 let nan_site ~engine ~iter =

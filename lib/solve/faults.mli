@@ -35,7 +35,11 @@ val armed : unit -> bool
 val begin_attempt : engine:string -> unit
 (** Called by {!Supervisor.run} before each rung; counts attempts of the
     matching engine so [singular_attempts]-style axes know when to stop
-    firing. Resets nothing — arming resets the counter. *)
+    firing. Counters are kept {e per engine}, not per process: in a
+    {!Cascade} run (or when engines nest, e.g. shooting warm-starting
+    through the DC supervisor) each engine sees its own first-N attempts
+    sabotaged independently, so a fallback engine can still recover.
+    Resets nothing — arming resets all counters. *)
 
 (** Hooks polled by the engines. All return the benign answer when no
     plan is armed or the engine does not match. *)

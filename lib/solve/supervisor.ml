@@ -16,6 +16,7 @@ type strategy =
   | Warm_start of int
   | Escalate_samples of int
   | Refine_timestep of int
+  | Enlarge_krylov of int
 
 let strategy_name = function
   | Base -> "base"
@@ -25,6 +26,7 @@ let strategy_name = function
   | Warm_start p -> Printf.sprintf "warm-start(%d)" p
   | Escalate_samples f -> Printf.sprintf "oversample(x%d)" f
   | Refine_timestep f -> Printf.sprintf "substep(/%d)" f
+  | Enlarge_krylov f -> Printf.sprintf "krylov-basis(x%d)" f
 
 let cause_to_string = function
   | Singular_jacobian -> "singular Jacobian"

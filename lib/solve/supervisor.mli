@@ -45,6 +45,10 @@ type strategy =
   | Warm_start of int  (** transient warm start over this many periods *)
   | Escalate_samples of int  (** multiply sample/harmonic counts by this *)
   | Refine_timestep of int  (** divide the time step by this *)
+  | Enlarge_krylov of int
+      (** restart the iterative linear solver with this factor applied to
+          its restart basis / iteration allowance (GMRES(m) -> GMRES(f m),
+          CG gets f x the iteration cap) *)
 
 val strategy_name : strategy -> string
 val cause_to_string : cause -> string
