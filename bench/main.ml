@@ -21,6 +21,7 @@ let experiments =
     ("sec21", Exp_sec21.report, Exp_sec21.bench_tests);
     ("tones", Exp_tones.report, Exp_tones.bench_tests);
     ("ablations", Exp_ablations.report, Exp_ablations.bench_tests);
+    ("sparsity", Exp_sparsity.report, Exp_sparsity.bench_tests);
     ("measures", Exp_measures.report, Exp_measures.bench_tests);
   ]
 

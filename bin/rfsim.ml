@@ -70,6 +70,25 @@ let emit_certificate cert =
 
 let certify_when mode make_cert = if mode.enabled then emit_certificate (make_cert ())
 
+(* --stats: one observability line per analysis on stderr, off by default.
+   The nnz/density/bytes figures come from the cached MNA sparsity pattern
+   (state-independent), the iteration counts from the supervisor report of
+   the attempt that converged. *)
+let stats_enabled = ref false
+
+let emit_stats ~analysis c (st : Solve.Supervisor.stats) =
+  if !stats_enabled then begin
+    let n = Mna.size c in
+    let x = La.Vec.create n in
+    let g = Mna.jac_g_sparse c x and cm = Mna.jac_c_sparse c x in
+    Printf.eprintf
+      "stats: %s unknowns=%d nnz(G)=%d nnz(C)=%d density(G)=%.4f \
+matrix_bytes=%d newton=%d gmres=%d\n"
+      analysis n (La.Sparse.nnz g) (La.Sparse.nnz cm) (La.Sparse.density g)
+      (La.Sparse.memory_bytes g + La.Sparse.memory_bytes cm)
+      st.Solve.Supervisor.iterations st.Solve.Supervisor.krylov_iterations
+  end
+
 let load_located path =
   try Deck.parse_file_located path with
   | Deck.Parse_error (line, msg) ->
@@ -104,6 +123,7 @@ let run_dc ?(certify = { enabled = true; tol_scale = 1.0 }) c =
     match Dc.solve_outcome c with
     | Solve.Supervisor.Converged (x, report) ->
         note_recovery report;
+        emit_stats ~analysis:"dc" c report.Solve.Supervisor.stats;
         x
     | Solve.Supervisor.Failed f -> die_failure f
   in
@@ -119,6 +139,7 @@ let run_tran ?(certify = { enabled = true; tol_scale = 1.0 }) c ~t_stop ~dt ~nod
     match Tran.run_outcome c ~t_stop ~dt with
     | Solve.Supervisor.Converged (res, report) ->
         note_recovery report;
+        emit_stats ~analysis:"tran" c report.Solve.Supervisor.stats;
         res
     | Solve.Supervisor.Failed f -> die_failure f
   in
@@ -173,6 +194,7 @@ let run_hb ?(certify = { enabled = true; tol_scale = 1.0 }) c ~freq ~node ~harmo
     with
     | Solve.Supervisor.Converged (res, report) ->
         note_recovery report;
+        emit_stats ~analysis:"hb" c report.Solve.Supervisor.stats;
         res
     | Solve.Supervisor.Failed f -> die_failure f
   in
@@ -236,6 +258,15 @@ let certify_scale_arg =
 
 let certify_mode no_certify scale = { enabled = not no_certify; tol_scale = scale }
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print one observability line per analysis on stderr: unknown \
+           count, stamped-matrix nnz/density/bytes, and Newton/GMRES \
+           iteration counts.")
+
 let cascade_arg =
   Arg.(
     value & flag
@@ -272,29 +303,31 @@ let lint_cmd =
 
 let dc_cmd =
   let doc = "DC operating point" in
-  let run path no_lint inject no_certify scale =
+  let run path no_lint inject no_certify scale stats =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"dc" inject;
+    stats_enabled := stats;
     run_dc ~certify:(certify_mode no_certify scale) (Mna.build nl)
   in
   Cmd.v (Cmd.info "dc" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ inject_singular_arg $ no_certify_arg
-      $ certify_scale_arg)
+      $ certify_scale_arg $ stats_arg)
 
 let tran_cmd =
   let doc = "transient analysis (CSV on stdout)" in
   let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"Stop time (s).") in
   let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
-  let run path no_lint t_stop dt node no_certify scale =
+  let run path no_lint t_stop dt node no_certify scale stats =
     let nl, _ = load ~no_lint path in
+    stats_enabled := stats;
     run_tran ~certify:(certify_mode no_certify scale) (Mna.build nl) ~t_stop ~dt
       ~nodes:[ node ]
   in
   Cmd.v (Cmd.info "tran" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ t_stop $ dt $ node_arg "out"
-      $ no_certify_arg $ certify_scale_arg)
+      $ no_certify_arg $ certify_scale_arg $ stats_arg)
 
 let ac_cmd =
   let doc = "AC small-signal sweep (CSV on stdout)" in
@@ -323,9 +356,10 @@ let hb_cmd =
   let doc = "harmonic-balance periodic steady state" in
   let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
-  let run path no_lint freq harmonics node inject cascade no_certify scale =
+  let run path no_lint freq harmonics node inject cascade no_certify scale stats =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"hb" inject;
+    stats_enabled := stats;
     let certify = certify_mode no_certify scale in
     let c = Mna.build nl in
     if cascade then run_hb_cascade ~certify c ~freq ~node ~harmonics
@@ -334,7 +368,8 @@ let hb_cmd =
   Cmd.v (Cmd.info "hb" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out"
-      $ inject_singular_arg $ cascade_arg $ no_certify_arg $ certify_scale_arg)
+      $ inject_singular_arg $ cascade_arg $ no_certify_arg $ certify_scale_arg
+      $ stats_arg)
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in

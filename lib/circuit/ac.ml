@@ -2,11 +2,12 @@ open Rfkit_la
 
 type result = { freqs : float array; response : Cvec.t array }
 
-let system_at c x_op freq =
-  let g = Mna.jac_g c x_op and cm = Mna.jac_c c x_op in
+let system_op c x_op freq =
+  let g = Mna.jac_g_sparse c x_op and cm = Mna.jac_c_sparse c x_op in
   let w = 2.0 *. Float.pi *. freq in
-  let n = Mna.size c in
-  Cmat.init n n (fun i j -> Cx.make (Mat.get g i j) (w *. Mat.get cm i j))
+  Cop.add (Cop.of_real g) (Cop.scale (Cx.im w) (Cop.of_real cm))
+
+let system_at c x_op freq = Cop.to_dense (system_op c x_op freq)
 
 let op ?x_op c = match x_op with Some v -> v | None -> Dc.solve c
 

@@ -10,6 +10,12 @@ type result = {
   response : Rfkit_la.Cvec.t array;  (** full unknown vector per frequency *)
 }
 
+val system_op : Mna.t -> Rfkit_la.Vec.t -> float -> Rfkit_la.Cop.t
+(** The linearized system [(G + j w C)] at the given operating point as a
+    lazy complex operator over the sparse stamps; lower with
+    {!Rfkit_la.Cop.to_dense} (what the direct solves here do) or apply
+    matrix-free. *)
+
 val sweep : ?x_op:Rfkit_la.Vec.t -> Mna.t -> source:string -> freqs:float array -> result
 
 val transfer : Mna.t -> result -> string -> Rfkit_la.Cx.t array

@@ -3,9 +3,18 @@ open Rfkit_solve
 
 exception No_convergence = Error.No_convergence
 
-type options = { max_iter : int; tol : float; damping : float; gmin_steps : int }
+type linear_solver = Dense_lu | Sparse_direct | Gmres_ilu
 
-let default_options = { max_iter = 100; tol = 1e-9; damping = 2.0; gmin_steps = 8 }
+type options = {
+  max_iter : int;
+  tol : float;
+  damping : float;
+  gmin_steps : int;
+  solver : linear_solver;
+}
+
+let default_options =
+  { max_iter = 100; tol = 1e-9; damping = 2.0; gmin_steps = 8; solver = Sparse_direct }
 
 let engine = "dc"
 
@@ -16,8 +25,45 @@ let newton ~options ~damping ~iter_cap ~gmin c b x0 =
   let x = Vec.copy x0 in
   let iter = ref 0 in
   let last_res = ref infinity in
+  let kry = ref 0 in
   let max_iter = min options.max_iter iter_cap in
   let solution = ref None in
+  (* gmin conductance to ground on node rows, stamped without touching the
+     cached pattern (the G pattern carries the full diagonal) *)
+  let sparse_g () =
+    let g = Mna.jac_g_sparse c x in
+    if gmin = 0.0 then g
+    else begin
+      let d = Array.make (Mna.size c) 0.0 in
+      for i = 0 to nn - 1 do
+        d.(i) <- gmin
+      done;
+      Sparse.add g (Sparse.of_diag d)
+    end
+  in
+  let linear_solve r =
+    if Faults.singular_now ~engine then raise Lu.Singular;
+    match options.solver with
+    | Dense_lu ->
+        let g = Mna.jac_g c x in
+        for i = 0 to nn - 1 do
+          Mat.update g i i (fun v -> v +. gmin)
+        done;
+        Lu.solve (Lu.factor g) r
+    | Sparse_direct -> Sparse_lu.solve (Sparse_lu.factor (sparse_g ())) r
+    | Gmres_ilu ->
+        let g = sparse_g () in
+        let precond = Sparse_lu.ilu_apply (Sparse_lu.ilu0 g) in
+        let dx, st =
+          Krylov.gmres ~tol:1e-12 ~precond (Sparse.matvec g) r
+        in
+        kry := !kry + st.Krylov.iterations;
+        if st.Krylov.converged then dx
+        else
+          (* ILU-GMRES stalled: fall back to the exact sparse factor rather
+             than poisoning Newton with a bad step *)
+          Sparse_lu.solve (Sparse_lu.factor g) r
+  in
   let cause =
     try
       while !solution = None && !iter < max_iter do
@@ -32,12 +78,7 @@ let newton ~options ~damping ~iter_cap ~gmin c b x0 =
         last_res := Vec.norm_inf r;
         if !last_res <= options.tol then solution := Some (Vec.copy x)
         else begin
-          let g = Mna.jac_g c x in
-          for i = 0 to nn - 1 do
-            Mat.update g i i (fun v -> v +. gmin)
-          done;
-          if Faults.singular_now ~engine then raise Lu.Singular;
-          let dx = Lu.solve (Lu.factor g) r in
+          let dx = linear_solve r in
           (* damp the Newton step to keep exponentials in range *)
           let step = Vec.norm_inf dx in
           let scale = if step > damping then damping /. step else 1.0 in
@@ -54,7 +95,7 @@ let newton ~options ~damping ~iter_cap ~gmin c b x0 =
     {
       Supervisor.iterations = !iter;
       residual = !last_res;
-      krylov_iterations = 0;
+      krylov_iterations = !kry;
     }
   in
   match (!solution, cause) with

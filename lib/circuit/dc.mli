@@ -10,11 +10,19 @@
 exception No_convergence of Rfkit_solve.Error.t
 (** Rebinding of the shared {!Rfkit_solve.Error.No_convergence}. *)
 
+type linear_solver =
+  | Dense_lu       (** dense Jacobian + dense LU: the pre-refactor path,
+                       kept as a cross-check and small-circuit fallback *)
+  | Sparse_direct  (** CSR stamping + pivoting sparse LU (default) *)
+  | Gmres_ilu      (** CSR stamping + ILU(0)-preconditioned GMRES, with a
+                       sparse-direct fallback if the iteration stalls *)
+
 type options = {
   max_iter : int;       (** Newton iterations per continuation level (default 100) *)
   tol : float;          (** residual infinity-norm target (default 1e-9) *)
   damping : float;      (** max Newton step infinity-norm in volts (default 2.0) *)
   gmin_steps : int;     (** gmin continuation levels, 0 = drop the rung (default 8) *)
+  solver : linear_solver;  (** inner linear solver (default [Sparse_direct]) *)
 }
 
 val default_options : options

@@ -1,11 +1,18 @@
 open Rfkit_la
 
+(* Structural sparsity pattern of a stamped matrix: CSR indices without
+   values, computed once per circuit and shared across all Newton
+   iterations (the values array is fresh per evaluation). *)
+type pattern = { p_row_ptr : int array; p_col_idx : int array }
+
 type t = {
   nl : Netlist.t;
   nn : int;  (* node unknowns *)
   total : int;
   branches : (string * int) list;  (* device name -> branch unknown index *)
   devs : Device.t array;
+  mutable g_pat : pattern option;  (* lazily built, state-independent *)
+  mutable c_pat : pattern option;
 }
 
 let build nl =
@@ -20,7 +27,15 @@ let build nl =
         incr next
       end)
     devs;
-  { nl; nn; total = !next; branches = List.rev !branches; devs }
+  {
+    nl;
+    nn;
+    total = !next;
+    branches = List.rev !branches;
+    devs;
+    g_pat = None;
+    c_pat = None;
+  }
 
 let size c = c.total
 let n_nodes c = c.nn
@@ -282,9 +297,271 @@ let jac_g c (x : Vec.t) =
     c.devs;
   m
 
+(* ---- sparse stamping ----------------------------------------------------
+
+   The index sets touched by [jac_g]/[jac_c] depend only on topology, not on
+   the linearization point: the one state-dependent branch, the MOSFET's
+   vds-sign frame swap, stamps a subset of the union of both frames, which
+   is what the pattern enumerates. The G pattern additionally carries the
+   full diagonal so gmin/shift stamping (via [Sparse.add]) and ILU(0) never
+   meet a structurally missing slot. *)
+
+let pattern_of_pairs total pairs =
+  let arr = Array.of_list pairs in
+  Array.sort
+    (fun (i1, j1) (i2, j2) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    arr;
+  let m = Array.length arr in
+  let distinct = ref 0 in
+  for k = 0 to m - 1 do
+    if k = 0 || arr.(k) <> arr.(k - 1) then incr distinct
+  done;
+  let row_ptr = Array.make (total + 1) 0 in
+  let col_idx = Array.make !distinct 0 in
+  let pos = ref (-1) in
+  for k = 0 to m - 1 do
+    if k = 0 || arr.(k) <> arr.(k - 1) then begin
+      let i, j = arr.(k) in
+      incr pos;
+      col_idx.(!pos) <- j;
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1
+    end
+  done;
+  for i = 0 to total - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  { p_row_ptr = row_ptr; p_col_idx = col_idx }
+
+let g_pattern c =
+  match c.g_pat with
+  | Some p -> p
+  | None ->
+      let pairs = ref [] in
+      let add i j =
+        if i <> Netlist.gnd && j <> Netlist.gnd then pairs := (i, j) :: !pairs
+      in
+      let add_gm p n cp cn =
+        add p cp;
+        add p cn;
+        add n cp;
+        add n cn
+      in
+      Array.iter
+        (fun d ->
+          match d with
+          | Device.Resistor { p; n; _ } -> add_gm p n p n
+          | Device.Vccs { p; n; cp; cn; _ } -> add_gm p n cp cn
+          | Device.Diode { p; n; _ } -> add_gm p n p n
+          | Device.Tanh_gm { p; n; cp; cn; _ } -> add_gm p n cp cn
+          | Device.Cubic_conductor { p; n; _ } -> add_gm p n p n
+          | Device.Mosfet { d = nd; g; s; _ } ->
+              (* union of both vds frames *)
+              add_gm nd s g s;
+              add_gm nd s nd s;
+              add_gm s nd g nd;
+              add_gm s nd s nd
+          | Device.Vsource { name; p; n; _ } ->
+              let bi = branch c name in
+              add p bi;
+              add n bi;
+              add bi p;
+              add bi n
+          | Device.Inductor { name; p; n; _ } ->
+              let bi = branch c name in
+              add p bi;
+              add n bi;
+              add bi p;
+              add bi n
+          | Device.Mult_vccs { p; n; a_p; a_n; b_p; b_n; _ } ->
+              add_gm p n a_p a_n;
+              add_gm p n b_p b_n
+          | Device.Isource _ | Device.Capacitor _ | Device.Nl_capacitor _
+          | Device.Noise_current _ -> ())
+        c.devs;
+      for i = 0 to c.total - 1 do
+        pairs := (i, i) :: !pairs
+      done;
+      let p = pattern_of_pairs c.total !pairs in
+      c.g_pat <- Some p;
+      p
+
+let c_pattern c =
+  match c.c_pat with
+  | Some p -> p
+  | None ->
+      let pairs = ref [] in
+      let add i j =
+        if i <> Netlist.gnd && j <> Netlist.gnd then pairs := (i, j) :: !pairs
+      in
+      Array.iter
+        (fun d ->
+          match d with
+          | Device.Capacitor { p; n; _ } | Device.Nl_capacitor { p; n; _ } ->
+              add p p;
+              add p n;
+              add n p;
+              add n n
+          | Device.Diode { p; n; cj; _ } when cj > 0.0 ->
+              add p p;
+              add p n;
+              add n p;
+              add n n
+          | Device.Inductor { name; _ } ->
+              let bi = branch c name in
+              pairs := (bi, bi) :: !pairs
+          | Device.Mosfet { g; s; d = nd; _ } ->
+              add g g;
+              add g s;
+              add g nd;
+              add s g;
+              add s s;
+              add nd g;
+              add nd nd
+          | Device.Resistor _ | Device.Vsource _ | Device.Isource _
+          | Device.Vccs _ | Device.Tanh_gm _ | Device.Cubic_conductor _
+          | Device.Diode _ | Device.Mult_vccs _ | Device.Noise_current _ -> ())
+        c.devs;
+      let p = pattern_of_pairs c.total !pairs in
+      c.c_pat <- Some p;
+      p
+
+let slot pat i j =
+  let lo = ref pat.p_row_ptr.(i) and hi = ref (pat.p_row_ptr.(i + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cm = pat.p_col_idx.(mid) in
+    if cm = j then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if cm < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !res < 0 then invalid_arg "Mna: stamp outside cached pattern";
+  !res
+
+let jac_c_sparse c (x : Vec.t) =
+  let pat = c_pattern c in
+  let vals = Array.make (Array.length pat.p_col_idx) 0.0 in
+  let v n = if n = Netlist.gnd then 0.0 else x.(n) in
+  let stamp i j dv =
+    if i <> Netlist.gnd && j <> Netlist.gnd then
+      vals.(slot pat i j) <- vals.(slot pat i j) +. dv
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Capacitor { p; n; c = cap; _ } ->
+          stamp p p cap;
+          stamp p n (-.cap);
+          stamp n p (-.cap);
+          stamp n n cap
+      | Device.Nl_capacitor { p; n; c0; c1; _ } ->
+          let ceff = c0 +. (c1 *. (v p -. v n)) in
+          stamp p p ceff;
+          stamp p n (-.ceff);
+          stamp n p (-.ceff);
+          stamp n n ceff
+      | Device.Diode { p; n; cj; _ } when cj > 0.0 ->
+          stamp p p cj;
+          stamp p n (-.cj);
+          stamp n p (-.cj);
+          stamp n n cj
+      | Device.Inductor { name; l; _ } ->
+          let bi = branch c name in
+          vals.(slot pat bi bi) <- vals.(slot pat bi bi) +. l
+      | Device.Mosfet { g; s; d = nd; cgs; cgd; _ } ->
+          stamp g g (cgs +. cgd);
+          stamp g s (-.cgs);
+          stamp g nd (-.cgd);
+          stamp s g (-.cgs);
+          stamp s s cgs;
+          stamp nd g (-.cgd);
+          stamp nd nd cgd
+      | Device.Resistor _ | Device.Vsource _ | Device.Isource _ | Device.Vccs _
+      | Device.Tanh_gm _ | Device.Cubic_conductor _ | Device.Diode _
+      | Device.Mult_vccs _ | Device.Noise_current _ -> ())
+    c.devs;
+  Sparse.of_csr ~rows:c.total ~cols:c.total ~row_ptr:pat.p_row_ptr
+    ~col_idx:pat.p_col_idx ~values:vals
+
+let jac_g_sparse c (x : Vec.t) =
+  let pat = g_pattern c in
+  let vals = Array.make (Array.length pat.p_col_idx) 0.0 in
+  let v n = if n = Netlist.gnd then 0.0 else x.(n) in
+  let stamp i j dv =
+    if i <> Netlist.gnd && j <> Netlist.gnd then
+      vals.(slot pat i j) <- vals.(slot pat i j) +. dv
+  in
+  let stamp_gm p n cp cn g =
+    stamp p cp g;
+    stamp p cn (-.g);
+    stamp n cp (-.g);
+    stamp n cn g
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Resistor { p; n; r; _ } -> stamp_gm p n p n (1.0 /. r)
+      | Device.Vccs { p; n; cp; cn; gm; _ } -> stamp_gm p n cp cn gm
+      | Device.Diode { p; n; is; nvt; _ } ->
+          let g = is /. nvt *. dexp_lim ((v p -. v n) /. nvt) in
+          stamp_gm p n p n g
+      | Device.Tanh_gm { p; n; cp; cn; gm; vsat; _ } ->
+          let th = tanh ((v cp -. v cn) /. vsat) in
+          stamp_gm p n cp cn (gm *. (1.0 -. (th *. th)))
+      | Device.Cubic_conductor { p; n; g1; g3; _ } ->
+          let vv = v p -. v n in
+          stamp_gm p n p n (g1 +. (3.0 *. g3 *. vv *. vv))
+      | Device.Mosfet { d = nd; g; s; kp; vth; lambda; _ } ->
+          let vds = v nd -. v s in
+          if vds >= 0.0 then begin
+            let _, gm, gds = mos_curr ~kp ~vth ~lambda (v g -. v s) vds in
+            stamp_gm nd s g s gm;
+            stamp_gm nd s nd s gds
+          end
+          else begin
+            let _, gm, gds = mos_curr ~kp ~vth ~lambda (v g -. v nd) (-.vds) in
+            stamp_gm s nd g nd gm;
+            stamp_gm s nd s nd gds
+          end
+      | Device.Vsource { name; p; n; _ } ->
+          let bi = branch c name in
+          stamp p bi 1.0;
+          stamp n bi (-1.0);
+          stamp bi p 1.0;
+          stamp bi n (-1.0)
+      | Device.Inductor { name; p; n; _ } ->
+          let bi = branch c name in
+          stamp p bi 1.0;
+          stamp n bi (-1.0);
+          stamp bi p (-1.0);
+          stamp bi n 1.0
+      | Device.Mult_vccs { p; n; a_p; a_n; b_p; b_n; k; _ } ->
+          let va = v a_p -. v a_n and vb = v b_p -. v b_n in
+          stamp_gm p n a_p a_n (k *. vb);
+          stamp_gm p n b_p b_n (k *. va)
+      | Device.Isource _ | Device.Capacitor _ | Device.Nl_capacitor _
+      | Device.Noise_current _ -> ())
+    c.devs;
+  Sparse.of_csr ~rows:c.total ~cols:c.total ~row_ptr:pat.p_row_ptr
+    ~col_idx:pat.p_col_idx ~values:vals
+
+let jac_g_op c x = Op.sparse (jac_g_sparse c x)
+let jac_c_op c x = Op.sparse (jac_c_sparse c x)
+
 let linear_gc c =
   let origin = Vec.create c.total in
   (jac_g c origin, jac_c c origin)
+
+let linear_gc_sparse c =
+  let origin = Vec.create c.total in
+  (jac_g_sparse c origin, jac_c_sparse c origin)
+
+let linear_gc_op c =
+  let g, cc = linear_gc_sparse c in
+  (Op.sparse g, Op.sparse cc)
 
 let is_linear c = Array.for_all Device.is_linear c.devs
 

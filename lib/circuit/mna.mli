@@ -36,14 +36,33 @@ val dc_b : t -> Rfkit_la.Vec.t
 (** Excitation with every source at its DC (average) value. *)
 
 val jac_c : t -> Rfkit_la.Vec.t -> Rfkit_la.Mat.t
-(** C(x) = dq/dx. *)
+(** C(x) = dq/dx, dense. Kept as an independently-stamped shim so the
+    sparse path can be cross-checked against it; new code should prefer
+    {!jac_c_sparse} / {!jac_c_op}. *)
 
 val jac_g : t -> Rfkit_la.Vec.t -> Rfkit_la.Mat.t
-(** G(x) = df/dx. *)
+(** G(x) = df/dx, dense (shim, see {!jac_c}). *)
+
+val jac_c_sparse : t -> Rfkit_la.Vec.t -> Rfkit_la.Sparse.t
+(** C(x) stamped straight into CSR. The sparsity pattern is structural
+    (state-independent), computed once per circuit and shared across all
+    Newton iterations; only the values array is fresh per call. *)
+
+val jac_g_sparse : t -> Rfkit_la.Vec.t -> Rfkit_la.Sparse.t
+(** G(x) in CSR on the cached pattern. The pattern carries the full
+    diagonal (explicit zeros where nothing stamps, e.g. voltage-source
+    branch rows) so gmin/shift stamping and ILU(0) always find a slot. *)
+
+val jac_c_op : t -> Rfkit_la.Vec.t -> Rfkit_la.Op.t
+val jac_g_op : t -> Rfkit_la.Vec.t -> Rfkit_la.Op.t
+(** Operator-wrapped sparse Jacobians — what the engines' solvers consume. *)
 
 val linear_gc : t -> Rfkit_la.Mat.t * Rfkit_la.Mat.t
 (** (G, C) of the linear part (Jacobians at x = 0); exact when the circuit
-    contains only linear elements — the ROM entry point. *)
+    contains only linear elements — the ROM entry point. Dense shim. *)
+
+val linear_gc_sparse : t -> Rfkit_la.Sparse.t * Rfkit_la.Sparse.t
+val linear_gc_op : t -> Rfkit_la.Op.t * Rfkit_la.Op.t
 
 val is_linear : t -> bool
 val fundamentals : t -> float list

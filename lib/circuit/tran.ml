@@ -9,10 +9,30 @@ type result = { times : float array; states : Vec.t array }
 
 let engine = "tran"
 
-let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt =
+let implicit_step ?(tol = 1e-9) ?(max_iter = 50) ?(solver = Dc.Sparse_direct) c
+    ~method_ ~x_prev ~t_prev ~dt =
   let t1 = t_prev +. dt in
   let q0 = Mna.eval_q c x_prev in
   let b1 = Mna.eval_b c t1 in
+  (* companion Jacobian J = a_c/dt * C(x) + a_g * G(x) as a sparse (or
+     dense-fallback) solve of J dx = r *)
+  let jac_solve ~a_g x r =
+    match solver with
+    | Dc.Dense_lu ->
+        let cm = Mna.jac_c c x and gm = Mna.jac_g c x in
+        let j = Mat.add (Mat.scale (1.0 /. dt) cm) (Mat.scale a_g gm) in
+        Lu.solve (Lu.factor j) r
+    | Dc.Sparse_direct ->
+        let cm = Mna.jac_c_sparse c x and gm = Mna.jac_g_sparse c x in
+        let j = Sparse.add (Sparse.scale (1.0 /. dt) cm) (Sparse.scale a_g gm) in
+        Sparse_lu.solve (Sparse_lu.factor j) r
+    | Dc.Gmres_ilu ->
+        let cm = Mna.jac_c_sparse c x and gm = Mna.jac_g_sparse c x in
+        let j = Sparse.add (Sparse.scale (1.0 /. dt) cm) (Sparse.scale a_g gm) in
+        let precond = Sparse_lu.ilu_apply (Sparse_lu.ilu0 j) in
+        let dx, st = Krylov.gmres ~tol:1e-12 ~precond (Sparse.matvec j) r in
+        if st.Krylov.converged then dx else Sparse_lu.solve (Sparse_lu.factor j) r
+  in
   let residual, jac =
     match method_ with
     | Backward_euler ->
@@ -22,11 +42,7 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt 
           Vec.init (Mna.size c) (fun i ->
               ((q1.(i) -. q0.(i)) /. dt) +. f1.(i) -. b1.(i))
         in
-        let jac x =
-          let cm = Mna.jac_c c x and gm = Mna.jac_g c x in
-          Mat.add (Mat.scale (1.0 /. dt) cm) gm
-        in
-        (res, jac)
+        (res, jac_solve ~a_g:1.0)
     | Trapezoidal ->
         let f0 = Mna.eval_f c x_prev in
         let b0 = Mna.eval_b c t_prev in
@@ -38,11 +54,7 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt 
               +. (0.5 *. (f1.(i) +. f0.(i)))
               -. (0.5 *. (b1.(i) +. b0.(i))))
         in
-        let jac x =
-          let cm = Mna.jac_c c x and gm = Mna.jac_g c x in
-          Mat.add (Mat.scale (1.0 /. dt) cm) (Mat.scale 0.5 gm)
-        in
-        (res, jac)
+        (res, jac_solve ~a_g:0.5)
   in
   let x = Vec.copy x_prev in
   let ok = ref false in
@@ -54,10 +66,9 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt 
     let r = residual x in
     if Vec.norm_inf r <= tol then ok := true
     else begin
-      let j = jac x in
       if Faults.singular_now ~engine then raise (Step_failed t1);
       let dx =
-        try Lu.solve (Lu.factor j) r with Lu.Singular -> raise (Step_failed t1)
+        try jac x r with Lu.Singular -> raise (Step_failed t1)
       in
       (* Newton update: x <- x - dx since residual is R(x), J dx = R *)
       let step = Vec.norm_inf dx in
@@ -71,7 +82,7 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) c ~method_ ~x_prev ~t_prev ~dt 
 let initial_state ?x0 c =
   match x0 with Some v -> Vec.copy v | None -> Dc.solve c
 
-let run ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) c ~t_stop ~dt =
+let run ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?solver c ~t_stop ~dt =
   let x0 = initial_state ?x0 c in
   let steps = int_of_float (Float.ceil (t_stop /. dt)) in
   let times = Array.make (steps + 1) 0.0 in
@@ -81,7 +92,7 @@ let run ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) c ~t_stop ~dt =
     let dt_k = Float.min dt (t_stop -. t_prev) in
     times.(k) <- t_prev +. dt_k;
     states.(k) <-
-      implicit_step ~tol c ~method_ ~x_prev:states.(k - 1) ~t_prev ~dt:dt_k
+      implicit_step ~tol ?solver c ~method_ ~x_prev:states.(k - 1) ~t_prev ~dt:dt_k
   done;
   { times; states }
 
@@ -97,7 +108,7 @@ let default_budget =
   }
 
 let run_outcome ?(budget = default_budget) ?(method_ = Trapezoidal) ?x0
-    ?(tol = 1e-9) c ~t_stop ~dt =
+    ?(tol = 1e-9) ?solver c ~t_stop ~dt =
   Supervisor.run ~budget ~engine
     ~ladder:
       [ Supervisor.Base; Supervisor.Refine_timestep 2; Supervisor.Refine_timestep 8 ]
@@ -112,7 +123,7 @@ let run_outcome ?(budget = default_budget) ?(method_ = Trapezoidal) ?x0
         Error (Supervisor.Budget_exhausted Supervisor.Iterations, Supervisor.no_stats)
       else
         try
-          let res = run ~method_ ?x0 ~tol c ~t_stop ~dt in
+          let res = run ~method_ ?x0 ~tol ?solver c ~t_stop ~dt in
           Ok
             ( res,
               {
@@ -134,8 +145,8 @@ let run_outcome ?(budget = default_budget) ?(method_ = Trapezoidal) ?x0
         | Error.No_convergence e -> Error (e.Error.cause, Supervisor.no_stats))
     ()
 
-let run_adaptive ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?(lte_tol = 1e-6)
-    ?(dt_min = 1e-18) ?dt_max c ~t_stop ~dt0 =
+let run_adaptive ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?solver
+    ?(lte_tol = 1e-6) ?(dt_min = 1e-18) ?dt_max c ~t_stop ~dt0 =
   let x0 = initial_state ?x0 c in
   let dt_max = match dt_max with Some v -> v | None -> t_stop /. 10.0 in
   let times = ref [ 0.0 ] and states = ref [ x0 ] in
@@ -144,13 +155,16 @@ let run_adaptive ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?(lte_tol = 1e-6)
     let dt_k = Float.min !dt (t_stop -. !t) in
     (* one full step vs two half steps *)
     let attempt () =
-      let x_full = implicit_step ~tol c ~method_ ~x_prev:!x ~t_prev:!t ~dt:dt_k in
+      let x_full =
+        implicit_step ~tol ?solver c ~method_ ~x_prev:!x ~t_prev:!t ~dt:dt_k
+      in
       let x_half =
-        implicit_step ~tol c ~method_ ~x_prev:!x ~t_prev:!t ~dt:(dt_k /. 2.0)
+        implicit_step ~tol ?solver c ~method_ ~x_prev:!x ~t_prev:!t
+          ~dt:(dt_k /. 2.0)
       in
       let x_two =
-        implicit_step ~tol c ~method_ ~x_prev:x_half ~t_prev:(!t +. (dt_k /. 2.0))
-          ~dt:(dt_k /. 2.0)
+        implicit_step ~tol ?solver c ~method_ ~x_prev:x_half
+          ~t_prev:(!t +. (dt_k /. 2.0)) ~dt:(dt_k /. 2.0)
       in
       (x_full, x_two)
     in

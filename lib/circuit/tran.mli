@@ -18,19 +18,22 @@ type result = {
 val implicit_step :
   ?tol:float ->
   ?max_iter:int ->
+  ?solver:Dc.linear_solver ->
   Mna.t ->
   method_:method_ ->
   x_prev:Rfkit_la.Vec.t ->
   t_prev:float ->
   dt:float ->
   Rfkit_la.Vec.t
-(** One implicit step from [(t_prev, x_prev)] to [t_prev + dt].
+(** One implicit step from [(t_prev, x_prev)] to [t_prev + dt]. [solver]
+    picks the inner linear solver (default {!Dc.Sparse_direct}).
     @raise Step_failed with the failing time if Newton diverges. *)
 
 val run :
   ?method_:method_ ->
   ?x0:Rfkit_la.Vec.t ->
   ?tol:float ->
+  ?solver:Dc.linear_solver ->
   Mna.t ->
   t_stop:float ->
   dt:float ->
@@ -47,6 +50,7 @@ val run_outcome :
   ?method_:method_ ->
   ?x0:Rfkit_la.Vec.t ->
   ?tol:float ->
+  ?solver:Dc.linear_solver ->
   Mna.t ->
   t_stop:float ->
   dt:float ->
@@ -60,6 +64,7 @@ val run_adaptive :
   ?method_:method_ ->
   ?x0:Rfkit_la.Vec.t ->
   ?tol:float ->
+  ?solver:Dc.linear_solver ->
   ?lte_tol:float ->
   ?dt_min:float ->
   ?dt_max:float ->

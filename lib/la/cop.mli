@@ -1,0 +1,32 @@
+(** Complex linear operators — the frequency-domain twin of {!Op}.
+
+    AC and harmonic-balance systems [(G + j omega C)] are expressed as
+    [Sum (of_real g, Scaled (j omega, of_real c))] and either applied
+    matrix-free or lowered to {!Csparse}/{!Cmat} on demand. *)
+
+type t =
+  | Dense of Cmat.t
+  | Sparse of Csparse.t
+  | Diag of Cvec.t
+  | Scaled of Cx.t * t
+  | Sum of t * t
+  | Product of t * t
+  | Closure of closure
+
+and closure = { c_rows : int; c_cols : int; apply : Cvec.t -> Cvec.t }
+
+val rows : t -> int
+val cols : t -> int
+val dense : Cmat.t -> t
+val sparse : Csparse.t -> t
+val of_real : Sparse.t -> t
+val diag : Cvec.t -> t
+val scale : Cx.t -> t -> t
+val add : t -> t -> t
+val closure : rows:int -> cols:int -> (Cvec.t -> Cvec.t) -> t
+val matvec : t -> Cvec.t -> Cvec.t
+val to_sparse_opt : t -> Csparse.t option
+val to_dense : t -> Cmat.t
+val diagonal : t -> Cvec.t
+val nnz : t -> int
+val memory_bytes : t -> int

@@ -1,0 +1,20 @@
+(** Sparse complex matrices in CSR format — the complex twin of {!Sparse}.
+
+    Frequency-domain systems [(G + j omega C)] are assembled from the real
+    sparse stamps without densifying; {!Cop} combines them lazily. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * Cx.t) list -> t
+val of_real : Sparse.t -> t
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+val density : t -> float
+val scale : Cx.t -> t -> t
+val add : t -> t -> t
+val matvec : t -> Cvec.t -> Cvec.t
+val diagonal : t -> Cvec.t
+val to_dense : t -> Cmat.t
+val iter : (int -> int -> Cx.t -> unit) -> t -> unit
+val memory_bytes : t -> int

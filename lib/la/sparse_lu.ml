@@ -1,0 +1,299 @@
+(* Left-looking (Gilbert-Peierls) sparse LU with partial pivoting.
+
+   Factors L * U = P * A where P is the row permutation chosen greedily for
+   the largest remaining pivot, exactly as in dense [Lu]. L and U are stored
+   column-compressed; L's unit diagonal is implicit, U's diagonal lives in a
+   separate array. Row indices of L and U are in pivot coordinates after
+   factorization (original rows are remapped through [pinv] once all pivots
+   are known).
+
+   Column k is eliminated by scattering A[:,k] into a dense work vector and
+   applying every earlier L column whose pivot row currently holds a nonzero,
+   in increasing pivot order -- a valid topological order because an L column
+   only ever updates rows pivoted later. The per-column scan over previous
+   pivots costs O(n) tests, negligible against the factorization flops for
+   the matrix sizes circuit decks produce, and avoids the DFS reach
+   machinery of the fully sparse variant. *)
+
+exception Singular = Lu.Singular
+
+type t = {
+  n : int;
+  (* L: strictly lower triangular, unit diagonal implicit, CSC *)
+  l_colptr : int array;
+  l_rows : int array;
+  l_vals : float array;
+  (* U: strictly upper part, CSC; diagonal separate *)
+  u_colptr : int array;
+  u_rows : int array;
+  u_vals : float array;
+  udiag : float array;
+  pinv : int array; (* original row -> pivot position *)
+}
+
+(* growable parallel (int, float) arrays *)
+type buf = { mutable idx : int array; mutable va : float array; mutable len : int }
+
+let buf_make cap = { idx = Array.make (max cap 16) 0; va = Array.make (max cap 16) 0.0; len = 0 }
+
+let buf_push b i v =
+  if b.len = Array.length b.idx then begin
+    let cap = 2 * b.len in
+    let idx = Array.make cap 0 and va = Array.make cap 0.0 in
+    Array.blit b.idx 0 idx 0 b.len;
+    Array.blit b.va 0 va 0 b.len;
+    b.idx <- idx;
+    b.va <- va
+  end;
+  b.idx.(b.len) <- i;
+  b.va.(b.len) <- v;
+  b.len <- b.len + 1
+
+let factor a =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Sparse_lu.factor: matrix not square";
+  (* CSR of a^T: row j holds column j of a *)
+  let at = Sparse.transpose a in
+  let at_ptr, at_rows, at_vals = Sparse.csr at in
+  let pinv = Array.make n (-1) in
+  let prow = Array.make n (-1) in
+  (* pivot position -> original row *)
+  let x = Array.make n 0.0 in
+  let touched = Array.make n false in
+  let touch_list = Array.make n 0 in
+  let l = buf_make (4 * Sparse.nnz a) in
+  let u = buf_make (4 * Sparse.nnz a) in
+  let l_colptr = Array.make (n + 1) 0 in
+  let u_colptr = Array.make (n + 1) 0 in
+  let udiag = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* scatter A[:,k] *)
+    let nt = ref 0 in
+    for p = at_ptr.(k) to at_ptr.(k + 1) - 1 do
+      let i = at_rows.(p) in
+      if not touched.(i) then begin
+        touched.(i) <- true;
+        touch_list.(!nt) <- i;
+        incr nt;
+        x.(i) <- at_vals.(p)
+      end
+      else x.(i) <- x.(i) +. at_vals.(p)
+    done;
+    (* eliminate with previous columns in pivot order *)
+    for kp = 0 to k - 1 do
+      let piv_row = prow.(kp) in
+      if touched.(piv_row) && x.(piv_row) <> 0.0 then begin
+        let xv = x.(piv_row) in
+        for p = l_colptr.(kp) to l_colptr.(kp + 1) - 1 do
+          let r = l.idx.(p) in
+          (* still original-row coordinates at this point *)
+          if not touched.(r) then begin
+            touched.(r) <- true;
+            touch_list.(!nt) <- r;
+            incr nt;
+            x.(r) <- 0.0
+          end;
+          x.(r) <- x.(r) -. (l.va.(p) *. xv)
+        done
+      end
+    done;
+    (* partial pivot over unassigned rows *)
+    let best = ref (-1) in
+    let best_abs = ref 0.0 in
+    for t = 0 to !nt - 1 do
+      let i = touch_list.(t) in
+      if pinv.(i) < 0 then begin
+        let m = Float.abs x.(i) in
+        if m > !best_abs then begin
+          best_abs := m;
+          best := i
+        end
+      end
+    done;
+    if !best < 0 || !best_abs = 0.0 then raise Singular;
+    let piv = !best in
+    let pv = x.(piv) in
+    pinv.(piv) <- k;
+    prow.(k) <- piv;
+    udiag.(k) <- pv;
+    (* emit U column k (assigned rows) and L column k (unassigned rows) *)
+    for t = 0 to !nt - 1 do
+      let i = touch_list.(t) in
+      let v = x.(i) in
+      if v <> 0.0 then
+        if pinv.(i) >= 0 then begin
+          if i <> piv then buf_push u pinv.(i) v
+        end
+        else buf_push l i (v /. pv)
+    done;
+    l_colptr.(k + 1) <- l.len;
+    u_colptr.(k + 1) <- u.len;
+    (* clear work vector *)
+    for t = 0 to !nt - 1 do
+      let i = touch_list.(t) in
+      x.(i) <- 0.0;
+      touched.(i) <- false
+    done
+  done;
+  (* remap L row indices to pivot coordinates *)
+  let l_rows = Array.sub l.idx 0 l.len in
+  for p = 0 to l.len - 1 do
+    l_rows.(p) <- pinv.(l_rows.(p))
+  done;
+  {
+    n;
+    l_colptr;
+    l_rows;
+    l_vals = Array.sub l.va 0 l.len;
+    u_colptr;
+    u_rows = Array.sub u.idx 0 u.len;
+    u_vals = Array.sub u.va 0 u.len;
+    udiag;
+    pinv;
+  }
+
+let nnz f = Array.length f.l_vals + Array.length f.u_vals + f.n
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Sparse_lu.solve";
+  let n = f.n in
+  (* y = P b *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    y.(f.pinv.(i)) <- b.(i)
+  done;
+  (* L y' = y, unit diagonal *)
+  for k = 0 to n - 1 do
+    let yk = y.(k) in
+    if yk <> 0.0 then
+      for p = f.l_colptr.(k) to f.l_colptr.(k + 1) - 1 do
+        y.(f.l_rows.(p)) <- y.(f.l_rows.(p)) -. (f.l_vals.(p) *. yk)
+      done
+  done;
+  (* U x = y' *)
+  for k = n - 1 downto 0 do
+    let xk = y.(k) /. f.udiag.(k) in
+    y.(k) <- xk;
+    if xk <> 0.0 then
+      for p = f.u_colptr.(k) to f.u_colptr.(k + 1) - 1 do
+        y.(f.u_rows.(p)) <- y.(f.u_rows.(p)) -. (f.u_vals.(p) *. xk)
+      done
+  done;
+  y
+
+let solve_transposed f b =
+  if Array.length b <> f.n then invalid_arg "Sparse_lu.solve_transposed";
+  let n = f.n in
+  (* U^T z = b: forward, row k of U^T is column k of U *)
+  let z = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let s = ref b.(k) in
+    for p = f.u_colptr.(k) to f.u_colptr.(k + 1) - 1 do
+      s := !s -. (f.u_vals.(p) *. z.(f.u_rows.(p)))
+    done;
+    z.(k) <- !s /. f.udiag.(k)
+  done;
+  (* L^T w = z: backward, unit diagonal *)
+  for k = n - 1 downto 0 do
+    let s = ref z.(k) in
+    for p = f.l_colptr.(k) to f.l_colptr.(k + 1) - 1 do
+      s := !s -. (f.l_vals.(p) *. z.(f.l_rows.(p)))
+    done;
+    z.(k) <- !s
+  done;
+  (* x = P^T w *)
+  Array.init n (fun i -> z.(f.pinv.(i)))
+
+let solve_mat f m =
+  if m.Mat.rows <> f.n then invalid_arg "Sparse_lu.solve_mat";
+  let out = Mat.make m.Mat.rows m.Mat.cols in
+  for j = 0 to m.Mat.cols - 1 do
+    Mat.set_col out j (solve f (Mat.col m j))
+  done;
+  out
+
+(* ---- ILU(0): incomplete factorization on the matrix's own pattern ---- *)
+
+type ilu = {
+  in_ : int;
+  i_row_ptr : int array;
+  i_col_idx : int array;
+  i_lu : float array; (* merged L (unit diag implicit) and U factors *)
+  i_dpos : int array; (* slot of the diagonal entry per row, -1 if absent *)
+}
+
+let find_slot row_ptr col_idx i j =
+  (* binary search for column j within row i's sorted slots *)
+  let lo = ref row_ptr.(i) and hi = ref (row_ptr.(i + 1) - 1) in
+  let res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = col_idx.(mid) in
+    if c = j then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let diag_guard = 1e-300
+
+let ilu0 a =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Sparse_lu.ilu0: matrix not square";
+  let row_ptr, col_idx, values = Sparse.csr a in
+  let lu = Array.copy values in
+  let dpos = Array.init n (fun i -> find_slot row_ptr col_idx i i) in
+  let diag i =
+    if dpos.(i) < 0 then 1.0
+    else
+      let d = lu.(dpos.(i)) in
+      if Float.abs d < diag_guard then 1.0 else d
+  in
+  for i = 1 to n - 1 do
+    for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      let k = col_idx.(p) in
+      if k < i then begin
+        let mult = lu.(p) /. diag k in
+        lu.(p) <- mult;
+        for q = p + 1 to row_ptr.(i + 1) - 1 do
+          let j = col_idx.(q) in
+          let s = find_slot row_ptr col_idx k j in
+          if s >= 0 then lu.(q) <- lu.(q) -. (mult *. lu.(s))
+        done
+      end
+    done
+  done;
+  { in_ = n; i_row_ptr = row_ptr; i_col_idx = col_idx; i_lu = lu; i_dpos = dpos }
+
+let ilu_apply f r =
+  if Array.length r <> f.in_ then invalid_arg "Sparse_lu.ilu_apply";
+  let n = f.in_ in
+  let z = Array.copy r in
+  (* unit-lower forward solve *)
+  for i = 0 to n - 1 do
+    let s = ref z.(i) in
+    for p = f.i_row_ptr.(i) to f.i_row_ptr.(i + 1) - 1 do
+      let j = f.i_col_idx.(p) in
+      if j < i then s := !s -. (f.i_lu.(p) *. z.(j))
+    done;
+    z.(i) <- !s
+  done;
+  (* upper backward solve *)
+  for i = n - 1 downto 0 do
+    let s = ref z.(i) in
+    for p = f.i_row_ptr.(i) to f.i_row_ptr.(i + 1) - 1 do
+      let j = f.i_col_idx.(p) in
+      if j > i then s := !s -. (f.i_lu.(p) *. z.(j))
+    done;
+    let d =
+      if f.i_dpos.(i) < 0 then 1.0
+      else
+        let d = f.i_lu.(f.i_dpos.(i)) in
+        if Float.abs d < diag_guard then 1.0 else d
+    in
+    z.(i) <- !s /. d
+  done;
+  z

@@ -1,0 +1,41 @@
+(** Sparse LU factorization (left-looking Gilbert-Peierls) with partial
+    pivoting, plus an ILU(0) incomplete factor for Krylov preconditioning.
+
+    Partial pivoting matters for MNA systems: voltage-source and inductor
+    branch rows carry a structurally zero diagonal, so any no-pivot scheme
+    breaks down immediately. The exact factor mirrors dense {!Lu}'s
+    semantics ([L U = P A]); {!ilu0} keeps the matrix's own pattern, guards
+    zero pivots instead of failing, and is only ever used inside a
+    preconditioner where approximation is acceptable. *)
+
+exception Singular
+(** Rebinding of {!Lu.Singular}, so call sites can catch either factor's
+    breakdown uniformly. *)
+
+type t
+
+val factor : Sparse.t -> t
+(** @raise Singular if a column has no nonzero pivot candidate. *)
+
+val solve : t -> Vec.t -> Vec.t
+val solve_transposed : t -> Vec.t -> Vec.t
+(** Solve [A^T x = b] from the same factorization (Krylov model order
+    reduction needs left as well as right Krylov spaces). *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Column-by-column {!solve}. *)
+
+val nnz : t -> int
+(** Stored entries in [L] and [U] combined (fill-in included). *)
+
+type ilu
+
+val ilu0 : Sparse.t -> ilu
+(** Incomplete LU on the input's own sparsity pattern, no pivoting. Zero or
+    tiny diagonals are replaced by 1.0 rather than raising: a degraded
+    preconditioner still preconditions, while an exception would kill the
+    surrounding GMRES ladder rung. *)
+
+val ilu_apply : ilu -> Vec.t -> Vec.t
+(** [ilu_apply f r] approximates [A^{-1} r]; shape matches
+    {!Krylov.gmres}'s [precond] argument. *)

@@ -67,39 +67,47 @@ let residual_norm c ~freq x =
 let flatten (m : Mat.t) = Array.copy m.Mat.a
 let unflatten ~rows ~cols a : Mat.t = { Mat.rows; cols; a = Array.copy a }
 
-(* dense HB Jacobian: J[(s,i),(s',j)] = D[s,s'] C_{s'}[i,j] + delta_{ss'} G_s[i,j] *)
-let dense_jacobian c ~period (x : Mat.t) =
-  let ns = x.Mat.rows and n = x.Mat.cols in
+(* per-sample sparse linearizations C_s, G_s — the only matrices the HB
+   Jacobian is ever built from, computed once per Newton iteration and
+   shared by the matvec, the preconditioner, and the dense fallback *)
+let sample_jacobians c (x : Mat.t) =
+  let ns = x.Mat.rows in
+  ( Array.init ns (fun s -> Mna.jac_c_sparse c (Mat.row x s)),
+    Array.init ns (fun s -> Mna.jac_g_sparse c (Mat.row x s)) )
+
+(* dense HB Jacobian: J[(s,i),(s',j)] = D[s,s'] C_{s'}[i,j] + delta_{ss'} G_s[i,j];
+   assembled from the sparse stamps, small-circuit fallback only *)
+let dense_jacobian ~period ~n ~cs ~gs =
+  let ns = Array.length cs in
   let d = Grid.diff_matrix ~period ~n:ns in
-  let cs = Array.init ns (fun s -> Mna.jac_c c (Mat.row x s)) in
-  let gs = Array.init ns (fun s -> Mna.jac_g c (Mat.row x s)) in
   let dim = ns * n in
   let j = Mat.make dim dim in
-  for s = 0 to ns - 1 do
-    for s' = 0 to ns - 1 do
-      let dss = Mat.get d s s' in
-      if dss <> 0.0 || s = s' then
-        for i = 0 to n - 1 do
-          for jj = 0 to n - 1 do
-            let v = dss *. Mat.get cs.(s') i jj in
-            let v = if s = s' then v +. Mat.get gs.(s) i jj else v in
-            if v <> 0.0 then Mat.update j ((s * n) + i) ((s' * n) + jj) (fun w -> w +. v)
-          done
-        done
-    done
+  for s' = 0 to ns - 1 do
+    Sparse.iter
+      (fun i jj v ->
+        for s = 0 to ns - 1 do
+          let dss = Mat.get d s s' in
+          if dss <> 0.0 then
+            Mat.update j ((s * n) + i) ((s' * n) + jj) (fun w -> w +. (dss *. v))
+        done)
+      cs.(s');
+    Sparse.iter
+      (fun i jj v ->
+        Mat.update j ((s' * n) + i) ((s' * n) + jj) (fun w -> w +. v))
+      gs.(s')
   done;
   j
 
-(* matrix-implicit application of the HB Jacobian to a flattened vector *)
-let apply_jacobian c ~period (x : Mat.t) (v : Vec.t) =
-  let ns = x.Mat.rows and n = x.Mat.cols in
+(* matrix-implicit application of the HB Jacobian to a flattened vector:
+   two sparse matvecs per sample plus a spectral derivative per unknown *)
+let apply_jacobian ~period ~n ~cs ~gs (v : Vec.t) =
+  let ns = Array.length cs in
   let vm = unflatten ~rows:ns ~cols:n v in
   let cv = Mat.make ns n and gv = Mat.make ns n in
   for s = 0 to ns - 1 do
-    let xs = Mat.row x s in
     let vs = Mat.row vm s in
-    Mat.set_row cv s (Mat.matvec (Mna.jac_c c xs) vs);
-    Mat.set_row gv s (Mat.matvec (Mna.jac_g c xs) vs)
+    Mat.set_row cv s (Sparse.matvec cs.(s) vs);
+    Mat.set_row gv s (Sparse.matvec gs.(s) vs)
   done;
   for j = 0 to n - 1 do
     let dq = Grid.diff_samples ~period (Mat.col cv j) in
@@ -111,13 +119,12 @@ let apply_jacobian c ~period (x : Mat.t) (v : Vec.t) =
 
 (* block-diagonal per-harmonic preconditioner built from time-averaged C
    and G: P_k = j w_k C_avg + G_avg, factored once per Newton iteration *)
-let make_preconditioner c ~period (x : Mat.t) =
-  let ns = x.Mat.rows and n = x.Mat.cols in
+let make_preconditioner ~period ~n ~cs ~gs =
+  let ns = Array.length cs in
   let c_avg = Mat.make n n and g_avg = Mat.make n n in
   for s = 0 to ns - 1 do
-    let xs = Mat.row x s in
-    Mat.add_inplace (Mna.jac_c c xs) c_avg;
-    Mat.add_inplace (Mna.jac_g c xs) g_avg
+    Sparse.iter (fun i j v -> Mat.update c_avg i j (fun w -> w +. v)) cs.(s);
+    Sparse.iter (fun i j v -> Mat.update g_avg i j (fun w -> w +. v)) gs.(s)
   done;
   let scale = 1.0 /. float_of_int ns in
   let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
@@ -218,17 +225,18 @@ let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
       else begin
         let rhs = flatten r in
         if Faults.singular_now ~engine then raise Lu.Singular;
+        let cs, gs = sample_jacobians c !x in
         let dx =
           match options.solver with
           | Direct ->
-              let j = dense_jacobian c ~period !x in
+              let j = dense_jacobian ~period ~n ~cs ~gs in
               Lu.solve (Lu.factor j) rhs
           | Matrix_free_gmres ->
               let precond =
-                if options.precondition then make_preconditioner c ~period !x
+                if options.precondition then make_preconditioner ~period ~n ~cs ~gs
                 else fun v -> v
               in
-              let op = apply_jacobian c ~period !x in
+              let op = apply_jacobian ~period ~n ~cs ~gs in
               let sol, st =
                 Krylov.gmres ~m:80 ~tol:options.gmres_tol ~max_iter:2000 ~precond
                   op rhs

@@ -125,8 +125,9 @@ let apply_jacobian c ~options ~f1 ~f2 ~cs ~gs (v : Vec.t) =
   for i1 = 0 to n1 - 1 do
     for i2 = 0 to n2 - 1 do
       let vp = point ~n2 ~n v i1 i2 in
-      Mat.set_row cv ((i1 * n2) + i2) (Mat.matvec (cs : Mat.t array).((i1 * n2) + i2) vp);
-      let gv = Mat.matvec (gs : Mat.t array).((i1 * n2) + i2) vp in
+      Mat.set_row cv ((i1 * n2) + i2)
+        (Sparse.matvec (cs : Sparse.t array).((i1 * n2) + i2) vp);
+      let gv = Sparse.matvec (gs : Sparse.t array).((i1 * n2) + i2) vp in
       for k = 0 to n - 1 do
         out.(idx ~n2 ~n i1 i2 k) <- gv.(k)
       done
@@ -225,17 +226,19 @@ let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
       res_norm := Vec.norm_inf r;
       if !res_norm <= options.tol then converged := true
       else begin
-        let cs = Array.make (n1 * n2) (Mat.make 0 0) in
-        let gs = Array.make (n1 * n2) (Mat.make 0 0) in
+        let accum dst = Sparse.iter (fun i j v -> Mat.update dst i j (fun w -> w +. v)) in
+        let zero = Sparse.of_triplets ~rows:0 ~cols:0 [] in
+        let cs = Array.make (n1 * n2) zero in
+        let gs = Array.make (n1 * n2) zero in
         let c_avg = Mat.make n n and g_avg = Mat.make n n in
         for i1 = 0 to n1 - 1 do
           for i2 = 0 to n2 - 1 do
             let xp = point ~n2 ~n x i1 i2 in
-            let cm = Mna.jac_c c xp and gm = Mna.jac_g c xp in
+            let cm = Mna.jac_c_sparse c xp and gm = Mna.jac_g_sparse c xp in
             cs.((i1 * n2) + i2) <- cm;
             gs.((i1 * n2) + i2) <- gm;
-            Mat.add_inplace cm c_avg;
-            Mat.add_inplace gm g_avg
+            accum c_avg cm;
+            accum g_avg gm
           done
         done;
         let scale = 1.0 /. float_of_int (n1 * n2) in

@@ -149,8 +149,8 @@ let apply_jacobian c ~options ~tones ~cs ~gs (v : Vec.t) =
   let cv = Mat.make tot n in
   for flat = 0 to tot - 1 do
     let vp = point ~n v flat in
-    Mat.set_row cv flat (Mat.matvec (cs : Mat.t array).(flat) vp);
-    let gv = Mat.matvec (gs : Mat.t array).(flat) vp in
+    Mat.set_row cv flat (Sparse.matvec (cs : Sparse.t array).(flat) vp);
+    let gv = Sparse.matvec (gs : Sparse.t array).(flat) vp in
     for k = 0 to n - 1 do
       out.((flat * n) + k) <- gv.(k)
     done
@@ -228,11 +228,12 @@ let solve_core ~options ~damping ~iter_cap c ~tones =
       res_norm := Vec.norm_inf r;
       if !res_norm <= options.tol then converged := true
       else begin
-        let cs = Array.init tot (fun flat -> Mna.jac_c c (point ~n x flat)) in
-        let gs = Array.init tot (fun flat -> Mna.jac_g c (point ~n x flat)) in
+        let cs = Array.init tot (fun flat -> Mna.jac_c_sparse c (point ~n x flat)) in
+        let gs = Array.init tot (fun flat -> Mna.jac_g_sparse c (point ~n x flat)) in
         let c_avg = Mat.make n n and g_avg = Mat.make n n in
-        Array.iter (fun m -> Mat.add_inplace m c_avg) cs;
-        Array.iter (fun m -> Mat.add_inplace m g_avg) gs;
+        let accum dst = Sparse.iter (fun i j v -> Mat.update dst i j (fun w -> w +. v)) in
+        Array.iter (accum c_avg) cs;
+        Array.iter (accum g_avg) gs;
         let scale = 1.0 /. float_of_int tot in
         let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
         if Faults.singular_now ~engine then raise Lu.Singular;

@@ -63,19 +63,19 @@ let residual_vec c ~options ~t1s ~t2s ~h1 ~h2 ~f1 ~f2 (x : Vec.t) =
   done;
   r
 
-(* Jacobian application: v -> J v using per-point C and G matrices *)
+(* Jacobian application: v -> J v using per-point sparse C and G stamps *)
 let apply_jacobian ~options ~h1 ~h2 ~cs ~gs (v : Vec.t) =
   let { n1; n2; _ } = options in
-  let n = (cs : Mat.t array array).(0).(0).Mat.rows in
+  let n = Sparse.rows (cs : Sparse.t array array).(0).(0) in
   let out = Vec.create (n1 * n2 * n) in
   for i1 = 0 to n1 - 1 do
     for i2 = 0 to n2 - 1 do
       let vp = point ~n2 ~n v i1 i2 in
-      let cv = Mat.matvec cs.(i1).(i2) vp in
-      let gv = Mat.matvec gs.(i1).(i2) vp in
+      let cv = Sparse.matvec cs.(i1).(i2) vp in
+      let gv = Sparse.matvec gs.(i1).(i2) vp in
       let im1 = (i1 + n1 - 1) mod n1 and im2 = (i2 + n2 - 1) mod n2 in
-      let cv1 = Mat.matvec cs.(im1).(i2) (point ~n2 ~n v im1 i2) in
-      let cv2 = Mat.matvec cs.(i1).(im2) (point ~n2 ~n v i1 im2) in
+      let cv1 = Sparse.matvec cs.(im1).(i2) (point ~n2 ~n v im1 i2) in
+      let cv2 = Sparse.matvec cs.(i1).(im2) (point ~n2 ~n v i1 im2) in
       for k = 0 to n - 1 do
         out.(idx ~n2 ~n i1 i2 k) <-
           (cv.(k) *. ((1.0 /. h1) +. (1.0 /. h2)))
@@ -130,11 +130,11 @@ let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
     else begin
       let cs =
         Array.init n1 (fun i1 ->
-            Array.init n2 (fun i2 -> Mna.jac_c c (point ~n2 ~n x i1 i2)))
+            Array.init n2 (fun i2 -> Mna.jac_c_sparse c (point ~n2 ~n x i1 i2)))
       in
       let gs =
         Array.init n1 (fun i1 ->
-            Array.init n2 (fun i2 -> Mna.jac_g c (point ~n2 ~n x i1 i2)))
+            Array.init n2 (fun i2 -> Mna.jac_g_sparse c (point ~n2 ~n x i1 i2)))
       in
       if Faults.singular_now ~engine then raise Lu.Singular;
       let dx =
@@ -146,17 +146,17 @@ let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
               Array.init n1 (fun i1 ->
                   Array.init n2 (fun i2 ->
                       let blk =
-                        Mat.add
-                          (Mat.scale ((1.0 /. h1) +. (1.0 /. h2)) cs.(i1).(i2))
+                        Sparse.add
+                          (Sparse.scale ((1.0 /. h1) +. (1.0 /. h2)) cs.(i1).(i2))
                           gs.(i1).(i2)
                       in
-                      Lu.factor blk))
+                      Sparse_lu.factor blk))
             in
             let precond v =
               let out = Vec.create (n1 * n2 * n) in
               for i1 = 0 to n1 - 1 do
                 for i2 = 0 to n2 - 1 do
-                  let sol = Lu.solve factors.(i1).(i2) (point ~n2 ~n v i1 i2) in
+                  let sol = Sparse_lu.solve factors.(i1).(i2) (point ~n2 ~n v i1 i2) in
                   for k = 0 to n - 1 do
                     out.(idx ~n2 ~n i1 i2 k) <- sol.(k)
                   done
@@ -185,19 +185,26 @@ let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
             for i1 = 0 to n1 - 1 do
               for i2 = 0 to n2 - 1 do
                 let im1 = (i1 + n1 - 1) mod n1 and im2 = (i2 + n2 - 1) mod n2 in
-                for kk = 0 to n - 1 do
-                  let row = idx ~n2 ~n i1 i2 kk in
-                  for jj = 0 to n - 1 do
-                    Mat.update j row (idx ~n2 ~n i1 i2 jj) (fun w ->
-                        w
-                        +. (Mat.get cs.(i1).(i2) kk jj *. ((1.0 /. h1) +. (1.0 /. h2)))
-                        +. Mat.get gs.(i1).(i2) kk jj);
-                    Mat.update j row (idx ~n2 ~n im1 i2 jj) (fun w ->
-                        w -. (Mat.get cs.(im1).(i2) kk jj /. h1));
-                    Mat.update j row (idx ~n2 ~n i1 im2 jj) (fun w ->
-                        w -. (Mat.get cs.(i1).(im2) kk jj /. h2))
-                  done
-                done
+                Sparse.iter
+                  (fun kk jj v ->
+                    Mat.update j (idx ~n2 ~n i1 i2 kk) (idx ~n2 ~n i1 i2 jj)
+                      (fun w -> w +. (v *. ((1.0 /. h1) +. (1.0 /. h2)))))
+                  cs.(i1).(i2);
+                Sparse.iter
+                  (fun kk jj v ->
+                    Mat.update j (idx ~n2 ~n i1 i2 kk) (idx ~n2 ~n i1 i2 jj)
+                      (fun w -> w +. v))
+                  gs.(i1).(i2);
+                Sparse.iter
+                  (fun kk jj v ->
+                    Mat.update j (idx ~n2 ~n i1 i2 kk) (idx ~n2 ~n im1 i2 jj)
+                      (fun w -> w -. (v /. h1)))
+                  cs.(im1).(i2);
+                Sparse.iter
+                  (fun kk jj v ->
+                    Mat.update j (idx ~n2 ~n i1 i2 kk) (idx ~n2 ~n i1 im2 jj)
+                      (fun w -> w -. (v /. h2)))
+                  cs.(i1).(im2)
               done
             done;
             Lu.solve (Lu.factor j) r

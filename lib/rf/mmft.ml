@@ -72,16 +72,16 @@ let integrate_fast c ~y0 ~t0 ~period2 ~steps ~with_monodromy =
           (Printf.sprintf "step failed at t=%g" t)
     in
     if with_monodromy then begin
-      let c1 = Mna.jac_c c x_next and g1 = Mna.jac_g c x_next in
-      let j = Mat.add (Mat.scale (1.0 /. h) c1) g1 in
-      let c0 = Mat.scale (1.0 /. h) (Mna.jac_c c x_prev) in
+      let c1 = Mna.jac_c_sparse c x_next and g1 = Mna.jac_g_sparse c x_next in
+      let j = Sparse.add (Sparse.scale (1.0 /. h) c1) g1 in
+      let c0 = Sparse.scale (1.0 /. h) (Mna.jac_c_sparse c x_prev) in
       let f =
-        try Lu.factor j
+        try Sparse_lu.factor j
         with Lu.Singular ->
           Error.fail ~engine ~cause:Supervisor.Singular_jacobian
             "singular step Jacobian"
       in
-      mono := Lu.solve_mat f (Mat.mul c0 !mono)
+      mono := Sparse_lu.solve_mat f (Sparse.matmat c0 !mono)
     end;
     Mat.set_row traj kk x_next;
     x := x_next

@@ -53,9 +53,13 @@ let gear2_step ?(damping = 5.0) c ~x_prev ~x_prev2 ~t1 ~h =
     if Vec.norm_inf r <= 1e-11 *. Float.max 1.0 (Vec.norm_inf b1) +. 1e-13 then
       ok := true
     else begin
-      let j = Mat.add (Mat.scale (1.5 /. h) (Mna.jac_c c x)) (Mna.jac_g c x) in
+      let j =
+        Sparse.add
+          (Sparse.scale (1.5 /. h) (Mna.jac_c_sparse c x))
+          (Mna.jac_g_sparse c x)
+      in
       let dx =
-        try Lu.solve (Lu.factor j) r
+        try Sparse_lu.solve (Sparse_lu.factor j) r
         with Lu.Singular ->
           Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
             "singular Gear2 step Jacobian"
@@ -97,34 +101,37 @@ let integrate_period ?(with_monodromy = true) ?damping c ~x0 ~period ~m ~t_offse
       else gear2_step ?damping c ~x_prev ~x_prev2:!x_prev2 ~t1 ~h
     in
     if with_monodromy then begin
-      let c1 = Mna.jac_c c x_next and g1 = Mna.jac_g c x_next in
+      (* step Jacobians and monodromy propagation through the sparse
+         stamps: the monodromy itself is dense, but every product against
+         it is a sparse matmat and every solve a sparse LU *)
+      let c1 = Mna.jac_c_sparse c x_next and g1 = Mna.jac_g_sparse c x_next in
       if k = 1 then begin
-        let j = Mat.add (Mat.scale (1.0 /. h) c1) g1 in
-        let c0 = Mat.scale (1.0 /. h) (Mna.jac_c c x_prev) in
+        let j = Sparse.add (Sparse.scale (1.0 /. h) c1) g1 in
+        let c0 = Sparse.scale (1.0 /. h) (Mna.jac_c_sparse c x_prev) in
         let f =
-          try Lu.factor j
+          try Sparse_lu.factor j
           with Lu.Singular ->
             Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
               "singular step Jacobian"
         in
         mono_prev := Mat.identity n;
-        mono := Lu.solve_mat f (Mat.mul c0 (Mat.identity n))
+        mono := Sparse_lu.solve_mat f (Sparse.matmat c0 (Mat.identity n))
       end
       else begin
-        let j = Mat.add (Mat.scale (1.5 /. h) c1) g1 in
-        let c0 = Mna.jac_c c x_prev and cm1 = Mna.jac_c c !x_prev2 in
+        let j = Sparse.add (Sparse.scale (1.5 /. h) c1) g1 in
+        let c0 = Mna.jac_c_sparse c x_prev and cm1 = Mna.jac_c_sparse c !x_prev2 in
         let rhs =
           Mat.sub
-            (Mat.mul (Mat.scale (2.0 /. h) c0) !mono)
-            (Mat.mul (Mat.scale (0.5 /. h) cm1) !mono_prev)
+            (Sparse.matmat (Sparse.scale (2.0 /. h) c0) !mono)
+            (Sparse.matmat (Sparse.scale (0.5 /. h) cm1) !mono_prev)
         in
         let f =
-          try Lu.factor j
+          try Sparse_lu.factor j
           with Lu.Singular ->
             Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
               "singular step Jacobian"
         in
-        let m_next = Lu.solve_mat f rhs in
+        let m_next = Sparse_lu.solve_mat f rhs in
         mono_prev := !mono;
         mono := m_next
       end

@@ -38,10 +38,10 @@ let be_step ?(damping = 5.0) c ~b ~coupling ~h2 ~x_prev ~tau1 ~k_step =
        if !last_res <= 1e-10 *. Float.max 1.0 (Vec.norm_inf bk) +. 1e-12 then
          ok := true
        else begin
-         let c1 = Mna.jac_c c x and g1 = Mna.jac_g c x in
-         let j = Mat.add (Mat.scale ((1.0 /. h2) +. inv_h1) c1) g1 in
+         let c1 = Mna.jac_c_sparse c x and g1 = Mna.jac_g_sparse c x in
+         let j = Sparse.add (Sparse.scale ((1.0 /. h2) +. inv_h1) c1) g1 in
          if Faults.singular_now ~engine then raise Lu.Singular;
-         let dx = Lu.solve (Lu.factor j) r in
+         let dx = Sparse_lu.solve (Sparse_lu.factor j) r in
          let step = Vec.norm_inf dx in
          (* the q/h terms make absolute residual tolerances unreachable for
             reactive branches; a vanishing Newton step means convergence *)
@@ -83,16 +83,16 @@ let integrate ?damping ?coupling c ~b ~period2 ~steps ~y0 ~with_monodromy =
       be_step ?damping c ~b ~coupling ~h2 ~x_prev ~tau1 ~k_step:(k mod steps)
     in
     if with_monodromy then begin
-      let c1 = Mna.jac_c c x_next and g1 = Mna.jac_g c x_next in
-      let j = Mat.add (Mat.scale ((1.0 /. h2) +. inv_h1) c1) g1 in
-      let c0 = Mat.scale (1.0 /. h2) (Mna.jac_c c x_prev) in
+      let c1 = Mna.jac_c_sparse c x_next and g1 = Mna.jac_g_sparse c x_next in
+      let j = Sparse.add (Sparse.scale ((1.0 /. h2) +. inv_h1) c1) g1 in
+      let c0 = Sparse.scale (1.0 /. h2) (Mna.jac_c_sparse c x_prev) in
       let f =
-        try Lu.factor j
+        try Sparse_lu.factor j
         with Lu.Singular ->
           Error.fail ~engine ~time:tau1 ~cause:Supervisor.Singular_jacobian
             "singular slice Jacobian"
       in
-      mono := Lu.solve_mat f (Mat.mul c0 !mono)
+      mono := Sparse_lu.solve_mat f (Sparse.matmat c0 !mono)
     end;
     Mat.set_row traj k x_next;
     x := x_next

@@ -1,12 +1,12 @@
 open Rfkit_la
 open Rfkit_circuit
 
-type t = { g : Mat.t; c : Mat.t; b : Vec.t; l : Vec.t }
+type t = { g : Op.t; c : Op.t; b : Vec.t; l : Vec.t }
 
 let of_circuit_b circuit ~b ~output =
   if not (Mna.is_linear circuit) then
     invalid_arg "Descriptor.of_circuit: circuit contains nonlinear devices";
-  let g, c = Mna.linear_gc circuit in
+  let g, c = Mna.linear_gc_op circuit in
   let l = Vec.create (Mna.size circuit) in
   l.(Mna.node circuit output) <- 1.0;
   { g; c; b; l }
@@ -18,20 +18,21 @@ let size d = Array.length d.b
 
 let transfer d s =
   let n = size d in
+  let gd = Op.to_dense d.g and cd = Op.to_dense d.c in
   let a =
     Cmat.init n n (fun i j ->
-        Cx.( +: ) (Cx.re (Mat.get d.g i j)) (Cx.( *: ) s (Cx.re (Mat.get d.c i j))))
+        Cx.( +: ) (Cx.re (Mat.get gd i j)) (Cx.( *: ) s (Cx.re (Mat.get cd i j))))
   in
   let x = Clu.lin_solve a (Cvec.of_real d.b) in
   Cvec.dot_u (Cvec.of_real d.l) x
 
-(* factor (G + s0 C) once; A v = -(G + s0 C)^-1 C v *)
+(* factor (G + s0 C) once — sparse LU when the operators lower to CSR,
+   dense LU otherwise; A v = -(G + s0 C)^-1 C v *)
 let expansion_ops d ~s0 =
-  let shifted = Mat.add d.g (Mat.scale s0 d.c) in
-  let f = Lu.factor shifted in
-  let matvec v = Vec.neg (Lu.solve f (Mat.matvec d.c v)) in
-  let matvec_t v = Vec.neg (Mat.matvec_t d.c (Lu.solve_transposed f v)) in
-  let r = Lu.solve f d.b in
+  let f = Op.factorize (Op.add d.g (Op.scale s0 d.c)) in
+  let matvec v = Vec.neg (f.Op.solve (Op.matvec d.c v)) in
+  let matvec_t v = Vec.neg (Op.matvec_t d.c (f.Op.solve_t v)) in
+  let r = f.Op.solve d.b in
   (matvec, matvec_t, r)
 
 let moments d ~s0 ~k =

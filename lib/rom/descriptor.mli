@@ -3,8 +3,8 @@
     parasitics) enter reduced-order modeling (paper Section 5). *)
 
 type t = {
-  g : Rfkit_la.Mat.t;
-  c : Rfkit_la.Mat.t;
+  g : Rfkit_la.Op.t;
+  c : Rfkit_la.Op.t;
   b : Rfkit_la.Vec.t;
   l : Rfkit_la.Vec.t;
 }
@@ -30,7 +30,8 @@ val expansion_ops :
   * (Rfkit_la.Vec.t -> Rfkit_la.Vec.t)
   * Rfkit_la.Vec.t
 (** [(A, A^T, r)] closures of the expansion at [s0]: [A = -(G+s0 C)^{-1} C]
-    applied through one reusable LU factorization, and
+    applied through one reusable factorization ({!Rfkit_la.Op.factorize}:
+    sparse LU when both operators lower to CSR, dense LU otherwise), and
     [r = (G+s0 C)^{-1} b]. The Krylov ROMs build on these. *)
 
 val moments : t -> s0:float -> k:int -> float array

@@ -14,7 +14,7 @@ let reduce (d : Descriptor.t) ~s0 ~q =
   let order = res.Arnoldi.steps in
   let v = res.Arnoldi.v in
   let project_mat m =
-    Mat.init order order (fun i j -> Vec.dot v.(i) (Mat.matvec m v.(j)))
+    Mat.init order order (fun i j -> Vec.dot v.(i) (Op.matvec m v.(j)))
   in
   {
     g_r = project_mat d.Descriptor.g;
@@ -40,7 +40,12 @@ let transfer rom s =
 
 let moments rom ~s0 k =
   let d =
-    { Descriptor.g = rom.g_r; c = rom.c_r; b = rom.b_r; l = rom.l_r }
+    {
+      Descriptor.g = Op.dense rom.g_r;
+      c = Op.dense rom.c_r;
+      b = rom.b_r;
+      l = rom.l_r;
+    }
   in
   Descriptor.moments d ~s0 ~k
 

@@ -1,0 +1,272 @@
+(* The sparse-first operator core: CSR round-trips, Op constructors agree
+   with their dense lowering, sparse LU matches dense LU (including the
+   structurally-zero-diagonal branch rows partial pivoting must handle),
+   sparse MNA stamps match the dense shims on random decks, and the
+   dense-fallback and sparse-default DC paths agree on every shipped
+   example deck. *)
+
+open Rfkit_la
+open Rfkit_circuit
+
+let mat_close ?(tol = 1e-12) a b =
+  a.Mat.rows = b.Mat.rows
+  && a.Mat.cols = b.Mat.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.Mat.a b.Mat.a
+
+let vec_close ?(tol = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a b
+
+(* ------------------------------------------------------- random inputs *)
+
+let gen_dense =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun n ->
+    int_range 1 8 >>= fun m ->
+    (* ~half the entries structurally zero so CSR paths see real sparsity *)
+    list_size (return (n * m)) (oneof [ return 0.0; float_range (-5.0) 5.0 ])
+    >|= fun vs ->
+    let a = Array.of_list vs in
+    Mat.init n m (fun i j -> a.((i * m) + j)))
+
+let arb_dense =
+  QCheck.make gen_dense ~print:(fun m ->
+      Printf.sprintf "%dx%d dense" m.Mat.rows m.Mat.cols)
+
+let gen_square =
+  QCheck.Gen.(
+    int_range 1 7 >>= fun n ->
+    list_size (return (n * n)) (oneof [ return 0.0; float_range (-5.0) 5.0 ])
+    >|= fun vs ->
+    let a = Array.of_list vs in
+    Mat.init n n (fun i j -> a.((i * n) + j)))
+
+let arb_square =
+  QCheck.make gen_square ~print:(fun m ->
+      Printf.sprintf "%dx%d dense" m.Mat.rows m.Mat.cols)
+
+(* random resistor/diode/cap ladders with a voltage source and an inductor
+   so the MNA system has branch unknowns (zero structural diagonal) *)
+let gen_deck =
+  QCheck.Gen.(
+    int_range 2 7 >>= fun stages ->
+    list_size (return stages) (float_range 0.5 10.0) >|= fun rs ->
+    let nl = Netlist.create () in
+    Netlist.vsource nl "V1" "n0" "0" (Wave.Dc 1.2);
+    List.iteri
+      (fun k r ->
+        let a = Printf.sprintf "n%d" k and b = Printf.sprintf "n%d" (k + 1) in
+        Netlist.resistor nl (Printf.sprintf "R%d" k) a b (r *. 100.0);
+        if k mod 2 = 0 then Netlist.diode nl (Printf.sprintf "D%d" k) b "0" ()
+        else Netlist.capacitor nl (Printf.sprintf "C%d" k) b "0" 1e-12)
+      rs;
+    let last = Printf.sprintf "n%d" stages in
+    Netlist.inductor nl "L1" last "0" 1e-9;
+    Netlist.mosfet nl "M1" ~d:last ~g:"n1" ~s:"0" ();
+    Netlist.resistor nl "RG" last "0" 1e4;
+    Mna.build nl)
+
+let arb_deck =
+  QCheck.make gen_deck ~print:(fun c -> Printf.sprintf "deck n=%d" (Mna.size c))
+
+let random_x c =
+  Vec.init (Mna.size c) (fun i -> 0.3 *. sin (float_of_int (i + 1)))
+
+(* ------------------------------------------------------------- qcheck *)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"sparse: of_dense/to_dense round-trips" ~count:100
+    arb_dense (fun m -> mat_close (Sparse.to_dense (Sparse.of_dense m)) m)
+
+let qcheck_transpose =
+  QCheck.Test.make ~name:"sparse: transpose twice is identity" ~count:100
+    arb_dense (fun m ->
+      let s = Sparse.of_dense m in
+      mat_close (Sparse.to_dense (Sparse.transpose (Sparse.transpose s))) m)
+
+let qcheck_add =
+  QCheck.Test.make ~name:"sparse: add matches dense add" ~count:100
+    QCheck.(pair arb_dense arb_dense)
+    (fun (a, b) ->
+      QCheck.assume (a.Mat.rows = b.Mat.rows && a.Mat.cols = b.Mat.cols);
+      mat_close
+        (Sparse.to_dense (Sparse.add (Sparse.of_dense a) (Sparse.of_dense b)))
+        (Mat.add a b))
+
+(* one operator expression exercising every constructor *)
+let op_of_dense m =
+  let n = m.Mat.rows and cols = m.Mat.cols in
+  let s = Sparse.of_dense m in
+  let d = Vec.init n (fun i -> 0.5 +. float_of_int i) in
+  Op.add
+    (Op.scale 2.0 (Op.sparse s))
+    (Op.add
+       (Op.compose (Op.diag d) (Op.dense m))
+       (Op.closure ~rows:n ~cols
+          ~apply_t:(fun v -> Sparse.matvec_t s v)
+          (fun v -> Sparse.matvec s v)))
+
+let qcheck_op_matvec =
+  QCheck.Test.make
+    ~name:"op: matvec of every constructor agrees with to_dense" ~count:100
+    arb_dense (fun m ->
+      let op = op_of_dense m in
+      let dense = Op.to_dense op in
+      let v = Vec.init m.Mat.cols (fun i -> cos (float_of_int i)) in
+      vec_close ~tol:1e-9 (Op.matvec op v) (Mat.matvec dense v))
+
+let qcheck_op_matvec_t =
+  QCheck.Test.make ~name:"op: matvec_t agrees with dense transpose matvec"
+    ~count:100 arb_dense (fun m ->
+      let op = op_of_dense m in
+      let dense = Op.to_dense op in
+      let v = Vec.init m.Mat.rows (fun i -> sin (float_of_int (i + 2))) in
+      vec_close ~tol:1e-9 (Op.matvec_t op v) (Mat.matvec_t dense v))
+
+let qcheck_op_diagonal =
+  QCheck.Test.make ~name:"op: diagonal matches dense diagonal" ~count:100
+    arb_square (fun m ->
+      let op = Op.add (Op.scale 3.0 (Op.sparse (Sparse.of_dense m))) (Op.dense m) in
+      let dense = Op.to_dense op in
+      vec_close ~tol:1e-9 (Op.diagonal op)
+        (Vec.init m.Mat.rows (fun i -> Mat.get dense i i)))
+
+let qcheck_sparse_lu =
+  QCheck.Test.make ~name:"sparse_lu: matches dense LU on random systems"
+    ~count:100 arb_square (fun m ->
+      (* shift the diagonal to make singularity unlikely, then knock one
+         diagonal entry back to zero so partial pivoting is exercised *)
+      let n = m.Mat.rows in
+      let a = Mat.add m (Mat.scale 10.0 (Mat.identity n)) in
+      if n > 1 then Mat.set a 0 0 0.0;
+      let b = Vec.init n (fun i -> float_of_int (i + 1)) in
+      match Lu.factor a with
+      | exception Lu.Singular -> QCheck.assume_fail ()
+      | f ->
+          let x_dense = Lu.solve f b in
+          let x_sparse = Sparse_lu.solve (Sparse_lu.factor (Sparse.of_dense a)) b in
+          let xt_dense = Lu.solve_transposed f b in
+          let xt_sparse =
+            Sparse_lu.solve_transposed (Sparse_lu.factor (Sparse.of_dense a)) b
+          in
+          vec_close ~tol:1e-8 x_dense x_sparse
+          && vec_close ~tol:1e-8 xt_dense xt_sparse)
+
+let qcheck_jac_g =
+  QCheck.Test.make ~name:"mna: sparse jac_g matches dense shim on random decks"
+    ~count:60 arb_deck (fun c ->
+      let x = random_x c in
+      mat_close ~tol:0.0 (Sparse.to_dense (Mna.jac_g_sparse c x)) (Mna.jac_g c x))
+
+let qcheck_jac_c =
+  QCheck.Test.make ~name:"mna: sparse jac_c matches dense shim on random decks"
+    ~count:60 arb_deck (fun c ->
+      let x = random_x c in
+      mat_close ~tol:0.0 (Sparse.to_dense (Mna.jac_c_sparse c x)) (Mna.jac_c c x))
+
+let qcheck_op_factorize =
+  QCheck.Test.make ~name:"op: factorize solves G + s0 C on random decks"
+    ~count:60 arb_deck (fun c ->
+      let x = random_x c in
+      let op =
+        Op.add (Mna.jac_g_op c x) (Op.scale 7.0 (Mna.jac_c_op c x))
+      in
+      let b = Vec.init (Mna.size c) (fun i -> sin (float_of_int i)) in
+      match Op.factorize op with
+      | exception Lu.Singular -> QCheck.assume_fail ()
+      | f ->
+          let r = Vec.sub (Op.matvec op (f.Op.solve b)) b in
+          Vec.norm_inf r <= 1e-7 *. (1.0 +. Vec.norm_inf b))
+
+(* ------------------------------------- dense vs sparse DC on the decks *)
+
+let example_decks =
+  [
+    "../examples/decks/lowpass.cir";
+    "../examples/decks/mos_amp.cir";
+    "../examples/decks/rectifier.cir";
+    "../examples/decks/hard_dc.cir";
+  ]
+
+let test_dc_paths_agree () =
+  List.iter
+    (fun path ->
+      let nl, _ = Deck.parse_file path in
+      let solve solver =
+        let c = Mna.build nl in
+        match Dc.solve_outcome ~options:{ Dc.default_options with solver } c with
+        | Rfkit_solve.Supervisor.Converged (x, _) -> x
+        | Rfkit_solve.Supervisor.Failed f ->
+            Alcotest.failf "%s: DC failed: %s" path
+              (Rfkit_solve.Supervisor.failure_to_string f)
+      in
+      let x_dense = solve Dc.Dense_lu in
+      let x_sparse = solve Dc.Sparse_direct in
+      let x_gmres = solve Dc.Gmres_ilu in
+      Alcotest.(check bool)
+        (path ^ ": dense vs sparse-direct agree to 1e-9")
+        true
+        (Vec.norm_inf (Vec.sub x_dense x_sparse) <= 1e-9);
+      Alcotest.(check bool)
+        (path ^ ": dense vs ilu-gmres agree to 1e-9")
+        true
+        (Vec.norm_inf (Vec.sub x_dense x_gmres) <= 1e-9))
+    example_decks
+
+let test_tran_paths_agree () =
+  let nl, _ = Deck.parse_file "../examples/decks/lowpass.cir" in
+  let run solver =
+    let c = Mna.build nl in
+    Tran.run ~solver c ~t_stop:2e-6 ~dt:2e-8
+  in
+  let a = run Dc.Dense_lu and b = run Dc.Sparse_direct in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k xa ->
+      worst := Float.max !worst (Vec.norm_inf (Vec.sub xa b.Tran.states.(k))))
+    a.Tran.states;
+  Alcotest.(check bool) "transient dense vs sparse states agree to 1e-9" true
+    (!worst <= 1e-9)
+
+let test_ilu_reduces_iterations () =
+  (* ILU(0)-preconditioned GMRES on a stamped MNA Jacobian should converge
+     in far fewer iterations than unpreconditioned GMRES *)
+  let nl, _ = Deck.parse_file "../examples/decks/mos_amp.cir" in
+  let c = Mna.build nl in
+  let x = Vec.create (Mna.size c) in
+  let g = Mna.jac_g_sparse c x in
+  let g = Sparse.add g (Sparse.scaled_identity (Sparse.rows g) 1e-9) in
+  let b = Vec.init (Mna.size c) (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let ilu = Sparse_lu.ilu0 g in
+  let _, st =
+    Rfkit_la.Krylov.gmres ~tol:1e-10 ~precond:(Sparse_lu.ilu_apply ilu)
+      (Sparse.matvec g) b
+  in
+  Alcotest.(check bool) "preconditioned GMRES converges" true st.Krylov.converged
+
+let suite =
+  [
+    ( "op.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_roundtrip;
+          qcheck_transpose;
+          qcheck_add;
+          qcheck_op_matvec;
+          qcheck_op_matvec_t;
+          qcheck_op_diagonal;
+          qcheck_sparse_lu;
+          qcheck_jac_g;
+          qcheck_jac_c;
+          qcheck_op_factorize;
+        ] );
+    ( "op.engines",
+      [
+        Alcotest.test_case "dc dense/sparse/gmres paths agree on example decks"
+          `Quick test_dc_paths_agree;
+        Alcotest.test_case "tran dense/sparse paths agree" `Quick
+          test_tran_paths_agree;
+        Alcotest.test_case "ilu0-preconditioned gmres converges" `Quick
+          test_ilu_reduces_iterations;
+      ] );
+  ]
