@@ -1,0 +1,132 @@
+(* EXP-BATCH -- the sweep orchestrator's parallel-scaling claim.
+
+   The batch subsystem promises three things: a report that is
+   byte-identical whatever the domain count (the determinism contract), a
+   wall-clock win from running jobs across OCaml 5 domains, and a warm
+   content-addressed cache that serves an identical re-run without touching
+   an engine. This experiment runs a 32-job sweep (16-point log axis over
+   the rectifier load x {dc, tran}) cold at --jobs 1 and --jobs 4, then
+   warm, and checks all three.
+
+   Honesty note: the speedup verdict is gated on the machine's core count
+   (Domain.recommended_domain_count). On a single-core container domains
+   cannot beat sequential execution -- the measured ratio is reported
+   as-is and the >=1.5x bar only applies when >=2 cores exist. *)
+
+open Rfkit
+
+let deck_text =
+  "* bench sweep deck: diode rectifier with a sweepable load\n\
+   .param RL=10k\n\
+   V1 in 0 SIN(0 2 10meg)\n\
+   RS in a 50\n\
+   D1 a out IS=1e-14\n\
+   RL out 0 {RL}\n\
+   CL out 0 100p\n\
+   .end\n"
+
+let axes = [ Batch.Spec.parse_axis "RL=500:50k:log:16" ]
+
+let analyses =
+  [
+    Batch.Spec.Dc;
+    Batch.Spec.Tran { t_stop = 4e-6; dt = 1e-9 };
+  ]
+
+let jobs () = Batch.Expand.expand ~axes ~corners:[] ~analyses
+
+let config domains =
+  {
+    Batch.Runner.deck_text;
+    node = "out";
+    domains;
+    budget = None;
+    tol_scale = 1.0;
+  }
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rfkit-bench-batch-%d-%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let run ~domains ~cache =
+  let js = jobs () in
+  let telemetry = Batch.Telemetry.create ~progress:false ~total:(List.length js) () in
+  let results, t =
+    Util.timed (fun () -> Batch.Runner.run (config domains) ~cache ~telemetry js)
+  in
+  Batch.Telemetry.close telemetry;
+  let report =
+    String.concat "\n" (Array.to_list (Array.map Batch.Report.line results))
+  in
+  (report, t, Batch.Cache.stats cache)
+
+let report () =
+  Util.section
+    "EXP-BATCH | 32-job sweep: domain scaling, determinism, cache warm-up";
+  let n_jobs = List.length (jobs ()) in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  sweep: %d jobs (16-point RL axis x dc,tran), %d core(s)\n"
+    n_jobs cores;
+  let r1, t1, _ = run ~domains:1 ~cache:(Batch.Cache.create ~enabled:false ~dir:"." ()) in
+  let r4, t4, _ = run ~domains:4 ~cache:(Batch.Cache.create ~enabled:false ~dir:"." ()) in
+  let dir = fresh_dir () in
+  let cold = Batch.Cache.create ~dir () in
+  let rc, t_cold, s_cold = run ~domains:4 ~cache:cold in
+  let warm = Batch.Cache.create ~dir () in
+  let rw, t_warm, s_warm = run ~domains:4 ~cache:warm in
+  rm_rf dir;
+  Printf.printf
+    "  %-28s %-10s %-10s %-10s %-10s\n" "" "jobs=1" "jobs=4" "cold+cache" "warm";
+  Printf.printf "  %-28s %-10.3f %-10.3f %-10.3f %-10.3f\n" "wall (s)" t1 t4
+    t_cold t_warm;
+  Printf.printf "  cold cache: %d stores; warm cache: %d hits %d misses\n"
+    s_cold.Batch.Cache.stores s_warm.Batch.Cache.hits s_warm.Batch.Cache.misses;
+  let speedup = t1 /. Float.max 1e-9 t4 in
+  let warm_speedup = t1 /. Float.max 1e-9 t_warm in
+  Util.verdict ~label:"jobs=1 vs jobs=4 byte-identical" ~paper:"identical"
+    ~measured:(if r1 = r4 then "identical" else "DIFFERENT")
+    ~ok:(r1 = r4);
+  Util.verdict ~label:"4-domain speedup"
+    ~paper:">=1.5x (>=2 cores)"
+    ~measured:(Printf.sprintf "%.2fx on %d core(s)" speedup cores)
+    ~ok:(speedup >= 1.5 || cores < 2);
+  Util.verdict ~label:"warm re-run all cache hits"
+    ~paper:(Printf.sprintf "%d/%d" n_jobs n_jobs)
+    ~measured:(Printf.sprintf "%d/%d" s_warm.Batch.Cache.hits n_jobs)
+    ~ok:(s_warm.Batch.Cache.hits = n_jobs && s_warm.Batch.Cache.misses = 0);
+  Util.verdict ~label:"warm report byte-identical" ~paper:"identical"
+    ~measured:(if rc = rw then "identical" else "DIFFERENT")
+    ~ok:(rc = rw);
+  Util.verdict ~label:"warm re-run beats cold compute" ~paper:">=2x"
+    ~measured:(Printf.sprintf "%.1fx" warm_speedup)
+    ~ok:(warm_speedup >= 2.0)
+
+let bench_tests =
+  [
+    Bechamel.Test.make ~name:"batch.expand_32"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Batch.Expand.expand ~axes ~corners:[] ~analyses)));
+    Bechamel.Test.make ~name:"batch.cache_key"
+      (Bechamel.Staged.stage
+         (let job = List.hd (jobs ()) in
+          let cfg = config 1 in
+          fun () -> ignore (Batch.Runner.job_key cfg job)));
+    Bechamel.Test.make ~name:"batch.dc_job"
+      (Bechamel.Staged.stage
+         (let cfg = config 1 in
+          let cache = Batch.Cache.create ~enabled:false ~dir:"." () in
+          let telemetry = Batch.Telemetry.create ~progress:false ~total:1 () in
+          let job = List.hd (jobs ()) in
+          fun () -> ignore (Batch.Runner.run_one cfg ~cache ~telemetry job)));
+  ]

@@ -23,6 +23,7 @@ let experiments =
     ("ablations", Exp_ablations.report, Exp_ablations.bench_tests);
     ("sparsity", Exp_sparsity.report, Exp_sparsity.bench_tests);
     ("measures", Exp_measures.report, Exp_measures.bench_tests);
+    ("batch", Exp_batch.report, Exp_batch.bench_tests);
   ]
 
 let run_reports only =

@@ -73,20 +73,28 @@ let certify_when mode make_cert = if mode.enabled then emit_certificate (make_ce
 (* --stats: one observability line per analysis on stderr, off by default.
    The nnz/density/bytes figures come from the cached MNA sparsity pattern
    (state-independent), the iteration counts from the supervisor report of
-   the attempt that converged. *)
+   the attempt that converged, and the lu_* counters from the sparse-LU
+   factorization ledger: lu_full counts fresh symbolic analyses, lu_refactor
+   counts Gilbert-Peierls numeric replays of a frozen pattern. *)
 let stats_enabled = ref false
+
+let set_stats flag =
+  stats_enabled := flag;
+  La.Sparse_lu.reset_counts ()
 
 let emit_stats ~analysis c (st : Solve.Supervisor.stats) =
   if !stats_enabled then begin
     let n = Mna.size c in
     let x = La.Vec.create n in
     let g = Mna.jac_g_sparse c x and cm = Mna.jac_c_sparse c x in
+    let lu_refactor, lu_full = La.Sparse_lu.counts () in
     Printf.eprintf
       "stats: %s unknowns=%d nnz(G)=%d nnz(C)=%d density(G)=%.4f \
-matrix_bytes=%d newton=%d gmres=%d\n"
+matrix_bytes=%d newton=%d gmres=%d lu_full=%d lu_refactor=%d\n"
       analysis n (La.Sparse.nnz g) (La.Sparse.nnz cm) (La.Sparse.density g)
       (La.Sparse.memory_bytes g + La.Sparse.memory_bytes cm)
       st.Solve.Supervisor.iterations st.Solve.Supervisor.krylov_iterations
+      lu_full lu_refactor
   end
 
 let load_located path =
@@ -306,7 +314,7 @@ let dc_cmd =
   let run path no_lint inject no_certify scale stats =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"dc" inject;
-    stats_enabled := stats;
+    set_stats stats;
     run_dc ~certify:(certify_mode no_certify scale) (Mna.build nl)
   in
   Cmd.v (Cmd.info "dc" ~doc)
@@ -320,7 +328,7 @@ let tran_cmd =
   let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
   let run path no_lint t_stop dt node no_certify scale stats =
     let nl, _ = load ~no_lint path in
-    stats_enabled := stats;
+    set_stats stats;
     run_tran ~certify:(certify_mode no_certify scale) (Mna.build nl) ~t_stop ~dt
       ~nodes:[ node ]
   in
@@ -334,12 +342,18 @@ let ac_cmd =
   let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
   let source = Arg.(value & opt string "V1" & info [ "source" ] ~doc:"Driving source name.") in
-  let run path no_lint f_start f_stop source node =
+  let run path no_lint f_start f_stop source node stats =
     let nl, _ = load ~no_lint path in
-    run_ac (Mna.build nl) ~f_start ~f_stop ~source ~node
+    set_stats stats;
+    let c = Mna.build nl in
+    run_ac c ~f_start ~f_stop ~source ~node;
+    (* AC is a direct linearized solve: no Newton/Krylov counters *)
+    emit_stats ~analysis:"ac" c Solve.Supervisor.no_stats
   in
   Cmd.v (Cmd.info "ac" ~doc)
-    Term.(const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ source $ node_arg "out")
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ source $ node_arg "out"
+      $ stats_arg)
 
 let noise_cmd =
   let doc = "output-noise PSD sweep (CSV on stdout)" in
@@ -359,7 +373,7 @@ let hb_cmd =
   let run path no_lint freq harmonics node inject cascade no_certify scale stats =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"hb" inject;
-    stats_enabled := stats;
+    set_stats stats;
     let certify = certify_mode no_certify scale in
     let c = Mna.build nl in
     if cascade then run_hb_cascade ~certify c ~freq ~node ~harmonics
@@ -370,6 +384,243 @@ let hb_cmd =
       const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out"
       $ inject_singular_arg $ cascade_arg $ no_certify_arg $ certify_scale_arg
       $ stats_arg)
+
+let shooting_cmd =
+  let doc = "shooting-method periodic steady state" in
+  let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
+  let steps =
+    Arg.(value & opt int 128 & info [ "steps" ] ~doc:"Integration steps per period.")
+  in
+  let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
+  let run path no_lint freq steps harmonics node inject no_certify scale stats =
+    let nl, _ = load ~no_lint path in
+    arm_injection ~engine:"shooting" inject;
+    set_stats stats;
+    let certify = certify_mode no_certify scale in
+    let c = Mna.build nl in
+    let options = { Rf.Shooting.default_options with steps_per_period = steps } in
+    match Rf.Shooting.solve_outcome ~options c ~freq with
+    | Solve.Supervisor.Converged (res, report) ->
+        note_recovery report;
+        emit_stats ~analysis:"shooting" c report.Solve.Supervisor.stats;
+        Printf.printf "shooting at %.6g Hz (%d Newton iterations, %d steps):\n" freq
+          res.Rf.Shooting.newton_iters res.Rf.Shooting.integration_steps;
+        let sol = Rf.Pss.of_shooting res in
+        certify_when certify (fun () -> Rf.Pss.certify ~tol_scale:certify.tol_scale sol);
+        print_harmonics ~freq ~harmonics (Rf.Pss.harmonic_amplitude sol node)
+    | Solve.Supervisor.Failed f -> die_failure f
+  in
+  Cmd.v (Cmd.info "shooting" ~doc)
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ freq $ steps $ harmonics $ node_arg "out"
+      $ inject_singular_arg $ no_certify_arg $ certify_scale_arg $ stats_arg)
+
+let mmft_cmd =
+  let doc = "mixed frequency-time quasi-periodic steady state" in
+  let f1 = Arg.(value & opt float 1e3 & info [ "f1" ] ~doc:"Slow fundamental (Hz).") in
+  let f2 = Arg.(value & opt float 1e6 & info [ "f2" ] ~doc:"Fast fundamental (Hz).") in
+  let k =
+    Arg.(
+      value & opt int 3
+      & info [ "slow-harmonics" ] ~doc:"Slow-axis Fourier order K (2K+1 phases).")
+  in
+  let run path no_lint f1 f2 k node stats =
+    let nl, _ = load ~no_lint path in
+    set_stats stats;
+    let c = Mna.build nl in
+    let options = { Rf.Mmft.default_options with slow_harmonics = k } in
+    match Rf.Mmft.solve_outcome ~options c ~f1 ~f2 with
+    | Solve.Supervisor.Converged (res, report) ->
+        note_recovery report;
+        emit_stats ~analysis:"mmft" c report.Solve.Supervisor.stats;
+        Printf.printf "mmft at f1=%.6g Hz, f2=%.6g Hz (%d Newton iterations, %d steps):\n"
+          f1 f2 res.Rf.Mmft.newton_iters res.Rf.Mmft.integration_steps;
+        Printf.printf "slow_harmonic,envelope_max\n";
+        for j = 0 to k do
+          let env = Rf.Mmft.harmonic_magnitude res node j in
+          let m = Array.fold_left max 0.0 env in
+          Printf.printf "%d,%.6e\n" j m
+        done
+    | Solve.Supervisor.Failed f -> die_failure f
+  in
+  Cmd.v (Cmd.info "mmft" ~doc)
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ f1 $ f2 $ k $ node_arg "out" $ stats_arg)
+
+(* ------------------------------------------------------------- sweep -- *)
+
+let sweep_cmd =
+  let doc = "parameter sweep: expand, run in parallel, cache, report JSONL" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Expands the cartesian product of $(b,--corner) sets, $(b,--param) \
+         value axes and the $(b,--analysis) list into jobs, runs them across \
+         $(b,--jobs) domains, and prints one JSON line per job on stdout in \
+         job order. The report carries no wall-clock fields: runs with \
+         different $(b,--jobs) values are byte-identical. Results are \
+         memoized in a content-addressed cache keyed on the deck text, the \
+         parameter bindings and the engine options; telemetry (with \
+         timings) goes to $(b,--telemetry) as JSONL.";
+    ]
+  in
+  let param_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "param" ] ~docv:"AXIS"
+          ~doc:
+            "Sweep axis: $(i,NAME=value), $(i,NAME=v1,v2,...), or \
+             $(i,NAME=lo:hi:lin|log:n). Repeatable; axes multiply.")
+  in
+  let corner_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "corner" ] ~docv:"CORNER"
+          ~doc:"Named corner $(i,NAME:P1=v1,P2=v2,...). Repeatable.")
+  in
+  let analysis_arg =
+    Arg.(
+      value & opt string "dc"
+      & info [ "analysis" ] ~docv:"LIST"
+          ~doc:"Comma-separated analyses: dc, ac, tran, hb, shooting.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (parallel jobs).")
+  in
+  let freq = Arg.(value & opt (some float) None & info [ "freq" ] ~doc:"hb/shooting fundamental; default: first periodic source.") in
+  let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"hb harmonics.") in
+  let steps = Arg.(value & opt int 128 & info [ "steps" ] ~doc:"shooting steps per period.") in
+  let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"tran stop time (s).") in
+  let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"tran time step (s).") in
+  let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"ac start frequency.") in
+  let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"ac stop frequency.") in
+  let ppd = Arg.(value & opt int 10 & info [ "points-per-decade" ] ~doc:"ac frequency resolution.") in
+  let cache_dir_arg =
+    Arg.(
+      value & opt string ".rfsim-cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Bypass the result cache entirely.")
+  in
+  let telemetry_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Write per-job telemetry events (with timings) as JSONL.")
+  in
+  let job_iters_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "job-iters" ] ~docv:"N"
+          ~doc:"Total Newton/step iteration budget per job.")
+  in
+  let job_wall_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "job-wall" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per job.")
+  in
+  let run path params corners analyses jobs node freq harmonics steps t_stop dt
+      f_start f_stop ppd cache_dir no_cache telemetry_path job_iters job_wall
+      no_lint =
+    let deck_text =
+      try
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        text
+      with Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit exit_parse
+    in
+    let spec =
+      try
+        let axes = List.map Batch.Spec.parse_axis params in
+        let corners = List.map Batch.Spec.parse_corner corners in
+        let defaults =
+          {
+            Batch.Spec.d_f_start = f_start;
+            d_f_stop = f_stop;
+            d_points_per_decade = ppd;
+            d_t_stop = t_stop;
+            d_dt = dt;
+            d_freq = freq;
+            d_harmonics = harmonics;
+            d_steps = steps;
+          }
+        in
+        let analyses = Batch.Spec.parse_analyses defaults analyses in
+        (axes, corners, analyses)
+      with Batch.Spec.Spec_error msg ->
+        Printf.eprintf "sweep: %s\n" msg;
+        exit exit_parse
+    in
+    let axes, corners, analyses = spec in
+    (* pre-flight lint of the first sweep point: swept parameters may have
+       no .param default in the deck, so the nominal parse needs them *)
+    if not no_lint then begin
+      let overrides =
+        List.map
+          (fun (a : Batch.Spec.axis) -> (a.Batch.Spec.a_name, a.Batch.Spec.a_values.(0)))
+          axes
+      in
+      match Deck.parse_string_located ~overrides deck_text with
+      | exception Deck.Parse_error (line, msg) ->
+          Printf.eprintf "%s:%d: %s\n" path line msg;
+          exit exit_parse
+      | nl, located ->
+          let ds = Lint.run nl located in
+          let text, fatal = Lint.report ~path ds in
+          if ds <> [] then Printf.eprintf "%s\n" text;
+          if fatal then begin
+            Printf.eprintf "%s: %s; refusing to sweep (use --no-lint to override)\n"
+              path (Lint.summary ds);
+            exit exit_lint
+          end
+    end;
+    let job_list = Batch.Expand.expand ~axes ~corners ~analyses in
+    let budget =
+      match (job_iters, job_wall) with
+      | None, None -> None
+      | _ ->
+          let d = Solve.Supervisor.default_budget in
+          Some
+            {
+              d with
+              Solve.Supervisor.total_iterations =
+                Option.value job_iters ~default:d.Solve.Supervisor.total_iterations;
+              wall_clock = Option.value job_wall ~default:d.Solve.Supervisor.wall_clock;
+            }
+    in
+    let cfg =
+      {
+        Batch.Runner.deck_text;
+        node;
+        domains = max 1 jobs;
+        budget;
+        tol_scale = 1.0;
+      }
+    in
+    let cache = Batch.Cache.create ~enabled:(not no_cache) ~dir:cache_dir () in
+    let telemetry =
+      Batch.Telemetry.create ?log_path:telemetry_path ~total:(List.length job_list) ()
+    in
+    let results = Batch.Runner.run cfg ~cache ~telemetry job_list in
+    Batch.Telemetry.close telemetry;
+    Batch.Report.print_all stdout results;
+    Printf.eprintf "%s\n" (Batch.Report.summary results (Batch.Cache.stats cache));
+    if not (Batch.Report.all_ok results) then exit exit_no_convergence
+  in
+  Cmd.v (Cmd.info "sweep" ~doc ~man)
+    Term.(
+      const run $ deck_arg $ param_args $ corner_args $ analysis_arg $ jobs_arg
+      $ node_arg "out" $ freq $ harmonics $ steps $ t_stop $ dt $ f_start
+      $ f_stop $ ppd $ cache_dir_arg $ no_cache_arg $ telemetry_arg
+      $ job_iters_arg $ job_wall_arg $ no_lint_arg)
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in
@@ -408,7 +659,7 @@ let run_cmd =
           end
         | Deck.Noise_sweep { f_start; f_stop } ->
             run_noise c ~f_start ~f_stop ~node:out_node
-        | Deck.Print _ -> ())
+        | Deck.Print _ | Deck.Param _ -> ())
       directives
   in
   Cmd.v (Cmd.info "run" ~doc) Term.(const run $ deck_arg $ no_lint_arg)
@@ -418,4 +669,8 @@ let () =
   let info = Cmd.info "rfsim" ~version:Rfkit.version ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; lint_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd; noise_cmd ]))
+       (Cmd.group info
+          [
+            run_cmd; lint_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd; shooting_cmd;
+            mmft_cmd; noise_cmd; sweep_cmd;
+          ]))

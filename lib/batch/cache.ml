@@ -1,0 +1,128 @@
+(* Content-addressed on-disk memo for sweep jobs.
+
+   Layout: <dir>/<k0k1>/<key>.jsonl where key = SHA-1 over a
+   length-prefixed field list (deck text, canonical parameter bindings,
+   analysis tag, engine options, format version). An entry is two lines:
+   the payload JSON object, then "#sha1:<hex of payload>". Anything that
+   fails that shape — unreadable, truncated, checksum mismatch — is
+   deleted and recomputed, never fatal: a cache must only ever cost a
+   recompute. Writes go through a unique temp file + rename so
+   concurrent domains (or concurrent sweeps) can never expose a torn
+   entry. *)
+
+type stats = { hits : int; misses : int; evictions : int; stores : int }
+
+type t = {
+  dir : string;
+  enabled : bool;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable stores : int;
+  mutable seq : int; (* temp-file uniquifier *)
+}
+
+let format_version = "rfkit-batch-cache-v1"
+
+let create ?(enabled = true) ~dir () =
+  { dir; enabled; lock = Mutex.create ();
+    hits = 0; misses = 0; evictions = 0; stores = 0; seq = 0 }
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+(* Length-prefix every field so no concatenation of distinct field lists
+   collides ("ab"+"c" vs "a"+"bc"). *)
+let key ~deck_text ~params ~analysis_tag ~options =
+  let fields =
+    [ format_version; deck_text ]
+    @ List.map (fun (n, v) -> Printf.sprintf "%s=%.17g" n v) params
+    @ [ analysis_tag ]
+    @ options
+  in
+  Hash.digest
+    (String.concat ""
+       (List.map (fun f -> Printf.sprintf "%d:%s" (String.length f) f) fields))
+
+let entry_path c k = Filename.concat (Filename.concat c.dir (String.sub k 0 2)) (k ^ ".jsonl")
+
+let checksum_prefix = "#sha1:"
+
+let read_entry path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let payload = input_line ic in
+      let check = input_line ic in
+      if
+        String.length check = String.length checksum_prefix + 40
+        && String.sub check 0 (String.length checksum_prefix) = checksum_prefix
+        && String.sub check (String.length checksum_prefix) 40 = Hash.digest payload
+      then Some payload
+      else None)
+
+let lookup c k =
+  if not c.enabled then None
+  else begin
+    let path = entry_path c k in
+    let result =
+      if not (Sys.file_exists path) then `Miss
+      else
+        match read_entry path with
+        | Some payload -> `Hit payload
+        | None | (exception Sys_error _) | (exception End_of_file) ->
+            (try Sys.remove path with Sys_error _ -> ());
+            `Evict
+    in
+    locked c (fun () ->
+        match result with
+        | `Hit _ -> c.hits <- c.hits + 1
+        | `Miss -> c.misses <- c.misses + 1
+        | `Evict ->
+            c.evictions <- c.evictions + 1;
+            c.misses <- c.misses + 1);
+    match result with `Hit p -> Some p | `Miss | `Evict -> None
+  end
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let store c k payload =
+  if c.enabled then begin
+    let path = entry_path c k in
+    mkdir_p (Filename.dirname path);
+    let seq = locked c (fun () -> c.seq <- c.seq + 1; c.seq) in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+        (Domain.self () :> int) seq
+    in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc payload;
+       output_string oc "\n";
+       output_string oc (checksum_prefix ^ Hash.digest payload);
+       output_string oc "\n";
+       close_out oc;
+       Sys.rename tmp path;
+       locked c (fun () -> c.stores <- c.stores + 1)
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
+  end
+
+let stats c =
+  locked c (fun () ->
+      { hits = c.hits; misses = c.misses; evictions = c.evictions; stores = c.stores })
+
+let enabled c = c.enabled
+let dir c = c.dir

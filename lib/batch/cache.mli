@@ -1,0 +1,42 @@
+(** Content-addressed on-disk result cache for sweep jobs.
+
+    Layout: [<dir>/<first-two-hex>/<key>.jsonl], where the key is the
+    SHA-1 of a length-prefixed field list: a format-version string, the
+    verbatim deck text, the job's canonical (sorted) parameter bindings,
+    the canonical analysis tag, and the engine options. Everything that
+    can change a job's numbers is in the key, and nothing else — so a
+    cached payload must never contain fields outside the key's cover
+    (job ids and corner names are composed around it by {!Report}).
+
+    An entry is the payload line plus a ["#sha1:<hex>"] checksum line.
+    Corrupt entries (truncated, garbled, checksum mismatch) are deleted
+    and recomputed — a damaged cache costs a recompute, never the sweep.
+    Stats are mutex-protected; domains share one [t]. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; stores : int }
+
+val create : ?enabled:bool -> dir:string -> unit -> t
+(** [enabled:false] ([--no-cache]) bypasses both lookup and store; the
+    directory is only created on first store. *)
+
+val key :
+  deck_text:string ->
+  params:(string * float) list ->
+  analysis_tag:string ->
+  options:string list ->
+  string
+(** The 40-hex-character job key. [options] carries any further
+    engine-visible settings (output node, budget, certification scale). *)
+
+val lookup : t -> string -> string option
+(** Payload for the key, verifying the checksum; counts a hit, a miss,
+    or (corrupt entry, now deleted) an eviction+miss. *)
+
+val store : t -> string -> string -> unit
+(** [store t key payload] writes atomically (temp file + rename). *)
+
+val stats : t -> stats
+val enabled : t -> bool
+val dir : t -> string

@@ -1,0 +1,68 @@
+type job = {
+  id : int;
+  corner : string;
+  params : (string * float) list;
+  analysis : Spec.analysis;
+}
+
+let nominal = { Spec.c_name = "nominal"; c_overrides = [] }
+
+(* Sweep axes are the experiment variables, so on a name collision the
+   axis value wins over the corner override. The merged binding list is
+   sorted by name: job identity (and the cache key built from it) must
+   not depend on flag order. *)
+let bindings ~axes ~point (corner : Spec.corner) =
+  let swept = List.map (fun (a : Spec.axis) -> a.Spec.a_name) axes in
+  let from_corner =
+    List.filter (fun (n, _) -> not (List.mem n swept)) corner.Spec.c_overrides
+  in
+  let from_axes =
+    List.mapi (fun i (a : Spec.axis) -> (a.Spec.a_name, a.Spec.a_values.(point.(i)))) axes
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (from_axes @ from_corner)
+
+let expand ~axes ~corners ~analyses =
+  let corners = if corners = [] then [ nominal ] else corners in
+  let n_axes = List.length axes in
+  let dims = Array.of_list (List.map (fun (a : Spec.axis) -> Array.length a.Spec.a_values) axes) in
+  let jobs = ref [] in
+  let id = ref 0 in
+  let emit corner point =
+    List.iter
+      (fun analysis ->
+        jobs :=
+          {
+            id = !id;
+            corner = corner.Spec.c_name;
+            params = bindings ~axes ~point corner;
+            analysis;
+          }
+          :: !jobs;
+        incr id)
+      analyses
+  in
+  (* odometer over the axes, first axis slowest (outermost) *)
+  List.iter
+    (fun corner ->
+      let point = Array.make n_axes 0 in
+      let rec walk k =
+        if k = n_axes then emit corner point
+        else
+          for i = 0 to dims.(k) - 1 do
+            point.(k) <- i;
+            walk (k + 1)
+          done
+      in
+      walk 0)
+    corners;
+  List.rev !jobs
+
+let count ~axes ~corners ~analyses =
+  let corners = if corners = [] then 1 else List.length corners in
+  let points =
+    List.fold_left (fun acc (a : Spec.axis) -> acc * Array.length a.Spec.a_values) 1 axes
+  in
+  corners * points * List.length analyses
+
+let params_json params =
+  Json.obj (List.map (fun (n, v) -> (n, Json.num v)) params)

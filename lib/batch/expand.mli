@@ -1,0 +1,32 @@
+(** Sweep-spec expansion: corners x value grids x analyses -> job list.
+
+    Expansion order is part of the determinism contract: corners in the
+    order given (a single implicit ["nominal"] corner when none are),
+    then an odometer over the axes with the {e first} axis varying
+    slowest, then the analyses in order. Job [id]s number that sequence
+    from 0 and fix the report order — whatever the domain count. *)
+
+type job = {
+  id : int;  (** position in the canonical expansion order *)
+  corner : string;
+  params : (string * float) list;
+      (** merged corner + axis bindings, sorted by name; axis values win
+          over a corner override of the same parameter *)
+  analysis : Spec.analysis;
+}
+
+val expand :
+  axes:Spec.axis list ->
+  corners:Spec.corner list ->
+  analyses:Spec.analysis list ->
+  job list
+
+val count :
+  axes:Spec.axis list ->
+  corners:Spec.corner list ->
+  analyses:Spec.analysis list ->
+  int
+(** Job count of {!expand} without building the list. *)
+
+val params_json : (string * float) list -> string
+(** The job's bindings as a canonical JSON object (report field). *)

@@ -1,0 +1,70 @@
+(* Pure-OCaml SHA-1 (FIPS 180-1). The cache key derivation needs a
+   content hash with a stable, widely-checkable reference value, and the
+   toolchain ships no digest library; SHA-1 is plenty for
+   content-addressing (we defend against corruption, not adversaries). *)
+
+let ( &&& ) = Int32.logand
+let ( ||| ) = Int32.logor
+let ( ^^^ ) = Int32.logxor
+
+let rotl x n = Int32.shift_left x n ||| Int32.shift_right_logical x (32 - n)
+
+let digest msg =
+  let len = String.length msg in
+  (* pad to 64-byte blocks: 0x80, zeros, 64-bit big-endian bit length *)
+  let total = ((len + 8) / 64 + 1) * 64 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bits = Int64.of_int len |> Int64.mul 8L in
+  for i = 0 to 7 do
+    Bytes.set buf
+      (total - 1 - i)
+      (Char.chr Int64.(to_int (logand (shift_right_logical bits (8 * i)) 0xFFL)))
+  done;
+  let h = [| 0x67452301l; 0xEFCDAB89l; 0x98BADCFEl; 0x10325476l; 0xC3D2E1F0l |] in
+  let w = Array.make 80 0l in
+  for blk = 0 to (total / 64) - 1 do
+    for t = 0 to 15 do
+      let off = (blk * 64) + (t * 4) in
+      let byte i = Int32.of_int (Char.code (Bytes.get buf (off + i))) in
+      w.(t) <-
+        Int32.shift_left (byte 0) 24
+        ||| Int32.shift_left (byte 1) 16
+        ||| Int32.shift_left (byte 2) 8
+        ||| byte 3
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl (w.(t - 3) ^^^ w.(t - 8) ^^^ w.(t - 14) ^^^ w.(t - 16)) 1
+    done;
+    let a = ref h.(0)
+    and b = ref h.(1)
+    and c = ref h.(2)
+    and d = ref h.(3)
+    and e = ref h.(4) in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then (!b &&& !c ||| (Int32.lognot !b &&& !d), 0x5A827999l)
+        else if t < 40 then (!b ^^^ !c ^^^ !d, 0x6ED9EBA1l)
+        else if t < 60 then
+          (!b &&& !c ||| (!b &&& !d) ||| (!c &&& !d), 0x8F1BBCDCl)
+        else (!b ^^^ !c ^^^ !d, 0xCA62C1D6l)
+      in
+      let tmp =
+        Int32.add (Int32.add (Int32.add (Int32.add (rotl !a 5) f) !e) k) w.(t)
+      in
+      e := !d;
+      d := !c;
+      c := rotl !b 30;
+      b := !a;
+      a := tmp
+    done;
+    h.(0) <- Int32.add h.(0) !a;
+    h.(1) <- Int32.add h.(1) !b;
+    h.(2) <- Int32.add h.(2) !c;
+    h.(3) <- Int32.add h.(3) !d;
+    h.(4) <- Int32.add h.(4) !e
+  done;
+  let out = Buffer.create 40 in
+  Array.iter (fun v -> Buffer.add_string out (Printf.sprintf "%08lx" v)) h;
+  Buffer.contents out

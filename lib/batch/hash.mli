@@ -1,0 +1,10 @@
+(** Pure-OCaml SHA-1 for content-addressed cache keys.
+
+    The batch cache needs a stable content hash with well-known reference
+    vectors; the toolchain ships no digest library, so the 80-round FIPS
+    180-1 compression runs on [Int32] here. This addresses content and
+    detects corruption — it is not a security boundary. *)
+
+val digest : string -> string
+(** 40-character lowercase hex SHA-1 of the argument.
+    [digest "abc" = "a9993e364706816aba3e25717850c26c9cd0d89d"]. *)

@@ -1,0 +1,35 @@
+(* Tiny canonical JSON rendering for the batch reports. Determinism is
+   the point: one float format everywhere, object fields in the order the
+   caller gives them, no whitespace. *)
+
+let str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let num v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v
+  else str (Printf.sprintf "%h" v) (* NaN/Inf: not JSON numbers; keep visible *)
+
+let int = string_of_int
+let bool b = if b then "true" else "false"
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"

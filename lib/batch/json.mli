@@ -1,0 +1,20 @@
+(** Canonical JSON rendering for deterministic batch reports.
+
+    One float format ([%.9g]), fields in caller order, no whitespace —
+    so two runs that computed the same numbers emit byte-identical
+    lines regardless of how many domains raced to produce them. *)
+
+val str : string -> string
+(** Quoted, escaped JSON string. *)
+
+val num : float -> string
+(** [%.9g]; non-finite values are rendered as quoted strings (JSON has
+    no NaN/Inf literals and silent [null] would hide the defect). *)
+
+val int : int -> string
+val bool : bool -> string
+
+val obj : (string * string) list -> string
+(** Object from (key, already-rendered value) pairs, in caller order. *)
+
+val arr : string list -> string

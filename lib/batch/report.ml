@@ -1,0 +1,40 @@
+(* The deterministic sweep report: one JSONL line per job on stdout, in
+   job-id order, with NO wall-clock or domain-dependent fields — the
+   contract is that --jobs 1 and --jobs 4 produce byte-identical output.
+   Job identity fields (id, corner, params) are composed around the
+   cached payload here precisely because they are not covered by the
+   cache key and must never be replayed from disk. *)
+
+let line (r : Runner.job_result) =
+  let job = r.Runner.job in
+  Json.obj
+    [
+      ("job", Json.int job.Expand.id);
+      ("corner", Json.str job.Expand.corner);
+      ("params", Expand.params_json job.Expand.params);
+      ("result", r.Runner.payload);
+    ]
+
+let print_all oc results =
+  Array.iter
+    (fun r ->
+      output_string oc (line r);
+      output_string oc "\n")
+    results
+
+let count p results = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results
+
+let summary results (cs : Cache.stats) =
+  let ok = count (fun r -> r.Runner.status = Runner.Ok) results
+  and suspect = count (fun r -> r.Runner.status = Runner.Suspect) results
+  and failed = count (fun r -> r.Runner.status = Runner.Failed) results
+  and cached = count (fun r -> r.Runner.cached) results in
+  let looked = cs.Cache.hits + cs.Cache.misses in
+  let pct = if looked = 0 then 0.0 else 100.0 *. float_of_int cs.Cache.hits /. float_of_int looked in
+  Printf.sprintf
+    "sweep: jobs=%d ok=%d suspect=%d failed=%d | cache: hits=%d misses=%d \
+     evictions=%d stores=%d (%.0f%% hit, %d served from cache)"
+    (Array.length results) ok suspect failed cs.Cache.hits cs.Cache.misses
+    cs.Cache.evictions cs.Cache.stores pct cached
+
+let all_ok results = count (fun r -> r.Runner.status = Runner.Failed) results = 0

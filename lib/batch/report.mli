@@ -1,0 +1,19 @@
+(** Deterministic sweep reports.
+
+    One JSONL line per job, in job-id order, composing the job identity
+    (id, corner, canonical parameter bindings) around the cached result
+    payload. No wall-clock or domain-dependent field ever appears here:
+    [--jobs 1] and [--jobs 4] runs of the same sweep are byte-identical,
+    and re-runs served from cache are byte-identical to cold runs. *)
+
+val line : Runner.job_result -> string
+(** One report line (no trailing newline). *)
+
+val print_all : out_channel -> Runner.job_result array -> unit
+
+val summary : Runner.job_result array -> Cache.stats -> string
+(** Human summary for stderr: job ok/suspect/failed counts and cache
+    hit/miss/eviction/store counters with the hit rate. *)
+
+val all_ok : Runner.job_result array -> bool
+(** No job failed (suspect certificates count as completed). *)

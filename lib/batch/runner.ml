@@ -1,0 +1,310 @@
+(* Parallel job execution across OCaml 5 domains.
+
+   The scheduler is a bounded pool over an atomic job cursor: each domain
+   repeatedly claims the next unclaimed job index and runs it to
+   completion. Results land in a slot array indexed by job id, so the
+   report order is the canonical expansion order regardless of which
+   domain finished when — determinism lives in the data layout, not in
+   any ordering of the domains.
+
+   A failed job never kills the sweep: engines already escalate through
+   their Supervisor ladders (and HB through the whole PSS cascade), and a
+   job that still fails is recorded as a typed failure in its slot.
+   Failures are NOT cached: a budget-bound failure is wall-clock
+   dependent, and freezing one into the content-addressed store would
+   replay a transient as a permanent fact. *)
+
+open Rfkit_circuit
+module La = Rfkit_la
+module Rf = Rfkit_rf
+module Sup = Rfkit_solve.Supervisor
+module Cascade = Rfkit_solve.Cascade
+module Certify = Rfkit_solve.Certify
+
+type status = Ok | Suspect | Failed
+
+type job_result = {
+  job : Expand.job;
+  status : status;
+  cached : bool;
+  payload : string;
+  wall : float;
+  newton : int;
+  krylov : int;
+}
+
+type config = {
+  deck_text : string;
+  node : string;
+  domains : int;
+  budget : Sup.budget option;  (** [None]: each engine's own default *)
+  tol_scale : float;
+}
+
+(* ---------------------------------------------------------- payloads -- *)
+
+let payload_ok ~status ~analysis ~engine ~certificate ~newton ~krylov ~data =
+  Json.obj
+    [
+      ("status", Json.str (match status with Suspect -> "suspect" | _ -> "ok"));
+      ("analysis", Json.str (Spec.analysis_name analysis));
+      ("engine", Json.str engine);
+      ("certificate", Json.str certificate);
+      ("newton", Json.int newton);
+      ("krylov", Json.int krylov);
+      ("data", data);
+    ]
+
+let payload_failed ~analysis ~cause =
+  Json.obj
+    [
+      ("status", Json.str "failed");
+      ("analysis", Json.str (Spec.analysis_name analysis));
+      ("cause", Json.str cause);
+    ]
+
+let status_of_payload payload =
+  if String.length payload >= 15 && String.sub payload 0 15 = {|{"status":"ok",|} then Ok
+  else if
+    String.length payload >= 20 && String.sub payload 0 20 = {|{"status":"suspect",|}
+  then Suspect
+  else Failed
+
+let verdict cert = if Certify.is_certified cert then ("certified", Ok) else ("suspect", Suspect)
+
+(* ---------------------------------------------------------- engines -- *)
+
+let resolve_freq c = function
+  | Some f -> f
+  | None -> (
+      match Mna.fundamentals c with
+      | f :: _ -> f
+      | [] -> failwith "no periodic source in the deck (supply --freq)")
+
+let dc_data c x =
+  let nl = Mna.netlist c in
+  Json.obj
+    (List.init (Netlist.node_count nl) (fun i ->
+         ("v(" ^ Netlist.node_name nl i ^ ")", Json.num x.(i))))
+
+let harmonics_data sol node n =
+  Json.obj
+    [
+      ( "harmonics",
+        Json.arr
+          (List.init (n + 1) (fun k ->
+               Json.num (Rf.Pss.harmonic_amplitude sol node k))) );
+    ]
+
+let execute cfg (job : Expand.job) =
+  let nl, _ = Deck.parse_string ~overrides:job.params cfg.deck_text in
+  let c = Mna.build nl in
+  let analysis = job.analysis in
+  let fail_sup (f : Sup.failure) =
+    ( Failed,
+      payload_failed ~analysis ~cause:(Sup.cause_to_string f.Sup.cause),
+      Cascade.failure_iterations f,
+      0 )
+  in
+  match analysis with
+  | Spec.Dc -> (
+      match Dc.solve_outcome ?budget:cfg.budget c with
+      | Sup.Converged (x, rep) ->
+          let certificate, status =
+            verdict (Dc.certify ~tol_scale:cfg.tol_scale c x)
+          in
+          let newton = rep.Sup.total_iterations
+          and krylov = rep.Sup.stats.Sup.krylov_iterations in
+          ( status,
+            payload_ok ~status ~analysis ~engine:"dc" ~certificate ~newton
+              ~krylov ~data:(dc_data c x),
+            newton, krylov )
+      | Sup.Failed f -> fail_sup f)
+  | Spec.Ac { f_start; f_stop; points_per_decade } -> (
+      match
+        List.find_opt
+          (function Device.Vsource _ -> true | _ -> false)
+          (Netlist.devices nl)
+      with
+      | None -> (Failed, payload_failed ~analysis ~cause:"no voltage source in deck", 0, 0)
+      | Some src ->
+          let freqs = Ac.log_freqs ~f_start ~f_stop ~points_per_decade in
+          let res = Ac.sweep c ~source:(Device.name src) ~freqs in
+          let h = Ac.transfer c res cfg.node in
+          let data =
+            Json.obj
+              [
+                ("freq", Json.arr (Array.to_list (Array.map Json.num freqs)));
+                ( "mag",
+                  Json.arr
+                    (Array.to_list (Array.map (fun z -> Json.num (La.Cx.abs z)) h))
+                );
+              ]
+          in
+          ( Ok,
+            payload_ok ~status:Ok ~analysis ~engine:"ac" ~certificate:"none"
+              ~newton:0 ~krylov:0 ~data,
+            0, 0 ))
+  | Spec.Tran { t_stop; dt } -> (
+      match Tran.run_outcome ?budget:cfg.budget c ~t_stop ~dt with
+      | Sup.Converged (res, rep) ->
+          let certificate, status =
+            verdict (Tran.certify ~tol_scale:cfg.tol_scale c res)
+          in
+          let trace = Tran.voltage_trace c res cfg.node in
+          let n = Array.length trace in
+          let v_min = Array.fold_left min trace.(0) trace
+          and v_max = Array.fold_left max trace.(0) trace in
+          let data =
+            Json.obj
+              [
+                ("t_end", Json.num res.Tran.times.(n - 1));
+                ("v_end", Json.num trace.(n - 1));
+                ("v_min", Json.num v_min);
+                ("v_max", Json.num v_max);
+              ]
+          in
+          let newton = rep.Sup.total_iterations
+          and krylov = rep.Sup.stats.Sup.krylov_iterations in
+          ( status,
+            payload_ok ~status ~analysis ~engine:"tran" ~certificate ~newton
+              ~krylov ~data,
+            newton, krylov )
+      | Sup.Failed f -> fail_sup f)
+  | Spec.Hb { freq; harmonics } -> (
+      let freq = resolve_freq c freq in
+      let n_samples = La.Fft.next_pow2 (4 * harmonics) in
+      match
+        Rf.Pss.solve_outcome ?budget:cfg.budget
+          ~chain:(Rf.Pss.default_chain ~n_samples ())
+          c ~freq
+      with
+      | Cascade.Completed (sol, rep) ->
+          let certificate, status =
+            verdict (Rf.Pss.certify ~tol_scale:cfg.tol_scale sol)
+          in
+          let newton = rep.Cascade.total_iterations
+          and krylov =
+            rep.Cascade.winner_report.Sup.stats.Sup.krylov_iterations
+          in
+          ( status,
+            payload_ok ~status ~analysis ~engine:rep.Cascade.winner ~certificate
+              ~newton ~krylov
+              ~data:(harmonics_data sol cfg.node harmonics),
+            newton, krylov )
+      | Cascade.Exhausted f ->
+          ( Failed,
+            payload_failed ~analysis ~cause:(Sup.cause_to_string f.Cascade.x_cause),
+            f.Cascade.x_total_iterations, 0 ))
+  | Spec.Shooting { freq; steps } -> (
+      let freq = resolve_freq c freq in
+      let options = { Rf.Shooting.default_options with steps_per_period = steps } in
+      match Rf.Shooting.solve_outcome ?budget:cfg.budget ~options c ~freq with
+      | Sup.Converged (res, rep) ->
+          let sol = Rf.Pss.of_shooting res in
+          let certificate, status =
+            verdict (Rf.Pss.certify ~tol_scale:cfg.tol_scale sol)
+          in
+          let newton = rep.Sup.total_iterations
+          and krylov = rep.Sup.stats.Sup.krylov_iterations in
+          ( status,
+            payload_ok ~status ~analysis ~engine:"shooting" ~certificate ~newton
+              ~krylov
+              ~data:(harmonics_data sol cfg.node 8),
+            newton, krylov )
+      | Sup.Failed f -> fail_sup f)
+
+(* ------------------------------------------------------------- pool -- *)
+
+let budget_tag = function
+  | None -> "budget=default"
+  | Some (b : Sup.budget) ->
+      Printf.sprintf "budget=%d:%d:%.9g" b.Sup.attempt_iterations
+        b.Sup.total_iterations b.Sup.wall_clock
+
+let job_key cfg (job : Expand.job) =
+  Cache.key ~deck_text:cfg.deck_text ~params:job.Expand.params
+    ~analysis_tag:(Spec.analysis_tag job.Expand.analysis)
+    ~options:
+      [
+        "node=" ^ cfg.node;
+        budget_tag cfg.budget;
+        Printf.sprintf "certify-scale=%.9g" cfg.tol_scale;
+      ]
+
+let run_one cfg ~cache ~telemetry (job : Expand.job) =
+  let key = job_key cfg job in
+  Telemetry.emit telemetry ~job:job.Expand.id ~event:"started"
+    [ ("analysis", Json.str (Spec.analysis_tag job.Expand.analysis)) ];
+  let t0 = Unix.gettimeofday () in
+  match Cache.lookup cache key with
+  | Some payload ->
+      Telemetry.emit telemetry ~job:job.Expand.id ~event:"cache-hit"
+        [ ("key", Json.str key) ];
+      {
+        job;
+        status = status_of_payload payload;
+        cached = true;
+        payload;
+        wall = Unix.gettimeofday () -. t0;
+        newton = 0;
+        krylov = 0;
+      }
+  | None ->
+      let status, payload, newton, krylov =
+        try execute cfg job
+        with e ->
+          ( Failed,
+            payload_failed ~analysis:job.Expand.analysis
+              ~cause:("exception: " ^ Printexc.to_string e),
+            0, 0 )
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      (match status with
+      | Failed ->
+          Telemetry.emit telemetry ~job:job.Expand.id ~event:"failed"
+            [
+              ("wall", Printf.sprintf "%.6f" wall);
+              ("newton", Json.int newton);
+              ("krylov", Json.int krylov);
+            ]
+      | Ok | Suspect ->
+          Cache.store cache key payload;
+          Telemetry.emit telemetry ~job:job.Expand.id ~event:"finished"
+            [
+              ("wall", Printf.sprintf "%.6f" wall);
+              ("newton", Json.int newton);
+              ("krylov", Json.int krylov);
+            ]);
+      { job; status; cached = false; payload; wall; newton; krylov }
+
+let run cfg ~cache ~telemetry jobs =
+  let jobs_a = Array.of_list jobs in
+  let n = Array.length jobs_a in
+  Array.iter
+    (fun (j : Expand.job) ->
+      Telemetry.emit telemetry ~job:j.Expand.id ~event:"queued"
+        [ ("analysis", Json.str (Spec.analysis_tag j.Expand.analysis)) ])
+    jobs_a;
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_one cfg ~cache ~telemetry jobs_a.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let d = max 1 cfg.domains in
+  if d = 1 then worker ()
+  else begin
+    let helpers = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  Array.map
+    (function Some r -> r | None -> assert false (* every slot claimed *))
+    results

@@ -1,0 +1,45 @@
+(** Parallel sweep execution across OCaml 5 domains.
+
+    A bounded pool of [domains] workers drains the job list through an
+    atomic cursor; each job parses the deck with its parameter bindings,
+    runs its engine under the {!Rfkit_solve.Supervisor} (HB through the
+    whole PSS {!Rfkit_solve.Cascade}), certifies the result a
+    posteriori, and lands a canonical JSON payload in a slot array
+    indexed by job id. Report order therefore never depends on the
+    domain count — the determinism contract {!Report} relies on.
+
+    Jobs are memoized through {!Cache} (payloads carry only key-covered
+    content). Failed jobs are recorded, not cached and not fatal: a
+    budget-bound failure is wall-clock dependent and must not be
+    replayed from disk as a permanent fact. *)
+
+type status = Ok | Suspect | Failed
+
+type job_result = {
+  job : Expand.job;
+  status : status;
+  cached : bool;
+  payload : string;  (** canonical JSON object; the cached unit *)
+  wall : float;  (** seconds; telemetry only, never reported on stdout *)
+  newton : int;
+  krylov : int;
+}
+
+type config = {
+  deck_text : string;  (** verbatim deck; hashed into every cache key *)
+  node : string;  (** output node for ac/tran/hb/shooting payloads *)
+  domains : int;  (** worker domains, >= 1 *)
+  budget : Rfkit_solve.Supervisor.budget option;
+      (** per-job budget; [None] keeps each engine's own default *)
+  tol_scale : float;  (** certification threshold multiplier *)
+}
+
+val job_key : config -> Expand.job -> string
+(** The job's content-addressed cache key (exposed for tests). *)
+
+val run_one : config -> cache:Cache.t -> telemetry:Telemetry.t -> Expand.job -> job_result
+
+val run :
+  config -> cache:Cache.t -> telemetry:Telemetry.t -> Expand.job list -> job_result array
+(** Execute all jobs; the result array is indexed by job id. The job
+    list must be in expansion order (as {!Expand.expand} returns it). *)

@@ -1,0 +1,161 @@
+open Rfkit_circuit
+
+exception Spec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Spec_error s)) fmt
+
+(* numeric literals reuse the deck grammar (engineering suffixes) *)
+let number ~what s =
+  match Deck.parse_value (String.trim s) with
+  | v -> v
+  | exception Deck.Parse_error (_, msg) -> fail "%s: %s" what msg
+
+type axis = { a_name : string; a_values : float array }
+type corner = { c_name : string; c_overrides : (string * float) list }
+
+type analysis =
+  | Dc
+  | Ac of { f_start : float; f_stop : float; points_per_decade : int }
+  | Tran of { t_stop : float; dt : float }
+  | Hb of { freq : float option; harmonics : int }
+  | Shooting of { freq : float option; steps : int }
+
+let split_eq ~what s =
+  match String.index_opt s '=' with
+  | Some i ->
+      ( String.uppercase_ascii (String.trim (String.sub s 0 i)),
+        String.sub s (i + 1) (String.length s - i - 1) )
+  | None -> fail "%s %S: expected NAME=..." what s
+
+let grid ~name ~lo ~hi ~scale ~n =
+  if n < 2 then fail "axis %s: a %s grid needs at least 2 points" name scale;
+  match scale with
+  | "lin" ->
+      Array.init n (fun i ->
+          lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+  | "log" ->
+      if lo <= 0.0 || hi <= 0.0 then
+        fail "axis %s: log grid endpoints must be positive (got %g:%g)" name lo hi;
+      let r = hi /. lo in
+      Array.init n (fun i -> lo *. (r ** (float_of_int i /. float_of_int (n - 1))))
+  | s -> fail "axis %s: unknown grid scale %S (expected lin or log)" name s
+
+let parse_axis s =
+  let s = String.trim s in
+  let name, rhs = split_eq ~what:"sweep axis" s in
+  if name = "" then fail "sweep axis %S: empty parameter name" s;
+  let values =
+    if String.contains rhs ',' then
+      String.split_on_char ',' rhs
+      |> List.filter (fun t -> String.trim t <> "")
+      |> List.map (fun t -> number ~what:("axis " ^ name) t)
+      |> Array.of_list
+    else
+      match String.split_on_char ':' rhs with
+      | [ v ] -> [| number ~what:("axis " ^ name) v |]
+      | [ lo; hi; scale; n ] ->
+          let n =
+            match int_of_string_opt (String.trim n) with
+            | Some n -> n
+            | None -> fail "axis %s: point count %S is not an integer" name n
+          in
+          grid ~name
+            ~lo:(number ~what:("axis " ^ name) lo)
+            ~hi:(number ~what:("axis " ^ name) hi)
+            ~scale:(String.lowercase_ascii (String.trim scale))
+            ~n
+      | _ ->
+          fail
+            "axis %s: expected a value, a comma list, or lo:hi:lin|log:n (got %S)"
+            name rhs
+  in
+  if Array.length values = 0 then fail "axis %s: no values" name;
+  { a_name = name; a_values = values }
+
+let parse_corner s =
+  let s = String.trim s in
+  match String.index_opt s ':' with
+  | None -> fail "corner %S: expected NAME:P1=v1,P2=v2,..." s
+  | Some i ->
+      let name = String.trim (String.sub s 0 i) in
+      if name = "" then fail "corner %S: empty corner name" s;
+      let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+      let overrides =
+        String.split_on_char ',' rhs
+        |> List.filter (fun t -> String.trim t <> "")
+        |> List.map (fun t ->
+               let p, v = split_eq ~what:("corner " ^ name) (String.trim t) in
+               (p, number ~what:(Printf.sprintf "corner %s, %s" name p) v))
+      in
+      if overrides = [] then fail "corner %s: no parameter overrides" name;
+      { c_name = name; c_overrides = overrides }
+
+type defaults = {
+  d_f_start : float;
+  d_f_stop : float;
+  d_points_per_decade : int;
+  d_t_stop : float;
+  d_dt : float;
+  d_freq : float option;
+  d_harmonics : int;
+  d_steps : int;
+}
+
+let default_defaults =
+  {
+    d_f_start = 1e3;
+    d_f_stop = 1e9;
+    d_points_per_decade = 10;
+    d_t_stop = 1e-6;
+    d_dt = 1e-9;
+    d_freq = None;
+    d_harmonics = 8;
+    d_steps = 128;
+  }
+
+let parse_analysis d s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dc" -> Dc
+  | "ac" ->
+      Ac
+        {
+          f_start = d.d_f_start;
+          f_stop = d.d_f_stop;
+          points_per_decade = d.d_points_per_decade;
+        }
+  | "tran" -> Tran { t_stop = d.d_t_stop; dt = d.d_dt }
+  | "hb" -> Hb { freq = d.d_freq; harmonics = d.d_harmonics }
+  | "shooting" -> Shooting { freq = d.d_freq; steps = d.d_steps }
+  | a -> fail "unknown analysis %S (expected dc, ac, tran, hb or shooting)" a
+
+let parse_analyses d s =
+  let names =
+    String.split_on_char ',' s |> List.filter (fun t -> String.trim t <> "")
+  in
+  if names = [] then fail "empty analysis list";
+  List.map (parse_analysis d) names
+
+(* Canonical tag: part of the cache key and of the report lines, so the
+   rendering must be injective over the options that matter. A [freq] of
+   [None] resolves deterministically from the deck (whose text is hashed
+   separately), so "auto" is a sound key component. *)
+let analysis_tag = function
+  | Dc -> "dc"
+  | Ac { f_start; f_stop; points_per_decade } ->
+      Printf.sprintf "ac[%.9g:%.9g:%d]" f_start f_stop points_per_decade
+  | Tran { t_stop; dt } -> Printf.sprintf "tran[%.9g:%.9g]" t_stop dt
+  | Hb { freq; harmonics } ->
+      Printf.sprintf "hb[%s:%d]"
+        (match freq with Some f -> Printf.sprintf "%.9g" f | None -> "auto")
+        harmonics
+  | Shooting { freq; steps } ->
+      Printf.sprintf "shooting[%s:%d]"
+        (match freq with Some f -> Printf.sprintf "%.9g" f | None -> "auto")
+        steps
+
+let analysis_name = function
+  | Dc -> "dc"
+  | Ac _ -> "ac"
+  | Tran _ -> "tran"
+  | Hb _ -> "hb"
+  | Shooting _ -> "shooting"

@@ -1,0 +1,61 @@
+(** Declarative sweep specifications.
+
+    A sweep is the cartesian product of named {e corners}, per-parameter
+    value {e axes}, and an {e analysis} list; {!Expand} turns the product
+    into a job list. The axis grammar (one [--param] flag each):
+
+    - [R1=1k] — a single value
+    - [R1=1k,2k,5k] — an explicit comma list
+    - [R1=1k:10k:log:8] — 8 points, log-spaced from 1k to 10k inclusive
+    - [R1=0:5:lin:11] — 11 points, linearly spaced
+
+    and the corner grammar ([--corner], repeatable):
+
+    - [fast:R1=900,C1=0.9n] — named set of parameter overrides
+
+    Values use the deck's engineering-suffix grammar ({!Rfkit_circuit.Deck.parse_value}). *)
+
+exception Spec_error of string
+(** Malformed axis/corner/analysis specification (human-readable). *)
+
+type axis = { a_name : string; a_values : float array }
+(** [a_name] is uppercased (deck parameters are case-insensitive). *)
+
+type corner = { c_name : string; c_overrides : (string * float) list }
+
+type analysis =
+  | Dc
+  | Ac of { f_start : float; f_stop : float; points_per_decade : int }
+  | Tran of { t_stop : float; dt : float }
+  | Hb of { freq : float option; harmonics : int }
+      (** [freq = None]: use the deck's first periodic source. *)
+  | Shooting of { freq : float option; steps : int }
+
+val parse_axis : string -> axis
+val parse_corner : string -> corner
+
+(** CLI-level option values folded into analysis variants (the sweep
+    command's [--t-stop], [--freq], ... flags). *)
+type defaults = {
+  d_f_start : float;
+  d_f_stop : float;
+  d_points_per_decade : int;
+  d_t_stop : float;
+  d_dt : float;
+  d_freq : float option;
+  d_harmonics : int;
+  d_steps : int;
+}
+
+val default_defaults : defaults
+
+val parse_analysis : defaults -> string -> analysis
+val parse_analyses : defaults -> string -> analysis list
+(** Comma-separated list, e.g. ["dc,hb"]. *)
+
+val analysis_tag : analysis -> string
+(** Canonical, injective rendering of the analysis and its options; a
+    cache-key component and the [analysis] field of report lines. *)
+
+val analysis_name : analysis -> string
+(** Bare engine name ("dc", "ac", ...). *)

@@ -1,0 +1,77 @@
+(* Per-job event stream: a machine-readable JSONL log plus a live
+   one-line progress display on stderr (only when stderr is a tty, so
+   scripted runs and the test suite see clean streams). Wall-clock
+   timestamps live HERE and only here — the stdout report must stay
+   byte-identical across runs and domain counts. *)
+
+type t = {
+  lock : Mutex.t;
+  log : out_channel option;
+  progress : bool;
+  t0 : float;
+  total : int;
+  mutable done_ : int;
+  mutable failed : int;
+  mutable cached : int;
+}
+
+let create ?log_path ?(progress = Unix.isatty Unix.stderr) ~total () =
+  let log =
+    match log_path with
+    | None -> None
+    | Some path -> Some (open_out path)
+  in
+  {
+    lock = Mutex.create ();
+    log;
+    progress;
+    t0 = Unix.gettimeofday ();
+    total;
+    done_ = 0;
+    failed = 0;
+    cached = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let render_progress t =
+  if t.progress then begin
+    Printf.eprintf "\r[%d/%d] ok=%d failed=%d cached=%d  " t.done_ t.total
+      (t.done_ - t.failed) t.failed t.cached;
+    flush stderr
+  end
+
+(* event names: queued | started | cache-hit | finished | failed *)
+let emit t ~job ~event fields =
+  locked t (fun () ->
+      (match t.log with
+      | None -> ()
+      | Some oc ->
+          let line =
+            Json.obj
+              ([ ("event", Json.str event);
+                 ("job", Json.int job);
+                 ("t", Printf.sprintf "%.6f" (Unix.gettimeofday () -. t.t0)) ]
+              @ fields)
+          in
+          output_string oc line;
+          output_string oc "\n");
+      (match event with
+      | "cache-hit" ->
+          t.cached <- t.cached + 1;
+          t.done_ <- t.done_ + 1
+      | "finished" -> t.done_ <- t.done_ + 1
+      | "failed" ->
+          t.failed <- t.failed + 1;
+          t.done_ <- t.done_ + 1
+      | _ -> ());
+      match event with
+      | "cache-hit" | "finished" | "failed" -> render_progress t
+      | _ -> ())
+
+let close t =
+  locked t (fun () ->
+      if t.progress && t.total > 0 then prerr_newline ();
+      match t.log with None -> () | Some oc -> close_out oc)

@@ -1,0 +1,24 @@
+(** Structured per-job telemetry: JSONL event log + live progress line.
+
+    Events are [queued], [started], [cache-hit], [finished] and
+    [failed]; each log line carries the job id and the wall-clock offset
+    since the sweep started, plus caller fields (Newton/Krylov counters,
+    failure cause). Wall-clock data appears {e only} here — the stdout
+    report is kept timing-free so repeated runs diff clean.
+
+    The progress line (on stderr, only when stderr is a tty) shows
+    [\[done/total\] ok/failed/cached] and redraws in place. All state is
+    mutex-protected; domains share one [t]. *)
+
+type t
+
+val create : ?log_path:string -> ?progress:bool -> total:int -> unit -> t
+(** [progress] defaults to [Unix.isatty Unix.stderr]. *)
+
+val emit : t -> job:int -> event:string -> (string * string) list -> unit
+(** Append one event; [fields] are (key, rendered-JSON-value) pairs.
+    Terminal events ([cache-hit]/[finished]/[failed]) advance the
+    progress display. *)
+
+val close : t -> unit
+(** Finish the progress line and close the log. *)

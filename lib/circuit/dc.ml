@@ -19,8 +19,11 @@ let default_options =
 let engine = "dc"
 
 (* Instrumented Newton on f(x) + gmin*x_nodes = b. Returns the solution or
-   a typed cause, plus the iterations spent and the last residual norm. *)
-let newton ~options ~damping ~iter_cap ~gmin c b x0 =
+   a typed cause, plus the iterations spent and the last residual norm.
+   [symb] carries the sparse factorization's symbolic analysis across
+   re-stamps (the pattern is fixed per circuit), shared by every rung of
+   the ladder. *)
+let newton ~options ~damping ~iter_cap ~gmin ~symb c b x0 =
   let nn = Mna.n_nodes c in
   let x = Vec.copy x0 in
   let iter = ref 0 in
@@ -50,7 +53,7 @@ let newton ~options ~damping ~iter_cap ~gmin c b x0 =
           Mat.update g i i (fun v -> v +. gmin)
         done;
         Lu.solve (Lu.factor g) r
-    | Sparse_direct -> Sparse_lu.solve (Sparse_lu.factor (sparse_g ())) r
+    | Sparse_direct -> Sparse_lu.solve (Sparse_lu.factor_cached symb (sparse_g ())) r
     | Gmres_ilu ->
         let g = sparse_g () in
         let precond = Sparse_lu.ilu_apply (Sparse_lu.ilu0 g) in
@@ -62,7 +65,7 @@ let newton ~options ~damping ~iter_cap ~gmin c b x0 =
         else
           (* ILU-GMRES stalled: fall back to the exact sparse factor rather
              than poisoning Newton with a bad step *)
-          Sparse_lu.solve (Sparse_lu.factor g) r
+          Sparse_lu.solve (Sparse_lu.factor_cached symb g) r
   in
   let cause =
     try
@@ -116,7 +119,7 @@ let ( ++ ) (a : Supervisor.stats) (b : Supervisor.stats) =
 
 (* gmin stepping: start with a large conductance to ground on every node
    and relax it geometrically, warm-starting each level from the last *)
-let gmin_continuation ~options ~iter_cap ~levels c b x0 =
+let gmin_continuation ~options ~iter_cap ~levels ~symb c b x0 =
   let x = ref (Vec.copy x0) in
   let acc = ref Supervisor.no_stats in
   let left () = iter_cap - !acc.Supervisor.iterations in
@@ -125,12 +128,12 @@ let gmin_continuation ~options ~iter_cap ~levels c b x0 =
       Error (Supervisor.Budget_exhausted Supervisor.Iterations, !acc)
     else if level > levels then begin
       (* final polish at gmin = 0 *)
-      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin:0.0 c b !x with
+      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin:0.0 ~symb c b !x with
       | Ok (x', st) -> Ok (x', !acc ++ st)
       | Error (cause, st) -> Error (cause, !acc ++ st)
     end
     else begin
-      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin c b !x with
+      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin ~symb c b !x with
       | Ok (x', st) ->
           x := x';
           acc := !acc ++ st;
@@ -142,7 +145,7 @@ let gmin_continuation ~options ~iter_cap ~levels c b x0 =
 
 (* source stepping: ramp the excitation amplitude up linearly, tracking
    the solution branch from the trivial zero-drive circuit *)
-let source_ramp ~options ~iter_cap ~steps c b x0 =
+let source_ramp ~options ~iter_cap ~steps ~symb c b x0 =
   let x = ref (Vec.copy x0) in
   let acc = ref Supervisor.no_stats in
   let left () = iter_cap - !acc.Supervisor.iterations in
@@ -152,7 +155,7 @@ let source_ramp ~options ~iter_cap ~steps c b x0 =
     else begin
       let alpha = float_of_int k /. float_of_int steps in
       let bk = Vec.scale alpha b in
-      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin:0.0 c bk !x with
+      match newton ~options ~damping:options.damping ~iter_cap:(left ()) ~gmin:0.0 ~symb c bk !x with
       | Ok (x', st) ->
           acc := !acc ++ st;
           if k = steps then Ok (x', !acc)
@@ -168,6 +171,7 @@ let source_ramp ~options ~iter_cap ~steps c b x0 =
 let solve_b_outcome ?budget ?(options = default_options) ?x0 c b =
   let n = Mna.size c in
   let x0 = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
+  let symb = ref None in
   let ladder =
     [ Supervisor.Base; Supervisor.Tighten_damping (options.damping /. 4.0) ]
     @ (if options.gmin_steps > 0 then
@@ -179,13 +183,13 @@ let solve_b_outcome ?budget ?(options = default_options) ?x0 c b =
     ~attempt:(fun strategy ~iter_cap ->
       match strategy with
       | Supervisor.Base ->
-          newton ~options ~damping:options.damping ~iter_cap ~gmin:0.0 c b x0
+          newton ~options ~damping:options.damping ~iter_cap ~gmin:0.0 ~symb c b x0
       | Supervisor.Tighten_damping d ->
-          newton ~options ~damping:d ~iter_cap ~gmin:0.0 c b x0
+          newton ~options ~damping:d ~iter_cap ~gmin:0.0 ~symb c b x0
       | Supervisor.Gmin_stepping levels ->
-          gmin_continuation ~options ~iter_cap ~levels c b x0
+          gmin_continuation ~options ~iter_cap ~levels ~symb c b x0
       | Supervisor.Source_ramping steps ->
-          source_ramp ~options ~iter_cap ~steps c b x0
+          source_ramp ~options ~iter_cap ~steps ~symb c b x0
       | _ -> Error (Supervisor.Unsupported "strategy not applicable to DC", Supervisor.no_stats))
     ()
 

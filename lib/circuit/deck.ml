@@ -5,6 +5,7 @@ type directive =
   | Hb of { harmonics : int }
   | Noise_sweep of { f_start : float; f_stop : float }
   | Print of string list
+  | Param of { name : string; value : float; used : bool }
 
 exception Parse_error of int * string
 
@@ -32,21 +33,41 @@ let tail_multiplier suf =
     | mult -> mult
     | exception Not_found -> 1.0
 
-let parse_value ?(lineno = 0) s =
+let no_params : string -> float option = fun _ -> None
+
+let parse_value ?(lineno = 0) ?(params = no_params) s =
   let fail msg = raise (Parse_error (lineno, msg)) in
-  let s = String.lowercase_ascii (String.trim s) in
-  if s = "" then fail "empty numeric value";
-  (* split trailing alphabetic suffix *)
-  let n = String.length s in
-  let is_suffix_char ch = ch >= 'a' && ch <= 'z' in
-  let cut = ref n in
-  while !cut > 0 && is_suffix_char s.[!cut - 1] do
-    decr cut
-  done;
-  let num = String.sub s 0 !cut and suf = String.sub s !cut (n - !cut) in
-  match float_of_string_opt num with
-  | Some v -> v *. tail_multiplier suf
-  | None -> fail ("bad numeric value " ^ s)
+  let s0 = String.trim s in
+  let n0 = String.length s0 in
+  if n0 = 0 then fail "empty numeric value";
+  (* {NAME}: reference to a .param definition (or an external override) *)
+  if s0.[0] = '{' then begin
+    if n0 < 3 || s0.[n0 - 1] <> '}' then
+      fail ("malformed parameter reference " ^ s0 ^ " (expected {NAME})");
+    let name = String.uppercase_ascii (String.sub s0 1 (n0 - 2)) in
+    match params name with
+    | Some v -> v
+    | None ->
+        fail
+          (Printf.sprintf
+             "undefined parameter {%s}: no .param %s=... in the deck and no \
+              override supplied"
+             name name)
+  end
+  else begin
+    let s = String.lowercase_ascii s0 in
+    (* split trailing alphabetic suffix *)
+    let n = String.length s in
+    let is_suffix_char ch = ch >= 'a' && ch <= 'z' in
+    let cut = ref n in
+    while !cut > 0 && is_suffix_char s.[!cut - 1] do
+      decr cut
+    done;
+    let num = String.sub s 0 !cut and suf = String.sub s !cut (n - !cut) in
+    match float_of_string_opt num with
+    | Some v -> v *. tail_multiplier suf
+    | None -> fail ("bad numeric value " ^ s)
+  end
 
 (* tokenize, keeping SIN(...) style groups as single tokens *)
 let tokenize line =
@@ -79,10 +100,10 @@ let tokenize line =
   flush ();
   List.rev !tokens
 
-let parse_source lineno tokens =
+let parse_source ?(params = no_params) lineno tokens =
   (* tokens after the node names, e.g. ["DC"; "5"] or ["SIN(0 1 1e6)"] *)
   let fail msg = raise (Parse_error (lineno, msg)) in
-  let value = parse_value ~lineno in
+  let value = parse_value ~lineno ~params in
   match tokens with
   | [] -> fail "missing source value"
   | [ v ] when String.length v >= 4 && String.uppercase_ascii (String.sub v 0 4) = "SIN(" ->
@@ -102,20 +123,69 @@ let parse_source lineno tokens =
   | [ v ] -> Wave.Dc (value v)
   | _ -> fail "unrecognized source specification"
 
-let parse_params lineno tokens =
+let parse_params ?(params = no_params) lineno tokens =
   List.map
     (fun tok ->
       match String.index_opt tok '=' with
       | Some i ->
           ( String.uppercase_ascii (String.sub tok 0 i),
-            parse_value ~lineno (String.sub tok (i + 1) (String.length tok - i - 1)) )
+            parse_value ~lineno ~params
+              (String.sub tok (i + 1) (String.length tok - i - 1)) )
       | None -> raise (Parse_error (lineno, "expected NAME=value, got " ^ tok)))
     tokens
 
-let parse_string_located text =
+(* split a NAME=value token; [what] names the construct for the error *)
+let split_binding lineno ~what tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      ( String.uppercase_ascii (String.sub tok 0 i),
+        String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None ->
+      raise (Parse_error (lineno, "expected NAME=value in " ^ what ^ ", got " ^ tok))
+
+let parse_string_located ?(overrides = []) text =
   let nl = Netlist.create () in
   let directives = ref [] in
   let lines = String.split_on_char '\n' text in
+  (* .param environment. External overrides (sweep points, corners) win
+     over the deck's own definitions; usage is tracked for the lint
+     unused-parameter check. *)
+  let defs = Hashtbl.create 8 in
+  let overridden = Hashtbl.create 8 in
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      let name = String.uppercase_ascii name in
+      Hashtbl.replace defs name v;
+      Hashtbl.replace overridden name ())
+    overrides;
+  let lookup name =
+    match Hashtbl.find_opt defs name with
+    | Some v ->
+        Hashtbl.replace used name ();
+        Some v
+    | None -> None
+  in
+  (* pre-pass: collect every .param so device cards may reference a
+     parameter defined later in the deck; .param values themselves may
+     only reference parameters already defined (clear failure otherwise) *)
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '*' then
+        match tokenize line with
+        | head :: rest when String.lowercase_ascii head = ".param" ->
+            if rest = [] then
+              raise (Parse_error (lineno, ".param expects NAME=value definitions"));
+            List.iter
+              (fun tok ->
+                let name, raw = split_binding lineno ~what:".param" tok in
+                let v = parse_value ~lineno ~params:lookup raw in
+                if not (Hashtbl.mem overridden name) then Hashtbl.replace defs name v)
+              rest
+        | _ -> ())
+    lines;
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
@@ -127,12 +197,19 @@ let parse_string_located text =
         | [] -> ()
         | head :: rest -> begin
             let fail msg = raise (Parse_error (lineno, msg)) in
-            let value = parse_value ~lineno in
+            let value = parse_value ~lineno ~params:lookup in
             let directive d = directives := (lineno, d) :: !directives in
             let upper = String.uppercase_ascii head in
             if upper.[0] = '.' then begin
               match (String.lowercase_ascii head, rest) with
               | ".end", _ -> ()
+              | ".param", binds ->
+                  List.iter
+                    (fun tok ->
+                      let name, _ = split_binding lineno ~what:".param" tok in
+                      directive
+                        (Param { name; value = Hashtbl.find defs name; used = false }))
+                    binds
               | ".dc", _ -> directive Dc_op
               | ".tran", [ tstop; dt ] ->
                   directive (Tran { t_stop = value tstop; dt = value dt })
@@ -151,27 +228,29 @@ let parse_string_located text =
               | 'C', [ p; n; v ] -> Netlist.capacitor nl ~origin head p n (value v)
               | 'L', [ p; n; v ] -> Netlist.inductor nl ~origin head p n (value v)
               | 'V', p :: n :: src ->
-                  Netlist.vsource nl ~origin head p n (parse_source lineno src)
+                  Netlist.vsource nl ~origin head p n
+                    (parse_source ~params:lookup lineno src)
               | 'I', p :: n :: src ->
-                  Netlist.isource nl ~origin head p n (parse_source lineno src)
+                  Netlist.isource nl ~origin head p n
+                    (parse_source ~params:lookup lineno src)
               | 'G', [ p; n; cp; cn; gm ] ->
                   Netlist.vccs nl ~origin head p n cp cn (value gm)
               | 'D', p :: n :: params ->
-                  let ps = parse_params lineno params in
+                  let ps = parse_params ~params:lookup lineno params in
                   let get key default =
                     match List.assoc_opt key ps with Some v -> v | None -> default
                   in
                   Netlist.diode nl ~origin head p n ~is:(get "IS" 1e-14)
                     ~nvt:(get "NVT" 0.02585) ~cj:(get "CJ" 0.0) ()
               | 'N', p :: n :: params ->
-                  let ps = parse_params lineno params in
+                  let ps = parse_params ~params:lookup lineno params in
                   let get key default =
                     match List.assoc_opt key ps with Some v -> v | None -> default
                   in
                   Netlist.noise_current nl ~origin head p n ~white:(get "WHITE" 1e-22)
                     ~flicker_corner:(get "FC" 0.0)
               | 'M', d :: g :: s :: params ->
-                  let ps = parse_params lineno params in
+                  let ps = parse_params ~params:lookup lineno params in
                   let get key default =
                     match List.assoc_opt key ps with Some v -> v | None -> default
                   in
@@ -183,10 +262,18 @@ let parse_string_located text =
           end
       end)
     lines;
-  (nl, List.rev !directives)
+  let located =
+    List.rev_map
+      (fun (ln, d) ->
+        match d with
+        | Param p -> (ln, Param { p with used = Hashtbl.mem used p.name })
+        | d -> (ln, d))
+      !directives
+  in
+  (nl, located)
 
-let parse_string text =
-  let nl, located = parse_string_located text in
+let parse_string ?overrides text =
+  let nl, located = parse_string_located ?overrides text in
   (nl, List.map snd located)
 
 let read_file path =
@@ -196,5 +283,5 @@ let read_file path =
   close_in ic;
   text
 
-let parse_file_located path = parse_string_located (read_file path)
-let parse_file path = parse_string (read_file path)
+let parse_file_located ?overrides path = parse_string_located ?overrides (read_file path)
+let parse_file ?overrides path = parse_string ?overrides (read_file path)

@@ -28,19 +28,31 @@ type directive =
   | Hb of { harmonics : int }
   | Noise_sweep of { f_start : float; f_stop : float }
   | Print of string list
+  | Param of { name : string; value : float; used : bool }
+      (** One [.param NAME=value] binding: [value] is the effective value
+          after any external override, [used] records whether a [{NAME}]
+          reference consumed it anywhere in the deck (the lint L014
+          unused-parameter check reads this). *)
 
 exception Parse_error of int * string
 (** Line number and message. *)
 
-val parse_value : ?lineno:int -> string -> float
-(** Numeric literal with engineering suffix.
-    @raise Parse_error on malformed input (line [lineno], default [0]). *)
+val parse_value : ?lineno:int -> ?params:(string -> float option) -> string -> float
+(** Numeric literal with engineering suffix, or a [{NAME}] parameter
+    reference resolved through [params] (default: no parameters defined).
+    @raise Parse_error on malformed input or an undefined parameter
+    reference (line [lineno], default [0]). *)
 
-val parse_string : string -> Netlist.t * directive list
-val parse_file : string -> Netlist.t * directive list
+val parse_string : ?overrides:(string * float) list -> string -> Netlist.t * directive list
+val parse_file : ?overrides:(string * float) list -> string -> Netlist.t * directive list
 
-val parse_string_located : string -> Netlist.t * (int * directive) list
+val parse_string_located :
+  ?overrides:(string * float) list -> string -> Netlist.t * (int * directive) list
 (** Like {!parse_string}, but each directive is paired with its 1-based
-    deck line number. *)
+    deck line number. [overrides] are externally supplied parameter
+    bindings (sweep points, process corners): they win over the deck's own
+    [.param] definitions of the same (case-insensitive) name, and may also
+    define parameters the deck never declares. *)
 
-val parse_file_located : string -> Netlist.t * (int * directive) list
+val parse_file_located :
+  ?overrides:(string * float) list -> string -> Netlist.t * (int * directive) list

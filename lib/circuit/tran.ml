@@ -9,9 +9,12 @@ type result = { times : float array; states : Vec.t array }
 
 let engine = "tran"
 
-let implicit_step ?(tol = 1e-9) ?(max_iter = 50) ?(solver = Dc.Sparse_direct) c
-    ~method_ ~x_prev ~t_prev ~dt =
+let implicit_step ?(tol = 1e-9) ?(max_iter = 50) ?(solver = Dc.Sparse_direct)
+    ?symb c ~method_ ~x_prev ~t_prev ~dt =
   let t1 = t_prev +. dt in
+  (* symbolic LU analysis shared across the step's Newton re-stamps; [run]
+     passes one cache for the whole transient (fixed dt => fixed pattern) *)
+  let symb = match symb with Some r -> r | None -> ref None in
   let q0 = Mna.eval_q c x_prev in
   let b1 = Mna.eval_b c t1 in
   (* companion Jacobian J = a_c/dt * C(x) + a_g * G(x) as a sparse (or
@@ -25,13 +28,14 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) ?(solver = Dc.Sparse_direct) c
     | Dc.Sparse_direct ->
         let cm = Mna.jac_c_sparse c x and gm = Mna.jac_g_sparse c x in
         let j = Sparse.add (Sparse.scale (1.0 /. dt) cm) (Sparse.scale a_g gm) in
-        Sparse_lu.solve (Sparse_lu.factor j) r
+        Sparse_lu.solve (Sparse_lu.factor_cached symb j) r
     | Dc.Gmres_ilu ->
         let cm = Mna.jac_c_sparse c x and gm = Mna.jac_g_sparse c x in
         let j = Sparse.add (Sparse.scale (1.0 /. dt) cm) (Sparse.scale a_g gm) in
         let precond = Sparse_lu.ilu_apply (Sparse_lu.ilu0 j) in
         let dx, st = Krylov.gmres ~tol:1e-12 ~precond (Sparse.matvec j) r in
-        if st.Krylov.converged then dx else Sparse_lu.solve (Sparse_lu.factor j) r
+        if st.Krylov.converged then dx
+        else Sparse_lu.solve (Sparse_lu.factor_cached symb j) r
   in
   let residual, jac =
     match method_ with
@@ -87,12 +91,14 @@ let run ?(method_ = Trapezoidal) ?x0 ?(tol = 1e-9) ?solver c ~t_stop ~dt =
   let steps = int_of_float (Float.ceil (t_stop /. dt)) in
   let times = Array.make (steps + 1) 0.0 in
   let states = Array.make (steps + 1) x0 in
+  let symb = ref None in
   for k = 1 to steps do
     let t_prev = times.(k - 1) in
     let dt_k = Float.min dt (t_stop -. t_prev) in
     times.(k) <- t_prev +. dt_k;
     states.(k) <-
-      implicit_step ~tol ?solver c ~method_ ~x_prev:states.(k - 1) ~t_prev ~dt:dt_k
+      implicit_step ~tol ?solver ~symb c ~method_ ~x_prev:states.(k - 1) ~t_prev
+        ~dt:dt_k
   done;
   { times; states }
 

@@ -19,6 +19,7 @@ val implicit_step :
   ?tol:float ->
   ?max_iter:int ->
   ?solver:Dc.linear_solver ->
+  ?symb:Rfkit_la.Sparse_lu.symbolic option ref ->
   Mna.t ->
   method_:method_ ->
   x_prev:Rfkit_la.Vec.t ->
@@ -26,7 +27,9 @@ val implicit_step :
   dt:float ->
   Rfkit_la.Vec.t
 (** One implicit step from [(t_prev, x_prev)] to [t_prev + dt]. [solver]
-    picks the inner linear solver (default {!Dc.Sparse_direct}).
+    picks the inner linear solver (default {!Dc.Sparse_direct}); [symb]
+    optionally shares a {!Rfkit_la.Sparse_lu} symbolic cache across steps
+    of a fixed-step run so re-stamps refactor instead of re-pivoting.
     @raise Step_failed with the failing time if Newton diverges. *)
 
 val run :

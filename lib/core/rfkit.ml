@@ -12,6 +12,8 @@
     - {!Em}: MoM extraction, IES3 compression, partial inductance
     - {!Rom}: PVL/Arnoldi reduced-order modeling
     - {!Lint}: static netlist analyzer (pre-flight "RF DRC" diagnostics)
+    - {!Batch}: sweep orchestration — job expansion, domain-parallel
+      execution, content-addressed result caching, telemetry
 
     Each alias re-exports a library whose modules carry their own
     documentation; start with {!Rf.Hb} and {!Circuit.Netlist}. *)
@@ -24,6 +26,7 @@ module Noise = Rfkit_noise
 module Em = Rfkit_em
 module Rom = Rfkit_rom
 module Lint = Rfkit_lint
+module Batch = Rfkit_batch
 
 (** Library version. *)
 let version = "1.0.0"

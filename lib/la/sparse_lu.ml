@@ -17,6 +17,17 @@
 
 exception Singular = Lu.Singular
 
+(* Observability: how many factorizations reused a cached symbolic
+   analysis vs. ran the full pivoting pass. Atomic so concurrent sweep
+   domains can share the counters. *)
+let n_refactor = Atomic.make 0
+let n_full = Atomic.make 0
+let counts () = (Atomic.get n_refactor, Atomic.get n_full)
+
+let reset_counts () =
+  Atomic.set n_refactor 0;
+  Atomic.set n_full 0
+
 type t = {
   n : int;
   (* L: strictly lower triangular, unit diagonal implicit, CSC *)
@@ -140,6 +151,7 @@ let factor a =
   for p = 0 to l.len - 1 do
     l_rows.(p) <- pinv.(l_rows.(p))
   done;
+  Atomic.incr n_full;
   {
     n;
     l_colptr;
@@ -153,6 +165,252 @@ let factor a =
   }
 
 let nnz f = Array.length f.l_vals + Array.length f.u_vals + f.n
+
+(* ---- symbolic reuse across re-stamps of a fixed sparsity pattern ----
+
+   A Newton loop refactors the same structural pattern dozens of times;
+   only the values change. [analyze] runs the full pivoting factorization
+   once while recording, per column, (a) which earlier pivot columns
+   structurally update it and (b) the structural L/U column patterns
+   (original-row coordinates, explicit zeros kept so the closure is
+   value-independent). [refactor] then replays that elimination with the
+   pivot order frozen — no pivot search, no per-column scan over all
+   previous pivots — and raises [Singular] when a frozen pivot has decayed
+   below [pivot_decay] times its column magnitude, at which point the
+   caller falls back to a fresh [analyze]. This is the KLU-style
+   refactorization discipline. *)
+
+type symbolic = {
+  s_n : int;
+  s_nnz : int; (* nnz of the analyzed matrix: cheap same-pattern check *)
+  s_prow : int array; (* pivot position -> original row *)
+  s_pinv : int array; (* original row -> pivot position *)
+  (* structural column patterns, original-row coordinates *)
+  sl_colptr : int array;
+  sl_rows : int array;
+  su_colptr : int array;
+  su_rows : int array;
+  (* the same patterns in pivot coordinates, ready to share with [t] *)
+  sl_prows : int array;
+  su_prows : int array;
+  (* columns kp < k whose L column structurally reaches column k *)
+  s_dep_ptr : int array;
+  s_deps : int array;
+}
+
+let pivot_decay = 1e-10
+
+type ibuf = { mutable ib : int array; mutable ilen : int }
+
+let ibuf_make cap = { ib = Array.make (max cap 16) 0; ilen = 0 }
+
+let ibuf_push b i =
+  if b.ilen = Array.length b.ib then begin
+    let ib = Array.make (2 * b.ilen) 0 in
+    Array.blit b.ib 0 ib 0 b.ilen;
+    b.ib <- ib
+  end;
+  b.ib.(b.ilen) <- i;
+  b.ilen <- b.ilen + 1
+
+let analyze a =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Sparse_lu.analyze: matrix not square";
+  let at = Sparse.transpose a in
+  let at_ptr, at_rows, at_vals = Sparse.csr at in
+  let pinv = Array.make n (-1) in
+  let prow = Array.make n (-1) in
+  let x = Array.make n 0.0 in
+  let touched = Array.make n false in
+  let touch_list = Array.make n 0 in
+  let l = buf_make (4 * Sparse.nnz a) in
+  let u = buf_make (4 * Sparse.nnz a) in
+  let deps = ibuf_make (4 * n) in
+  let l_colptr = Array.make (n + 1) 0 in
+  let u_colptr = Array.make (n + 1) 0 in
+  let dep_ptr = Array.make (n + 1) 0 in
+  let udiag = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let nt = ref 0 in
+    for p = at_ptr.(k) to at_ptr.(k + 1) - 1 do
+      let i = at_rows.(p) in
+      if not touched.(i) then begin
+        touched.(i) <- true;
+        touch_list.(!nt) <- i;
+        incr nt;
+        x.(i) <- at_vals.(p)
+      end
+      else x.(i) <- x.(i) +. at_vals.(p)
+    done;
+    (* structural elimination: a previous column participates whenever its
+       pivot row is touched, value notwithstanding, so the recorded
+       dependency set is independent of the stamped numbers *)
+    for kp = 0 to k - 1 do
+      let piv_row = prow.(kp) in
+      if touched.(piv_row) then begin
+        ibuf_push deps kp;
+        let xv = x.(piv_row) in
+        for p = l_colptr.(kp) to l_colptr.(kp + 1) - 1 do
+          let r = l.idx.(p) in
+          if not touched.(r) then begin
+            touched.(r) <- true;
+            touch_list.(!nt) <- r;
+            incr nt;
+            x.(r) <- 0.0
+          end;
+          x.(r) <- x.(r) -. (l.va.(p) *. xv)
+        done
+      end
+    done;
+    dep_ptr.(k + 1) <- deps.ilen;
+    (* partial pivot over unassigned rows *)
+    let best = ref (-1) in
+    let best_abs = ref 0.0 in
+    for t = 0 to !nt - 1 do
+      let i = touch_list.(t) in
+      if pinv.(i) < 0 then begin
+        let m = Float.abs x.(i) in
+        if m > !best_abs then begin
+          best_abs := m;
+          best := i
+        end
+      end
+    done;
+    if !best < 0 || !best_abs = 0.0 then raise Singular;
+    let piv = !best in
+    let pv = x.(piv) in
+    pinv.(piv) <- k;
+    prow.(k) <- piv;
+    udiag.(k) <- pv;
+    (* emit ALL touched rows (zeros included): the pattern must be the
+       structural closure or a later refactor could miss fill-in *)
+    for t = 0 to !nt - 1 do
+      let i = touch_list.(t) in
+      let v = x.(i) in
+      if pinv.(i) >= 0 then begin
+        if i <> piv then buf_push u i v (* original-row coords for now *)
+      end
+      else buf_push l i (v /. pv)
+    done;
+    l_colptr.(k + 1) <- l.len;
+    u_colptr.(k + 1) <- u.len;
+    for t = 0 to !nt - 1 do
+      let i = touch_list.(t) in
+      x.(i) <- 0.0;
+      touched.(i) <- false
+    done
+  done;
+  let sl_rows = Array.sub l.idx 0 l.len in
+  let su_rows = Array.sub u.idx 0 u.len in
+  let sl_prows = Array.map (fun i -> pinv.(i)) sl_rows in
+  let su_prows = Array.map (fun i -> pinv.(i)) su_rows in
+  let s =
+    {
+      s_n = n;
+      s_nnz = Sparse.nnz a;
+      s_prow = prow;
+      s_pinv = pinv;
+      sl_colptr = l_colptr;
+      sl_rows;
+      su_colptr = u_colptr;
+      su_rows;
+      sl_prows;
+      su_prows;
+      s_dep_ptr = dep_ptr;
+      s_deps = Array.sub deps.ib 0 deps.ilen;
+    }
+  in
+  Atomic.incr n_full;
+  let f =
+    {
+      n;
+      l_colptr;
+      l_rows = sl_prows;
+      l_vals = Array.sub l.va 0 l.len;
+      u_colptr;
+      u_rows = su_prows;
+      u_vals = Array.sub u.va 0 u.len;
+      udiag;
+      pinv;
+    }
+  in
+  (s, f)
+
+let refactor s a =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n || n <> s.s_n || Sparse.nnz a <> s.s_nnz then
+    invalid_arg "Sparse_lu.refactor: pattern mismatch";
+  let at = Sparse.transpose a in
+  let at_ptr, at_rows, at_vals = Sparse.csr at in
+  let x = Array.make n 0.0 in
+  let l_vals = Array.make (Array.length s.sl_rows) 0.0 in
+  let u_vals = Array.make (Array.length s.su_rows) 0.0 in
+  let udiag = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* scatter A[:,k]; its rows are a subset of the recorded reach, which
+       was zeroed after the previous column *)
+    for p = at_ptr.(k) to at_ptr.(k + 1) - 1 do
+      let i = at_rows.(p) in
+      x.(i) <- x.(i) +. at_vals.(p)
+    done;
+    for dp = s.s_dep_ptr.(k) to s.s_dep_ptr.(k + 1) - 1 do
+      let kp = s.s_deps.(dp) in
+      let xv = x.(s.s_prow.(kp)) in
+      if xv <> 0.0 then
+        for p = s.sl_colptr.(kp) to s.sl_colptr.(kp + 1) - 1 do
+          let r = s.sl_rows.(p) in
+          x.(r) <- x.(r) -. (l_vals.(p) *. xv)
+        done
+    done;
+    let piv_row = s.s_prow.(k) in
+    let pv = x.(piv_row) in
+    (* frozen-pivot health check against the column magnitude *)
+    let colmax = ref (Float.abs pv) in
+    for p = s.sl_colptr.(k) to s.sl_colptr.(k + 1) - 1 do
+      let m = Float.abs x.(s.sl_rows.(p)) in
+      if m > !colmax then colmax := m
+    done;
+    if pv = 0.0 || Float.abs pv < pivot_decay *. !colmax then raise Singular;
+    udiag.(k) <- pv;
+    for p = s.su_colptr.(k) to s.su_colptr.(k + 1) - 1 do
+      let r = s.su_rows.(p) in
+      u_vals.(p) <- x.(r);
+      x.(r) <- 0.0
+    done;
+    for p = s.sl_colptr.(k) to s.sl_colptr.(k + 1) - 1 do
+      let r = s.sl_rows.(p) in
+      l_vals.(p) <- x.(r) /. pv;
+      x.(r) <- 0.0
+    done;
+    x.(piv_row) <- 0.0
+  done;
+  Atomic.incr n_refactor;
+  {
+    n;
+    l_colptr = s.sl_colptr;
+    l_rows = s.sl_prows;
+    l_vals;
+    u_colptr = s.su_colptr;
+    u_rows = s.su_prows;
+    u_vals;
+    udiag;
+    pinv = s.s_pinv;
+  }
+
+let factor_cached cache a =
+  match !cache with
+  | Some s when s.s_n = Sparse.rows a && s.s_nnz = Sparse.nnz a -> begin
+      try refactor s a
+      with Singular ->
+        (* pivots drifted too far from the analyzed values: re-pivot *)
+        let s', f = analyze a in
+        cache := Some s';
+        f
+    end
+  | _ ->
+      let s, f = analyze a in
+      cache := Some s;
+      f
 
 let solve f b =
   if Array.length b <> f.n then invalid_arg "Sparse_lu.solve";

@@ -28,6 +28,39 @@ val solve_mat : t -> Mat.t -> Mat.t
 val nnz : t -> int
 (** Stored entries in [L] and [U] combined (fill-in included). *)
 
+type symbolic
+(** Structural elimination plan captured from one pivoting factorization:
+    the pivot order, the structural L/U column patterns (closure, explicit
+    zeros kept) and, per column, the set of earlier columns that update
+    it. Valid for every matrix with the same sparsity pattern. *)
+
+val analyze : Sparse.t -> symbolic * t
+(** Full partial-pivoting factorization that also records the symbolic
+    plan for later {!refactor}s.
+    @raise Singular as {!factor}. *)
+
+val refactor : symbolic -> Sparse.t -> t
+(** Numeric refactorization with the analyzed pivot order frozen: no
+    pivot search and no per-column scan over all previous pivots, the
+    KLU-style fast path for Newton re-stamps of a fixed pattern.
+    @raise Singular when a frozen pivot decayed below [1e-10] of its
+    column magnitude (the caller should re-{!analyze}).
+    @raise Invalid_argument when the matrix shape/nnz does not match the
+    analyzed pattern. *)
+
+val factor_cached : symbolic option ref -> Sparse.t -> t
+(** Factor through a caller-held symbolic cache: reuse the cached plan
+    when the pattern matches, transparently falling back to a fresh
+    {!analyze} (updating the cache) on a pattern change or pivot decay.
+    Newton loops hold one cache per linearization site. *)
+
+val counts : unit -> int * int
+(** [(refactors, full_factorizations)] since {!reset_counts} — the
+    refactor-vs-resymbolic split reported by [rfsim --stats]. Atomic,
+    shared across domains. *)
+
+val reset_counts : unit -> unit
+
 type ilu
 
 val ilu0 : Sparse.t -> ilu

@@ -361,7 +361,43 @@ let directive_sanity nl located =
                     (D.warning ~line ~subject:name "L013"
                        (Printf.sprintf ".print references unknown node %s" name)))
             names
-      | Deck.Dc_op -> [])
+      | Deck.Param _ (* L014's business *) | Deck.Dc_op -> [])
+    located
+
+(* ------------------------------------------------ L014 .param hygiene -- *)
+
+let param_hygiene located =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun (line, dir) ->
+      match dir with
+      | Deck.Param { name; value; used } ->
+          let dup =
+            match Hashtbl.find_opt seen name with
+            | Some first ->
+                [
+                  D.warning ~line ~subject:name "L014"
+                    (Printf.sprintf
+                       ".param %s redefines the definition on line %d (last one wins)"
+                       name first);
+                ]
+            | None ->
+                Hashtbl.replace seen name line;
+                []
+          in
+          let unused =
+            if used then []
+            else
+              [
+                D.warning ~line ~subject:name "L014"
+                  (Printf.sprintf
+                     ".param %s = %g is never referenced ({%s} appears nowhere): \
+                      dead knob or typo?"
+                     name value name);
+              ]
+          in
+          dup @ unused
+      | _ -> [])
     located
 
 (* --------------------------------------- L020 conductance-spread risk -- *)
@@ -401,4 +437,4 @@ let structural nl =
   floating_nodes nl @ source_loops nl @ dc_path_cutsets nl @ terminal_sanity nl
   @ element_values nl @ conductance_spread nl
 
-let all nl located = structural nl @ directive_sanity nl located
+let all nl located = structural nl @ directive_sanity nl located @ param_hygiene located

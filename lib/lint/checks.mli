@@ -12,6 +12,7 @@
     - [L011] [.hb] harmonic count, missing fundamental, linear-only decks
     - [L012] [.ac] / [.noise] sweep bounds
     - [L013] [.print] on nonexistent nodes
+    - [L014] [.param] hygiene (unused definitions, redefinitions)
     - [L020] extreme conductance spread (Jacobian conditioning risk) *)
 
 open Rfkit_circuit
@@ -22,6 +23,7 @@ val dc_path_cutsets : Netlist.t -> Diagnostic.t list
 val terminal_sanity : Netlist.t -> Diagnostic.t list
 val element_values : Netlist.t -> Diagnostic.t list
 val directive_sanity : Netlist.t -> (int * Deck.directive) list -> Diagnostic.t list
+val param_hygiene : (int * Deck.directive) list -> Diagnostic.t list
 val conductance_spread : Netlist.t -> Diagnostic.t list
 
 val structural : Netlist.t -> Diagnostic.t list

@@ -33,7 +33,8 @@ type result = {
    backward Euler it does not damp oscillator amplitudes to first order,
    and unlike trapezoidal it does not make algebraic MNA rows oscillate
    (which would park a Floquet multiplier at -1 and break (M - I)). *)
-let gear2_step ?(damping = 5.0) c ~x_prev ~x_prev2 ~t1 ~h =
+let gear2_step ?(damping = 5.0) ?symb c ~x_prev ~x_prev2 ~t1 ~h =
+  let symb = match symb with Some r -> r | None -> ref None in
   let n = Mna.size c in
   let q0 = Mna.eval_q c x_prev and qm1 = Mna.eval_q c x_prev2 in
   let b1 = Mna.eval_b c t1 in
@@ -59,7 +60,7 @@ let gear2_step ?(damping = 5.0) c ~x_prev ~x_prev2 ~t1 ~h =
           (Mna.jac_g_sparse c x)
       in
       let dx =
-        try Sparse_lu.solve (Sparse_lu.factor j) r
+        try Sparse_lu.solve (Sparse_lu.factor_cached symb j) r
         with Lu.Singular ->
           Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
             "singular Gear2 step Jacobian"
@@ -84,6 +85,9 @@ let gear2_step ?(damping = 5.0) c ~x_prev ~x_prev2 ~t1 ~h =
    Returns (trajectory including endpoint, monodromy). *)
 let integrate_period ?(with_monodromy = true) ?damping c ~x0 ~period ~m ~t_offset =
   let n = Mna.size c in
+  (* one symbolic LU analysis serves every step Jacobian of the period:
+     BE and Gear2 companion matrices share the C-union-G pattern *)
+  let symb = ref None in
   let h = period /. float_of_int m in
   let traj = Mat.make (m + 1) n in
   Mat.set_row traj 0 x0;
@@ -96,9 +100,9 @@ let integrate_period ?(with_monodromy = true) ?damping c ~x0 ~period ~m ~t_offse
     let x_prev = !x in
     let x_next =
       if k = 1 then
-        Tran.implicit_step c ~method_:Tran.Backward_euler ~x_prev
+        Tran.implicit_step ~symb c ~method_:Tran.Backward_euler ~x_prev
           ~t_prev:(t1 -. h) ~dt:h
-      else gear2_step ?damping c ~x_prev ~x_prev2:!x_prev2 ~t1 ~h
+      else gear2_step ?damping ~symb c ~x_prev ~x_prev2:!x_prev2 ~t1 ~h
     in
     if with_monodromy then begin
       (* step Jacobians and monodromy propagation through the sparse
@@ -109,7 +113,7 @@ let integrate_period ?(with_monodromy = true) ?damping c ~x0 ~period ~m ~t_offse
         let j = Sparse.add (Sparse.scale (1.0 /. h) c1) g1 in
         let c0 = Sparse.scale (1.0 /. h) (Mna.jac_c_sparse c x_prev) in
         let f =
-          try Sparse_lu.factor j
+          try Sparse_lu.factor_cached symb j
           with Lu.Singular ->
             Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
               "singular step Jacobian"
@@ -126,7 +130,7 @@ let integrate_period ?(with_monodromy = true) ?damping c ~x0 ~period ~m ~t_offse
             (Sparse.matmat (Sparse.scale (0.5 /. h) cm1) !mono_prev)
         in
         let f =
-          try Sparse_lu.factor j
+          try Sparse_lu.factor_cached symb j
           with Lu.Singular ->
             Error.fail ~engine ~time:t1 ~cause:Supervisor.Singular_jacobian
               "singular step Jacobian"

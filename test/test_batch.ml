@@ -1,0 +1,459 @@
+(* Batch subsystem: hashing, spec expansion, the content-addressed cache,
+   domain-parallel determinism, and the .param deck plumbing it rides on. *)
+
+open Rfkit_batch
+open Rfkit_circuit
+module La = Rfkit_la
+module Sup = Rfkit_solve.Supervisor
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- SHA-1 -- *)
+
+let test_sha1_vectors () =
+  check_str "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Hash.digest "");
+  check_str "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Hash.digest "abc");
+  check_str "two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Hash.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  (* length landing exactly on the 55/56-byte padding boundary *)
+  check_str "55 bytes" (Hash.digest (String.make 55 'a')) (Hash.digest (String.make 55 'a'));
+  check_str "million a"
+    "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Hash.digest (String.make 1_000_000 'a'))
+
+(* -------------------------------------------------------------- spec -- *)
+
+let test_axis_grammar () =
+  let a = Spec.parse_axis "R1=1k:10k:log:8" in
+  check_str "name upper" "R1" a.Spec.a_name;
+  check_int "8 points" 8 (Array.length a.Spec.a_values);
+  Alcotest.(check (float 1e-9)) "log lo" 1e3 a.Spec.a_values.(0);
+  Alcotest.(check (float 1e-6)) "log hi" 1e4 a.Spec.a_values.(7);
+  (* log spacing: constant ratio *)
+  let r01 = a.Spec.a_values.(1) /. a.Spec.a_values.(0)
+  and r67 = a.Spec.a_values.(7) /. a.Spec.a_values.(6) in
+  Alcotest.(check (float 1e-9)) "constant ratio" r01 r67;
+  let b = Spec.parse_axis "c2=0:5:lin:6" in
+  check_str "lowercase name uppercased" "C2" b.Spec.a_name;
+  Alcotest.(check (float 1e-12)) "lin step" 1.0 (b.Spec.a_values.(1) -. b.Spec.a_values.(0));
+  let c = Spec.parse_axis "L1=1n,2.2n,4.7n" in
+  check_int "comma list" 3 (Array.length c.Spec.a_values);
+  Alcotest.(check (float 1e-18)) "suffix" 2.2e-9 c.Spec.a_values.(1);
+  let d = Spec.parse_axis "VDD=3.3" in
+  check_int "single value" 1 (Array.length d.Spec.a_values)
+
+let expect_spec_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Spec_error" what
+  | exception Spec.Spec_error _ -> ()
+
+let test_axis_errors () =
+  expect_spec_error "no equals" (fun () -> Spec.parse_axis "R1");
+  expect_spec_error "bad scale" (fun () -> Spec.parse_axis "R1=1:2:cubic:4");
+  expect_spec_error "log zero endpoint" (fun () -> Spec.parse_axis "R1=0:1k:log:4");
+  expect_spec_error "one-point grid" (fun () -> Spec.parse_axis "R1=1:2:lin:1");
+  expect_spec_error "bad count" (fun () -> Spec.parse_axis "R1=1:2:lin:x");
+  expect_spec_error "bad number" (fun () -> Spec.parse_axis "R1=zap");
+  expect_spec_error "unknown analysis" (fun () ->
+      Spec.parse_analyses Spec.default_defaults "dc,warp");
+  expect_spec_error "empty analyses" (fun () ->
+      Spec.parse_analyses Spec.default_defaults "");
+  expect_spec_error "corner without colon" (fun () -> Spec.parse_corner "fast");
+  expect_spec_error "corner without overrides" (fun () -> Spec.parse_corner "fast:")
+
+let test_corner_grammar () =
+  let c = Spec.parse_corner "fast:R1=900,C1=0.9n" in
+  check_str "name" "fast" c.Spec.c_name;
+  check_int "two overrides" 2 (List.length c.Spec.c_overrides);
+  Alcotest.(check (float 1e-15)) "suffix value" 0.9e-9 (List.assoc "C1" c.Spec.c_overrides)
+
+(* ------------------------------------------------------------ expand -- *)
+
+let axes2 = [ Spec.parse_axis "R1=1k,2k"; Spec.parse_axis "C2=10p,20p,30p" ]
+
+let test_expand_shape () =
+  let analyses = [ Spec.Dc; Spec.Tran { t_stop = 1e-6; dt = 1e-9 } ] in
+  let corners = [ Spec.parse_corner "fast:C2=1p,X=1"; Spec.parse_corner "slow:X=2" ] in
+  let jobs = Expand.expand ~axes:axes2 ~corners ~analyses in
+  check_int "count" (2 * 6 * 2) (List.length jobs);
+  check_int "count agrees" (List.length jobs) (Expand.count ~axes:axes2 ~corners ~analyses);
+  List.iteri (fun i (j : Expand.job) -> check_int "sequential ids" i j.Expand.id) jobs;
+  let j0 = List.nth jobs 0 in
+  check_str "corner order" "fast" j0.Expand.corner;
+  (* C2 is swept, so the fast corner's C2 override must lose to the axis *)
+  Alcotest.(check (float 0.0)) "axis wins over corner" 10e-12
+    (List.assoc "C2" j0.Expand.params);
+  Alcotest.(check (float 0.0)) "corner-only param survives" 1.0
+    (List.assoc "X" j0.Expand.params);
+  (* params sorted by name *)
+  check_bool "params sorted" true
+    (List.for_all
+       (fun (j : Expand.job) ->
+         let names = List.map fst j.Expand.params in
+         names = List.sort String.compare names)
+       jobs);
+  (* analyses innermost: job 0 dc, job 1 tran, same bindings *)
+  let j1 = List.nth jobs 1 in
+  check_bool "analysis innermost" true (j1.Expand.analysis <> j0.Expand.analysis);
+  check_bool "same point" true (j0.Expand.params = j1.Expand.params);
+  (* first axis slowest: R1 flips only every |C2| * |analyses| jobs *)
+  let j4 = List.nth jobs 4 in
+  Alcotest.(check (float 0.0)) "first axis slowest" 1000.0
+    (List.assoc "R1" j4.Expand.params);
+  let j6 = List.nth jobs 6 in
+  Alcotest.(check (float 0.0)) "first axis advances" 2000.0
+    (List.assoc "R1" j6.Expand.params)
+
+let test_expand_nominal () =
+  let jobs = Expand.expand ~axes:[] ~corners:[] ~analyses:[ Spec.Dc ] in
+  check_int "one job" 1 (List.length jobs);
+  check_str "implicit corner" "nominal" (List.hd jobs).Expand.corner
+
+(* ------------------------------------------------------------- cache -- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d = Printf.sprintf "_batch_test_cache_%d_%d" (Unix.getpid ()) !n in
+    if Sys.file_exists d then () else Unix.mkdir d 0o755;
+    d
+
+let test_cache_key () =
+  let k ?(deck = "deck") ?(params = [ ("R1", 1e3) ]) ?(tag = "dc")
+      ?(options = [ "node=out" ]) () =
+    Cache.key ~deck_text:deck ~params ~analysis_tag:tag ~options
+  in
+  check_int "hex length" 40 (String.length (k ()));
+  check_str "deterministic" (k ()) (k ());
+  check_bool "deck text covered" true (k () <> k ~deck:"deck2" ());
+  check_bool "params covered" true (k () <> k ~params:[ ("R1", 2e3) ] ());
+  check_bool "tag covered" true (k () <> k ~tag:"tran[1:2]" ());
+  check_bool "options covered" true (k () <> k ~options:[ "node=a" ] ());
+  (* length prefixing: shifting a byte across a field boundary must not
+     produce the same key *)
+  check_bool "field boundaries" true
+    (Cache.key ~deck_text:"ab" ~params:[] ~analysis_tag:"c" ~options:[]
+    <> Cache.key ~deck_text:"a" ~params:[] ~analysis_tag:"bc" ~options:[])
+
+let test_cache_roundtrip () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key = Cache.key ~deck_text:"d" ~params:[] ~analysis_tag:"dc" ~options:[] in
+  Alcotest.(check (option string)) "miss first" None (Cache.lookup c key);
+  Cache.store c key {|{"status":"ok","x":1}|};
+  Alcotest.(check (option string)) "hit after store" (Some {|{"status":"ok","x":1}|})
+    (Cache.lookup c key);
+  let st = Cache.stats c in
+  check_int "one miss" 1 st.Cache.misses;
+  check_int "one hit" 1 st.Cache.hits;
+  check_int "one store" 1 st.Cache.stores
+
+let test_cache_corrupt_recovery () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key = Cache.key ~deck_text:"d" ~params:[] ~analysis_tag:"dc" ~options:[] in
+  Cache.store c key {|{"status":"ok","x":1}|};
+  (* find the entry file and garble it *)
+  let sub = Filename.concat dir (String.sub key 0 2) in
+  let entry = Filename.concat sub (key ^ ".jsonl") in
+  check_bool "entry exists" true (Sys.file_exists entry);
+  let oc = open_out entry in
+  output_string oc "garbage, no checksum line";
+  close_out oc;
+  Alcotest.(check (option string)) "corrupt entry is a miss" None (Cache.lookup c key);
+  check_bool "corrupt entry deleted" false (Sys.file_exists entry);
+  let st = Cache.stats c in
+  check_int "eviction counted" 1 st.Cache.evictions;
+  (* checksum mismatch (valid shape, wrong hash) also evicts *)
+  Cache.store c key {|{"status":"ok","x":1}|};
+  let oc = open_out entry in
+  output_string oc "{\"status\":\"ok\",\"x\":2}\n#sha1:";
+  output_string oc (Hash.digest "something else");
+  output_string oc "\n";
+  close_out oc;
+  Alcotest.(check (option string)) "checksum mismatch is a miss" None (Cache.lookup c key);
+  check_int "second eviction" 2 (Cache.stats c).Cache.evictions
+
+let test_cache_disabled () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~enabled:false ~dir () in
+  let key = Cache.key ~deck_text:"d" ~params:[] ~analysis_tag:"dc" ~options:[] in
+  Cache.store c key "payload";
+  Alcotest.(check (option string)) "no-cache bypasses" None (Cache.lookup c key);
+  check_int "nothing stored" 0 (Cache.stats c).Cache.stores
+
+(* ------------------------------------------------- runner determinism -- *)
+
+let sweep_deck =
+  "* parametric two-pole RC low-pass\n\
+   .param R1=1k C2=100p\n\
+   V1 in 0 DC 1\n\
+   R1 in a {R1}\n\
+   C1 a 0 1n\n\
+   R2 a out 5k\n\
+   C2 out 0 {C2}\n\
+   .end\n"
+
+let quiet_telemetry n = Telemetry.create ~progress:false ~total:n ()
+
+let run_sweep ?(domains = 1) ?(cache = Cache.create ~enabled:false ~dir:"_unused" ())
+    ~axes ~analyses () =
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses in
+  let cfg =
+    {
+      Runner.deck_text = sweep_deck;
+      node = "out";
+      domains;
+      budget = None;
+      tol_scale = 1.0;
+    }
+  in
+  let telemetry = quiet_telemetry (List.length jobs) in
+  let results = Runner.run cfg ~cache ~telemetry jobs in
+  Telemetry.close telemetry;
+  results
+
+let report_lines results =
+  Array.to_list (Array.map Report.line results)
+
+let test_jobs1_vs_jobs4_identical () =
+  let axes = [ Spec.parse_axis "R1=500:5k:log:4" ] in
+  let analyses = [ Spec.Dc; Spec.Ac { f_start = 1e3; f_stop = 1e6; points_per_decade = 3 } ] in
+  let r1 = run_sweep ~domains:1 ~axes ~analyses () in
+  let r4 = run_sweep ~domains:4 ~axes ~analyses () in
+  Alcotest.(check (list string)) "byte-identical reports"
+    (report_lines r1) (report_lines r4)
+
+let qcheck_jobs_determinism =
+  QCheck.Test.make ~count:8 ~name:"sweep report independent of domain count"
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(int_range 1 3) (int_range 100 10_000)))
+    (fun (extra_domains, ohms) ->
+      QCheck.assume (ohms <> []);
+      let values = String.concat "," (List.map string_of_int ohms) in
+      let axes = [ Spec.parse_axis ("R1=" ^ values) ] in
+      let analyses = [ Spec.Dc ] in
+      let a = run_sweep ~domains:1 ~axes ~analyses () in
+      let b = run_sweep ~domains:(1 + extra_domains) ~axes ~analyses () in
+      report_lines a = report_lines b)
+
+let test_runner_cache_rerun () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let axes = [ Spec.parse_axis "R1=1k,2k,3k" ] in
+  let cold = run_sweep ~cache ~axes ~analyses:[ Spec.Dc ] () in
+  check_bool "cold run computes" true
+    (Array.for_all (fun r -> not r.Runner.cached) cold);
+  let warm = run_sweep ~cache ~axes ~analyses:[ Spec.Dc ] () in
+  check_bool "warm run all cached" true
+    (Array.for_all (fun r -> r.Runner.cached) warm);
+  Alcotest.(check (list string)) "warm report identical"
+    (report_lines cold) (report_lines warm);
+  let st = Cache.stats cache in
+  check_int "3 misses then 3 hits" 3 st.Cache.misses;
+  check_int "hits" 3 st.Cache.hits;
+  (* corrupt one entry: recovered by recompute, never fatal *)
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
+  let cfg =
+    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0 }
+  in
+  let key = Runner.job_key cfg (List.hd jobs) in
+  let entry = Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".jsonl") in
+  let oc = open_out entry in
+  output_string oc "truncated";
+  close_out oc;
+  let healed = run_sweep ~cache ~axes ~analyses:[ Spec.Dc ] () in
+  Alcotest.(check (list string)) "healed report identical"
+    (report_lines cold) (report_lines healed);
+  check_int "eviction recorded" 1 (Cache.stats cache).Cache.evictions;
+  check_bool "entry rewritten" true (Sys.file_exists entry)
+
+let test_failed_job_does_not_kill_sweep () =
+  (* hb on a deck with no periodic source: that job fails, dc succeeds *)
+  let axes = [ Spec.parse_axis "R1=1k" ] in
+  let analyses = [ Spec.Dc; Spec.Hb { freq = None; harmonics = 4 } ] in
+  let results = run_sweep ~axes ~analyses () in
+  check_int "both jobs reported" 2 (Array.length results);
+  check_bool "dc ok" true (results.(0).Runner.status = Runner.Ok);
+  check_bool "hb failed" true (results.(1).Runner.status = Runner.Failed);
+  check_bool "failure is typed in payload" true
+    (contains_sub ~sub:"periodic" results.(1).Runner.payload)
+
+(* ------------------------------------------------------------ telemetry -- *)
+
+let test_telemetry_log () =
+  let log = Printf.sprintf "_batch_test_telemetry_%d.jsonl" (Unix.getpid ()) in
+  let axes = [ Spec.parse_axis "R1=1k,2k" ] in
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
+  let cfg =
+    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0 }
+  in
+  let telemetry = Telemetry.create ~log_path:log ~progress:false ~total:2 () in
+  let _ = Runner.run cfg ~cache:(Cache.create ~enabled:false ~dir:"_unused" ()) ~telemetry jobs in
+  Telemetry.close telemetry;
+  let ic = open_in log in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  (* queued + started + finished per job *)
+  check_int "3 events per job" 6 (List.length !lines);
+  check_bool "events are tagged json" true
+    (List.for_all (fun l -> String.length l > 0 && l.[0] = '{') !lines);
+  check_int "2 finished" 2
+    (List.length
+       (List.filter
+          (contains_sub ~sub:{|"event":"finished"|})
+          !lines));
+  Sys.remove log
+
+(* ----------------------------------------------------- deck .param -- *)
+
+let test_param_basics () =
+  let nl, dirs =
+    Deck.parse_string ".param R=2k\nV1 in 0 DC 1\nR1 in out {R}\nR2 out 0 2k\n.end\n"
+  in
+  check_int "three devices" 3 (List.length (Netlist.devices nl));
+  (match List.find_opt (function Deck.Param _ -> true | _ -> false) dirs with
+  | Some (Deck.Param { name; value; used }) ->
+      check_str "name" "R" name;
+      Alcotest.(check (float 0.0)) "value" 2000.0 value;
+      check_bool "used" true used
+  | _ -> Alcotest.fail "no Param directive")
+
+let test_param_forward_reference () =
+  (* device line references a .param defined later in the deck *)
+  let _, dirs = Deck.parse_string "R1 a 0 {RL}\n.param RL=50\n.end\n" in
+  check_int "param present" 1
+    (List.length (List.filter (function Deck.Param _ -> true | _ -> false) dirs))
+
+let test_param_override_wins () =
+  let nl, _ =
+    Deck.parse_string ~overrides:[ ("r", 100.0) ]
+      ".param R=2k\nV1 in 0 DC 1\nR1 in 0 {R}\n.end\n"
+  in
+  let c = Mna.build nl in
+  match Dc.solve_outcome c with
+  | Sup.Converged (x, _) ->
+      (* 1 V across the overridden 100 ohms: branch current = 1/100 *)
+      let i = Mna.branch_index c "V1" in
+      (match i with
+      | Some k -> Alcotest.(check (float 1e-9)) "override resistance" 0.01 (Float.abs x.(k))
+      | None -> Alcotest.fail "no branch current")
+  | Sup.Failed f -> Alcotest.failf "dc failed: %s" (Sup.failure_to_string f)
+
+let test_param_undefined_is_clear () =
+  match Deck.parse_string "R1 a 0 {NOPE}\n.end\n" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Deck.Parse_error (line, msg) ->
+      check_int "line" 1 line;
+      check_bool "names the parameter" true (contains_sub ~sub:"NOPE" msg)
+
+let test_param_lint_unused () =
+  let _, located = Deck.parse_string_located ".param R=1k X=2\nR1 a 0 {R}\nV1 a 0 DC 1\n.end\n" in
+  let ds = Rfkit_lint.Checks.param_hygiene located in
+  check_int "one unused diagnostic" 1 (List.length ds);
+  let d = List.hd ds in
+  check_str "code" "L014" d.Rfkit_lint.Diagnostic.code;
+  Alcotest.(check (option string)) "subject" (Some "X") d.Rfkit_lint.Diagnostic.subject
+
+let test_param_lint_redefinition () =
+  let _, located =
+    Deck.parse_string_located ".param R=1k\n.param R=2k\nR1 a 0 {R}\nV1 a 0 DC 1\n.end\n"
+  in
+  let ds = Rfkit_lint.Checks.param_hygiene located in
+  check_int "one redefinition diagnostic" 1 (List.length ds)
+
+(* -------------------------------------------- sparse LU refactor reuse -- *)
+
+let test_refactor_agrees_with_factor () =
+  let nl, _ = Deck.parse_file "../examples/decks/rectifier.cir" in
+  let c = Mna.build nl in
+  let n = Mna.size c in
+  let x1 = La.Vec.create n in
+  let x2 = La.Vec.init n (fun i -> 0.3 +. (0.1 *. float_of_int i)) in
+  let g1 = Mna.jac_g_sparse c x1 and g2 = Mna.jac_g_sparse c x2 in
+  let symb, f1 = La.Sparse_lu.analyze g1 in
+  let rhs = La.Vec.init n (fun i -> 1.0 +. float_of_int i) in
+  let direct1 = La.Sparse_lu.solve (La.Sparse_lu.factor g1) rhs in
+  let via1 = La.Sparse_lu.solve f1 rhs in
+  Alcotest.(check (float 1e-10)) "analyze == factor at x1" 0.0
+    (La.Vec.norm_inf (La.Vec.sub direct1 via1));
+  (* same pattern, different values: numeric replay must match a fresh
+     factorization *)
+  let direct2 = La.Sparse_lu.solve (La.Sparse_lu.factor g2) rhs in
+  let via2 = La.Sparse_lu.solve (La.Sparse_lu.refactor symb g2) rhs in
+  Alcotest.(check (float 1e-10)) "refactor == factor at x2" 0.0
+    (La.Vec.norm_inf (La.Vec.sub direct2 via2))
+
+let test_factor_cached_counts () =
+  let nl, _ = Deck.parse_file "../examples/decks/rectifier.cir" in
+  let c = Mna.build nl in
+  let n = Mna.size c in
+  let g = Mna.jac_g_sparse c (La.Vec.create n) in
+  La.Sparse_lu.reset_counts ();
+  let cachev = ref None in
+  let rhs = La.Vec.init n (fun i -> float_of_int (i + 1)) in
+  let a = La.Sparse_lu.solve (La.Sparse_lu.factor_cached cachev g) rhs in
+  let b = La.Sparse_lu.solve (La.Sparse_lu.factor_cached cachev g) rhs in
+  Alcotest.(check (float 1e-12)) "cached solve agrees" 0.0
+    (La.Vec.norm_inf (La.Vec.sub a b));
+  let refactors, fulls = La.Sparse_lu.counts () in
+  check_int "one full analysis" 1 fulls;
+  check_int "one refactor" 1 refactors
+
+let suite =
+  [
+    ( "batch.hash",
+      [ Alcotest.test_case "sha1 vectors" `Quick test_sha1_vectors ] );
+    ( "batch.spec",
+      [
+        Alcotest.test_case "axis grammar" `Quick test_axis_grammar;
+        Alcotest.test_case "axis errors" `Quick test_axis_errors;
+        Alcotest.test_case "corner grammar" `Quick test_corner_grammar;
+      ] );
+    ( "batch.expand",
+      [
+        Alcotest.test_case "shape and order" `Quick test_expand_shape;
+        Alcotest.test_case "nominal corner" `Quick test_expand_nominal;
+      ] );
+    ( "batch.cache",
+      [
+        Alcotest.test_case "key derivation" `Quick test_cache_key;
+        Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+        Alcotest.test_case "corrupt recovery" `Quick test_cache_corrupt_recovery;
+        Alcotest.test_case "disabled bypass" `Quick test_cache_disabled;
+      ] );
+    ( "batch.runner",
+      [
+        Alcotest.test_case "jobs=1 vs jobs=4" `Quick test_jobs1_vs_jobs4_identical;
+        QCheck_alcotest.to_alcotest qcheck_jobs_determinism;
+        Alcotest.test_case "cache rerun + heal" `Quick test_runner_cache_rerun;
+        Alcotest.test_case "failed job isolated" `Quick test_failed_job_does_not_kill_sweep;
+        Alcotest.test_case "telemetry log" `Quick test_telemetry_log;
+      ] );
+    ( "batch.param",
+      [
+        Alcotest.test_case "basics" `Quick test_param_basics;
+        Alcotest.test_case "forward reference" `Quick test_param_forward_reference;
+        Alcotest.test_case "override wins" `Quick test_param_override_wins;
+        Alcotest.test_case "undefined is clear" `Quick test_param_undefined_is_clear;
+        Alcotest.test_case "lint unused" `Quick test_param_lint_unused;
+        Alcotest.test_case "lint redefinition" `Quick test_param_lint_redefinition;
+      ] );
+    ( "batch.sparse_lu",
+      [
+        Alcotest.test_case "refactor agrees" `Quick test_refactor_agrees_with_factor;
+        Alcotest.test_case "factor_cached counts" `Quick test_factor_cached_counts;
+      ] );
+  ]
