@@ -42,6 +42,8 @@ let config domains =
     domains;
     budget = None;
     tol_scale = 1.0;
+    ordering = Rfkit_struct.Order.Natural;
+    stats = false;
   }
 
 let fresh_dir =

@@ -90,11 +90,14 @@ let emit_stats ~analysis c (st : Solve.Supervisor.stats) =
     let lu_refactor, lu_full = La.Sparse_lu.counts () in
     Printf.eprintf
       "stats: %s unknowns=%d nnz(G)=%d nnz(C)=%d density(G)=%.4f \
-matrix_bytes=%d newton=%d gmres=%d lu_full=%d lu_refactor=%d\n"
+matrix_bytes=%d newton=%d gmres=%d lu_full=%d lu_refactor=%d fill_nnz=%d \
+ordering=%s\n"
       analysis n (La.Sparse.nnz g) (La.Sparse.nnz cm) (La.Sparse.density g)
       (La.Sparse.memory_bytes g + La.Sparse.memory_bytes cm)
       st.Solve.Supervisor.iterations st.Solve.Supervisor.krylov_iterations
       lu_full lu_refactor
+      (La.Sparse_lu.fill_nnz ())
+      (Struct.Order.mode_to_string (Mna.ordering c))
   end
 
 let load_located path =
@@ -275,6 +278,25 @@ let stats_arg =
            count, stamped-matrix nnz/density/bytes, and Newton/GMRES \
            iteration counts.")
 
+let ordering_arg =
+  let mode_conv =
+    Arg.enum
+      [
+        ("natural", Struct.Order.Natural);
+        ("amd", Struct.Order.Amd_only);
+        ("btf-amd", Struct.Order.Btf_amd);
+      ]
+  in
+  Arg.(
+    value & opt mode_conv Struct.Order.Natural
+    & info [ "ordering" ] ~docv:"MODE"
+        ~doc:
+          "Fill-reducing ordering for the sparse LU: $(b,natural) (deck \
+           order), $(b,amd) (minimum degree on the symmetrized pattern), or \
+           $(b,btf-amd) (block-triangular form with AMD inside each diagonal \
+           block). Partial pivoting keeps the factorization exact either \
+           way; only fill-in changes.")
+
 let cascade_arg =
   Arg.(
     value & flag
@@ -309,33 +331,143 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ deck_arg $ json $ strict)
 
+(* rfsim analyze: the structural pre-analysis as a first-class report.
+   Parses and compiles the deck but never factors real values: everything
+   here is decided by the sparsity pattern alone (the fill probe factors a
+   synthetic nonsingular value assignment on the exact engine pattern).
+   Exit 2 when the pattern proves the system singular (L021/L022). *)
+let analyze_cmd =
+  let doc = "structural pre-analysis: DM rank, BTF blocks, ordering fill-in" in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON-lines output.")
+  in
+  let run path json =
+    let nl, _ = load_located path in
+    let c = Mna.build nl in
+    let n = Mna.size c in
+    let sg = Mna.structural_g c
+    and sc = Mna.structural_c c
+    and su = Mna.structural_gc c in
+    let rank_g = Mna.structural_rank_g c
+    and rank_u = Mna.structural_rank_gc c in
+    (* the pattern the engines actually factor: union + forced diagonal,
+       filled with a deterministic nonsingular value assignment so the
+       measured fill is that of a real (pivoted) factorization *)
+    let x0 = La.Vec.create n in
+    let factored = La.Sparse.add (Mna.jac_g_sparse c x0) (Mna.jac_c_sparse c x0) in
+    let rp, ci, _ = La.Sparse.csr factored in
+    let vals = Array.make (Array.length ci) 0.0 in
+    for i = 0 to n - 1 do
+      for k = rp.(i) to rp.(i + 1) - 1 do
+        vals.(k) <-
+          1.0 +. (0.01 *. float_of_int (((i * 31) + (ci.(k) * 17)) mod 97))
+      done
+    done;
+    let probe =
+      La.Sparse.of_csr ~rows:n ~cols:n ~row_ptr:rp ~col_idx:ci ~values:vals
+    in
+    let blocks = (Struct.Order.compute_info Struct.Order.Btf_amd probe).Struct.Order.blocks in
+    let fill mode =
+      if rank_u < n then None
+      else
+        let perm = Struct.Order.compute mode probe in
+        match La.Sparse_lu.factor ?perm probe with
+        | _ -> Some (La.Sparse_lu.fill_nnz ())
+        | exception _ -> None
+    in
+    let fills =
+      List.map
+        (fun (name, m) -> (name, fill m))
+        [
+          ("natural", Struct.Order.Natural);
+          ("amd", Struct.Order.Amd_only);
+          ("btf-amd", Struct.Order.Btf_amd);
+        ]
+    in
+    let ds =
+      Lint.Diagnostic.sort
+        (Lint.Checks.structural_singularity nl @ Lint.Checks.dae_index nl)
+    in
+    if json then begin
+      let fill_json =
+        String.concat ","
+          (List.map
+             (fun (name, f) ->
+               Printf.sprintf "%S:%s"
+                 name
+                 (match f with Some v -> string_of_int v | None -> "null"))
+             fills)
+      in
+      Printf.printf
+        "{\"analysis\":\"structure\",\"path\":%S,\"unknowns\":%d,\
+         \"nnz_g\":%d,\"nnz_c\":%d,\"nnz_union\":%d,\"nnz_factored\":%d,\
+         \"rank_g\":%d,\"rank_union\":%d,\"structurally_singular\":%b,\
+         \"btf_blocks\":[%s],\"fill\":{%s}}\n"
+        path n (La.Sparse.nnz sg) (La.Sparse.nnz sc) (La.Sparse.nnz su)
+        (La.Sparse.nnz probe) rank_g rank_u (rank_g < n)
+        (String.concat "," (List.map string_of_int blocks))
+        fill_json;
+      List.iter (fun d -> print_endline (Lint.Diagnostic.to_json ~path d)) ds
+    end
+    else begin
+      Printf.printf "structural analysis: %s\n" path;
+      Printf.printf "  unknowns         %d\n" n;
+      Printf.printf "  nnz              G %d   C %d   G+C %d   factored %d\n"
+        (La.Sparse.nnz sg) (La.Sparse.nnz sc) (La.Sparse.nnz su)
+        (La.Sparse.nnz probe);
+      Printf.printf "  structural rank  G %d/%d   G+C %d/%d%s\n" rank_g n rank_u
+        n
+        (if rank_g < n then "   STRUCTURALLY SINGULAR" else "");
+      (if blocks <> [] then
+         let largest = List.fold_left max 0 blocks in
+         Printf.printf "  btf blocks       %d (largest %d)\n"
+           (List.length blocks) largest);
+      Printf.printf "  fill nnz(L+U)    %s\n"
+        (String.concat "   "
+           (List.map
+              (fun (name, f) ->
+                Printf.sprintf "%s %s" name
+                  (match f with Some v -> string_of_int v | None -> "-"))
+              fills));
+      List.iter (fun d -> print_endline (Lint.Diagnostic.to_string ~path d)) ds;
+      Printf.printf "structure: %s\n"
+        (if ds = [] then "clean" else Lint.summary ds)
+    end;
+    if Lint.Diagnostic.has_errors ds then exit exit_lint
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ deck_arg $ json)
+
 let dc_cmd =
   let doc = "DC operating point" in
-  let run path no_lint inject no_certify scale stats =
+  let run path no_lint inject no_certify scale stats ordering =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"dc" inject;
     set_stats stats;
-    run_dc ~certify:(certify_mode no_certify scale) (Mna.build nl)
+    let c = Mna.build nl in
+    Mna.set_ordering c ordering;
+    run_dc ~certify:(certify_mode no_certify scale) c
   in
   Cmd.v (Cmd.info "dc" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ inject_singular_arg $ no_certify_arg
-      $ certify_scale_arg $ stats_arg)
+      $ certify_scale_arg $ stats_arg $ ordering_arg)
 
 let tran_cmd =
   let doc = "transient analysis (CSV on stdout)" in
   let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"Stop time (s).") in
   let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
-  let run path no_lint t_stop dt node no_certify scale stats =
+  let run path no_lint t_stop dt node no_certify scale stats ordering =
     let nl, _ = load ~no_lint path in
     set_stats stats;
-    run_tran ~certify:(certify_mode no_certify scale) (Mna.build nl) ~t_stop ~dt
+    let c = Mna.build nl in
+    Mna.set_ordering c ordering;
+    run_tran ~certify:(certify_mode no_certify scale) c ~t_stop ~dt
       ~nodes:[ node ]
   in
   Cmd.v (Cmd.info "tran" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ t_stop $ dt $ node_arg "out"
-      $ no_certify_arg $ certify_scale_arg $ stats_arg)
+      $ no_certify_arg $ certify_scale_arg $ stats_arg $ ordering_arg)
 
 let ac_cmd =
   let doc = "AC small-signal sweep (CSV on stdout)" in
@@ -370,12 +502,14 @@ let hb_cmd =
   let doc = "harmonic-balance periodic steady state" in
   let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
-  let run path no_lint freq harmonics node inject cascade no_certify scale stats =
+  let run path no_lint freq harmonics node inject cascade no_certify scale stats
+      ordering =
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"hb" inject;
     set_stats stats;
     let certify = certify_mode no_certify scale in
     let c = Mna.build nl in
+    Mna.set_ordering c ordering;
     if cascade then run_hb_cascade ~certify c ~freq ~node ~harmonics
     else run_hb ~certify c ~freq ~node ~harmonics
   in
@@ -383,7 +517,7 @@ let hb_cmd =
     Term.(
       const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out"
       $ inject_singular_arg $ cascade_arg $ no_certify_arg $ certify_scale_arg
-      $ stats_arg)
+      $ stats_arg $ ordering_arg)
 
 let shooting_cmd =
   let doc = "shooting-method periodic steady state" in
@@ -525,7 +659,7 @@ let sweep_cmd =
   in
   let run path params corners analyses jobs node freq harmonics steps t_stop dt
       f_start f_stop ppd cache_dir no_cache telemetry_path job_iters job_wall
-      no_lint =
+      no_lint ordering stats =
     let deck_text =
       try
         let ic = open_in path in
@@ -596,6 +730,7 @@ let sweep_cmd =
               wall_clock = Option.value job_wall ~default:d.Solve.Supervisor.wall_clock;
             }
     in
+    if stats then La.Sparse_lu.reset_counts ();
     let cfg =
       {
         Batch.Runner.deck_text;
@@ -603,6 +738,8 @@ let sweep_cmd =
         domains = max 1 jobs;
         budget;
         tol_scale = 1.0;
+        ordering;
+        stats;
       }
     in
     let cache = Batch.Cache.create ~enabled:(not no_cache) ~dir:cache_dir () in
@@ -620,7 +757,7 @@ let sweep_cmd =
       const run $ deck_arg $ param_args $ corner_args $ analysis_arg $ jobs_arg
       $ node_arg "out" $ freq $ harmonics $ steps $ t_stop $ dt $ f_start
       $ f_stop $ ppd $ cache_dir_arg $ no_cache_arg $ telemetry_arg
-      $ job_iters_arg $ job_wall_arg $ no_lint_arg)
+      $ job_iters_arg $ job_wall_arg $ no_lint_arg $ ordering_arg $ stats_arg)
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in
@@ -671,6 +808,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; lint_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd; shooting_cmd;
-            mmft_cmd; noise_cmd; sweep_cmd;
+            run_cmd; lint_cmd; analyze_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd;
+            shooting_cmd; mmft_cmd; noise_cmd; sweep_cmd;
           ]))

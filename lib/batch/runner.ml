@@ -39,6 +39,8 @@ type config = {
   domains : int;
   budget : Sup.budget option;  (** [None]: each engine's own default *)
   tol_scale : float;
+  ordering : Rfkit_struct.Order.mode;
+  stats : bool;
 }
 
 (* ---------------------------------------------------------- payloads -- *)
@@ -99,6 +101,7 @@ let harmonics_data sol node n =
 let execute cfg (job : Expand.job) =
   let nl, _ = Deck.parse_string ~overrides:job.params cfg.deck_text in
   let c = Mna.build nl in
+  Mna.set_ordering c cfg.ordering;
   let analysis = job.analysis in
   let fail_sup (f : Sup.failure) =
     ( Failed,
@@ -106,6 +109,7 @@ let execute cfg (job : Expand.job) =
       Cascade.failure_iterations f,
       0 )
   in
+  let ((_, _, newton, krylov) as result) =
   match analysis with
   | Spec.Dc -> (
       match Dc.solve_outcome ?budget:cfg.budget c with
@@ -213,6 +217,23 @@ let execute cfg (job : Expand.job) =
               ~data:(harmonics_data sol cfg.node 8),
             newton, krylov )
       | Sup.Failed f -> fail_sup f)
+  in
+  (* the stats line goes to stderr (never part of the deterministic stdout
+     contract); fill_nnz reads the library-wide last-factorization counter,
+     so with --jobs > 1 a concurrent domain may have factored in between *)
+  if cfg.stats then begin
+    let x = La.Vec.create (Mna.size c) in
+    let g = Mna.jac_g_sparse c x in
+    Printf.eprintf
+      "stats: job=%d analysis=%s unknowns=%d nnz(G)=%d newton=%d gmres=%d \
+       fill_nnz=%d ordering=%s\n"
+      job.Expand.id
+      (Spec.analysis_name analysis)
+      (Mna.size c) (La.Sparse.nnz g) newton krylov
+      (La.Sparse_lu.fill_nnz ())
+      (Rfkit_struct.Order.mode_to_string cfg.ordering)
+  end;
+  result
 
 (* ------------------------------------------------------------- pool -- *)
 
@@ -230,6 +251,9 @@ let job_key cfg (job : Expand.job) =
         "node=" ^ cfg.node;
         budget_tag cfg.budget;
         Printf.sprintf "certify-scale=%.9g" cfg.tol_scale;
+        (* orderings permute the elimination, perturbing results in the
+           last float digits: cached payloads must not cross modes *)
+        "ordering=" ^ Rfkit_struct.Order.mode_to_string cfg.ordering;
       ]
 
 let run_one cfg ~cache ~telemetry (job : Expand.job) =

@@ -32,6 +32,14 @@ type config = {
   budget : Rfkit_solve.Supervisor.budget option;
       (** per-job budget; [None] keeps each engine's own default *)
   tol_scale : float;  (** certification threshold multiplier *)
+  ordering : Rfkit_struct.Order.mode;
+      (** fill-reducing ordering applied to every job's factorizations;
+          part of the cache key (orderings perturb results in the last
+          float digits, so cached payloads must not cross modes) *)
+  stats : bool;
+      (** emit one [stats:] line per executed job on stderr (cache hits
+          are silent); with [domains > 1] the [fill_nnz] figure may be
+          another domain's last factorization *)
 }
 
 val job_key : config -> Expand.job -> string

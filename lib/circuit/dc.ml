@@ -25,6 +25,7 @@ let engine = "dc"
    the ladder. *)
 let newton ~options ~damping ~iter_cap ~gmin ~symb c b x0 =
   let nn = Mna.n_nodes c in
+  let perm = Mna.ordering_perm c in
   let x = Vec.copy x0 in
   let iter = ref 0 in
   let last_res = ref infinity in
@@ -53,7 +54,8 @@ let newton ~options ~damping ~iter_cap ~gmin ~symb c b x0 =
           Mat.update g i i (fun v -> v +. gmin)
         done;
         Lu.solve (Lu.factor g) r
-    | Sparse_direct -> Sparse_lu.solve (Sparse_lu.factor_cached symb (sparse_g ())) r
+    | Sparse_direct ->
+        Sparse_lu.solve (Sparse_lu.factor_cached ?perm symb (sparse_g ())) r
     | Gmres_ilu ->
         let g = sparse_g () in
         let precond = Sparse_lu.ilu_apply (Sparse_lu.ilu0 g) in
@@ -65,7 +67,7 @@ let newton ~options ~damping ~iter_cap ~gmin ~symb c b x0 =
         else
           (* ILU-GMRES stalled: fall back to the exact sparse factor rather
              than poisoning Newton with a bad step *)
-          Sparse_lu.solve (Sparse_lu.factor_cached symb g) r
+          Sparse_lu.solve (Sparse_lu.factor_cached ?perm symb g) r
   in
   let cause =
     try
@@ -170,6 +172,13 @@ let source_ramp ~options ~iter_cap ~steps ~symb c b x0 =
 
 let solve_b_outcome ?budget ?(options = default_options) ?x0 c b =
   let n = Mna.size c in
+  (* structural pre-flight: a deficient G-pattern matching proves the DC
+     system singular for every value assignment — no ladder rung (gmin,
+     ramping, ...) can change that, so refuse before any factorization *)
+  let rank = Mna.structural_rank_g c in
+  if rank < n then
+    Supervisor.Failed (Supervisor.structural_failure ~engine ~rank ~size:n)
+  else begin
   let x0 = match x0 with Some v -> Vec.copy v | None -> Vec.create n in
   let symb = ref None in
   let ladder =
@@ -192,6 +201,7 @@ let solve_b_outcome ?budget ?(options = default_options) ?x0 c b =
           source_ramp ~options ~iter_cap ~steps ~symb c b x0
       | _ -> Error (Supervisor.Unsupported "strategy not applicable to DC", Supervisor.no_stats))
     ()
+  end
 
 let solve_outcome ?budget ?options ?x0 c =
   solve_b_outcome ?budget ?options ?x0 c (Mna.dc_b c)

@@ -13,6 +13,18 @@ type t = {
   devs : Device.t array;
   mutable g_pat : pattern option;  (* lazily built, state-independent *)
   mutable c_pat : pattern option;
+  (* structural (0/1-valued, device-stamped-only — no forced diagonal)
+     views of the same patterns, feeding the Rfkit_struct pre-analysis *)
+  mutable sg : Rfkit_la.Sparse.t option;
+  mutable sc : Rfkit_la.Sparse.t option;
+  mutable sgc : Rfkit_la.Sparse.t option;
+  mutable rank_g : int option;
+  mutable rank_gc : int option;
+  (* fill-reducing ordering for every sparse factorization of this
+     circuit's Jacobians; the permutation is computed once per (circuit,
+     mode) on the factored union pattern and shared by all engines *)
+  mutable ord_mode : Rfkit_struct.Order.mode;
+  mutable ord_perm : int array option option;
 }
 
 let build nl =
@@ -35,6 +47,13 @@ let build nl =
     devs;
     g_pat = None;
     c_pat = None;
+    sg = None;
+    sc = None;
+    sgc = None;
+    rank_g = None;
+    rank_gc = None;
+    ord_mode = Rfkit_struct.Order.Natural;
+    ord_perm = None;
   }
 
 let size c = c.total
@@ -332,52 +351,95 @@ let pattern_of_pairs total pairs =
   done;
   { p_row_ptr = row_ptr; p_col_idx = col_idx }
 
+(* device-stamped (i, j) index pairs of G = df/dx, no forced diagonal *)
+let g_pairs c =
+  let pairs = ref [] in
+  let add i j =
+    if i <> Netlist.gnd && j <> Netlist.gnd then pairs := (i, j) :: !pairs
+  in
+  let add_gm p n cp cn =
+    add p cp;
+    add p cn;
+    add n cp;
+    add n cn
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Resistor { p; n; _ } -> add_gm p n p n
+      | Device.Vccs { p; n; cp; cn; _ } -> add_gm p n cp cn
+      | Device.Diode { p; n; _ } -> add_gm p n p n
+      | Device.Tanh_gm { p; n; cp; cn; _ } -> add_gm p n cp cn
+      | Device.Cubic_conductor { p; n; _ } -> add_gm p n p n
+      | Device.Mosfet { d = nd; g; s; _ } ->
+          (* union of both vds frames *)
+          add_gm nd s g s;
+          add_gm nd s nd s;
+          add_gm s nd g nd;
+          add_gm s nd s nd
+      | Device.Vsource { name; p; n; _ } ->
+          let bi = branch c name in
+          add p bi;
+          add n bi;
+          add bi p;
+          add bi n
+      | Device.Inductor { name; p; n; _ } ->
+          let bi = branch c name in
+          add p bi;
+          add n bi;
+          add bi p;
+          add bi n
+      | Device.Mult_vccs { p; n; a_p; a_n; b_p; b_n; _ } ->
+          add_gm p n a_p a_n;
+          add_gm p n b_p b_n
+      | Device.Isource _ | Device.Capacitor _ | Device.Nl_capacitor _
+      | Device.Noise_current _ -> ())
+    c.devs;
+  !pairs
+
+(* device-stamped (i, j) index pairs of C = dq/dx *)
+let c_pairs c =
+  let pairs = ref [] in
+  let add i j =
+    if i <> Netlist.gnd && j <> Netlist.gnd then pairs := (i, j) :: !pairs
+  in
+  Array.iter
+    (fun d ->
+      match d with
+      | Device.Capacitor { p; n; _ } | Device.Nl_capacitor { p; n; _ } ->
+          add p p;
+          add p n;
+          add n p;
+          add n n
+      | Device.Diode { p; n; cj; _ } when cj > 0.0 ->
+          add p p;
+          add p n;
+          add n p;
+          add n n
+      | Device.Inductor { name; _ } ->
+          let bi = branch c name in
+          pairs := (bi, bi) :: !pairs
+      | Device.Mosfet { g; s; d = nd; _ } ->
+          add g g;
+          add g s;
+          add g nd;
+          add s g;
+          add s s;
+          add nd g;
+          add nd nd
+      | Device.Resistor _ | Device.Vsource _ | Device.Isource _
+      | Device.Vccs _ | Device.Tanh_gm _ | Device.Cubic_conductor _
+      | Device.Diode _ | Device.Mult_vccs _ | Device.Noise_current _ -> ())
+    c.devs;
+  !pairs
+
 let g_pattern c =
   match c.g_pat with
   | Some p -> p
   | None ->
-      let pairs = ref [] in
-      let add i j =
-        if i <> Netlist.gnd && j <> Netlist.gnd then pairs := (i, j) :: !pairs
-      in
-      let add_gm p n cp cn =
-        add p cp;
-        add p cn;
-        add n cp;
-        add n cn
-      in
-      Array.iter
-        (fun d ->
-          match d with
-          | Device.Resistor { p; n; _ } -> add_gm p n p n
-          | Device.Vccs { p; n; cp; cn; _ } -> add_gm p n cp cn
-          | Device.Diode { p; n; _ } -> add_gm p n p n
-          | Device.Tanh_gm { p; n; cp; cn; _ } -> add_gm p n cp cn
-          | Device.Cubic_conductor { p; n; _ } -> add_gm p n p n
-          | Device.Mosfet { d = nd; g; s; _ } ->
-              (* union of both vds frames *)
-              add_gm nd s g s;
-              add_gm nd s nd s;
-              add_gm s nd g nd;
-              add_gm s nd s nd
-          | Device.Vsource { name; p; n; _ } ->
-              let bi = branch c name in
-              add p bi;
-              add n bi;
-              add bi p;
-              add bi n
-          | Device.Inductor { name; p; n; _ } ->
-              let bi = branch c name in
-              add p bi;
-              add n bi;
-              add bi p;
-              add bi n
-          | Device.Mult_vccs { p; n; a_p; a_n; b_p; b_n; _ } ->
-              add_gm p n a_p a_n;
-              add_gm p n b_p b_n
-          | Device.Isource _ | Device.Capacitor _ | Device.Nl_capacitor _
-          | Device.Noise_current _ -> ())
-        c.devs;
+      (* the factored pattern carries the full diagonal (explicit zeros)
+         so gmin/shift stamping and ILU(0) never miss a slot *)
+      let pairs = ref (g_pairs c) in
       for i = 0 to c.total - 1 do
         pairs := (i, i) :: !pairs
       done;
@@ -389,40 +451,115 @@ let c_pattern c =
   match c.c_pat with
   | Some p -> p
   | None ->
-      let pairs = ref [] in
-      let add i j =
-        if i <> Netlist.gnd && j <> Netlist.gnd then pairs := (i, j) :: !pairs
-      in
-      Array.iter
-        (fun d ->
-          match d with
-          | Device.Capacitor { p; n; _ } | Device.Nl_capacitor { p; n; _ } ->
-              add p p;
-              add p n;
-              add n p;
-              add n n
-          | Device.Diode { p; n; cj; _ } when cj > 0.0 ->
-              add p p;
-              add p n;
-              add n p;
-              add n n
-          | Device.Inductor { name; _ } ->
-              let bi = branch c name in
-              pairs := (bi, bi) :: !pairs
-          | Device.Mosfet { g; s; d = nd; _ } ->
-              add g g;
-              add g s;
-              add g nd;
-              add s g;
-              add s s;
-              add nd g;
-              add nd nd
-          | Device.Resistor _ | Device.Vsource _ | Device.Isource _
-          | Device.Vccs _ | Device.Tanh_gm _ | Device.Cubic_conductor _
-          | Device.Diode _ | Device.Mult_vccs _ | Device.Noise_current _ -> ())
-        c.devs;
-      let p = pattern_of_pairs c.total !pairs in
+      let p = pattern_of_pairs c.total (c_pairs c) in
       c.c_pat <- Some p;
+      p
+
+(* ---- structural pre-analysis ------------------------------------------
+
+   The matching/DM machinery must see only what devices actually stamp:
+   the forced diagonal of the factored G pattern would make every row
+   trivially matchable and hide real deficiencies. These views are
+   0/1-valued CSR matrices over the device-stamped pairs alone. *)
+
+let ones_of_pairs total pairs =
+  let p = pattern_of_pairs total pairs in
+  Sparse.of_csr ~rows:total ~cols:total ~row_ptr:p.p_row_ptr
+    ~col_idx:p.p_col_idx
+    ~values:(Array.make (Array.length p.p_col_idx) 1.0)
+
+let structural_g c =
+  match c.sg with
+  | Some s -> s
+  | None ->
+      let s = ones_of_pairs c.total (g_pairs c) in
+      c.sg <- Some s;
+      s
+
+let structural_c c =
+  match c.sc with
+  | Some s -> s
+  | None ->
+      let s = ones_of_pairs c.total (c_pairs c) in
+      c.sc <- Some s;
+      s
+
+let structural_gc c =
+  match c.sgc with
+  | Some s -> s
+  | None ->
+      let s = ones_of_pairs c.total (g_pairs c @ c_pairs c) in
+      c.sgc <- Some s;
+      s
+
+let structural_rank_g c =
+  match c.rank_g with
+  | Some r -> r
+  | None ->
+      let r = Rfkit_struct.Dm.structural_rank (structural_g c) in
+      c.rank_g <- Some r;
+      r
+
+let structural_rank_gc c =
+  match c.rank_gc with
+  | Some r -> r
+  | None ->
+      let r = Rfkit_struct.Dm.structural_rank (structural_gc c) in
+      c.rank_gc <- Some r;
+      r
+
+let unknown_label c i =
+  if i < c.nn then Printf.sprintf "v(%s)" (Netlist.node_name c.nl i)
+  else
+    match List.find_opt (fun (_, bi) -> bi = i) c.branches with
+    | Some (name, _) -> Printf.sprintf "i(%s)" name
+    | None -> Printf.sprintf "x[%d]" i
+
+let unknown_origin c i =
+  if i < c.nn then
+    (* earliest deck line among the devices touching the node *)
+    Array.fold_left
+      (fun acc d ->
+        let touches =
+          List.exists (fun (_, nd) -> nd = i) (Device.terminals d)
+        in
+        match (touches, Device.origin d, acc) with
+        | true, Some l, None -> Some l
+        | true, Some l, Some a -> Some (min a l)
+        | _ -> acc)
+      None c.devs
+  else
+    match List.find_opt (fun (_, bi) -> bi = i) c.branches with
+    | Some (name, _) ->
+        Array.fold_left
+          (fun acc d -> if Device.name d = name then Device.origin d else acc)
+          None c.devs
+    | None -> None
+
+(* ---- fill-reducing ordering -------------------------------------------- *)
+
+let set_ordering c mode =
+  if mode <> c.ord_mode then begin
+    c.ord_mode <- mode;
+    c.ord_perm <- None
+  end
+
+let ordering c = c.ord_mode
+
+let ordering_perm c =
+  match c.ord_perm with
+  | Some p -> p
+  | None ->
+      (* order on the union pattern actually factored by the engines:
+         device pairs of G and C plus the forced diagonal, so the same
+         permutation serves DC (G alone) and transient/HB (C/dt + aG) *)
+      let pairs = ref (g_pairs c @ c_pairs c) in
+      for i = 0 to c.total - 1 do
+        pairs := (i, i) :: !pairs
+      done;
+      let u = ones_of_pairs c.total !pairs in
+      let p = Rfkit_struct.Order.compute c.ord_mode u in
+      c.ord_perm <- Some p;
       p
 
 let slot pat i j =

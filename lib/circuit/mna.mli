@@ -76,3 +76,56 @@ val source_pattern : t -> string -> Rfkit_la.Vec.t
 val noise_sources : t -> Device.noise_source array
 val noise_pattern : t -> Device.noise_source -> Rfkit_la.Vec.t
 (** Unit current-injection vector of a noise generator. *)
+
+(** {2 Structural pre-analysis}
+
+    0/1-valued views of the device-stamped sparsity patterns, {e without}
+    the forced diagonal the factored G pattern carries (an explicit-zero
+    diagonal would make every row trivially matchable and hide real
+    structural deficiencies from {!Rfkit_struct.Dm}). Cached per
+    circuit. *)
+
+val structural_g : t -> Rfkit_la.Sparse.t
+(** Pattern of G = df/dx as stamped by the devices. *)
+
+val structural_c : t -> Rfkit_la.Sparse.t
+(** Pattern of C = dq/dx. *)
+
+val structural_gc : t -> Rfkit_la.Sparse.t
+(** Union pattern of G and C — the structure every dynamic analysis
+    factors. *)
+
+val structural_rank_g : t -> int
+(** Structural rank of {!structural_g}; [< size c] proves the DC system
+    singular for every value assignment. Cached. *)
+
+val structural_rank_gc : t -> int
+(** Structural rank of the union pattern; [< size c] proves d/dt q + f
+    singular for all values and time steps. Cached. *)
+
+val unknown_label : t -> int -> string
+(** ["v(node)"] for node unknowns, ["i(DEV)"] for branch currents. *)
+
+val unknown_origin : t -> int -> int option
+(** Deck line attribution of an unknown: the earliest origin line among
+    devices touching the node (or the owning device for a branch). *)
+
+(** {2 Fill-reducing ordering}
+
+    One ordering mode per circuit, inherited by every engine that factors
+    this circuit's Jacobians (DC, transient, and HB through its
+    DC/transient warm start). The permutation is computed lazily, once,
+    on the union pattern and reused across all same-pattern
+    refactorizations. *)
+
+val set_ordering : t -> Rfkit_struct.Order.mode -> unit
+(** Default is [Natural]. Changing the mode invalidates the cached
+    permutation (engines' symbolic caches notice via
+    {!Rfkit_la.Sparse_lu.factor_cached}'s ordering check). *)
+
+val ordering : t -> Rfkit_struct.Order.mode
+
+val ordering_perm : t -> int array option
+(** The permutation for {!Rfkit_la.Sparse_lu.factor_cached}'s [?perm];
+    [None] for mode [Natural] (or when the computed order is the
+    identity). *)

@@ -15,6 +15,7 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) ?(solver = Dc.Sparse_direct)
   (* symbolic LU analysis shared across the step's Newton re-stamps; [run]
      passes one cache for the whole transient (fixed dt => fixed pattern) *)
   let symb = match symb with Some r -> r | None -> ref None in
+  let perm = Mna.ordering_perm c in
   let q0 = Mna.eval_q c x_prev in
   let b1 = Mna.eval_b c t1 in
   (* companion Jacobian J = a_c/dt * C(x) + a_g * G(x) as a sparse (or
@@ -28,14 +29,14 @@ let implicit_step ?(tol = 1e-9) ?(max_iter = 50) ?(solver = Dc.Sparse_direct)
     | Dc.Sparse_direct ->
         let cm = Mna.jac_c_sparse c x and gm = Mna.jac_g_sparse c x in
         let j = Sparse.add (Sparse.scale (1.0 /. dt) cm) (Sparse.scale a_g gm) in
-        Sparse_lu.solve (Sparse_lu.factor_cached symb j) r
+        Sparse_lu.solve (Sparse_lu.factor_cached ?perm symb j) r
     | Dc.Gmres_ilu ->
         let cm = Mna.jac_c_sparse c x and gm = Mna.jac_g_sparse c x in
         let j = Sparse.add (Sparse.scale (1.0 /. dt) cm) (Sparse.scale a_g gm) in
         let precond = Sparse_lu.ilu_apply (Sparse_lu.ilu0 j) in
         let dx, st = Krylov.gmres ~tol:1e-12 ~precond (Sparse.matvec j) r in
         if st.Krylov.converged then dx
-        else Sparse_lu.solve (Sparse_lu.factor_cached symb j) r
+        else Sparse_lu.solve (Sparse_lu.factor_cached ?perm symb j) r
   in
   let residual, jac =
     match method_ with
@@ -115,6 +116,14 @@ let default_budget =
 
 let run_outcome ?(budget = default_budget) ?(method_ = Trapezoidal) ?x0
     ?(tol = 1e-9) ?solver c ~t_stop ~dt =
+  (* structural pre-flight on the union pattern: if G+C's matching is
+     deficient, the companion matrix C/dt + a*G is singular for every dt
+     and every value assignment — refining the time step cannot help *)
+  let n = Mna.size c in
+  let rank = Mna.structural_rank_gc c in
+  if rank < n then
+    Supervisor.Failed (Supervisor.structural_failure ~engine ~rank ~size:n)
+  else
   Supervisor.run ~budget ~engine
     ~ladder:
       [ Supervisor.Base; Supervisor.Refine_timestep 2; Supervisor.Refine_timestep 8 ]

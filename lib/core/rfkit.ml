@@ -6,6 +6,8 @@
     - {!La}: dense/sparse linear algebra, Krylov solvers, FFT, eigenvalues
     - {!Solve}: solver supervision — typed failures, retry ladders,
       budgets, fault injection
+    - {!Struct}: structural matrix analysis — bipartite matching,
+      Dulmage–Mendelsohn decomposition, BTF/AMD orderings
     - {!Circuit}: netlists, MNA, DC/transient/AC, SPICE-like decks
     - {!Rf}: harmonic balance, shooting, the MPDE multi-time family
     - {!Noise}: oscillator Floquet/PPV phase-noise theory
@@ -20,6 +22,7 @@
 
 module La = Rfkit_la
 module Solve = Rfkit_solve
+module Struct = Rfkit_struct
 module Circuit = Rfkit_circuit
 module Rf = Rfkit_rf
 module Noise = Rfkit_noise

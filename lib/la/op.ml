@@ -174,11 +174,11 @@ let rec memory_bytes = function
 
 type factor = { solve : Vec.t -> Vec.t; solve_t : Vec.t -> Vec.t; factor_nnz : int }
 
-let factorize op =
+let factorize ?perm op =
   if rows op <> cols op then invalid_arg "Op.factorize: operator not square";
   match to_sparse_opt op with
   | Some s ->
-      let f = Sparse_lu.factor s in
+      let f = Sparse_lu.factor ?perm s in
       {
         solve = Sparse_lu.solve f;
         solve_t = Sparse_lu.solve_transposed f;

@@ -65,6 +65,9 @@ val memory_bytes : t -> int
 
 type factor = { solve : Vec.t -> Vec.t; solve_t : Vec.t -> Vec.t; factor_nnz : int }
 
-val factorize : t -> factor
-(** Sparse LU when {!to_sparse_opt} succeeds, dense LU otherwise.
+val factorize : ?perm:int array -> t -> factor
+(** Sparse LU when {!to_sparse_opt} succeeds, dense LU otherwise. [perm]
+    is a fill-reducing symmetric order forwarded to
+    {!Sparse_lu.factor}; it is ignored on the dense fallback (dense LU
+    has no fill to reduce).
     @raise Lu.Singular (equivalently {!Sparse_lu.Singular}) on breakdown. *)

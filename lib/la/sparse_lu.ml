@@ -24,9 +24,15 @@ let n_refactor = Atomic.make 0
 let n_full = Atomic.make 0
 let counts () = (Atomic.get n_refactor, Atomic.get n_full)
 
+(* nnz(L+U) of the most recent factorization on this domain tree: the
+   fill observable [rfsim --stats] prints so ordering wins are visible *)
+let last_fill = Atomic.make 0
+let fill_nnz () = Atomic.get last_fill
+
 let reset_counts () =
   Atomic.set n_refactor 0;
-  Atomic.set n_full 0
+  Atomic.set n_full 0;
+  Atomic.set last_fill 0
 
 type t = {
   n : int;
@@ -40,6 +46,9 @@ type t = {
   u_vals : float array;
   udiag : float array;
   pinv : int array; (* original row -> pivot position *)
+  qperm : int array option;
+      (* fill-reducing symmetric order: the factored matrix was
+         [Sparse.permute_sym qperm a]; solves wrap the permutation *)
 }
 
 (* growable parallel (int, float) arrays *)
@@ -60,7 +69,7 @@ let buf_push b i v =
   b.va.(b.len) <- v;
   b.len <- b.len + 1
 
-let factor a =
+let factor_core a =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Sparse_lu.factor: matrix not square";
   (* CSR of a^T: row j holds column j of a *)
@@ -152,6 +161,7 @@ let factor a =
     l_rows.(p) <- pinv.(l_rows.(p))
   done;
   Atomic.incr n_full;
+  Atomic.set last_fill (l.len + u.len + n);
   {
     n;
     l_colptr;
@@ -162,7 +172,13 @@ let factor a =
     u_vals = Array.sub u.va 0 u.len;
     udiag;
     pinv;
+    qperm = None;
   }
+
+let factor ?perm a =
+  match perm with
+  | None -> factor_core a
+  | Some p -> { (factor_core (Sparse.permute_sym p a)) with qperm = Some p }
 
 let nnz f = Array.length f.l_vals + Array.length f.u_vals + f.n
 
@@ -196,6 +212,7 @@ type symbolic = {
   (* columns kp < k whose L column structurally reaches column k *)
   s_dep_ptr : int array;
   s_deps : int array;
+  s_qperm : int array option; (* ordering the analysis was run under *)
 }
 
 let pivot_decay = 1e-10
@@ -213,7 +230,7 @@ let ibuf_push b i =
   b.ib.(b.ilen) <- i;
   b.ilen <- b.ilen + 1
 
-let analyze a =
+let analyze_core a =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then invalid_arg "Sparse_lu.analyze: matrix not square";
   let at = Sparse.transpose a in
@@ -318,9 +335,11 @@ let analyze a =
       su_prows;
       s_dep_ptr = dep_ptr;
       s_deps = Array.sub deps.ib 0 deps.ilen;
+      s_qperm = None;
     }
   in
   Atomic.incr n_full;
+  Atomic.set last_fill (l.len + u.len + n);
   let f =
     {
       n;
@@ -332,11 +351,19 @@ let analyze a =
       u_vals = Array.sub u.va 0 u.len;
       udiag;
       pinv;
+      qperm = None;
     }
   in
   (s, f)
 
-let refactor s a =
+let analyze ?perm a =
+  match perm with
+  | None -> analyze_core a
+  | Some p ->
+      let s, f = analyze_core (Sparse.permute_sym p a) in
+      ({ s with s_qperm = Some p }, { f with qperm = Some p })
+
+let refactor_core s a =
   let n = Sparse.rows a in
   if Sparse.cols a <> n || n <> s.s_n || Sparse.nnz a <> s.s_nnz then
     invalid_arg "Sparse_lu.refactor: pattern mismatch";
@@ -385,6 +412,7 @@ let refactor s a =
     x.(piv_row) <- 0.0
   done;
   Atomic.incr n_refactor;
+  Atomic.set last_fill (Array.length l_vals + Array.length u_vals + n);
   {
     n;
     l_colptr = s.sl_colptr;
@@ -395,24 +423,54 @@ let refactor s a =
     u_vals;
     udiag;
     pinv = s.s_pinv;
+    qperm = None;
   }
 
-let factor_cached cache a =
+let refactor s a =
+  match s.s_qperm with
+  | None -> refactor_core s a
+  | Some p -> { (refactor_core s (Sparse.permute_sym p a)) with qperm = Some p }
+
+let same_perm a b =
+  match (a, b) with
+  | None, None -> true
+  | Some pa, Some pb -> pa == pb || pa = pb
+  | _ -> false
+
+let factor_cached ?perm cache a =
   match !cache with
-  | Some s when s.s_n = Sparse.rows a && s.s_nnz = Sparse.nnz a -> begin
+  | Some s
+    when s.s_n = Sparse.rows a && s.s_nnz = Sparse.nnz a
+         && same_perm s.s_qperm perm -> begin
       try refactor s a
       with Singular ->
         (* pivots drifted too far from the analyzed values: re-pivot *)
-        let s', f = analyze a in
+        let s', f = analyze ?perm a in
         cache := Some s';
         f
     end
   | _ ->
-      let s, f = analyze a in
+      let s, f = analyze ?perm a in
       cache := Some s;
       f
 
-let solve f b =
+(* Solves wrap the fill-reducing order transparently: the stored factor is
+   of A' = P A P^T, so A x = b becomes A' (P x) = P b. *)
+let apply_qperm f solve_core b =
+  match f.qperm with
+  | None -> solve_core b
+  | Some p ->
+      let n = f.n in
+      if Array.length b <> n then invalid_arg "Sparse_lu.solve";
+      let pb = Array.init n (fun k -> b.(p.(k))) in
+      let px = solve_core pb in
+      let x = Array.make n 0.0 in
+      for k = 0 to n - 1 do
+        x.(p.(k)) <- px.(k)
+      done;
+      x
+
+let solve_core f b =
   if Array.length b <> f.n then invalid_arg "Sparse_lu.solve";
   let n = f.n in
   (* y = P b *)
@@ -439,7 +497,9 @@ let solve f b =
   done;
   y
 
-let solve_transposed f b =
+let solve f b = apply_qperm f (solve_core f) b
+
+let solve_transposed_core f b =
   if Array.length b <> f.n then invalid_arg "Sparse_lu.solve_transposed";
   let n = f.n in
   (* U^T z = b: forward, row k of U^T is column k of U *)
@@ -461,6 +521,9 @@ let solve_transposed f b =
   done;
   (* x = P^T w *)
   Array.init n (fun i -> z.(f.pinv.(i)))
+
+(* (P A P^T)^T = P A^T P^T: the same symmetric wrap applies *)
+let solve_transposed f b = apply_qperm f (solve_transposed_core f) b
 
 let solve_mat f m =
   if m.Mat.rows <> f.n then invalid_arg "Sparse_lu.solve_mat";

@@ -14,8 +14,13 @@ exception Singular
 
 type t
 
-val factor : Sparse.t -> t
-(** @raise Singular if a column has no nonzero pivot candidate. *)
+val factor : ?perm:int array -> Sparse.t -> t
+(** [factor ?perm a] LU-factors [a]; with [perm] (a fill-reducing order,
+    [perm.(k)] = original index at position [k], e.g. from
+    [Rfkit_struct.Order]) the factorization runs on the symmetric
+    permutation [A[perm,perm]] and {!solve}/{!solve_transposed} wrap the
+    permutation transparently — only fill changes, never the answer.
+    @raise Singular if a column has no nonzero pivot candidate. *)
 
 val solve : t -> Vec.t -> Vec.t
 val solve_transposed : t -> Vec.t -> Vec.t
@@ -34,9 +39,10 @@ type symbolic
     zeros kept) and, per column, the set of earlier columns that update
     it. Valid for every matrix with the same sparsity pattern. *)
 
-val analyze : Sparse.t -> symbolic * t
+val analyze : ?perm:int array -> Sparse.t -> symbolic * t
 (** Full partial-pivoting factorization that also records the symbolic
-    plan for later {!refactor}s.
+    plan for later {!refactor}s. The ordering, if any, is captured in the
+    plan and re-applied by every {!refactor}.
     @raise Singular as {!factor}. *)
 
 val refactor : symbolic -> Sparse.t -> t
@@ -48,11 +54,13 @@ val refactor : symbolic -> Sparse.t -> t
     @raise Invalid_argument when the matrix shape/nnz does not match the
     analyzed pattern. *)
 
-val factor_cached : symbolic option ref -> Sparse.t -> t
+val factor_cached : ?perm:int array -> symbolic option ref -> Sparse.t -> t
 (** Factor through a caller-held symbolic cache: reuse the cached plan
-    when the pattern matches, transparently falling back to a fresh
-    {!analyze} (updating the cache) on a pattern change or pivot decay.
-    Newton loops hold one cache per linearization site. *)
+    when the pattern (and requested ordering) matches, transparently
+    falling back to a fresh {!analyze} (updating the cache) on a pattern
+    change, ordering change or pivot decay. Newton loops hold one cache
+    per linearization site; the fill-reducing order is thus computed into
+    the plan once and reused across all same-pattern refactorizations. *)
 
 val counts : unit -> int * int
 (** [(refactors, full_factorizations)] since {!reset_counts} — the
@@ -60,6 +68,11 @@ val counts : unit -> int * int
     shared across domains. *)
 
 val reset_counts : unit -> unit
+
+val fill_nnz : unit -> int
+(** nnz(L+U) of the most recent factorization (full or re-) on any
+    domain — the [fill_nnz=] observable of [rfsim --stats]. [0] until a
+    sparse factorization has run (or since {!reset_counts}). *)
 
 type ilu
 

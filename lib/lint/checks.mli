@@ -13,7 +13,13 @@
     - [L012] [.ac] / [.noise] sweep bounds
     - [L013] [.print] on nonexistent nodes
     - [L014] [.param] hygiene (unused definitions, redefinitions)
-    - [L020] extreme conductance spread (Jacobian conditioning risk) *)
+    - [L020] extreme conductance spread (Jacobian conditioning risk)
+    - [L021] structurally singular MNA system (deficient maximum matching
+      on the G pattern — singular for {e every} element value)
+    - [L022] per-unknown attribution of the underdetermined block behind
+      an L021 (the Dulmage–Mendelsohn under-determined columns)
+    - [L023] index-2-prone topology: the C-pattern's algebraic subsystem
+      has a structurally deficient G-block *)
 
 open Rfkit_circuit
 
@@ -25,6 +31,14 @@ val element_values : Netlist.t -> Diagnostic.t list
 val directive_sanity : Netlist.t -> (int * Deck.directive) list -> Diagnostic.t list
 val param_hygiene : (int * Deck.directive) list -> Diagnostic.t list
 val conductance_spread : Netlist.t -> Diagnostic.t list
+
+val structural_singularity : Netlist.t -> Diagnostic.t list
+(** L021/L022 from a Dulmage–Mendelsohn decomposition of the MNA G
+    pattern; never raises (a deck the MNA compiler rejects yields []). *)
+
+val dae_index : Netlist.t -> Diagnostic.t list
+(** L023 heuristic; only examined when the union pattern is structurally
+    nonsingular. *)
 
 val structural : Netlist.t -> Diagnostic.t list
 (** All netlist-only checks (no directives needed). *)

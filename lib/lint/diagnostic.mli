@@ -3,7 +3,7 @@
     A diagnostic points at the deck card it came from via [line] (1-based,
     threaded from {!Rfkit_circuit.Deck} through [Device.origin]) and names
     the offending device or node in [subject]. Codes are stable across
-    releases — see DESIGN.md for the L001–L020 catalogue. *)
+    releases — see DESIGN.md for the L001–L023 catalogue. *)
 
 type severity = Error | Warning | Hint
 

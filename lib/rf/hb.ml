@@ -291,6 +291,13 @@ let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
   | Error.No_convergence e -> Error (e.Error.cause, stats ())
 
 let solve_outcome ?budget ?(options = default_options) ?x0 c ~freq =
+  (* structural pre-flight: the HB Jacobian's diagonal blocks share the
+     union G+C pattern, so a deficient matching dooms every sample count *)
+  let n = Mna.size c in
+  let rank = Mna.structural_rank_gc c in
+  if rank < n then
+    Supervisor.Failed (Supervisor.structural_failure ~engine ~rank ~size:n)
+  else
   Supervisor.run ?budget ~engine
     ~ladder:
       [

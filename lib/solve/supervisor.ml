@@ -7,6 +7,7 @@ type cause =
   | Non_finite of { iter : int; index : int }
   | Budget_exhausted of budget_axis
   | Unsupported of string
+  | Structurally_singular of { rank : int; size : int }
 
 type strategy =
   | Base
@@ -41,10 +42,15 @@ let cause_to_string = function
   | Budget_exhausted Iterations -> "iteration budget exhausted"
   | Budget_exhausted Wall_clock -> "wall-clock budget exhausted"
   | Unsupported msg -> msg
+  | Structurally_singular { rank; size } ->
+      Printf.sprintf
+        "structurally singular system (structural rank %d of %d): singular for \
+         every value assignment — run `rfsim analyze` for the deck-line diagnosis"
+        rank size
 
 (* fail-fast causes abort the ladder: more attempts cannot change the answer *)
 let fail_fast = function
-  | Non_finite _ | Unsupported _ -> true
+  | Non_finite _ | Unsupported _ | Structurally_singular _ -> true
   | Singular_jacobian | Newton_stall _ | Krylov_stall _ | Budget_exhausted _ ->
       false
 
@@ -80,6 +86,16 @@ type failure = {
 }
 
 type 'a outcome = Converged of 'a * report | Failed of failure
+
+(* zero-attempt failure for structural prechecks: the engine refused to
+   run any ladder rung because the pattern proves the system singular *)
+let structural_failure ~engine ~rank ~size =
+  {
+    f_engine = engine;
+    cause = Structurally_singular { rank; size };
+    f_attempts = [];
+    f_elapsed = 0.0;
+  }
 
 let run ?(budget = default_budget) ~engine ~ladder ~attempt () =
   let t0 = Unix.gettimeofday () in

@@ -34,6 +34,12 @@ type cause =
   | Unsupported of string
       (** Structural model limitation (wrong tone spacing, no oscillation
           detected, ...). Fail-fast: retrying cannot help. *)
+  | Structurally_singular of { rank : int; size : int }
+      (** The sparsity pattern's maximum matching is deficient: the
+          system is singular for {e every} value assignment, proven
+          before any factorization ran. Fail-fast; engines raise it from
+          a pre-flight check with zero attempts spent (see
+          {!structural_failure}). *)
 
 (** One rung of a retry ladder. The engine interprets the payload; rungs
     an engine does not implement are skipped. *)
@@ -90,6 +96,11 @@ type failure = {
 }
 
 type 'a outcome = Converged of 'a * report | Failed of failure
+
+val structural_failure : engine:string -> rank:int -> size:int -> failure
+(** Zero-attempt {!failure} with cause {!Structurally_singular}: what an
+    engine returns when its structural pre-flight rejects the system
+    without spending any budget. *)
 
 val run :
   ?budget:budget ->

@@ -1,0 +1,72 @@
+open Rfkit_la
+
+(* Minimum-degree fill-reducing ordering on the symmetrized pattern
+   A + A^T (diagonal ignored), with approximate degree bookkeeping in the
+   spirit of AMD: degrees are recomputed only for the neighbours of the
+   vertex just eliminated, everything else keeps its last known value.
+
+   The elimination graph is kept explicitly (per-vertex neighbour hash
+   sets). Circuit matrices are small enough — a few thousand unknowns at
+   the top of the bench range — that the simple quadratic-worst-case
+   update loop is far below the cost of even one numeric factorization,
+   and the explicit graph sidesteps the supervariable/element machinery
+   of production AMD implementations. *)
+
+let order_graph n adj =
+  (* adj : (int, unit) Hashtbl.t array, symmetric, no self loops *)
+  let eliminated = Array.make n false in
+  let degree = Array.make n 0 in
+  for v = 0 to n - 1 do
+    degree.(v) <- Hashtbl.length adj.(v)
+  done;
+  let perm = Array.make n 0 in
+  for step = 0 to n - 1 do
+    (* pick the uneliminated vertex of minimum (approximate) degree; ties
+       break toward the lowest index so the order is deterministic *)
+    let best = ref (-1) in
+    for v = n - 1 downto 0 do
+      if
+        (not eliminated.(v))
+        && (!best < 0 || degree.(v) <= degree.(!best))
+      then best := v
+    done;
+    let v = !best in
+    eliminated.(v) <- true;
+    perm.(step) <- v;
+    (* eliminating v turns its remaining neighbourhood into a clique *)
+    let nbrs =
+      Hashtbl.fold
+        (fun u () acc -> if eliminated.(u) then acc else u :: acc)
+        adj.(v) []
+    in
+    List.iter
+      (fun u ->
+        Hashtbl.remove adj.(u) v;
+        List.iter
+          (fun w ->
+            if w <> u && not (Hashtbl.mem adj.(u) w) then begin
+              Hashtbl.replace adj.(u) w ();
+              Hashtbl.replace adj.(w) u ()
+            end)
+          nbrs;
+        degree.(u) <- Hashtbl.length adj.(u))
+      nbrs
+  done;
+  perm
+
+let adjacency_of_pattern a =
+  let n = Sparse.rows a in
+  let adj = Array.init n (fun _ -> Hashtbl.create 8) in
+  Sparse.iter
+    (fun i j _ ->
+      if i <> j && i < n && j < n then begin
+        if not (Hashtbl.mem adj.(i) j) then Hashtbl.replace adj.(i) j ();
+        if not (Hashtbl.mem adj.(j) i) then Hashtbl.replace adj.(j) i ()
+      end)
+    a;
+  adj
+
+let order a =
+  if Sparse.rows a <> Sparse.cols a then
+    invalid_arg "Amd.order: pattern not square";
+  order_graph (Sparse.rows a) (adjacency_of_pattern a)

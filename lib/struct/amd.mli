@@ -1,0 +1,21 @@
+(** Approximate-minimum-degree fill-reducing ordering.
+
+    Works on the symmetrized pattern [A + A^T] (values and diagonal
+    ignored), eliminating a minimum-degree vertex per step and turning its
+    neighbourhood into a clique, with degrees refreshed only around the
+    eliminated vertex. Intended to be applied as a {e symmetric}
+    permutation ahead of {!Rfkit_la.Sparse_lu}; partial pivoting inside
+    the factorization keeps the result exact regardless of the order. *)
+
+val adjacency_of_pattern : Rfkit_la.Sparse.t -> (int, unit) Hashtbl.t array
+(** Symmetrized adjacency sets of [A + A^T], diagonal dropped. *)
+
+val order_graph : int -> (int, unit) Hashtbl.t array -> int array
+(** Minimum-degree ordering of an explicit adjacency-set graph. The graph
+    is consumed (elimination updates it in place). *)
+
+val order : Rfkit_la.Sparse.t -> int array
+(** [order a] returns a permutation [perm] with [perm.(k)] = the original
+    index eliminated at step [k] (new index [k] <-> original
+    [perm.(k)]).
+    @raise Invalid_argument if [a] is not square. *)

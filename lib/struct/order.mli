@@ -1,0 +1,35 @@
+(** Fill-reducing symmetric orderings for sparse LU.
+
+    [Btf_amd] = block-triangular form (maximum matching + Tarjan SCCs of
+    the matched column digraph) with {!Amd} applied independently inside
+    each diagonal block; it degrades to plain AMD when the pattern has no
+    perfect matching. Orderings are applied symmetrically ([A' = A[p,p]]),
+    so {!Rfkit_la.Sparse_lu}'s partial pivoting keeps the factorization
+    exact whatever the order — only fill changes. *)
+
+type mode = Natural | Amd_only | Btf_amd
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+(** Recognizes ["natural"], ["amd"], ["btf-amd"]. *)
+
+type info = {
+  perm : int array option;
+      (** [perm.(new_index) = original_index]; [None] means the natural
+          order is kept (identity permutation, or mode [Natural]). *)
+  blocks : int list;
+      (** BTF diagonal block sizes in elimination order; [[]] unless a
+          BTF decomposition actually ran. *)
+}
+
+val compute : mode -> Rfkit_la.Sparse.t -> int array option
+(** Ordering of a square pattern; values are ignored.
+    @raise Invalid_argument if the pattern is not square. *)
+
+val compute_info : mode -> Rfkit_la.Sparse.t -> info
+(** As {!compute}, also exposing the BTF block structure. *)
+
+val btf_blocks : Rfkit_la.Sparse.t -> int list list option
+(** Diagonal blocks of the block-triangular form, reverse-topologically
+    ordered; [None] when no perfect matching exists. *)

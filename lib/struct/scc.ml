@@ -1,0 +1,70 @@
+(* Tarjan's strongly connected components, iterative (explicit stacks) so
+   deep chain-structured circuits cannot overflow the OCaml call stack.
+   Components are emitted in reverse topological order of the condensation
+   (every edge leaving a component points to one emitted earlier), which is
+   exactly the diagonal-block order a block-lower-triangular factorization
+   wants when read back-to-front. *)
+
+let components ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  (* work items: (vertex, next successor offset to try) *)
+  let work = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      Stack.push (root, 0) work;
+      while not (Stack.is_empty work) do
+        let v, k = Stack.pop work in
+        if k = 0 then begin
+          index.(v) <- !next_index;
+          lowlink.(v) <- !next_index;
+          incr next_index;
+          stack := v :: !stack;
+          on_stack.(v) <- true
+        end;
+        let succs = succ v in
+        let nsucc = Array.length succs in
+        (* resume scanning v's successors from offset k *)
+        let continue = ref true in
+        let k = ref k in
+        while !continue && !k < nsucc do
+          let w = succs.(!k) in
+          incr k;
+          if index.(w) < 0 then begin
+            (* recurse into w; revisit v afterwards at the same offset so
+               w's lowlink can be folded in *)
+            Stack.push (v, !k) work;
+            Stack.push (w, 0) work;
+            continue := false
+          end
+          else if on_stack.(w) then
+            lowlink.(v) <- min lowlink.(v) index.(w)
+        done;
+        if !continue then begin
+          (* all successors done: pop the component if v is a root, then
+             fold v's lowlink into its parent (top of work stack) *)
+          if lowlink.(v) = index.(v) then begin
+            let rec pop acc =
+              match !stack with
+              | w :: rest ->
+                  stack := rest;
+                  on_stack.(w) <- false;
+                  if w = v then w :: acc else pop (w :: acc)
+              | [] -> assert false
+            in
+            sccs := pop [] :: !sccs
+          end;
+          match Stack.top_opt work with
+          | Some (p, _) -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+          | None -> ()
+        end
+      done
+    end
+  done;
+  (* !sccs is in discovery-completion order reversed = topological order of
+     the condensation; reverse to get reverse-topological (sources last) *)
+  List.rev !sccs

@@ -1,0 +1,9 @@
+(** Strongly connected components (Tarjan, iterative). *)
+
+val components : n:int -> succ:(int -> int array) -> int list list
+(** [components ~n ~succ] partitions vertices [0 .. n-1] of the digraph
+    with successor function [succ] into SCCs, listed in reverse
+    topological order of the condensation: every edge leaving a component
+    points into a component that appears {e earlier} in the list. Members
+    within a component are in discovery order. Iterative, so chain graphs
+    thousands of vertices deep are safe. *)

@@ -215,6 +215,8 @@ let run_sweep ?(domains = 1) ?(cache = Cache.create ~enabled:false ~dir:"_unused
       domains;
       budget = None;
       tol_scale = 1.0;
+    ordering = Rfkit_struct.Order.Natural;
+    stats = false;
     }
   in
   let telemetry = quiet_telemetry (List.length jobs) in
@@ -263,7 +265,7 @@ let test_runner_cache_rerun () =
   (* corrupt one entry: recovered by recompute, never fatal *)
   let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
   let cfg =
-    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0 }
+    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0; ordering = Rfkit_struct.Order.Natural; stats = false }
   in
   let key = Runner.job_key cfg (List.hd jobs) in
   let entry = Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".jsonl") in
@@ -294,7 +296,7 @@ let test_telemetry_log () =
   let axes = [ Spec.parse_axis "R1=1k,2k" ] in
   let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
   let cfg =
-    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0 }
+    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0; ordering = Rfkit_struct.Order.Natural; stats = false }
   in
   let telemetry = Telemetry.create ~log_path:log ~progress:false ~total:2 () in
   let _ = Runner.run cfg ~cache:(Cache.create ~enabled:false ~dir:"_unused" ()) ~telemetry jobs in
