@@ -44,6 +44,8 @@ let config domains =
     tol_scale = 1.0;
     ordering = Rfkit_struct.Order.Natural;
     stats = false;
+    deadline = None;
+    grace = 2.0;
   }
 
 let fresh_dir =
@@ -64,12 +66,15 @@ let rec rm_rf path =
 let run ~domains ~cache =
   let js = jobs () in
   let telemetry = Batch.Telemetry.create ~progress:false ~total:(List.length js) () in
-  let results, t =
+  let outcome, t =
     Util.timed (fun () -> Batch.Runner.run (config domains) ~cache ~telemetry js)
   in
   Batch.Telemetry.close telemetry;
   let report =
-    String.concat "\n" (Array.to_list (Array.map Batch.Report.line results))
+    String.concat "\n"
+      (List.filter_map
+         (Option.map Batch.Report.line)
+         (Array.to_list outcome.Batch.Runner.results))
   in
   (report, t, Batch.Cache.stats cache)
 

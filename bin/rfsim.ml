@@ -24,7 +24,10 @@
    Exit codes: 0 success; 1 usage or deck parse error; 2 lint fatal;
    3 convergence failure (the attempt ladder is printed on stderr);
    4 certification failure (the analysis converged but its result failed
-   the a-posteriori checks; the certificate is printed on stdout). *)
+   the a-posteriori checks; the certificate is printed on stdout);
+   5 interrupted (SIGINT/SIGTERM — sweeps flush a partial report and
+   leave a resumable journal; see --resume); 66 is reserved for the
+   --inject-crash-after testing hook (simulated hard crash). *)
 
 open Rfkit
 open Circuit
@@ -34,11 +37,36 @@ let exit_parse = 1
 let exit_lint = 2
 let exit_no_convergence = 3
 let exit_certify = 4
+let exit_interrupted = 5
 
-(* on a supervised failure: print the full attempt ladder, exit 3 *)
+(* Single-run analyses: a SIGINT/SIGTERM flips one atomic; the engine's
+   next Guard.check poll raises, the supervisor converts it into a typed
+   Interrupted failure, and die_failure exits 5 — instead of the process
+   dying mid-write on a bare signal. *)
+let install_single_run_signals () =
+  let handle _ = Solve.Deadline.request_interrupt () in
+  try
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* --stats flag state lives up here so die_failure can emit a final
+   stats line on an interrupted run (the supervisor report that would
+   normally carry the counters never materializes) *)
+let stats_enabled = ref false
+
+(* on a supervised failure: print the full attempt ladder; exit 5 when
+   the cause was an interrupt, 3 otherwise *)
 let die_failure (f : Solve.Supervisor.failure) =
   Printf.eprintf "%s\n" (Solve.Supervisor.failure_to_string f);
-  exit exit_no_convergence
+  match f.Solve.Supervisor.cause with
+  | Solve.Supervisor.Interrupted ->
+      if !stats_enabled then
+        Printf.eprintf "stats: interrupted engine=%s attempts=%d\n"
+          f.Solve.Supervisor.f_engine
+          (List.length f.Solve.Supervisor.f_attempts);
+      exit exit_interrupted
+  | _ -> exit exit_no_convergence
 
 (* note non-first-rung recoveries so deck problems stay visible *)
 let note_recovery (r : Solve.Supervisor.report) =
@@ -76,8 +104,6 @@ let certify_when mode make_cert = if mode.enabled then emit_certificate (make_ce
    the attempt that converged, and the lu_* counters from the sparse-LU
    factorization ledger: lu_full counts fresh symbolic analyses, lu_refactor
    counts Gilbert-Peierls numeric replays of a frozen pattern. *)
-let stats_enabled = ref false
-
 let set_stats flag =
   stats_enabled := flag;
   La.Sparse_lu.reset_counts ()
@@ -229,7 +255,9 @@ let run_hb_cascade ?(certify = { enabled = true; tol_scale = 1.0 }) c ~freq ~nod
       print_harmonics ~freq ~harmonics (Rf.Pss.harmonic_amplitude sol node)
   | Solve.Cascade.Exhausted f ->
       Printf.eprintf "%s\n" (Solve.Cascade.failure_to_string f);
-      exit exit_no_convergence
+      (match f.Solve.Cascade.x_cause with
+      | Solve.Supervisor.Interrupted -> exit exit_interrupted
+      | _ -> exit exit_no_convergence)
 
 (* ---------------------------------------------------------------- CLI -- *)
 
@@ -440,6 +468,7 @@ let analyze_cmd =
 let dc_cmd =
   let doc = "DC operating point" in
   let run path no_lint inject no_certify scale stats ordering =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"dc" inject;
     set_stats stats;
@@ -457,6 +486,7 @@ let tran_cmd =
   let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"Stop time (s).") in
   let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"Time step (s).") in
   let run path no_lint t_stop dt node no_certify scale stats ordering =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     set_stats stats;
     let c = Mna.build nl in
@@ -504,6 +534,7 @@ let hb_cmd =
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
   let run path no_lint freq harmonics node inject cascade no_certify scale stats
       ordering =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"hb" inject;
     set_stats stats;
@@ -527,6 +558,7 @@ let shooting_cmd =
   in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
   let run path no_lint freq steps harmonics node inject no_certify scale stats =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"shooting" inject;
     set_stats stats;
@@ -559,6 +591,7 @@ let mmft_cmd =
       & info [ "slow-harmonics" ] ~doc:"Slow-axis Fourier order K (2K+1 phases).")
   in
   let run path no_lint f1 f2 k node stats =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     set_stats stats;
     let c = Mna.build nl in
@@ -657,9 +690,77 @@ let sweep_cmd =
       value & opt (some float) None
       & info [ "job-wall" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per job.")
   in
+  let resume_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "Resume an interrupted or crashed sweep from the run journal in \
+             cache directory $(docv) (implies $(b,--cache-dir) $(docv)): \
+             journaled jobs are replayed without re-execution, pending ones \
+             run, and the final report is byte-identical to an \
+             uninterrupted run.")
+  in
+  let job_deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "job-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job wall-clock deadline: a job past it is quarantined as a \
+             typed deadline-exceeded failure instead of wedging its worker \
+             domain.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Drain budget after SIGINT/SIGTERM: in-flight jobs get this \
+             long to finish before being killed and left for --resume.")
+  in
+  let cache_max_bytes_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES"
+          ~doc:"Evict least-recently-used cache entries past this size after \
+                the sweep (journal-referenced entries are never evicted).")
+  in
+  let cache_max_entries_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-entries" ] ~docv:"N"
+          ~doc:"Evict least-recently-used cache entries past this count \
+                after the sweep.")
+  in
+  let inject_crash_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-crash-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: hard-kill the process (exit 66, no cleanup) once \
+             $(docv) jobs have completed — the journal must make the run \
+             resumable.")
+  in
+  let inject_interrupt_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-interrupt-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: simulate SIGINT delivery once $(docv) jobs have \
+             completed, exercising the graceful drain deterministically.")
+  in
+  let inject_stall_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-stall" ] ~docv:"JOB"
+          ~doc:
+            "Testing hook: wedge job $(docv) in a busy loop so \
+             --job-deadline (or the drain clamp) must quarantine it.")
+  in
   let run path params corners analyses jobs node freq harmonics steps t_stop dt
       f_start f_stop ppd cache_dir no_cache telemetry_path job_iters job_wall
-      no_lint ordering stats =
+      no_lint ordering stats resume job_deadline grace cache_max_bytes
+      cache_max_entries inject_crash inject_interrupt inject_stall =
     let deck_text =
       try
         let ic = open_in path in
@@ -722,15 +823,29 @@ let sweep_cmd =
       | None, None -> None
       | _ ->
           let d = Solve.Supervisor.default_budget in
+          let total =
+            Option.value job_iters ~default:d.Solve.Supervisor.total_iterations
+          in
+          (* the per-attempt cap must scale with the total: step-count-based
+             engines (tran) spend all their iterations in one attempt, and a
+             stale 400-iteration attempt cap would kill any long job the
+             moment --job-iters is passed *)
           Some
             {
-              d with
-              Solve.Supervisor.total_iterations =
-                Option.value job_iters ~default:d.Solve.Supervisor.total_iterations;
+              Solve.Supervisor.attempt_iterations =
+                max total d.Solve.Supervisor.attempt_iterations;
+              total_iterations = total;
               wall_clock = Option.value job_wall ~default:d.Solve.Supervisor.wall_clock;
             }
     in
     if stats then La.Sparse_lu.reset_counts ();
+    (* --resume DIR implies --cache-dir DIR: the journal lives with the
+       cache it replays through *)
+    let cache_dir = Option.value resume ~default:cache_dir in
+    if resume <> None && no_cache then begin
+      Printf.eprintf "sweep: --resume needs the cache (drop --no-cache)\n";
+      exit exit_parse
+    end;
     let cfg =
       {
         Batch.Runner.deck_text;
@@ -740,16 +855,106 @@ let sweep_cmd =
         tol_scale = 1.0;
         ordering;
         stats;
+        deadline = job_deadline;
+        grace;
       }
+    in
+    (* process-level chaos for recovery tests *)
+    (match (inject_crash, inject_interrupt, inject_stall) with
+    | None, None, None -> ()
+    | crash_after, interrupt_after, stall_job ->
+        Solve.Faults.arm_process
+          { Solve.Faults.crash_after; interrupt_after; stall_job });
+    (* run identity: the journal is keyed by a hash over every job's
+       cache key (deck, params, analysis, engine options) plus the job
+       count and the deadline config — anything that can change what the
+       journal records. A --resume against a different spec simply finds
+       no journal. *)
+    let run_hash =
+      Batch.Hash.digest
+        (String.concat "\n"
+           (Printf.sprintf "jobs=%d" (List.length job_list)
+           :: Printf.sprintf "deadline=%s"
+                (match job_deadline with
+                | None -> "none"
+                | Some s -> Printf.sprintf "%.9g" s)
+           :: List.map (Batch.Runner.job_key cfg) job_list))
     in
     let cache = Batch.Cache.create ~enabled:(not no_cache) ~dir:cache_dir () in
     let telemetry =
       Batch.Telemetry.create ?log_path:telemetry_path ~total:(List.length job_list) ()
     in
-    let results = Batch.Runner.run cfg ~cache ~telemetry job_list in
+    let replay =
+      if resume = None then None
+      else begin
+        let r = Batch.Journal.load ~dir:cache_dir ~run:run_hash in
+        if r = None then
+          Printf.eprintf
+            "sweep: no journal for this spec under %s; running from scratch\n"
+            cache_dir;
+        r
+      end
+    in
+    let journal =
+      if no_cache then None
+      else
+        Some
+          (Batch.Journal.create ~dir:cache_dir ~run:run_hash
+             ~total:(List.length job_list))
+    in
+    (* graceful shutdown: first signal closes the dispatch gate and
+       drains under --grace; a second signal force-quits like the shell
+       default (128+SIGINT) *)
+    let install_sweep_signals () =
+      let handle _ =
+        if Solve.Deadline.interrupt_requested () then Unix._exit 130
+        else Batch.Runner.request_stop ~grace
+      in
+      try
+        Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    install_sweep_signals ();
+    let outcome = Batch.Runner.run cfg ~cache ~telemetry ?journal ?replay job_list in
+    let results = outcome.Batch.Runner.results in
+    (* the journal doubles as the in-progress marker: delete on
+       completion, keep (resumable) on interrupt *)
+    (match journal with
+    | None -> ()
+    | Some j ->
+        if outcome.Batch.Runner.interrupted then Batch.Journal.close j
+        else Batch.Journal.finish_run j);
+    (* bounded cache: gc after the run, pinning every key a still-live
+       journal references (this run's, if interrupted, and any other
+       in-progress run sharing the directory) *)
+    (match (cache_max_bytes, cache_max_entries) with
+    | None, None -> ()
+    | max_bytes, max_entries ->
+        let pins = Batch.Journal.referenced_keys ~dir:cache_dir in
+        let gs =
+          Batch.Cache.gc ~dir:cache_dir ?max_bytes ?max_entries
+            ~pinned:(fun k -> Hashtbl.mem pins k)
+            ()
+        in
+        Batch.Telemetry.emit telemetry ~job:(-1) ~event:"cache-gc-evict"
+          [
+            ("evicted", Batch.Json.int gs.Batch.Cache.gc_evicted);
+            ("evicted_bytes", Batch.Json.int gs.Batch.Cache.gc_evicted_bytes);
+            ("pinned", Batch.Json.int gs.Batch.Cache.gc_pinned);
+          ];
+        Printf.eprintf
+          "cache gc: examined=%d evicted=%d evicted_bytes=%d pinned=%d \
+           entries=%d bytes=%d\n"
+          gs.Batch.Cache.gc_examined gs.Batch.Cache.gc_evicted
+          gs.Batch.Cache.gc_evicted_bytes gs.Batch.Cache.gc_pinned
+          gs.Batch.Cache.gc_entries gs.Batch.Cache.gc_bytes);
     Batch.Telemetry.close telemetry;
     Batch.Report.print_all stdout results;
+    if outcome.Batch.Runner.interrupted then
+      print_endline (Batch.Report.interrupted_marker results);
     Printf.eprintf "%s\n" (Batch.Report.summary results (Batch.Cache.stats cache));
+    if outcome.Batch.Runner.interrupted then exit exit_interrupted;
     if not (Batch.Report.all_ok results) then exit exit_no_convergence
   in
   Cmd.v (Cmd.info "sweep" ~doc ~man)
@@ -757,7 +962,72 @@ let sweep_cmd =
       const run $ deck_arg $ param_args $ corner_args $ analysis_arg $ jobs_arg
       $ node_arg "out" $ freq $ harmonics $ steps $ t_stop $ dt $ f_start
       $ f_stop $ ppd $ cache_dir_arg $ no_cache_arg $ telemetry_arg
-      $ job_iters_arg $ job_wall_arg $ no_lint_arg $ ordering_arg $ stats_arg)
+      $ job_iters_arg $ job_wall_arg $ no_lint_arg $ ordering_arg $ stats_arg
+      $ resume_arg $ job_deadline_arg $ grace_arg $ cache_max_bytes_arg
+      $ cache_max_entries_arg $ inject_crash_arg $ inject_interrupt_arg
+      $ inject_stall_arg)
+
+(* ------------------------------------------------------------- cache -- *)
+
+let cache_cmd =
+  let doc = "inspect and bound the sweep result cache" in
+  let dir_arg =
+    Arg.(
+      value & opt string ".rfsim-cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
+  in
+  let stats_cmd =
+    let doc = "report cache entry count, bytes on disk, and live journals" in
+    let run dir =
+      let entries, bytes = Batch.Cache.disk_usage ~dir in
+      Printf.printf "cache: dir=%s entries=%d bytes=%d journals=%d\n" dir
+        entries bytes
+        (Batch.Journal.count ~dir)
+    in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let doc = "evict least-recently-used entries down to the given caps" in
+    let max_bytes =
+      Arg.(
+        value & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES" ~doc:"Byte cap (omit: unlimited).")
+    in
+    let max_entries =
+      Arg.(
+        value & opt (some int) None
+        & info [ "max-entries" ] ~docv:"N" ~doc:"Entry cap (omit: unlimited).")
+    in
+    let run dir max_bytes max_entries =
+      let pins = Batch.Journal.referenced_keys ~dir in
+      let gs =
+        Batch.Cache.gc ~dir ?max_bytes ?max_entries
+          ~pinned:(fun k -> Hashtbl.mem pins k)
+          ()
+      in
+      Printf.printf
+        "cache gc: examined=%d evicted=%d evicted_bytes=%d pinned=%d \
+         entries=%d bytes=%d\n"
+        gs.Batch.Cache.gc_examined gs.Batch.Cache.gc_evicted
+        gs.Batch.Cache.gc_evicted_bytes gs.Batch.Cache.gc_pinned
+        gs.Batch.Cache.gc_entries gs.Batch.Cache.gc_bytes
+    in
+    Cmd.v (Cmd.info "gc" ~doc) Term.(const run $ dir_arg $ max_bytes $ max_entries)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The sweep cache is content-addressed and grows without bound \
+              unless gc'd. $(b,gc) evicts oldest-file-time-first (a cache \
+              hit refreshes an entry's time) down to $(b,--max-bytes) / \
+              $(b,--max-entries), but never evicts an entry referenced by \
+              an in-progress run journal — interrupting a sweep and gc'ing \
+              cannot break its --resume.";
+         ])
+    [ stats_cmd; gc_cmd ]
 
 let run_cmd =
   let doc = "run every directive embedded in the deck" in
@@ -809,5 +1079,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; lint_cmd; analyze_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd;
-            shooting_cmd; mmft_cmd; noise_cmd; sweep_cmd;
+            shooting_cmd; mmft_cmd; noise_cmd; sweep_cmd; cache_cmd;
           ]))

@@ -10,7 +10,14 @@
    concurrent domains (or concurrent sweeps) can never expose a torn
    entry. *)
 
-type stats = { hits : int; misses : int; evictions : int; stores : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  stores : int;
+  entries : int;
+  bytes : int;
+}
 
 type t = {
   dir : string;
@@ -72,7 +79,11 @@ let lookup c k =
       if not (Sys.file_exists path) then `Miss
       else
         match read_entry path with
-        | Some payload -> `Hit payload
+        | Some payload ->
+            (* recency touch: gc evicts oldest-file-time first, so a hit
+               must refresh the entry's time or hot entries age out *)
+            (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+            `Hit payload
         | None | (exception Sys_error _) | (exception End_of_file) ->
             (try Sys.remove path with Sys_error _ -> ());
             `Evict
@@ -120,9 +131,108 @@ let store c k payload =
        raise e)
   end
 
+(* ---------------------------------------------------------- bounding -- *)
+
+(* Entry enumeration walks the two-hex fan-out directories only, so the
+   journal/ subtree (and anything else a user drops in the cache dir) is
+   never counted and never eligible for eviction. *)
+
+let is_fanout name =
+  String.length name = 2
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) name
+
+let entries_on_disk ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | subs ->
+      Array.to_list subs
+      |> List.filter is_fanout
+      |> List.concat_map (fun sub ->
+             let d = Filename.concat dir sub in
+             match Sys.readdir d with
+             | exception Sys_error _ -> []
+             | files ->
+                 Array.to_list files
+                 |> List.filter_map (fun f ->
+                        if not (Filename.check_suffix f ".jsonl") then None
+                        else
+                          let path = Filename.concat d f in
+                          match Unix.stat path with
+                          | exception Unix.Unix_error _ -> None
+                          | st ->
+                              Some
+                                ( Filename.chop_suffix f ".jsonl",
+                                  path,
+                                  st.Unix.st_mtime,
+                                  st.Unix.st_size )))
+
+let disk_usage ~dir =
+  List.fold_left
+    (fun (n, b) (_, _, _, size) -> (n + 1, b + size))
+    (0, 0) (entries_on_disk ~dir)
+
+type gc_stats = {
+  gc_examined : int;
+  gc_evicted : int;
+  gc_evicted_bytes : int;
+  gc_pinned : int;
+  gc_entries : int;
+  gc_bytes : int;
+}
+
+(* LRU by file time, oldest first (lookup hits refresh it); ties break on
+   the key so a gc over same-second entries is still deterministic.
+   Pinned keys — those referenced by an in-progress run journal — are
+   never evicted even if the caps stay violated: resume correctness
+   outranks the size bound. *)
+let gc ~dir ?max_bytes ?max_entries ?(pinned = fun _ -> false) () =
+  let entries =
+    List.sort
+      (fun (k1, _, t1, _) (k2, _, t2, _) ->
+        match Float.compare t1 t2 with 0 -> String.compare k1 k2 | c -> c)
+      (entries_on_disk ~dir)
+  in
+  let total_n = List.length entries in
+  let total_b = List.fold_left (fun b (_, _, _, s) -> b + s) 0 entries in
+  let over n b =
+    (match max_entries with Some m -> n > m | None -> false)
+    || match max_bytes with Some m -> b > m | None -> false
+  in
+  let n = ref total_n and b = ref total_b in
+  let evicted = ref 0 and evicted_bytes = ref 0 and pins = ref 0 in
+  List.iter
+    (fun (key, path, _, size) ->
+      if over !n !b then
+        if pinned key then incr pins
+        else
+          match Sys.remove path with
+          | () ->
+              incr evicted;
+              evicted_bytes := !evicted_bytes + size;
+              decr n;
+              b := !b - size
+          | exception Sys_error _ -> ())
+    entries;
+  {
+    gc_examined = total_n;
+    gc_evicted = !evicted;
+    gc_evicted_bytes = !evicted_bytes;
+    gc_pinned = !pins;
+    gc_entries = !n;
+    gc_bytes = !b;
+  }
+
 let stats c =
+  let entries, bytes = disk_usage ~dir:c.dir in
   locked c (fun () ->
-      { hits = c.hits; misses = c.misses; evictions = c.evictions; stores = c.stores })
+      {
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+        stores = c.stores;
+        entries;
+        bytes;
+      })
 
 let enabled c = c.enabled
 let dir c = c.dir

@@ -15,7 +15,14 @@
 
 type t
 
-type stats = { hits : int; misses : int; evictions : int; stores : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  stores : int;
+  entries : int;  (** entries on disk right now *)
+  bytes : int;  (** their total size in bytes *)
+}
 
 val create : ?enabled:bool -> dir:string -> unit -> t
 (** [enabled:false] ([--no-cache]) bypasses both lookup and store; the
@@ -32,11 +39,47 @@ val key :
 
 val lookup : t -> string -> string option
 (** Payload for the key, verifying the checksum; counts a hit, a miss,
-    or (corrupt entry, now deleted) an eviction+miss. *)
+    or (corrupt entry, now deleted) an eviction+miss. A hit refreshes
+    the entry's file time, which is the LRU clock {!gc} evicts by. *)
 
 val store : t -> string -> string -> unit
 (** [store t key payload] writes atomically (temp file + rename). *)
 
 val stats : t -> stats
+(** Session counters plus a live disk scan for [entries]/[bytes]
+    (the [journal/] subtree is not part of the cache and not counted). *)
+
 val enabled : t -> bool
 val dir : t -> string
+
+(** {2 Bounding}
+
+    The cache grows without limit unless gc'd: [rfsim cache gc] (and
+    the post-sweep hook behind [--cache-max-bytes]/[--cache-max-entries])
+    evicts oldest-file-time-first until both caps hold. *)
+
+type gc_stats = {
+  gc_examined : int;  (** entries found on disk *)
+  gc_evicted : int;
+  gc_evicted_bytes : int;
+  gc_pinned : int;  (** eviction candidates spared by [pinned] *)
+  gc_entries : int;  (** entries remaining *)
+  gc_bytes : int;  (** bytes remaining *)
+}
+
+val gc :
+  dir:string ->
+  ?max_bytes:int ->
+  ?max_entries:int ->
+  ?pinned:(string -> bool) ->
+  unit ->
+  gc_stats
+(** Evict least-recently-used entries (oldest file time first, key as a
+    deterministic tie-break) until the cache is within both caps. An
+    omitted cap is unlimited. [pinned] keys are {e never} evicted, even
+    if the caps remain violated — pass {!Journal.referenced_keys} so an
+    in-progress run's replay set survives any gc. Standalone by design:
+    works on a directory without a live [t]. *)
+
+val disk_usage : dir:string -> int * int
+(** [(entries, bytes)] currently on disk. *)

@@ -1,0 +1,271 @@
+(* Write-ahead run journal for crash-safe sweeps.
+
+   One append-only JSONL file per run at <cache-dir>/journal/<run>.jsonl,
+   where <run> is the hash of the expanded job list and every
+   result-affecting option. Each line is a checksummed envelope
+
+     {"c":"<sha1 of body>","v":<body>}
+
+   so a reader can verify the raw body bytes before parsing: a crash can
+   tear at most the final line, and a torn line fails its checksum and is
+   skipped — never fatal. Records are written with a single write(2) on
+   an O_APPEND descriptor (concurrent domains interleave whole lines, not
+   bytes) and fsynced at completion boundaries: after the header and
+   after every finish record. A "start" record is advisory (which jobs
+   were in flight at the crash) and rides to disk with the next fsync.
+
+   Finish records carry the job's cache key and status; the payload
+   itself is inlined only for failed jobs, which the result cache refuses
+   to store (a budget-bound failure must not become a permanent fact, but
+   an already-paid-for failure must replay byte-identically on resume).
+   Ok/suspect payloads are replayed through the cache — `Cache.gc` pins
+   every key referenced by a live journal so resume can rely on that.
+
+   A journal whose run completes is deleted (nothing left to resume); a
+   journal left on disk IS the in-progress marker. *)
+
+let format_version = "rfkit-journal-v1"
+
+let journal_dir dir = Filename.concat dir "journal"
+let path ~dir ~run = Filename.concat (journal_dir dir) (run ^ ".jsonl")
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+(* ------------------------------------------------------------ writing -- *)
+
+type t = {
+  fd : Unix.file_descr;
+  file : string;
+  lock : Mutex.t;
+  mutable open_ : bool;
+}
+
+let envelope body =
+  Printf.sprintf {|{"c":%s,"v":%s}|} (Json.str (Hash.digest body)) body ^ "\n"
+
+let write_line t line =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.open_ then begin
+        let len = String.length line in
+        let written = ref 0 in
+        (* one write covers the whole line in practice (regular file);
+           the loop only guards against signals/short writes *)
+        while !written < len do
+          written :=
+            !written + Unix.write_substring t.fd line !written (len - !written)
+        done
+      end)
+
+let fsync t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> if t.open_ then try Unix.fsync t.fd with Unix.Unix_error _ -> ())
+
+let create ~dir ~run ~total =
+  let file = path ~dir ~run in
+  mkdir_p (Filename.dirname file);
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let t = { fd; file; lock = Mutex.create (); open_ = true } in
+  let fresh = (Unix.fstat fd).Unix.st_size = 0 in
+  if fresh then begin
+    write_line t
+      (envelope
+         (Json.obj
+            [
+              ("event", Json.str "begin");
+              ("format", Json.str format_version);
+              ("run", Json.str run);
+              ("jobs", Json.int total);
+            ]));
+    fsync t
+  end;
+  t
+
+let record_start t ~job =
+  write_line t
+    (envelope (Json.obj [ ("event", Json.str "start"); ("job", Json.int job) ]))
+
+let record_finish t ~job ~status ~key ~payload =
+  let fields =
+    [
+      ("event", Json.str "finish");
+      ("job", Json.int job);
+      ("status", Json.str status);
+      ("key", Json.str key);
+    ]
+    @ (match payload with Some p -> [ ("payload", p) ] | None -> [])
+  in
+  write_line t (envelope (Json.obj fields));
+  fsync t
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.open_ then begin
+        t.open_ <- false;
+        (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+        Unix.close t.fd
+      end)
+
+let finish_run t =
+  close t;
+  try Sys.remove t.file with Sys_error _ -> ()
+
+(* ------------------------------------------------------------ reading -- *)
+
+type entry = { e_job : int; e_status : string; e_key : string; e_payload : string option }
+
+type replay = {
+  r_run : string;
+  r_total : int;
+  r_finished : (int, entry) Hashtbl.t;
+  r_started : int list;
+}
+
+(* "{"c":"<40 hex>","v":" ... "}" — checksum the raw body bytes, then
+   parse. Anything that fails any step is a torn/corrupt line: skip.
+   The raw body rides along with the parsed value so the inlined failure
+   payload can be replayed byte-exactly (re-rendering a parsed float is
+   not guaranteed to reproduce its bytes). *)
+let decode_line line =
+  let prefix = {|{"c":"|} in
+  let plen = String.length prefix in
+  let n = String.length line in
+  if n < plen + 40 + String.length {|","v":|} + 1 then None
+  else if String.sub line 0 plen <> prefix then None
+  else
+    let sum = String.sub line plen 40 in
+    let sep = {|","v":|} in
+    let slen = String.length sep in
+    if String.sub line (plen + 40) slen <> sep then None
+    else if line.[n - 1] <> '}' then None
+    else
+      let body = String.sub line (plen + 40 + slen) (n - (plen + 40 + slen) - 1) in
+      if Hash.digest body <> sum then None
+      else Option.map (fun v -> (body, v)) (Json.parse body)
+
+(* the payload is always the LAST field of a finish body (record_finish
+   writes it so), and every earlier field is from a controlled alphabet,
+   so the first occurrence of the marker is the field boundary *)
+let raw_payload body =
+  let marker = {|,"payload":|} in
+  let mn = String.length marker and n = String.length body in
+  let rec find i =
+    if i + mn > n then None
+    else if String.sub body i mn = marker then
+      Some (String.sub body (i + mn) (n - (i + mn) - 1))
+    else find (i + 1)
+  in
+  find 0
+
+let field_str v k = Option.bind (Json.member k v) Json.to_str
+let field_int v k = Option.bind (Json.member k v) Json.to_int
+
+let read_lines file =
+  match open_in_bin file with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ());
+          List.rev !lines)
+
+let replay_of_values values =
+  match values with
+  | (_, header) :: rest
+    when field_str header "event" = Some "begin"
+         && field_str header "format" = Some format_version -> (
+      match (field_str header "run", field_int header "jobs") with
+      | Some run, Some total ->
+          let finished = Hashtbl.create 64 in
+          let started = ref [] in
+          List.iter
+            (fun (body, v) ->
+              match field_str v "event" with
+              | Some "start" -> (
+                  match field_int v "job" with
+                  | Some j -> started := j :: !started
+                  | None -> ())
+              | Some "finish" -> (
+                  match
+                    (field_int v "job", field_str v "status", field_str v "key")
+                  with
+                  | Some j, Some status, Some key ->
+                      let payload =
+                        match Json.member "payload" v with
+                        | Some _ -> raw_payload body
+                        | None -> None
+                      in
+                      Hashtbl.replace finished j
+                        { e_job = j; e_status = status; e_key = key; e_payload = payload }
+                  | _ -> ())
+              | _ -> ())
+            rest;
+          Some
+            {
+              r_run = run;
+              r_total = total;
+              r_finished = finished;
+              r_started = List.rev !started;
+            }
+      | _ -> None)
+  | _ -> None
+
+let load ~dir ~run =
+  let file = path ~dir ~run in
+  if not (Sys.file_exists file) then None
+  else
+    replay_of_values (List.filter_map decode_line (read_lines file))
+
+let exists ~dir ~run = Sys.file_exists (path ~dir ~run)
+
+(* every cache key referenced by any journal still on disk: the pin set
+   for Cache.gc (a journal on disk is by definition an in-progress run
+   that resume will replay through the cache) *)
+let referenced_keys ~dir =
+  let keys = Hashtbl.create 64 in
+  let jd = journal_dir dir in
+  (match Sys.readdir jd with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name ".jsonl" then
+            List.iter
+              (fun line ->
+                match decode_line line with
+                | Some (_, v) when field_str v "event" = Some "finish" -> (
+                    match field_str v "key" with
+                    | Some k -> Hashtbl.replace keys k ()
+                    | None -> ())
+                | _ -> ())
+              (read_lines (Filename.concat jd name)))
+        names);
+  keys
+
+let count ~dir =
+  match Sys.readdir (journal_dir dir) with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun n name -> if Filename.check_suffix name ".jsonl" then n + 1 else n)
+        0 names

@@ -1,0 +1,86 @@
+(** Write-ahead run journal: the durability layer under [--resume].
+
+    One append-only JSONL file per run at
+    [<cache-dir>/journal/<run>.jsonl] ([run] is the caller's hash over
+    the expanded job list and every result-affecting option, so two
+    different sweeps can never collide on a journal). Each line is a
+    checksummed envelope [{"c":"<sha1 of body>","v":<body>}]: a crash
+    tears at most the final line, which then fails its checksum and is
+    skipped on load — corruption costs one record, never the run.
+
+    Durability contract: records go out in a single [write(2)] on an
+    [O_APPEND] descriptor (domains interleave whole lines), and the file
+    is fsynced at {e completion boundaries} — after the header and after
+    every finish record. A crash immediately after job [N]'s finish
+    therefore finds at least [N] finish records on resume. Start records
+    are advisory (they name the jobs in flight at a crash) and ride
+    along with the next fsync.
+
+    Finish records always carry the job's cache key (the {!Cache.gc} pin
+    set); the payload is inlined {e only} for failed jobs, which the
+    cache refuses to store — ok/suspect payloads replay through the
+    cache, failures replay byte-exactly from the journal (the raw bytes
+    are spliced out of the envelope, never re-rendered).
+
+    A journal on disk {e is} the in-progress marker: {!finish_run}
+    deletes it when the run completes; an interrupt or crash leaves it
+    resumable. *)
+
+type t
+
+val format_version : string
+
+val path : dir:string -> run:string -> string
+(** [<dir>/journal/<run>.jsonl]. *)
+
+val create : dir:string -> run:string -> total:int -> t
+(** Open (append mode) the run's journal, creating directories as
+    needed. Writes and fsyncs the header only when the file is new —
+    resuming appends to the existing record stream. *)
+
+val record_start : t -> job:int -> unit
+(** Advisory in-flight marker; not fsynced on its own. *)
+
+val record_finish :
+  t -> job:int -> status:string -> key:string -> payload:string option -> unit
+(** Durable completion record; fsyncs before returning. [payload] must
+    be [Some] exactly when the cache will not hold the result (failed
+    jobs). Safe to call from concurrent domains. *)
+
+val close : t -> unit
+(** Flush and close, {e keeping} the file: the run is interrupted and
+    resumable. Idempotent. *)
+
+val finish_run : t -> unit
+(** Close and delete the file: the run completed, nothing to resume. *)
+
+(** {2 Replay} *)
+
+type entry = {
+  e_job : int;
+  e_status : string;  (** ["ok"] | ["suspect"] | ["failed"] *)
+  e_key : string;  (** the job's cache key *)
+  e_payload : string option;  (** inlined raw payload (failed jobs) *)
+}
+
+type replay = {
+  r_run : string;
+  r_total : int;
+  r_finished : (int, entry) Hashtbl.t;
+      (** finish records by job id; duplicates collapse (last wins), so
+          replay is idempotent and order-insensitive *)
+  r_started : int list;  (** start records in file order (diagnostics) *)
+}
+
+val load : dir:string -> run:string -> replay option
+(** [None] when no journal exists for [run] or its header is
+    unreadable/foreign; torn or corrupt body lines are skipped. *)
+
+val exists : dir:string -> run:string -> bool
+
+val referenced_keys : dir:string -> (string, unit) Hashtbl.t
+(** Cache keys named by {e any} journal still on disk — the pin set
+    {!Cache.gc} must never evict (an in-progress run will replay them). *)
+
+val count : dir:string -> int
+(** In-progress journals on disk (for [rfsim cache stats]). *)

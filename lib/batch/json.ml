@@ -33,3 +33,180 @@ let obj fields =
   ^ "}"
 
 let arr items = "[" ^ String.concat "," items ^ "]"
+
+(* ------------------------------------------------------------ parsing -- *)
+
+(* The journal must be READ back after a crash, which makes this module
+   the one place in the tree that parses JSON rather than only rendering
+   it. Recursive descent over the full value grammar; [parse] returns
+   None on any malformed input (the journal loader treats that as a torn
+   line and skips it, so the parser must never raise). *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Bad (* internal; converted to None at the [parse] boundary *)
+
+let parse (s : string) : value option =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Bad in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = c then advance () else raise Bad in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else raise Bad
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then raise Bad;
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match peek () with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> raise Bad
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'u' ->
+              advance ();
+              let c = parse_hex4 () in
+              (* we only ever emit \u00xx for control bytes; decode the
+                 BMP point as UTF-8 so round-trips stay lossless *)
+              if c < 0x80 then Buffer.add_char buf (Char.chr c)
+              else if c < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+              end
+          | _ -> raise Bad);
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then raise Bad;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> raise Bad
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ()
+            | '}' -> advance ()
+            | _ -> raise Bad
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let items = ref [] in
+          let rec elements () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elements ()
+            | ']' -> advance ()
+            | _ -> raise Bad
+          in
+          elements ();
+          Arr (List.rev !items)
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    v
+  with
+  | v -> Some v
+  | exception Bad -> None
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_num = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v && Float.abs v <= 2. ** 52. ->
+      Some (int_of_float v)
+  | _ -> None

@@ -18,3 +18,29 @@ val obj : (string * string) list -> string
 (** Object from (key, already-rendered value) pairs, in caller order. *)
 
 val arr : string list -> string
+
+(** {2 Parsing}
+
+    The run journal is read back after a crash, so this module also
+    parses. Total: [parse] returns [None] on any malformed input (a torn
+    journal line must be skippable, never fatal) and raises nothing. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> value option
+(** Whole-string JSON value (trailing garbage is malformed). *)
+
+val member : string -> value -> value option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_str : value -> string option
+val to_num : value -> float option
+
+val to_int : value -> int option
+(** [Num] holding an exact integer (within 2{^52}); [None] otherwise. *)

@@ -1,7 +1,8 @@
 (* The deterministic sweep report: one JSONL line per job on stdout, in
    job-id order, with NO wall-clock or domain-dependent fields — the
-   contract is that --jobs 1 and --jobs 4 produce byte-identical output.
-   Job identity fields (id, corner, params) are composed around the
+   contract is that --jobs 1 and --jobs 4 produce byte-identical output,
+   and that a crash + --resume run is byte-identical to an uninterrupted
+   one. Job identity fields (id, corner, params) are composed around the
    cached payload here precisely because they are not covered by the
    cache key and must never be replayed from disk. *)
 
@@ -15,26 +16,47 @@ let line (r : Runner.job_result) =
       ("result", r.Runner.payload);
     ]
 
+(* Empty slots (never claimed, or killed by the drain) print nothing:
+   an interrupted report is the completed subset plus a marker line. *)
 let print_all oc results =
   Array.iter
-    (fun r ->
-      output_string oc (line r);
-      output_string oc "\n")
+    (function
+      | None -> ()
+      | Some r ->
+          output_string oc (line r);
+          output_string oc "\n")
     results
 
-let count p results = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results
+let interrupted_marker results =
+  let completed =
+    Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 results
+  in
+  Json.obj
+    [
+      ("sweep", Json.str "interrupted");
+      ("completed", Json.int completed);
+      ("total", Json.int (Array.length results));
+    ]
+
+let count p results =
+  Array.fold_left
+    (fun n -> function Some r when p r -> n + 1 | _ -> n)
+    0 results
 
 let summary results (cs : Cache.stats) =
   let ok = count (fun r -> r.Runner.status = Runner.Ok) results
   and suspect = count (fun r -> r.Runner.status = Runner.Suspect) results
   and failed = count (fun r -> r.Runner.status = Runner.Failed) results
-  and cached = count (fun r -> r.Runner.cached) results in
+  and cached = count (fun r -> r.Runner.cached) results
+  and replayed = count (fun r -> r.Runner.replayed) results in
   let looked = cs.Cache.hits + cs.Cache.misses in
   let pct = if looked = 0 then 0.0 else 100.0 *. float_of_int cs.Cache.hits /. float_of_int looked in
   Printf.sprintf
-    "sweep: jobs=%d ok=%d suspect=%d failed=%d | cache: hits=%d misses=%d \
-     evictions=%d stores=%d (%.0f%% hit, %d served from cache)"
-    (Array.length results) ok suspect failed cs.Cache.hits cs.Cache.misses
-    cs.Cache.evictions cs.Cache.stores pct cached
+    "sweep: jobs=%d ok=%d suspect=%d failed=%d replayed=%d | cache: hits=%d \
+     misses=%d evictions=%d stores=%d (%.0f%% hit, %d served from cache) | \
+     disk: entries=%d bytes=%d"
+    (Array.length results) ok suspect failed replayed cs.Cache.hits
+    cs.Cache.misses cs.Cache.evictions cs.Cache.stores pct cached
+    cs.Cache.entries cs.Cache.bytes
 
 let all_ok results = count (fun r -> r.Runner.status = Runner.Failed) results = 0

@@ -4,16 +4,24 @@
     (id, corner, canonical parameter bindings) around the cached result
     payload. No wall-clock or domain-dependent field ever appears here:
     [--jobs 1] and [--jobs 4] runs of the same sweep are byte-identical,
-    and re-runs served from cache are byte-identical to cold runs. *)
+    re-runs served from cache are byte-identical to cold runs, and a
+    crashed run's [--resume] is byte-identical to an uninterrupted run. *)
 
 val line : Runner.job_result -> string
 (** One report line (no trailing newline). *)
 
-val print_all : out_channel -> Runner.job_result array -> unit
+val print_all : out_channel -> Runner.job_result option array -> unit
+(** Completed slots only, in job-id order; empty slots print nothing. *)
 
-val summary : Runner.job_result array -> Cache.stats -> string
-(** Human summary for stderr: job ok/suspect/failed counts and cache
-    hit/miss/eviction/store counters with the hit rate. *)
+val interrupted_marker : Runner.job_result option array -> string
+(** The final stdout line of an interrupted sweep:
+    [{"sweep":"interrupted","completed":N,"total":M}] (no newline). *)
 
-val all_ok : Runner.job_result array -> bool
-(** No job failed (suspect certificates count as completed). *)
+val summary : Runner.job_result option array -> Cache.stats -> string
+(** Human summary for stderr: job ok/suspect/failed/replayed counts,
+    cache hit/miss/eviction/store counters with the hit rate, and the
+    cache's on-disk entry/byte footprint. *)
+
+val all_ok : Runner.job_result option array -> bool
+(** No completed job failed (suspect counts as completed; empty slots
+    are judged by [interrupted], not here). *)

@@ -20,6 +20,8 @@ module Rf = Rfkit_rf
 module Sup = Rfkit_solve.Supervisor
 module Cascade = Rfkit_solve.Cascade
 module Certify = Rfkit_solve.Certify
+module Deadline = Rfkit_solve.Deadline
+module Faults = Rfkit_solve.Faults
 
 type status = Ok | Suspect | Failed
 
@@ -27,6 +29,7 @@ type job_result = {
   job : Expand.job;
   status : status;
   cached : bool;
+  replayed : bool;
   payload : string;
   wall : float;
   newton : int;
@@ -41,7 +44,13 @@ type config = {
   tol_scale : float;
   ordering : Rfkit_struct.Order.mode;
   stats : bool;
+  deadline : float option;  (** per-job wall-clock limit, seconds *)
+  grace : float;  (** drain budget after a stop request, seconds *)
 }
+
+type outcome = { results : job_result option array; interrupted : bool }
+
+let request_stop ~grace = Deadline.begin_drain ~grace
 
 (* ---------------------------------------------------------- payloads -- *)
 
@@ -256,53 +265,152 @@ let job_key cfg (job : Expand.job) =
         "ordering=" ^ Rfkit_struct.Order.mode_to_string cfg.ordering;
       ]
 
-let run_one cfg ~cache ~telemetry (job : Expand.job) =
-  let key = job_key cfg job in
-  Telemetry.emit telemetry ~job:job.Expand.id ~event:"started"
-    [ ("analysis", Json.str (Spec.analysis_tag job.Expand.analysis)) ];
-  let t0 = Unix.gettimeofday () in
-  match Cache.lookup cache key with
-  | Some payload ->
-      Telemetry.emit telemetry ~job:job.Expand.id ~event:"cache-hit"
-        [ ("key", Json.str key) ];
-      {
-        job;
-        status = status_of_payload payload;
-        cached = true;
-        payload;
-        wall = Unix.gettimeofday () -. t0;
-        newton = 0;
-        krylov = 0;
-      }
-  | None ->
-      let status, payload, newton, krylov =
-        try execute cfg job
-        with e ->
-          ( Failed,
-            payload_failed ~analysis:job.Expand.analysis
-              ~cause:("exception: " ^ Printexc.to_string e),
-            0, 0 )
-      in
-      let wall = Unix.gettimeofday () -. t0 in
-      (match status with
-      | Failed ->
-          Telemetry.emit telemetry ~job:job.Expand.id ~event:"failed"
-            [
-              ("wall", Printf.sprintf "%.6f" wall);
-              ("newton", Json.int newton);
-              ("krylov", Json.int krylov);
-            ]
-      | Ok | Suspect ->
-          Cache.store cache key payload;
-          Telemetry.emit telemetry ~job:job.Expand.id ~event:"finished"
-            [
-              ("wall", Printf.sprintf "%.6f" wall);
-              ("newton", Json.int newton);
-              ("krylov", Json.int krylov);
-            ]);
-      { job; status; cached = false; payload; wall; newton; krylov }
+let status_name = function Ok -> "ok" | Suspect -> "suspect" | Failed -> "failed"
 
-let run cfg ~cache ~telemetry jobs =
+let contains_substring haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= hn && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* A job that died of Interrupted (or of the drain clamp's Expired, which
+   renders as a deadline cause) while a stop was pending would have
+   completed in an uninterrupted run — journaling it as failed would make
+   the resumed report differ from the uninterrupted one. Such jobs are
+   discarded: no journal record, slot stays empty, resume re-executes. *)
+let killed_by_drain ~status ~payload =
+  status = Failed
+  && Deadline.interrupt_requested ()
+  && (contains_substring payload {|"cause":"interrupted|}
+     || contains_substring payload {|"cause":"deadline exceeded|})
+
+let run_one cfg ~cache ~telemetry ?journal ?replay (job : Expand.job) =
+  let id = job.Expand.id in
+  let finish_record ~status ~key ~payload =
+    match journal with
+    | None -> ()
+    | Some j ->
+        Journal.record_finish j ~job:id ~status:(status_name status) ~key
+          ~payload:(match status with Failed -> Some payload | _ -> None)
+  in
+  (* crash/interrupt chaos fires at the completion boundary, i.e. right
+     after the finish record is durable — the point a real crash is most
+     likely to interleave with *)
+  let completion_boundary () =
+    match Faults.job_completed () with
+    | `Continue -> ()
+    | `Interrupt -> request_stop ~grace:cfg.grace
+  in
+  let fresh () =
+    let key = job_key cfg job in
+    Telemetry.emit telemetry ~job:id ~event:"started"
+      [ ("analysis", Json.str (Spec.analysis_tag job.Expand.analysis)) ];
+    (match journal with Some j -> Journal.record_start j ~job:id | None -> ());
+    let t0 = Unix.gettimeofday () in
+    match Cache.lookup cache key with
+    | Some payload ->
+        Telemetry.emit telemetry ~job:id ~event:"cache-hit"
+          [ ("key", Json.str key) ];
+        let status = status_of_payload payload in
+        finish_record ~status ~key ~payload;
+        completion_boundary ();
+        Some
+          {
+            job;
+            status;
+            cached = true;
+            replayed = false;
+            payload;
+            wall = Unix.gettimeofday () -. t0;
+            newton = 0;
+            krylov = 0;
+          }
+    | None ->
+        (match cfg.deadline with
+        | Some seconds -> Deadline.arm ~seconds
+        | None -> ());
+        let status, payload, newton, krylov =
+          Fun.protect ~finally:Deadline.disarm (fun () ->
+              try
+                Faults.stall ~job:id;
+                execute cfg job
+              with
+              | Deadline.Expired seconds ->
+                  ( Failed,
+                    payload_failed ~analysis:job.Expand.analysis
+                      ~cause:
+                        (Sup.cause_to_string (Sup.Deadline_exceeded { seconds })),
+                    0, 0 )
+              | Deadline.Interrupted ->
+                  ( Failed,
+                    payload_failed ~analysis:job.Expand.analysis
+                      ~cause:(Sup.cause_to_string Sup.Interrupted),
+                    0, 0 )
+              | e ->
+                  ( Failed,
+                    payload_failed ~analysis:job.Expand.analysis
+                      ~cause:("exception: " ^ Printexc.to_string e),
+                    0, 0 ))
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        if killed_by_drain ~status ~payload then begin
+          Telemetry.emit telemetry ~job:id ~event:"aborted"
+            [ ("wall", Printf.sprintf "%.6f" wall) ];
+          None
+        end
+        else begin
+          (match status with
+          | Failed ->
+              Telemetry.emit telemetry ~job:id ~event:"failed"
+                [
+                  ("wall", Printf.sprintf "%.6f" wall);
+                  ("newton", Json.int newton);
+                  ("krylov", Json.int krylov);
+                ]
+          | Ok | Suspect ->
+              Cache.store cache key payload;
+              Telemetry.emit telemetry ~job:id ~event:"finished"
+                [
+                  ("wall", Printf.sprintf "%.6f" wall);
+                  ("newton", Json.int newton);
+                  ("krylov", Json.int krylov);
+                ]);
+          finish_record ~status ~key ~payload;
+          completion_boundary ();
+          Some { job; status; cached = false; replayed = false; payload; wall; newton; krylov }
+        end
+  in
+  match
+    Option.bind replay (fun r -> Hashtbl.find_opt r.Journal.r_finished id)
+  with
+  | None -> fresh ()
+  | Some e -> (
+      let payload =
+        match e.Journal.e_payload with
+        | Some p -> Some p (* failed jobs replay their inlined bytes *)
+        | None -> Cache.lookup cache e.Journal.e_key
+      in
+      match payload with
+      | Some payload ->
+          Telemetry.emit telemetry ~job:id ~event:"replayed"
+            [ ("key", Json.str e.Journal.e_key) ];
+          Some
+            {
+              job;
+              status = status_of_payload payload;
+              cached = false;
+              replayed = true;
+              payload;
+              wall = 0.;
+              newton = 0;
+              krylov = 0;
+            }
+      | None ->
+          (* the cache entry was evicted out from under the journal
+             (gc pins should prevent this); recompute rather than fail *)
+          fresh ())
+
+let run cfg ~cache ~telemetry ?journal ?replay jobs =
+  Deadline.set_interrupt_action Deadline.Note;
   let jobs_a = Array.of_list jobs in
   let n = Array.length jobs_a in
   Array.iter
@@ -314,10 +422,15 @@ let run cfg ~cache ~telemetry jobs =
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (run_one cfg ~cache ~telemetry jobs_a.(i));
-        loop ()
+      (* a pending stop closes the dispatch gate: in-flight jobs drain
+         (bounded by the grace clamp), queued jobs stay unclaimed for
+         resume *)
+      if not (Deadline.interrupt_requested ()) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- run_one cfg ~cache ~telemetry ?journal ?replay jobs_a.(i);
+          loop ()
+        end
       end
     in
     loop ()
@@ -329,6 +442,4 @@ let run cfg ~cache ~telemetry jobs =
     worker ();
     Array.iter Domain.join helpers
   end;
-  Array.map
-    (function Some r -> r | None -> assert false (* every slot claimed *))
-    results
+  { results; interrupted = Deadline.interrupt_requested () }

@@ -11,14 +11,25 @@
     Jobs are memoized through {!Cache} (payloads carry only key-covered
     content). Failed jobs are recorded, not cached and not fatal: a
     budget-bound failure is wall-clock dependent and must not be
-    replayed from disk as a permanent fact. *)
+    replayed from disk as a permanent fact.
+
+    {b Crash safety.} With a {!Journal} attached, every job completion
+    is made durable before the next job is claimed; with a replay
+    attached ([--resume]), journaled jobs are served from the journal
+    (failed payloads inline) or the cache (ok/suspect by key) without
+    re-execution. {!request_stop} (wired to SIGINT/SIGTERM by the CLI)
+    closes the dispatch gate: in-flight jobs drain under the [grace]
+    clamp, unclaimed jobs stay pending, and jobs the clamp kills are
+    {e discarded} — journaling them as failed would make the resumed
+    report differ from an uninterrupted run's. *)
 
 type status = Ok | Suspect | Failed
 
 type job_result = {
   job : Expand.job;
   status : status;
-  cached : bool;
+  cached : bool;  (** served by {!Cache} this run *)
+  replayed : bool;  (** served from the journal of a prior run *)
   payload : string;  (** canonical JSON object; the cached unit *)
   wall : float;  (** seconds; telemetry only, never reported on stdout *)
   newton : int;
@@ -40,14 +51,48 @@ type config = {
       (** emit one [stats:] line per executed job on stderr (cache hits
           are silent); with [domains > 1] the [fill_nnz] figure may be
           another domain's last factorization *)
+  deadline : float option;
+      (** per-job wall-clock limit: a job past it is quarantined as a
+          typed [Deadline_exceeded] failure instead of wedging its
+          domain. [None]: unlimited. *)
+  grace : float;
+      (** drain budget (seconds) after {!request_stop}: in-flight jobs
+          past it are killed via the {!Rfkit_solve.Deadline} clamp *)
 }
+
+type outcome = {
+  results : job_result option array;
+      (** indexed by job id; [None] = never claimed, or killed by the
+          drain clamp — pending for resume either way *)
+  interrupted : bool;  (** a stop request arrived during the run *)
+}
+
+val request_stop : grace:float -> unit
+(** Signal-handler safe. Stop dispatching new jobs and start the drain
+    clock; see {!Rfkit_solve.Deadline.begin_drain}. *)
 
 val job_key : config -> Expand.job -> string
 (** The job's content-addressed cache key (exposed for tests). *)
 
-val run_one : config -> cache:Cache.t -> telemetry:Telemetry.t -> Expand.job -> job_result
+val run_one :
+  config ->
+  cache:Cache.t ->
+  telemetry:Telemetry.t ->
+  ?journal:Journal.t ->
+  ?replay:Journal.replay ->
+  Expand.job ->
+  job_result option
+(** [None] when the job was killed by the drain clamp (discarded, not
+    journaled). *)
 
 val run :
-  config -> cache:Cache.t -> telemetry:Telemetry.t -> Expand.job list -> job_result array
-(** Execute all jobs; the result array is indexed by job id. The job
-    list must be in expansion order (as {!Expand.expand} returns it). *)
+  config ->
+  cache:Cache.t ->
+  telemetry:Telemetry.t ->
+  ?journal:Journal.t ->
+  ?replay:Journal.replay ->
+  Expand.job list ->
+  outcome
+(** Execute all jobs (sets the process-wide interrupt action to [Note]
+    for drain semantics). The job list must be in expansion order (as
+    {!Expand.expand} returns it). *)

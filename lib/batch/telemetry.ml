@@ -2,24 +2,35 @@
    one-line progress display on stderr (only when stderr is a tty, so
    scripted runs and the test suite see clean streams). Wall-clock
    timestamps live HERE and only here — the stdout report must stay
-   byte-identical across runs and domain counts. *)
+   byte-identical across runs and domain counts.
+
+   The log is an O_APPEND descriptor written one whole line per
+   write(2): concurrent domains (and a concurrent tail -f) always see
+   complete lines, never interleaved fragments, and a crash tears at
+   most the line being written. fsync happens once, on close — the
+   journal is the durability layer; telemetry is best-effort. *)
 
 type t = {
   lock : Mutex.t;
-  log : out_channel option;
+  log : Unix.file_descr option;
   progress : bool;
   t0 : float;
   total : int;
   mutable done_ : int;
   mutable failed : int;
   mutable cached : int;
+  mutable replayed : int;
 }
 
 let create ?log_path ?(progress = Unix.isatty Unix.stderr) ~total () =
   let log =
     match log_path with
     | None -> None
-    | Some path -> Some (open_out path)
+    | Some path ->
+        Some
+          (Unix.openfile path
+             [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ]
+             0o644)
   in
   {
     lock = Mutex.create ();
@@ -30,6 +41,7 @@ let create ?log_path ?(progress = Unix.isatty Unix.stderr) ~total () =
     done_ = 0;
     failed = 0;
     cached = 0;
+    replayed = 0;
   }
 
 let locked t f =
@@ -38,29 +50,44 @@ let locked t f =
 
 let render_progress t =
   if t.progress then begin
-    Printf.eprintf "\r[%d/%d] ok=%d failed=%d cached=%d  " t.done_ t.total
-      (t.done_ - t.failed) t.failed t.cached;
+    Printf.eprintf "\r[%d/%d] ok=%d failed=%d cached=%d replayed=%d  " t.done_
+      t.total
+      (t.done_ - t.failed)
+      t.failed t.cached t.replayed;
     flush stderr
   end
 
-(* event names: queued | started | cache-hit | finished | failed *)
+let write_line fd line =
+  let len = String.length line in
+  let written = ref 0 in
+  (* O_APPEND + one write covers the whole line on a regular file; the
+     loop only guards against signals/short writes *)
+  while !written < len do
+    written := !written + Unix.write_substring fd line !written (len - !written)
+  done
+
+(* event names: queued | started | cache-hit | replayed | finished |
+   failed | aborted | cache-gc-evict | interrupted *)
 let emit t ~job ~event fields =
   locked t (fun () ->
       (match t.log with
       | None -> ()
-      | Some oc ->
+      | Some fd ->
           let line =
             Json.obj
               ([ ("event", Json.str event);
                  ("job", Json.int job);
                  ("t", Printf.sprintf "%.6f" (Unix.gettimeofday () -. t.t0)) ]
               @ fields)
+            ^ "\n"
           in
-          output_string oc line;
-          output_string oc "\n");
+          write_line fd line);
       (match event with
       | "cache-hit" ->
           t.cached <- t.cached + 1;
+          t.done_ <- t.done_ + 1
+      | "replayed" ->
+          t.replayed <- t.replayed + 1;
           t.done_ <- t.done_ + 1
       | "finished" -> t.done_ <- t.done_ + 1
       | "failed" ->
@@ -68,10 +95,14 @@ let emit t ~job ~event fields =
           t.done_ <- t.done_ + 1
       | _ -> ());
       match event with
-      | "cache-hit" | "finished" | "failed" -> render_progress t
+      | "cache-hit" | "replayed" | "finished" | "failed" -> render_progress t
       | _ -> ())
 
 let close t =
   locked t (fun () ->
       if t.progress && t.total > 0 then prerr_newline ();
-      match t.log with None -> () | Some oc -> close_out oc)
+      match t.log with
+      | None -> ()
+      | Some fd ->
+          (try Unix.fsync fd with Unix.Unix_error _ -> ());
+          Unix.close fd)

@@ -1,14 +1,23 @@
 (** Structured per-job telemetry: JSONL event log + live progress line.
 
-    Events are [queued], [started], [cache-hit], [finished] and
-    [failed]; each log line carries the job id and the wall-clock offset
-    since the sweep started, plus caller fields (Newton/Krylov counters,
-    failure cause). Wall-clock data appears {e only} here — the stdout
-    report is kept timing-free so repeated runs diff clean.
+    Events are [queued], [started], [cache-hit], [replayed], [finished],
+    [failed], [aborted] (in flight when a graceful shutdown drained the
+    pool), [cache-gc-evict] and [interrupted]; each log line carries the
+    job id and the wall-clock offset since the sweep started, plus
+    caller fields (Newton/Krylov counters, failure cause). Wall-clock
+    data appears {e only} here — the stdout report is kept timing-free
+    so repeated runs diff clean.
+
+    {b Atomicity:} the log is an [O_APPEND] descriptor and every event
+    goes out as one whole line in a single [write(2)], so concurrent
+    domains — and anything tailing the file — always observe complete
+    lines, never interleaved fragments; a crash tears at most the line
+    in flight. The descriptor is fsynced on {!close}. Telemetry is
+    best-effort observability; {!Journal} is the durability layer.
 
     The progress line (on stderr, only when stderr is a tty) shows
-    [\[done/total\] ok/failed/cached] and redraws in place. All state is
-    mutex-protected; domains share one [t]. *)
+    [\[done/total\] ok/failed/cached/replayed] and redraws in place.
+    All state is mutex-protected; domains share one [t]. *)
 
 type t
 
@@ -17,8 +26,8 @@ val create : ?log_path:string -> ?progress:bool -> total:int -> unit -> t
 
 val emit : t -> job:int -> event:string -> (string * string) list -> unit
 (** Append one event; [fields] are (key, rendered-JSON-value) pairs.
-    Terminal events ([cache-hit]/[finished]/[failed]) advance the
-    progress display. *)
+    Terminal events ([cache-hit]/[replayed]/[finished]/[failed])
+    advance the progress display. *)
 
 val close : t -> unit
-(** Finish the progress line and close the log. *)
+(** Finish the progress line, fsync and close the log. *)

@@ -91,7 +91,14 @@ let run ?(budget = Supervisor.default_budget) (chain : 'a stage list) =
           | Supervisor.Failed f ->
               spent := !spent + failure_iterations f;
               trail := { from_engine = s.engine; failure = f } :: !trail;
-              step (rank + 1) rest
+              (* a blown per-job deadline or a pending interrupt condemns
+                 the whole chain, not just this formulation: the clock
+                 does not restart for the next engine, so escalating
+                 would only burn the shutdown grace budget *)
+              (match f.Supervisor.cause with
+              | Supervisor.Deadline_exceeded _ | Supervisor.Interrupted ->
+                  exhausted f.Supervisor.cause
+              | _ -> step (rank + 1) rest)
         end
   in
   step 1 chain

@@ -54,7 +54,9 @@ val run : ?budget:Supervisor.budget -> 'a stage list -> 'a outcome
     per-attempt cap passes through unchanged). Every failure escalates —
     including fail-fast causes, which condemn one formulation but not a
     different engine's route — until the chain or the shared budget is
-    exhausted.
+    exhausted. The exceptions are {!Supervisor.Deadline_exceeded} and
+    {!Supervisor.Interrupted}: the per-job clock does not restart for the
+    next engine, so those abort the whole chain immediately.
 
     @raise Invalid_argument on an empty chain. *)
 

@@ -1,0 +1,82 @@
+(* Cooperative per-domain deadlines and a process-wide interrupt flag.
+
+   OCaml domains cannot be killed from outside, so a hung Newton loop can
+   only be stopped by the loop itself noticing. Every engine already
+   funnels each iteration through Guard.check; that is where [check]
+   is polled. The fast path — nothing armed, no interrupt pending — is a
+   single atomic load, so analyses that never use deadlines pay nothing.
+
+   All state written from signal handlers is atomic: a handler must never
+   take a lock it might itself have interrupted (classic self-deadlock),
+   so the "drain" clamp is an atomic cell that [check] consults lazily
+   rather than a table the handler would have to walk. Per-domain
+   deadlines live in domain-local storage and are only ever touched by
+   their own domain. *)
+
+exception Expired of float
+exception Interrupted
+
+type interrupt_action = Raise | Note
+
+(* number of armed deadlines + 1 if an interrupt or drain is pending:
+   the fast-path gate for check *)
+let hot = Atomic.make 0
+
+let interrupt_flag = Atomic.make false
+let action = Atomic.make Raise
+
+(* drain clamp: (absolute time, grace seconds) applied to every armed
+   domain once an interrupt is pending in Note mode *)
+let drain : (float * float) option Atomic.t = Atomic.make None
+
+type slot = { abs : float; allotted : float }
+
+let key : slot option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_interrupt_action a = Atomic.set action a
+
+let request_interrupt () =
+  if Atomic.compare_and_set interrupt_flag false true then
+    Atomic.incr hot
+
+let interrupt_requested () = Atomic.get interrupt_flag
+
+let clear_interrupt () =
+  if Atomic.compare_and_set interrupt_flag true false then
+    Atomic.decr hot;
+  Atomic.set drain None
+
+let begin_drain ~grace =
+  Atomic.set drain (Some (Unix.gettimeofday () +. grace, grace));
+  request_interrupt ()
+
+let arm ~seconds =
+  (match Domain.DLS.get key with
+  | None -> Atomic.incr hot
+  | Some _ -> ());
+  Domain.DLS.set key
+    (Some { abs = Unix.gettimeofday () +. seconds; allotted = seconds })
+
+let disarm () =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some _ ->
+      Domain.DLS.set key None;
+      Atomic.decr hot
+
+let check () =
+  if Atomic.get hot > 0 then begin
+    if Atomic.get interrupt_flag && Atomic.get action = Raise then
+      raise Interrupted;
+    let now = lazy (Unix.gettimeofday ()) in
+    (match Domain.DLS.get key with
+    | Some { abs; allotted } ->
+        if Lazy.force now > abs then raise (Expired allotted)
+    | None -> ());
+    (* the drain clamp fires even for jobs running without their own
+       deadline: once a shutdown is pending, nothing may outlive grace *)
+    if Atomic.get interrupt_flag then
+      match Atomic.get drain with
+      | Some (abs, grace) when Lazy.force now > abs -> raise (Expired grace)
+      | _ -> ()
+  end

@@ -1,0 +1,60 @@
+(** Cooperative per-job deadlines and graceful-interrupt plumbing.
+
+    A domain cannot be killed from outside, so wall-clock limits on a
+    single job are enforced {e cooperatively}: the job's own Newton loop
+    polls {!check} (via {!Guard.check}, which every engine already calls
+    once per iteration) and aborts itself with a typed exception that the
+    {!Supervisor} converts into a {!Supervisor.cause}. When nothing is
+    armed and no interrupt is pending, {!check} is one atomic load —
+    production runs without deadlines pay nothing.
+
+    Two independent mechanisms share the poll site:
+
+    - {b Deadlines} are per-domain: {!arm} starts the clock for the
+      calling domain only (the sweep runner arms around each job), and an
+      overrun raises {!Expired} carrying the allotted seconds — a
+      configuration value, so failure reports stay wall-clock-free.
+    - {b Interrupts} are process-wide and may be requested from a signal
+      handler ({e only} atomic state is touched — a handler taking a lock
+      could self-deadlock). In [Raise] mode (single-run analyses) the
+      next poll raises {!Interrupted}. In [Note] mode (the sweep runner)
+      polls keep going so in-flight jobs can drain, but {!begin_drain}'s
+      grace clamp bounds how long: past it every armed-or-not job gets
+      {!Expired}. *)
+
+exception Expired of float
+(** The per-job deadline passed; carries the {e allotted} seconds (a
+    config value, not a measurement — reports built from it render
+    deterministically). *)
+
+exception Interrupted
+(** An interrupt was requested and the action is [Raise]. *)
+
+type interrupt_action = Raise | Note
+
+val set_interrupt_action : interrupt_action -> unit
+(** [Raise] (default): {!check} raises {!Interrupted} when an interrupt
+    is pending. [Note]: {!check} keeps running jobs alive (the pool
+    drains them) until the {!begin_drain} clamp expires. *)
+
+val request_interrupt : unit -> unit
+(** Signal-handler safe: flips one atomic. *)
+
+val interrupt_requested : unit -> bool
+val clear_interrupt : unit -> unit
+(** Reset the interrupt flag and drain clamp (tests; the CLI dies). *)
+
+val begin_drain : grace:float -> unit
+(** Signal-handler safe. Requests an interrupt and starts the grace
+    clock: from now + [grace] on, every {!check} in any domain raises
+    {!Expired} [grace] — one hung job cannot hold the shutdown hostage. *)
+
+val arm : seconds:float -> unit
+(** Start a deadline for the {e calling} domain. Re-arming replaces it. *)
+
+val disarm : unit -> unit
+(** Clear the calling domain's deadline (always pair with {!arm}). *)
+
+val check : unit -> unit
+(** Poll point. Raises {!Interrupted} or {!Expired} as described above;
+    otherwise returns instantly. *)

@@ -61,3 +61,51 @@ let nan_site ~engine ~iter =
       | Some (at_iter, index) when at_iter = iter -> Some index
       | _ -> None)
   | _ -> None
+
+(* -------------------------------------------- process-level chaos -- *)
+
+(* The per-engine plan above sabotages numerics INSIDE a supervised run;
+   these modes sabotage the process itself, so the crash-recovery path
+   (journal, resume, drain) is testable with the same determinism. The
+   crash is Unix._exit — no at_exit, no buffer flush, no journal
+   trailer — the closest a test can get to kill -9 without racing a
+   signal. *)
+
+type process = {
+  crash_after : int option;
+  interrupt_after : int option;
+  stall_job : int option;
+}
+
+let process_none = { crash_after = None; interrupt_after = None; stall_job = None }
+
+let crash_exit_code = 66
+
+let process_plan = ref process_none
+let completed = Atomic.make 0
+
+let arm_process p =
+  process_plan := p;
+  Atomic.set completed 0
+
+let disarm_process () =
+  process_plan := process_none;
+  Atomic.set completed 0
+
+let job_completed () =
+  let done_ = Atomic.fetch_and_add completed 1 + 1 in
+  (match !process_plan.crash_after with
+  | Some n when done_ >= n -> Unix._exit crash_exit_code
+  | _ -> ());
+  match !process_plan.interrupt_after with
+  | Some n when done_ = n -> `Interrupt
+  | _ -> `Continue
+
+let stall_now ~job =
+  match !process_plan.stall_job with Some j -> j = job | None -> false
+
+let stall ~job =
+  while stall_now ~job do
+    Deadline.check ();
+    Unix.sleepf 0.005
+  done

@@ -47,3 +47,44 @@ val begin_attempt : engine:string -> unit
 val singular_now : engine:string -> bool
 val krylov_stall_now : engine:string -> bool
 val nan_site : engine:string -> iter:int -> int option
+
+(** {2 Process-level chaos}
+
+    Where the plan above sabotages the numerics inside one supervised
+    run, these modes sabotage the process: abrupt death, a simulated
+    Ctrl-C, a wedged job. They exist so the batch runner's whole
+    crash-recovery path — run journal, [--resume], graceful drain,
+    deadline quarantine — is exercised by deterministic tests instead of
+    racing real signals. Armed independently of {!arm}/{!disarm}. *)
+
+type process = {
+  crash_after : int option;
+      (** hard-kill the process ([Unix._exit] {!crash_exit_code}: no
+          [at_exit], no flush — the closest test stand-in for kill -9)
+          once this many jobs have completed *)
+  interrupt_after : int option;
+      (** report [`Interrupt] from {!job_completed} once this many jobs
+          have completed, simulating SIGINT delivery at a completion
+          boundary *)
+  stall_job : int option;  (** wedge this job id inside {!stall} *)
+}
+
+val process_none : process
+val crash_exit_code : int
+(** 66: distinguishable from every real rfsim exit code. *)
+
+val arm_process : process -> unit
+val disarm_process : unit -> unit
+(** Arming or disarming resets the completed-job counter. *)
+
+val job_completed : unit -> [ `Continue | `Interrupt ]
+(** Called by the batch runner after each job's journal record is
+    durable. May not return ([crash_after]); returns [`Interrupt]
+    exactly once when [interrupt_after] fires. Thread-safe. *)
+
+val stall_now : job:int -> bool
+
+val stall : job:int -> unit
+(** Spin (polling {!Deadline.check}, so deadlines and drains still fire)
+    for as long as the plan wedges [job]; returns immediately when it
+    does not. *)

@@ -12,6 +12,10 @@ let find_non_finite (v : float array) =
   scan 0
 
 let check ~engine ~iter (v : float array) =
+  (* every engine funnels each Newton/step iteration through here, which
+     makes it the one poll site cooperative deadlines and interrupts
+     need: a hung-but-iterating loop notices within one iteration *)
+  Deadline.check ();
   (match Faults.nan_site ~engine ~iter with
   | Some index when index < Array.length v -> v.(index) <- Float.nan
   | _ -> ());

@@ -9,8 +9,11 @@ val find_non_finite : float array -> int option
 (** Index of the first NaN/Inf entry, if any. *)
 
 val check : engine:string -> iter:int -> float array -> unit
-(** Poll {!Faults.nan_site} (poisoning the vector in place when a fault
-    plan says so), then scan; raises {!Supervisor.cause} wrapped in
+(** Poll {!Deadline.check} first (so a per-job deadline or a pending
+    interrupt aborts the loop within one iteration — {!Deadline.Expired}
+    and {!Deadline.Interrupted} propagate to the supervisor), then poll
+    {!Faults.nan_site} (poisoning the vector in place when a fault plan
+    says so), then scan; raises {!Supervisor.cause} wrapped in
     {!Non_finite_found} on the first non-finite entry. *)
 
 exception Non_finite_found of { iter : int; index : int }

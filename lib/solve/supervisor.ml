@@ -8,6 +8,8 @@ type cause =
   | Budget_exhausted of budget_axis
   | Unsupported of string
   | Structurally_singular of { rank : int; size : int }
+  | Deadline_exceeded of { seconds : float }
+  | Interrupted
 
 type strategy =
   | Base
@@ -47,10 +49,17 @@ let cause_to_string = function
         "structurally singular system (structural rank %d of %d): singular for \
          every value assignment — run `rfsim analyze` for the deck-line diagnosis"
         rank size
+  | Deadline_exceeded { seconds } ->
+      (* the allotted budget, not the measured overrun: reports carrying
+         this cause must render identically across runs *)
+      Printf.sprintf "deadline exceeded (%gs budget)" seconds
+  | Interrupted -> "interrupted (SIGINT/SIGTERM)"
 
 (* fail-fast causes abort the ladder: more attempts cannot change the answer *)
 let fail_fast = function
-  | Non_finite _ | Unsupported _ | Structurally_singular _ -> true
+  | Non_finite _ | Unsupported _ | Structurally_singular _ | Deadline_exceeded _
+  | Interrupted ->
+      true
   | Singular_jacobian | Newton_stall _ | Krylov_stall _ | Budget_exhausted _ ->
       false
 
@@ -128,7 +137,21 @@ let run ?(budget = default_budget) ~engine ~ladder ~attempt () =
             min budget.attempt_iterations (budget.total_iterations - !total_iters)
           in
           Faults.begin_attempt ~engine;
+          (* engines poll Deadline.check from their inner loops (via
+             Guard.check); the exceptions surface here, between whatever
+             bookkeeping the engine abandoned and the typed outcome the
+             caller sees. Iteration counts of the aborted attempt are
+             lost — the abort path must not depend on engine cooperation
+             beyond the poll itself. *)
           match attempt strategy ~iter_cap with
+          | exception Deadline.Expired seconds ->
+              let cause = Deadline_exceeded { seconds } in
+              trail := { strategy; stats = no_stats; cause = Some cause } :: !trail;
+              fail cause
+          | exception Deadline.Interrupted ->
+              trail :=
+                { strategy; stats = no_stats; cause = Some Interrupted } :: !trail;
+              fail Interrupted
           | Ok (x, stats) ->
               total_iters := !total_iters + stats.iterations;
               trail := { strategy; stats; cause = None } :: !trail;

@@ -40,6 +40,14 @@ type cause =
           before any factorization ran. Fail-fast; engines raise it from
           a pre-flight check with zero attempts spent (see
           {!structural_failure}). *)
+  | Deadline_exceeded of { seconds : float }
+      (** The job's cooperative wall-clock deadline ({!Deadline.arm})
+          passed mid-attempt; carries the {e allotted} seconds (a config
+          value), so renderings stay deterministic. Fail-fast: the clock
+          does not reset between rungs. *)
+  | Interrupted
+      (** A process-wide interrupt (SIGINT/SIGTERM) was requested and
+          {!Deadline.check} raised. Fail-fast. *)
 
 (** One rung of a retry ladder. The engine interprets the payload; rungs
     an engine does not implement are skipped. *)
@@ -113,7 +121,11 @@ val run :
     violation yields [Failed] with {!Budget_exhausted} and the trace so
     far) and {!Faults.begin_attempt} is signalled so deterministic fault
     plans can count attempts. [iter_cap] passed to the attempt closure is
-    the remaining iteration allowance; engines must not exceed it. *)
+    the remaining iteration allowance; engines must not exceed it.
+    {!Deadline.Expired} and {!Deadline.Interrupted} escaping an attempt
+    (engines poll via {!Guard.check}) are converted to [Failed] with the
+    matching typed cause; the aborted attempt's iteration counts are
+    recorded as zero. *)
 
 val pp_report : Format.formatter -> report -> unit
 val pp_failure : Format.formatter -> failure -> unit

@@ -205,24 +205,30 @@ let sweep_deck =
 
 let quiet_telemetry n = Telemetry.create ~progress:false ~total:n ()
 
-let run_sweep ?(domains = 1) ?(cache = Cache.create ~enabled:false ~dir:"_unused" ())
-    ~axes ~analyses () =
-  let jobs = Expand.expand ~axes ~corners:[] ~analyses in
-  let cfg =
-    {
-      Runner.deck_text = sweep_deck;
-      node = "out";
-      domains;
-      budget = None;
-      tol_scale = 1.0;
+let sweep_cfg ?(domains = 1) ?deadline () =
+  {
+    Runner.deck_text = sweep_deck;
+    node = "out";
+    domains;
+    budget = None;
+    tol_scale = 1.0;
     ordering = Rfkit_struct.Order.Natural;
     stats = false;
-    }
-  in
+    deadline;
+    grace = 2.0;
+  }
+
+let run_sweep ?(domains = 1) ?(cache = Cache.create ~enabled:false ~dir:"_unused" ())
+    ~axes ~analyses () =
+  Rfkit_solve.Deadline.clear_interrupt ();
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses in
+  let cfg = sweep_cfg ~domains () in
   let telemetry = quiet_telemetry (List.length jobs) in
-  let results = Runner.run cfg ~cache ~telemetry jobs in
+  let outcome = Runner.run cfg ~cache ~telemetry jobs in
   Telemetry.close telemetry;
-  results
+  Array.map
+    (function Some r -> r | None -> Alcotest.fail "unexpected empty slot")
+    outcome.Runner.results
 
 let report_lines results =
   Array.to_list (Array.map Report.line results)
@@ -264,9 +270,7 @@ let test_runner_cache_rerun () =
   check_int "hits" 3 st.Cache.hits;
   (* corrupt one entry: recovered by recompute, never fatal *)
   let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
-  let cfg =
-    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0; ordering = Rfkit_struct.Order.Natural; stats = false }
-  in
+  let cfg = sweep_cfg () in
   let key = Runner.job_key cfg (List.hd jobs) in
   let entry = Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".jsonl") in
   let oc = open_out entry in
@@ -295,9 +299,7 @@ let test_telemetry_log () =
   let log = Printf.sprintf "_batch_test_telemetry_%d.jsonl" (Unix.getpid ()) in
   let axes = [ Spec.parse_axis "R1=1k,2k" ] in
   let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
-  let cfg =
-    { Runner.deck_text = sweep_deck; node = "out"; domains = 1; budget = None; tol_scale = 1.0; ordering = Rfkit_struct.Order.Natural; stats = false }
-  in
+  let cfg = sweep_cfg () in
   let telemetry = Telemetry.create ~log_path:log ~progress:false ~total:2 () in
   let _ = Runner.run cfg ~cache:(Cache.create ~enabled:false ~dir:"_unused" ()) ~telemetry jobs in
   Telemetry.close telemetry;
@@ -318,6 +320,285 @@ let test_telemetry_log () =
           (contains_sub ~sub:{|"event":"finished"|})
           !lines));
   Sys.remove log
+
+(* ---------------------------------------------------------- journal -- *)
+
+module Deadline = Rfkit_solve.Deadline
+module Faults = Rfkit_solve.Faults
+
+let test_journal_roundtrip () =
+  let dir = fresh_dir () in
+  let run = Hash.digest "spec-a" in
+  let j = Journal.create ~dir ~run ~total:3 in
+  Journal.record_start j ~job:0;
+  Journal.record_finish j ~job:0 ~status:"ok" ~key:(Hash.digest "k0") ~payload:None;
+  Journal.record_start j ~job:1;
+  (* a failed job's payload is inlined and must replay byte-exactly,
+     including floats that do not survive a parse/re-render cycle *)
+  let failed = {|{"status":"failed","analysis":"dc","cause":"x","v":0.1}|} in
+  Journal.record_finish j ~job:1 ~status:"failed" ~key:(Hash.digest "k1")
+    ~payload:(Some failed);
+  Journal.record_start j ~job:2;
+  Journal.close j;
+  check_bool "journal kept by close" true (Journal.exists ~dir ~run);
+  (match Journal.load ~dir ~run with
+  | None -> Alcotest.fail "journal did not load"
+  | Some r ->
+      check_str "run id" run r.Journal.r_run;
+      check_int "total" 3 r.Journal.r_total;
+      check_int "two finished" 2 (Hashtbl.length r.Journal.r_finished);
+      check_int "three started" 3 (List.length r.Journal.r_started);
+      let e0 = Hashtbl.find r.Journal.r_finished 0 in
+      check_str "ok status" "ok" e0.Journal.e_status;
+      Alcotest.(check (option string)) "ok payload lives in the cache" None
+        e0.Journal.e_payload;
+      let e1 = Hashtbl.find r.Journal.r_finished 1 in
+      Alcotest.(check (option string)) "failed payload byte-exact"
+        (Some failed) e1.Journal.e_payload);
+  let keys = Journal.referenced_keys ~dir in
+  check_bool "finish keys pinned" true
+    (Hashtbl.mem keys (Hash.digest "k0") && Hashtbl.mem keys (Hash.digest "k1"));
+  check_int "one journal counted" 1 (Journal.count ~dir);
+  (* reopen (resume) appends; finish_run deletes *)
+  let j2 = Journal.create ~dir ~run ~total:3 in
+  Journal.record_finish j2 ~job:2 ~status:"ok" ~key:(Hash.digest "k2") ~payload:None;
+  (match Journal.load ~dir ~run with
+  | Some r -> check_int "resume appended" 3 (Hashtbl.length r.Journal.r_finished)
+  | None -> Alcotest.fail "reopened journal did not load");
+  Journal.finish_run j2;
+  check_bool "finish_run deletes" false (Journal.exists ~dir ~run)
+
+let test_journal_torn_line () =
+  let dir = fresh_dir () in
+  let run = Hash.digest "spec-torn" in
+  let j = Journal.create ~dir ~run ~total:2 in
+  Journal.record_finish j ~job:0 ~status:"ok" ~key:(Hash.digest "k") ~payload:None;
+  Journal.close j;
+  (* simulate a crash mid-write: a torn, checksum-less final line *)
+  let file = Journal.path ~dir ~run in
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc {|{"c":"deadbeef","v":{"event":"finish","job":1,"st|};
+  close_out oc;
+  match Journal.load ~dir ~run with
+  | None -> Alcotest.fail "torn line must not poison the journal"
+  | Some r ->
+      check_int "intact records survive" 1 (Hashtbl.length r.Journal.r_finished);
+      check_bool "torn record skipped" false (Hashtbl.mem r.Journal.r_finished 1)
+
+(* replay is a last-wins map keyed by job id: appending the same finish
+   records again, in any order, must not change what resume replays *)
+let qcheck_journal_replay_idempotent =
+  QCheck.Test.make ~count:30 ~name:"journal replay idempotent and order-insensitive"
+    QCheck.(list_of_size Gen.(int_range 1 12) (pair (int_range 0 20) (int_range 0 2)))
+    (fun records ->
+      (* distinct job ids: order across different ids must not matter *)
+      let seen = Hashtbl.create 8 in
+      let records =
+        List.filter
+          (fun (id, _) ->
+            if Hashtbl.mem seen id then false
+            else begin
+              Hashtbl.add seen id ();
+              true
+            end)
+          records
+      in
+      let status = function 0 -> "ok" | 1 -> "suspect" | _ -> "failed" in
+      let write order ~dup =
+        let dir = fresh_dir () in
+        let run = Hash.digest "spec-q" in
+        let j = Journal.create ~dir ~run ~total:32 in
+        let emit (id, s) =
+          Journal.record_finish j ~job:id ~status:(status s)
+            ~key:(Hash.digest (string_of_int id))
+            ~payload:(if s = 2 then Some {|{"status":"failed"}|} else None)
+        in
+        List.iter emit order;
+        if dup then List.iter emit order;
+        Journal.close j;
+        match Journal.load ~dir ~run with
+        | None -> Alcotest.fail "journal did not load"
+        | Some r ->
+            List.sort compare
+              (Hashtbl.fold
+                 (fun id e acc -> (id, e.Journal.e_status, e.Journal.e_key) :: acc)
+                 r.Journal.r_finished [])
+      in
+      write records ~dup:false = write (List.rev records) ~dup:true)
+
+(* ------------------------------------------------- resume and drain -- *)
+
+let run_journaled ?(domains = 1) ?deadline ?replay ~cache ~dir ~run ~axes
+    ~analyses () =
+  Deadline.clear_interrupt ();
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses in
+  let cfg = sweep_cfg ~domains ?deadline () in
+  let telemetry = quiet_telemetry (List.length jobs) in
+  let journal = Journal.create ~dir ~run ~total:(List.length jobs) in
+  let outcome = Runner.run cfg ~cache ~telemetry ~journal ?replay jobs in
+  Telemetry.close telemetry;
+  if outcome.Runner.interrupted then Journal.close journal
+  else Journal.finish_run journal;
+  outcome
+
+let lines_of outcome =
+  List.filter_map
+    (Option.map Report.line)
+    (Array.to_list outcome.Runner.results)
+
+let test_runner_resume_replay () =
+  let dir = fresh_dir () in
+  let run = Hash.digest "resume-spec" in
+  let cache = Cache.create ~dir () in
+  let axes = [ Spec.parse_axis "R1=1k,2k" ] in
+  (* hb fails (no periodic source): exercises the inline-payload replay *)
+  let analyses = [ Spec.Dc; Spec.Hb { freq = None; harmonics = 4 } ] in
+  let full = run_journaled ~cache ~dir ~run ~axes ~analyses () in
+  check_bool "uninterrupted run deletes journal" false (Journal.exists ~dir ~run);
+  (* simulate a crashed run: journal as it would be left mid-flight *)
+  let j = Journal.create ~dir ~run ~total:4 in
+  let cfg = sweep_cfg () in
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses in
+  List.iteri
+    (fun i job ->
+      if i < 3 then
+        let r = Option.get (List.nth (Array.to_list full.Runner.results) i) in
+        Journal.record_finish j ~job:i
+          ~status:(match r.Runner.status with
+                   | Runner.Ok -> "ok"
+                   | Runner.Suspect -> "suspect"
+                   | Runner.Failed -> "failed")
+          ~key:(Runner.job_key cfg job)
+          ~payload:
+            (if r.Runner.status = Runner.Failed then Some r.Runner.payload
+             else None))
+    jobs;
+  Journal.close j;
+  let replay =
+    match Journal.load ~dir ~run with
+    | Some r -> r
+    | None -> Alcotest.fail "no replay"
+  in
+  let resumed = run_journaled ~cache ~dir ~run ~replay ~axes ~analyses () in
+  Alcotest.(check (list string)) "resumed report byte-identical"
+    (lines_of full) (lines_of resumed);
+  let results = Array.map Option.get resumed.Runner.results in
+  check_int "three replayed" 3
+    (Array.fold_left (fun n r -> if r.Runner.replayed then n + 1 else n) 0 results);
+  check_bool "pending job re-executed" true (not results.(3).Runner.replayed);
+  check_bool "resumed run deletes journal" false (Journal.exists ~dir ~run)
+
+let test_runner_interrupt_drain () =
+  let dir = fresh_dir () in
+  let run = Hash.digest "drain-spec" in
+  let cache = Cache.create ~dir () in
+  let axes = [ Spec.parse_axis "R1=1k,2k,3k,4k" ] in
+  let analyses = [ Spec.Dc ] in
+  (* baseline for the byte-identical contract *)
+  let full = run_journaled ~cache ~dir ~run:(Hash.digest "drain-base") ~axes ~analyses () in
+  (* simulated SIGINT after the first completion: dispatch gate closes *)
+  Faults.arm_process { Faults.process_none with interrupt_after = Some 1 };
+  let interrupted = run_journaled ~cache:(Cache.create ~enabled:false ~dir ())
+      ~dir ~run ~axes ~analyses () in
+  Faults.disarm_process ();
+  check_bool "flagged interrupted" true interrupted.Runner.interrupted;
+  let completed =
+    Array.fold_left
+      (fun n -> function Some _ -> n + 1 | None -> n)
+      0 interrupted.Runner.results
+  in
+  check_bool "some jobs left pending" true (completed < 4);
+  check_bool "journal left resumable" true (Journal.exists ~dir ~run);
+  (* resume completes the sweep and matches the uninterrupted report *)
+  let replay =
+    match Journal.load ~dir ~run with
+    | Some r -> r
+    | None -> Alcotest.fail "no replay after interrupt"
+  in
+  let resumed = run_journaled ~cache ~dir ~run ~replay ~axes ~analyses () in
+  check_bool "resume completes" true (not resumed.Runner.interrupted);
+  Alcotest.(check (list string)) "post-interrupt resume byte-identical"
+    (lines_of full) (lines_of resumed);
+  Deadline.clear_interrupt ()
+
+let test_deadline_quarantine () =
+  (* wedge job 0 in a busy loop: the per-job deadline must quarantine it
+     as a typed failure while the rest of the sweep completes *)
+  Deadline.clear_interrupt ();
+  Faults.arm_process { Faults.process_none with stall_job = Some 0 };
+  let axes = [ Spec.parse_axis "R1=1k,2k" ] in
+  let jobs = Expand.expand ~axes ~corners:[] ~analyses:[ Spec.Dc ] in
+  let cfg = sweep_cfg ~deadline:0.05 () in
+  let telemetry = quiet_telemetry (List.length jobs) in
+  let outcome =
+    Runner.run cfg
+      ~cache:(Cache.create ~enabled:false ~dir:"_unused" ())
+      ~telemetry jobs
+  in
+  Telemetry.close telemetry;
+  Faults.disarm_process ();
+  let results = Array.map Option.get outcome.Runner.results in
+  check_bool "stalled job quarantined" true
+    (results.(0).Runner.status = Runner.Failed);
+  check_bool "typed deadline cause" true
+    (contains_sub ~sub:"deadline exceeded" results.(0).Runner.payload);
+  (* the allotted seconds, not a measured time: deterministic rendering *)
+  check_bool "allotted budget rendered" true
+    (contains_sub ~sub:"0.05s budget" results.(0).Runner.payload);
+  check_bool "other job unaffected" true (results.(1).Runner.status = Runner.Ok)
+
+(* ---------------------------------------------------- cache bounding -- *)
+
+let test_cache_gc_lru_and_pins () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key i = Cache.key ~deck_text:"d" ~params:[ ("I", float_of_int i) ] ~analysis_tag:"dc" ~options:[] in
+  let path k = Filename.concat (Filename.concat dir (String.sub k 0 2)) (k ^ ".jsonl") in
+  for i = 0 to 3 do
+    Cache.store c (key i) (Printf.sprintf {|{"status":"ok","i":%d}|} i)
+  done;
+  (* pin down the LRU order explicitly via file times *)
+  List.iteri
+    (fun age i -> Unix.utimes (path (key i)) (float_of_int (1000 + age)) (float_of_int (1000 + age)))
+    [ 0; 1; 2; 3 ];
+  let entries, bytes = Cache.disk_usage ~dir in
+  check_int "four entries" 4 entries;
+  check_bool "bytes counted" true (bytes > 0);
+  let st = Cache.stats c in
+  check_int "stats entries" 4 st.Cache.entries;
+  check_int "stats bytes" bytes st.Cache.bytes;
+  (* oldest (key 0) is pinned: gc to 2 entries must spare it and evict
+     the next-oldest instead *)
+  let gs =
+    Cache.gc ~dir ~max_entries:2 ~pinned:(fun k -> k = key 0) ()
+  in
+  check_int "examined all" 4 gs.Cache.gc_examined;
+  check_int "evicted to cap" 2 gs.Cache.gc_evicted;
+  check_int "pinned spared" 1 gs.Cache.gc_pinned;
+  check_int "entries remaining" 2 gs.Cache.gc_entries;
+  check_bool "pinned entry survives" true (Sys.file_exists (path (key 0)));
+  check_bool "lru victim evicted" false (Sys.file_exists (path (key 1)));
+  check_bool "newest survives" true (Sys.file_exists (path (key 3)));
+  (* byte cap: gc everything unpinned *)
+  let gs2 = Cache.gc ~dir ~max_bytes:1 () in
+  check_int "byte cap evicts the rest" 2 gs2.Cache.gc_evicted;
+  check_int "empty" 0 (fst (Cache.disk_usage ~dir))
+
+let test_cache_hit_refreshes_lru () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key i = Cache.key ~deck_text:"d" ~params:[ ("I", float_of_int i) ] ~analysis_tag:"dc" ~options:[] in
+  let path k = Filename.concat (Filename.concat dir (String.sub k 0 2)) (k ^ ".jsonl") in
+  Cache.store c (key 0) {|{"status":"ok","i":0}|};
+  Cache.store c (key 1) {|{"status":"ok","i":1}|};
+  (* make key 0 the LRU victim, then touch it with a hit *)
+  Unix.utimes (path (key 0)) 1000.0 1000.0;
+  Unix.utimes (path (key 1)) 2000.0 2000.0;
+  ignore (Cache.lookup c (key 0));
+  let gs = Cache.gc ~dir ~max_entries:1 () in
+  check_int "one evicted" 1 gs.Cache.gc_evicted;
+  check_bool "hit entry survives gc" true (Sys.file_exists (path (key 0)));
+  check_bool "untouched entry evicted" false (Sys.file_exists (path (key 1)))
 
 (* ----------------------------------------------------- deck .param -- *)
 
@@ -443,6 +724,23 @@ let suite =
         Alcotest.test_case "cache rerun + heal" `Quick test_runner_cache_rerun;
         Alcotest.test_case "failed job isolated" `Quick test_failed_job_does_not_kill_sweep;
         Alcotest.test_case "telemetry log" `Quick test_telemetry_log;
+      ] );
+    ( "batch.journal",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+        Alcotest.test_case "torn line skipped" `Quick test_journal_torn_line;
+        QCheck_alcotest.to_alcotest qcheck_journal_replay_idempotent;
+      ] );
+    ( "batch.recovery",
+      [
+        Alcotest.test_case "resume replays journal" `Quick test_runner_resume_replay;
+        Alcotest.test_case "interrupt drains and resumes" `Quick test_runner_interrupt_drain;
+        Alcotest.test_case "deadline quarantines stall" `Quick test_deadline_quarantine;
+      ] );
+    ( "batch.cache_gc",
+      [
+        Alcotest.test_case "lru eviction and pins" `Quick test_cache_gc_lru_and_pins;
+        Alcotest.test_case "hit refreshes lru" `Quick test_cache_hit_refreshes_lru;
       ] );
     ( "batch.param",
       [
