@@ -26,8 +26,19 @@
    4 certification failure (the analysis converged but its result failed
    the a-posteriori checks; the certificate is printed on stdout);
    5 interrupted (SIGINT/SIGTERM — sweeps flush a partial report and
-   leave a resumable journal; see --resume); 66 is reserved for the
-   --inject-crash-after testing hook (simulated hard crash). *)
+   leave a resumable journal; see --resume); 6 the client gave up (server
+   unavailable or overloaded past the retry budget); 66 is reserved for
+   the --inject-crash-after testing hook (simulated hard crash).
+
+   The daemon pair:
+
+     rfsim serve --socket rfsim.sock --jobs 4 --cache-dir .rfsim-cache
+     rfsim client sweep circuit.cir --socket rfsim.sock --param R1=1k:10k:log:8
+     rfsim client status --socket rfsim.sock
+
+   serve executes submitted sweeps on a shared domain pool with one warm
+   cache; every run journals under the same hash `rfsim sweep` uses, so
+   kill -9 mid-sweep + restart + client retry resumes byte-identically. *)
 
 open Rfkit
 open Circuit
@@ -38,6 +49,7 @@ let exit_lint = 2
 let exit_no_convergence = 3
 let exit_certify = 4
 let exit_interrupted = 5
+let exit_unavailable = 6
 
 (* Single-run analyses: a SIGINT/SIGTERM flips one atomic; the engine's
    next Guard.check poll raises, the supervisor converts it into a typed
@@ -197,23 +209,27 @@ let run_tran ?(certify = { enabled = true; tol_scale = 1.0 }) c ~t_stop ~dt ~nod
 
 let run_ac c ~f_start ~f_stop ~source ~node =
   let freqs = Ac.log_freqs ~f_start ~f_stop ~points_per_decade:10 in
-  let res = Ac.sweep c ~source ~freqs in
-  let h = Ac.transfer c res node in
-  Printf.printf "freq,mag_db,phase_deg\n";
-  Array.iteri
-    (fun i z ->
-      Printf.printf "%.6e,%.3f,%.2f\n" freqs.(i)
-        (La.Stats.db20 (La.Cx.abs z))
-        (La.Cx.arg z *. 180.0 /. Float.pi))
-    h
+  match Ac.sweep_outcome c ~source ~freqs with
+  | Solve.Supervisor.Failed f -> die_failure f
+  | Solve.Supervisor.Converged (res, _) ->
+      let h = Ac.transfer c res node in
+      Printf.printf "freq,mag_db,phase_deg\n";
+      Array.iteri
+        (fun i z ->
+          Printf.printf "%.6e,%.3f,%.2f\n" freqs.(i)
+            (La.Stats.db20 (La.Cx.abs z))
+            (La.Cx.arg z *. 180.0 /. Float.pi))
+        h
 
 let run_noise c ~f_start ~f_stop ~node =
   let freqs = Ac.log_freqs ~f_start ~f_stop ~points_per_decade:10 in
-  let psd = Ac.output_noise c ~node ~freqs in
-  Printf.printf "freq,vnoise_psd,vnoise_per_rthz\n";
-  Array.iteri
-    (fun i s -> Printf.printf "%.6e,%.6e,%.6e\n" freqs.(i) s (sqrt s))
-    psd
+  match Ac.output_noise_outcome c ~node ~freqs with
+  | Solve.Supervisor.Failed f -> die_failure f
+  | Solve.Supervisor.Converged (psd, _) ->
+      Printf.printf "freq,vnoise_psd,vnoise_per_rthz\n";
+      Array.iteri
+        (fun i s -> Printf.printf "%.6e,%.6e,%.6e\n" freqs.(i) s (sqrt s))
+        psd
 
 let print_harmonics ~freq ~harmonics amplitude =
   Printf.printf "harmonic,freq,amplitude\n";
@@ -505,6 +521,7 @@ let ac_cmd =
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
   let source = Arg.(value & opt string "V1" & info [ "source" ] ~doc:"Driving source name.") in
   let run path no_lint f_start f_stop source node stats =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     set_stats stats;
     let c = Mna.build nl in
@@ -522,6 +539,7 @@ let noise_cmd =
   let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
   let run path no_lint f_start f_stop node =
+    install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     run_noise (Mna.build nl) ~f_start ~f_stop ~node
   in
@@ -616,6 +634,113 @@ let mmft_cmd =
 
 (* ------------------------------------------------------------- sweep -- *)
 
+(* Sweep-spec arguments shared verbatim between `rfsim sweep` (offline)
+   and `rfsim client sweep` (via the service): same flags, same defaults,
+   so a sweep moved between the two modes keeps its identity — and its
+   run hash, which is what lets the journal resume across them. *)
+let param_args =
+  Arg.(
+    value & opt_all string []
+    & info [ "param" ] ~docv:"AXIS"
+        ~doc:
+          "Sweep axis: $(i,NAME=value), $(i,NAME=v1,v2,...), or \
+           $(i,NAME=lo:hi:lin|log:n). Repeatable; axes multiply.")
+
+let corner_args =
+  Arg.(
+    value & opt_all string []
+    & info [ "corner" ] ~docv:"CORNER"
+        ~doc:"Named corner $(i,NAME:P1=v1,P2=v2,...). Repeatable.")
+
+let analysis_arg =
+  Arg.(
+    value & opt string "dc"
+    & info [ "analysis" ] ~docv:"LIST"
+        ~doc:"Comma-separated analyses: dc, ac, tran, hb, shooting.")
+
+let freq_arg = Arg.(value & opt (some float) None & info [ "freq" ] ~doc:"hb/shooting fundamental; default: first periodic source.")
+let harmonics_arg = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"hb harmonics.")
+let steps_arg = Arg.(value & opt int 128 & info [ "steps" ] ~doc:"shooting steps per period.")
+let t_stop_arg = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"tran stop time (s).")
+let dt_arg = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"tran time step (s).")
+let f_start_arg = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"ac start frequency.")
+let f_stop_arg = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"ac stop frequency.")
+let ppd_arg = Arg.(value & opt int 10 & info [ "points-per-decade" ] ~doc:"ac frequency resolution.")
+
+let make_defaults ~freq ~harmonics ~steps ~t_stop ~dt ~f_start ~f_stop ~ppd =
+  {
+    Batch.Spec.d_f_start = f_start;
+    d_f_stop = f_stop;
+    d_points_per_decade = ppd;
+    d_t_stop = t_stop;
+    d_dt = dt;
+    d_freq = freq;
+    d_harmonics = harmonics;
+    d_steps = steps;
+  }
+
+let cache_dir_arg =
+  Arg.(
+    value & opt string ".rfsim-cache"
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Bypass the result cache entirely.")
+
+let telemetry_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Write per-job telemetry events (with timings) as JSONL.")
+
+let job_iters_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "job-iters" ] ~docv:"N"
+        ~doc:"Total Newton/step iteration budget per job.")
+
+let job_wall_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "job-wall" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per job.")
+
+let budget_of job_iters job_wall =
+  match (job_iters, job_wall) with
+  | None, None -> None
+  | _ ->
+      let d = Solve.Supervisor.default_budget in
+      let total =
+        Option.value job_iters ~default:d.Solve.Supervisor.total_iterations
+      in
+      (* the per-attempt cap must scale with the total: step-count-based
+         engines (tran) spend all their iterations in one attempt, and a
+         stale 400-iteration attempt cap would kill any long job the
+         moment --job-iters is passed *)
+      Some
+        {
+          Solve.Supervisor.attempt_iterations =
+            max total d.Solve.Supervisor.attempt_iterations;
+          total_iterations = total;
+          wall_clock = Option.value job_wall ~default:d.Solve.Supervisor.wall_clock;
+        }
+
+let job_deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "job-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-job wall-clock deadline: a job past it is quarantined as a \
+           typed deadline-exceeded failure instead of wedging its worker \
+           domain.")
+
+let grace_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "grace" ] ~docv:"SECONDS"
+        ~doc:
+          "Drain budget after SIGINT/SIGTERM: in-flight jobs get this \
+           long to finish before being killed and left for --resume.")
+
 let sweep_cmd =
   let doc = "parameter sweep: expand, run in parallel, cache, report JSONL" in
   let man =
@@ -632,63 +757,10 @@ let sweep_cmd =
          timings) goes to $(b,--telemetry) as JSONL.";
     ]
   in
-  let param_args =
-    Arg.(
-      value & opt_all string []
-      & info [ "param" ] ~docv:"AXIS"
-          ~doc:
-            "Sweep axis: $(i,NAME=value), $(i,NAME=v1,v2,...), or \
-             $(i,NAME=lo:hi:lin|log:n). Repeatable; axes multiply.")
-  in
-  let corner_args =
-    Arg.(
-      value & opt_all string []
-      & info [ "corner" ] ~docv:"CORNER"
-          ~doc:"Named corner $(i,NAME:P1=v1,P2=v2,...). Repeatable.")
-  in
-  let analysis_arg =
-    Arg.(
-      value & opt string "dc"
-      & info [ "analysis" ] ~docv:"LIST"
-          ~doc:"Comma-separated analyses: dc, ac, tran, hb, shooting.")
-  in
   let jobs_arg =
     Arg.(
       value & opt int 1
       & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (parallel jobs).")
-  in
-  let freq = Arg.(value & opt (some float) None & info [ "freq" ] ~doc:"hb/shooting fundamental; default: first periodic source.") in
-  let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"hb harmonics.") in
-  let steps = Arg.(value & opt int 128 & info [ "steps" ] ~doc:"shooting steps per period.") in
-  let t_stop = Arg.(value & opt float 1e-6 & info [ "t-stop" ] ~doc:"tran stop time (s).") in
-  let dt = Arg.(value & opt float 1e-9 & info [ "dt" ] ~doc:"tran time step (s).") in
-  let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"ac start frequency.") in
-  let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"ac stop frequency.") in
-  let ppd = Arg.(value & opt int 10 & info [ "points-per-decade" ] ~doc:"ac frequency resolution.") in
-  let cache_dir_arg =
-    Arg.(
-      value & opt string ".rfsim-cache"
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
-  in
-  let no_cache_arg =
-    Arg.(value & flag & info [ "no-cache" ] ~doc:"Bypass the result cache entirely.")
-  in
-  let telemetry_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "telemetry" ] ~docv:"FILE"
-          ~doc:"Write per-job telemetry events (with timings) as JSONL.")
-  in
-  let job_iters_arg =
-    Arg.(
-      value & opt (some int) None
-      & info [ "job-iters" ] ~docv:"N"
-          ~doc:"Total Newton/step iteration budget per job.")
-  in
-  let job_wall_arg =
-    Arg.(
-      value & opt (some float) None
-      & info [ "job-wall" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per job.")
   in
   let resume_arg =
     Arg.(
@@ -700,23 +772,6 @@ let sweep_cmd =
              journaled jobs are replayed without re-execution, pending ones \
              run, and the final report is byte-identical to an \
              uninterrupted run.")
-  in
-  let job_deadline_arg =
-    Arg.(
-      value & opt (some float) None
-      & info [ "job-deadline" ] ~docv:"SECONDS"
-          ~doc:
-            "Per-job wall-clock deadline: a job past it is quarantined as a \
-             typed deadline-exceeded failure instead of wedging its worker \
-             domain.")
-  in
-  let grace_arg =
-    Arg.(
-      value & opt float 2.0
-      & info [ "grace" ] ~docv:"SECONDS"
-          ~doc:
-            "Drain budget after SIGINT/SIGTERM: in-flight jobs get this \
-             long to finish before being killed and left for --resume.")
   in
   let cache_max_bytes_arg =
     Arg.(
@@ -777,16 +832,8 @@ let sweep_cmd =
         let axes = List.map Batch.Spec.parse_axis params in
         let corners = List.map Batch.Spec.parse_corner corners in
         let defaults =
-          {
-            Batch.Spec.d_f_start = f_start;
-            d_f_stop = f_stop;
-            d_points_per_decade = ppd;
-            d_t_stop = t_stop;
-            d_dt = dt;
-            d_freq = freq;
-            d_harmonics = harmonics;
-            d_steps = steps;
-          }
+          make_defaults ~freq ~harmonics ~steps ~t_stop ~dt ~f_start ~f_stop
+            ~ppd
         in
         let analyses = Batch.Spec.parse_analyses defaults analyses in
         (axes, corners, analyses)
@@ -818,26 +865,7 @@ let sweep_cmd =
           end
     end;
     let job_list = Batch.Expand.expand ~axes ~corners ~analyses in
-    let budget =
-      match (job_iters, job_wall) with
-      | None, None -> None
-      | _ ->
-          let d = Solve.Supervisor.default_budget in
-          let total =
-            Option.value job_iters ~default:d.Solve.Supervisor.total_iterations
-          in
-          (* the per-attempt cap must scale with the total: step-count-based
-             engines (tran) spend all their iterations in one attempt, and a
-             stale 400-iteration attempt cap would kill any long job the
-             moment --job-iters is passed *)
-          Some
-            {
-              Solve.Supervisor.attempt_iterations =
-                max total d.Solve.Supervisor.attempt_iterations;
-              total_iterations = total;
-              wall_clock = Option.value job_wall ~default:d.Solve.Supervisor.wall_clock;
-            }
-    in
+    let budget = budget_of job_iters job_wall in
     if stats then La.Sparse_lu.reset_counts ();
     (* --resume DIR implies --cache-dir DIR: the journal lives with the
        cache it replays through *)
@@ -864,7 +892,8 @@ let sweep_cmd =
     | None, None, None -> ()
     | crash_after, interrupt_after, stall_job ->
         Solve.Faults.arm_process
-          { Solve.Faults.crash_after; interrupt_after; stall_job });
+          { Solve.Faults.crash_after; interrupt_after; stall_job;
+            accept_stall = None });
     (* run identity: the journal is keyed by a hash over every job's
        cache key (deck, params, analysis, engine options) plus the job
        count and the deadline config — anything that can change what the
@@ -960,8 +989,9 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc ~man)
     Term.(
       const run $ deck_arg $ param_args $ corner_args $ analysis_arg $ jobs_arg
-      $ node_arg "out" $ freq $ harmonics $ steps $ t_stop $ dt $ f_start
-      $ f_stop $ ppd $ cache_dir_arg $ no_cache_arg $ telemetry_arg
+      $ node_arg "out" $ freq_arg $ harmonics_arg $ steps_arg $ t_stop_arg
+      $ dt_arg $ f_start_arg $ f_stop_arg $ ppd_arg $ cache_dir_arg
+      $ no_cache_arg $ telemetry_arg
       $ job_iters_arg $ job_wall_arg $ no_lint_arg $ ordering_arg $ stats_arg
       $ resume_arg $ job_deadline_arg $ grace_arg $ cache_max_bytes_arg
       $ cache_max_entries_arg $ inject_crash_arg $ inject_interrupt_arg
@@ -1029,6 +1059,307 @@ let cache_cmd =
          ])
     [ stats_cmd; gc_cmd ]
 
+(* ------------------------------------------------------------- serve -- *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "rfsim.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path. Keep it short and relative: the \
+           kernel caps socket paths around 100 bytes.")
+
+let serve_cmd =
+  let doc = "serve sweeps over a Unix-domain socket (resilient daemon)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Lifts the sweep runner into a long-lived service: clients submit \
+         sweeps as line-delimited JSON over $(b,--socket) and stream back \
+         job events, report lines and a final summary. Admission is \
+         bounded ($(b,--queue-cap) jobs; excess sweeps get a typed \
+         $(i,overloaded) refusal, never an unbounded buffer), every \
+         completion is journaled durably before it is acknowledged, and \
+         SIGTERM drains in-flight jobs under $(b,--grace) before exiting \
+         5. After a crash (even kill -9) a restarted server replays \
+         journaled jobs on resubmission, so the client's final report is \
+         byte-identical to an uninterrupted run.";
+    ]
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (parallel jobs).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"JOBS"
+          ~doc:
+            "Admission queue capacity in jobs. A sweep only enters if \
+             every job fits; otherwise the submit is refused with a \
+             typed $(i,overloaded) response.")
+  in
+  let client_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "client-inflight" ] ~docv:"N"
+          ~doc:"Max concurrent sweeps per client connection.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close connections idle this long with no sweep attached.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reject connections that leave a frame half-sent this long \
+             (slowloris guard).")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt int Serve.Frame.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame; larger frames get a \
+                typed $(i,frame-too-large) rejection.")
+  in
+  let inject_crash_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-crash-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: hard-kill the server (exit 66, no cleanup) \
+             once $(docv) jobs have completed — journals must make every \
+             in-flight sweep resumable.")
+  in
+  let inject_interrupt_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-interrupt-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: simulate SIGTERM once $(docv) jobs have \
+             completed, exercising the graceful drain deterministically.")
+  in
+  let inject_stall_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-stall" ] ~docv:"JOB"
+          ~doc:
+            "Testing hook: wedge job $(docv) in a busy loop so \
+             --job-deadline (or the drain clamp) must quarantine it.")
+  in
+  let inject_accept_stall_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-accept-stall" ] ~docv:"N"
+          ~doc:
+            "Testing hook: close the first $(docv) accepted connections \
+             unread, exercising client reconnect/backoff.")
+  in
+  let run socket workers queue_cap client_inflight cache_dir no_cache
+      telemetry_path job_iters job_wall ordering job_deadline grace
+      idle_timeout request_timeout max_frame inject_crash inject_interrupt
+      inject_stall inject_accept_stall =
+    (match (inject_crash, inject_interrupt, inject_stall, inject_accept_stall)
+     with
+    | None, None, None, None -> ()
+    | crash_after, interrupt_after, stall_job, accept_stall ->
+        Solve.Faults.arm_process
+          { Solve.Faults.crash_after; interrupt_after; stall_job; accept_stall });
+    (* first signal begins the drain; a second force-quits shell-style *)
+    let handle _ =
+      if Solve.Deadline.interrupt_requested () then Unix._exit 130
+      else Solve.Deadline.begin_drain ~grace
+    in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+     with Invalid_argument _ | Sys_error _ -> ());
+    let cfg =
+      {
+        Serve.Server.socket_path = socket;
+        workers = max 1 workers;
+        queue_cap = max 1 queue_cap;
+        client_inflight = max 1 client_inflight;
+        cache_dir;
+        no_cache;
+        telemetry_path;
+        ordering;
+        budget = budget_of job_iters job_wall;
+        job_deadline;
+        grace;
+        idle_timeout;
+        request_timeout =
+          (if request_timeout <= 0.0 then None else Some request_timeout);
+        max_frame;
+      }
+    in
+    let stop = Serve.Server.run cfg in
+    Printf.printf "{\"serve\":\"interrupted\",\"drained\":%d,\"served\":%d}\n"
+      stop.Serve.Server.drained_sweeps stop.Serve.Server.served_sweeps;
+    exit exit_interrupted
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ socket_arg $ workers_arg $ queue_cap_arg
+      $ client_inflight_arg $ cache_dir_arg $ no_cache_arg $ telemetry_arg
+      $ job_iters_arg $ job_wall_arg $ ordering_arg $ job_deadline_arg
+      $ grace_arg $ idle_timeout_arg $ request_timeout_arg $ max_frame_arg
+      $ inject_crash_arg $ inject_interrupt_arg $ inject_stall_arg
+      $ inject_accept_stall_arg)
+
+(* ------------------------------------------------------------ client -- *)
+
+let client_cmd =
+  let doc = "talk to a running rfsim serve instance" in
+  let retries_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Max retries after an unavailable server, a typed \
+             $(i,overloaded) refusal, or a torn connection. Retrying a \
+             sweep is safe: the server journal replays completed jobs, \
+             so the final report is byte-identical.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base retry delay; delay k is $(docv) * 2^k, capped at \
+             $(b,--backoff-max). Deterministic (no jitter).")
+  in
+  let backoff_max_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "backoff-max" ] ~docv:"SECONDS" ~doc:"Retry delay cap.")
+  in
+  let events_arg =
+    Arg.(
+      value & flag
+      & info [ "events" ] ~doc:"Print per-job progress events on stderr.")
+  in
+  let client_config socket retries backoff backoff_max events =
+    {
+      Serve.Client.socket_path = socket;
+      retries = max 0 retries;
+      backoff_base = backoff;
+      backoff_max;
+      events;
+    }
+  in
+  let config_term =
+    Term.(
+      const client_config $ socket_arg $ retries_arg $ backoff_arg
+      $ backoff_max_arg $ events_arg)
+  in
+  let sweep_sub =
+    let doc = "submit a sweep and stream the report back" in
+    let run ccfg path params corners analyses node freq harmonics steps t_stop
+        dt f_start f_stop ppd no_lint =
+      let deck_text =
+        try
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          text
+        with Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit exit_parse
+      in
+      let submit =
+        {
+          Serve.Protocol.s_deck = deck_text;
+          s_params = params;
+          s_corners = corners;
+          s_analyses = analyses;
+          s_node = node;
+          s_defaults =
+            make_defaults ~freq ~harmonics ~steps ~t_stop ~dt ~f_start ~f_stop
+              ~ppd;
+          s_events = ccfg.Serve.Client.events;
+          s_no_lint = no_lint;
+        }
+      in
+      let progress msg = Printf.eprintf "client: %s\n%!" msg in
+      match Serve.Client.run_sweep ~progress ccfg submit with
+      | Serve.Client.Gave_up why ->
+          Printf.eprintf "client: %s\n" why;
+          exit exit_unavailable
+      | Serve.Client.Completed { report; summary; attempts } ->
+          List.iter print_endline report;
+          if summary.Serve.Client.interrupted then
+            Printf.printf "{\"sweep\":\"interrupted\",\"completed\":%d,\"total\":%d}\n"
+              (summary.Serve.Client.ok + summary.Serve.Client.suspect
+             + summary.Serve.Client.failed)
+              summary.Serve.Client.jobs;
+          Printf.eprintf
+            "client: run %s done: %d ok, %d suspect, %d failed of %d \
+             (%d replayed, %d attempt(s))\n"
+            summary.Serve.Client.run summary.Serve.Client.ok
+            summary.Serve.Client.suspect summary.Serve.Client.failed
+            summary.Serve.Client.jobs summary.Serve.Client.replayed attempts;
+          if summary.Serve.Client.interrupted then exit exit_interrupted;
+          if summary.Serve.Client.failed > 0 then exit exit_no_convergence
+    in
+    Cmd.v (Cmd.info "sweep" ~doc)
+      Term.(
+        const run $ config_term $ deck_arg $ param_args $ corner_args
+        $ analysis_arg $ node_arg "out" $ freq_arg $ harmonics_arg $ steps_arg
+        $ t_stop_arg $ dt_arg $ f_start_arg $ f_stop_arg $ ppd_arg
+        $ no_lint_arg)
+  in
+  let print_or_die = function
+    | Ok body -> print_endline body
+    | Error why ->
+        Printf.eprintf "client: %s\n" why;
+        exit exit_unavailable
+  in
+  let status_sub =
+    let doc = "print the server's status counters" in
+    let run ccfg = print_or_die (Serve.Client.status ccfg) in
+    Cmd.v (Cmd.info "status" ~doc) Term.(const run $ config_term)
+  in
+  let run_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "run" ] ~docv:"HASH" ~doc:"Run hash from the submit ack.")
+  in
+  let cancel_sub =
+    let doc = "cancel a running sweep by run hash" in
+    let run ccfg run_hash =
+      print_or_die (Serve.Client.cancel ccfg ~run:run_hash)
+    in
+    Cmd.v (Cmd.info "cancel" ~doc) Term.(const run $ config_term $ run_arg)
+  in
+  let poll_sub =
+    let doc = "poll a sweep's progress by run hash" in
+    let run ccfg run_hash =
+      print_or_die (Serve.Client.poll ccfg ~run:run_hash)
+    in
+    Cmd.v (Cmd.info "poll" ~doc) Term.(const run $ config_term $ run_arg)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Deterministic retrying client for $(b,rfsim serve). \
+              Connect-refused, typed $(i,overloaded) refusals and torn \
+              connections all retry on a fixed exponential backoff \
+              ladder; any other typed error is permanent. Exits 6 when \
+              retries are exhausted.";
+         ])
+    [ sweep_sub; status_sub; cancel_sub; poll_sub ]
+
 let run_cmd =
   let doc = "run every directive embedded in the deck" in
   let run path no_lint =
@@ -1080,4 +1411,5 @@ let () =
           [
             run_cmd; lint_cmd; analyze_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd;
             shooting_cmd; mmft_cmd; noise_cmd; sweep_cmd; cache_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -1,0 +1,132 @@
+#!/bin/sh
+# Chaos smoke for the rfsim service: a real server process, a real
+# client, real crashes. Five scenarios, all deterministic:
+#
+#   1. parity      — a served sweep's report is byte-identical to the
+#                    offline `rfsim sweep` baseline
+#   2. drain       — SIGTERM exits 5 with the interrupted marker
+#   3. crash       — --inject-crash-after kills the server mid-sweep
+#                    (exit 66, no cleanup); a restarted server replays
+#                    the journal on resubmission and the final report is
+#                    byte-identical to the baseline
+#   4. overload    — one wedged worker + a full queue: the next sweep is
+#                    refused with a typed overloaded (client exit 6),
+#                    never a hang, and the loaded server still drains
+#   5. reconnect   — --inject-accept-stall tears the first connections;
+#                    the client's deterministic backoff gets through
+#
+# Invoked from dune as `timeout 120 sh serve_smoke.sh <rfsim>`; the
+# caller's timeout is the only global clamp. Never kill by process-name
+# pattern here: only by the PIDs this script started.
+set -u
+
+RFSIM=$1
+SOCK=serve-smoke.sock
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+wait_sock() {
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && fail "server socket never appeared"
+    sleep 0.05
+  done
+}
+
+SWEEP_ARGS="--param R1=500,2k --analysis dc,ac"
+
+# --- 1. baseline + served parity -------------------------------------
+"$RFSIM" sweep lowpass.cir $SWEEP_ARGS --jobs 1 \
+  --cache-dir smoke-base-cache > serve-base.out || fail "baseline sweep"
+
+rm -f "$SOCK"
+"$RFSIM" serve --socket "$SOCK" --jobs 2 --cache-dir smoke-serve-cache \
+  > srv1.out 2> srv1.err &
+SRV=$!
+wait_sock
+"$RFSIM" client sweep lowpass.cir --socket "$SOCK" $SWEEP_ARGS \
+  > serve-client.out 2> serve-client.err || fail "client sweep vs live server"
+cmp serve-base.out serve-client.out || fail "served report != offline report"
+
+# --- 2. SIGTERM graceful drain ---------------------------------------
+kill -TERM "$SRV"
+wait "$SRV"
+code=$?
+[ "$code" -eq 5 ] || fail "SIGTERM drain: expected exit 5, got $code"
+grep -q '"serve":"interrupted"' srv1.out || fail "drain marker missing"
+
+# --- 3. crash mid-sweep, restart, byte-identical resume --------------
+rm -f "$SOCK"
+"$RFSIM" serve --socket "$SOCK" --jobs 1 --cache-dir smoke-crash-cache \
+  --inject-crash-after 2 > srv2.out 2> srv2.err &
+SRV=$!
+wait_sock
+"$RFSIM" client sweep lowpass.cir --socket "$SOCK" $SWEEP_ARGS \
+  --retries 1 --backoff 0.05 > crash-client.out 2> crash-client.err
+ccode=$?
+[ "$ccode" -eq 6 ] || fail "client after crash: expected exit 6, got $ccode"
+grep -q "torn" crash-client.err || fail "torn-stream attempt not reported"
+wait "$SRV"
+scode=$?
+[ "$scode" -eq 66 ] || fail "injected crash: expected exit 66, got $scode"
+test -n "$(find smoke-crash-cache/journal -name '*.jsonl' 2>/dev/null)" \
+  || fail "crash left no journal"
+
+rm -f "$SOCK"
+"$RFSIM" serve --socket "$SOCK" --jobs 1 --cache-dir smoke-crash-cache \
+  > srv3.out 2> srv3.err &
+SRV=$!
+wait_sock
+"$RFSIM" client sweep lowpass.cir --socket "$SOCK" $SWEEP_ARGS \
+  > crash-resume.out 2> crash-resume.err || fail "resumed client sweep"
+cmp serve-base.out crash-resume.out || fail "resumed report != baseline"
+grep -q "2 journaled" crash-resume.err || fail "journal replay not acked"
+kill -TERM "$SRV"
+wait "$SRV" || true
+
+# --- 4. saturation: typed overloaded, zero hangs ---------------------
+rm -f "$SOCK"
+"$RFSIM" serve --socket "$SOCK" --jobs 1 --queue-cap 2 --no-cache \
+  --cache-dir smoke-ol-cache --job-deadline 30 --grace 0.3 \
+  --inject-stall 0 > srv4.out 2> srv4.err &
+SRV=$!
+wait_sock
+# sweep A: job 0 wedges the only worker, job 1 parks in the queue
+"$RFSIM" client sweep lowpass.cir --socket "$SOCK" --param R1=500,2k \
+  --analysis dc --retries 1 --backoff 0.05 > ol-a.out 2> ol-a.err &
+CLA=$!
+i=0
+while ! grep -q "job(s)" ol-a.err 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 200 ] && fail "sweep A never acked"
+  sleep 0.05
+done
+# sweep B: different axis (same params would attach to A's run), needs
+# 2 queue slots, at most 1 is free -> typed refusal, promptly
+"$RFSIM" client sweep lowpass.cir --socket "$SOCK" --param R1=1k,3k \
+  --analysis dc --retries 0 > ol-b.out 2> ol-b.err
+bcode=$?
+[ "$bcode" -eq 6 ] || fail "saturated submit: expected exit 6, got $bcode"
+grep -q "overloaded" ol-b.err || fail "overloaded refusal not typed"
+kill -TERM "$SRV"
+wait "$SRV"
+ocode=$?
+[ "$ocode" -eq 5 ] || fail "drain under load: expected exit 5, got $ocode"
+wait "$CLA" || true
+
+# --- 5. torn accepts: deterministic reconnect backoff ----------------
+rm -f "$SOCK"
+"$RFSIM" serve --socket "$SOCK" --jobs 1 --cache-dir smoke-as-cache \
+  --inject-accept-stall 2 > srv5.out 2> srv5.err &
+SRV=$!
+wait_sock
+"$RFSIM" client sweep lowpass.cir --socket "$SOCK" $SWEEP_ARGS \
+  --backoff 0.05 > as-client.out 2> as-client.err \
+  || fail "client through accept sabotage"
+cmp serve-base.out as-client.out || fail "post-reconnect report != baseline"
+grep -q "torn" as-client.err || fail "reconnect attempts not reported"
+kill -TERM "$SRV"
+wait "$SRV" || true
+
+echo "serve_smoke: ok"

@@ -28,13 +28,15 @@ type t = {
   mutable evictions : int;
   mutable stores : int;
   mutable seq : int; (* temp-file uniquifier *)
+  mutable last_touch : float; (* monotonic recency stamp, see [touch] *)
 }
 
 let format_version = "rfkit-batch-cache-v1"
 
 let create ?(enabled = true) ~dir () =
   { dir; enabled; lock = Mutex.create ();
-    hits = 0; misses = 0; evictions = 0; stores = 0; seq = 0 }
+    hits = 0; misses = 0; evictions = 0; stores = 0; seq = 0;
+    last_touch = 0.0 }
 
 let locked c f =
   Mutex.lock c.lock;
@@ -71,6 +73,23 @@ let read_entry path =
       then Some payload
       else None)
 
+(* Recency touch: gc evicts oldest-file-time first, so a hit must
+   refresh the entry's time or hot entries age out. The stamp is made
+   STRICTLY monotonic across this cache instance: wall clocks (and the
+   filesystem timestamps they land in) are coarse enough that two hits
+   in one tick would otherwise collide, leaving their eviction order to
+   the directory walk. Bumping by 1µs past the last stamp keeps hit
+   order exact; µs is what utimes can represent. *)
+let touch c path =
+  let t =
+    locked c (fun () ->
+        let now = Unix.gettimeofday () in
+        let t = if now <= c.last_touch then c.last_touch +. 1e-6 else now in
+        c.last_touch <- t;
+        t)
+  in
+  try Unix.utimes path t t with Unix.Unix_error _ -> ()
+
 let lookup c k =
   if not c.enabled then None
   else begin
@@ -80,9 +99,7 @@ let lookup c k =
       else
         match read_entry path with
         | Some payload ->
-            (* recency touch: gc evicts oldest-file-time first, so a hit
-               must refresh the entry's time or hot entries age out *)
-            (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+            touch c path;
             `Hit payload
         | None | (exception Sys_error _) | (exception End_of_file) ->
             (try Sys.remove path with Sys_error _ -> ());

@@ -40,7 +40,10 @@ val key :
 val lookup : t -> string -> string option
 (** Payload for the key, verifying the checksum; counts a hit, a miss,
     or (corrupt entry, now deleted) an eviction+miss. A hit refreshes
-    the entry's file time, which is the LRU clock {!gc} evicts by. *)
+    the entry's file time, which is the LRU clock {!gc} evicts by; the
+    stamps are strictly monotonic per cache instance (bumped by 1µs past
+    the previous touch when the wall clock has not advanced), so hits in
+    the same clock tick still order exactly. *)
 
 val store : t -> string -> string -> unit
 (** [store t key payload] writes atomically (temp file + rename). *)

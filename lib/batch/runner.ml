@@ -140,24 +140,29 @@ let execute cfg (job : Expand.job) =
           (Netlist.devices nl)
       with
       | None -> (Failed, payload_failed ~analysis ~cause:"no voltage source in deck", 0, 0)
-      | Some src ->
+      | Some src -> (
           let freqs = Ac.log_freqs ~f_start ~f_stop ~points_per_decade in
-          let res = Ac.sweep c ~source:(Device.name src) ~freqs in
-          let h = Ac.transfer c res cfg.node in
-          let data =
-            Json.obj
-              [
-                ("freq", Json.arr (Array.to_list (Array.map Json.num freqs)));
-                ( "mag",
-                  Json.arr
-                    (Array.to_list (Array.map (fun z -> Json.num (La.Cx.abs z)) h))
-                );
-              ]
-          in
-          ( Ok,
-            payload_ok ~status:Ok ~analysis ~engine:"ac" ~certificate:"none"
-              ~newton:0 ~krylov:0 ~data,
-            0, 0 ))
+          (* supervised: a singular linearized system or a mid-sweep
+             interrupt/deadline comes back typed instead of as a bare
+             exception unwinding the worker domain *)
+          match Ac.sweep_outcome c ~source:(Device.name src) ~freqs with
+          | Sup.Converged (res, _) ->
+              let h = Ac.transfer c res cfg.node in
+              let data =
+                Json.obj
+                  [
+                    ("freq", Json.arr (Array.to_list (Array.map Json.num freqs)));
+                    ( "mag",
+                      Json.arr
+                        (Array.to_list
+                           (Array.map (fun z -> Json.num (La.Cx.abs z)) h)) );
+                  ]
+              in
+              ( Ok,
+                payload_ok ~status:Ok ~analysis ~engine:"ac" ~certificate:"none"
+                  ~newton:0 ~krylov:0 ~data,
+                0, 0 )
+          | Sup.Failed f -> fail_sup f))
   | Spec.Tran { t_stop; dt } -> (
       match Tran.run_outcome ?budget:cfg.budget c ~t_stop ~dt with
       | Sup.Converged (res, rep) ->

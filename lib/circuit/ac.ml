@@ -47,6 +47,69 @@ let output_noise ?x_op c ~node ~freqs =
         0.0 sources)
     freqs
 
+(* Supervised variants: AC is a chain of direct linearized solves, so
+   the only ladder rung is Base — but running under the supervisor gives
+   the sweep runner (and the service) typed outcomes for the two ways a
+   linear sweep can still die: a singular linearized system and a
+   SIGINT/deadline poll between frequencies. One poll per frequency
+   bounds the abort latency at a single factor+solve. *)
+module Supervisor = Rfkit_solve.Supervisor
+module Deadline = Rfkit_solve.Deadline
+
+let supervised ~engine body =
+  Supervisor.run ~engine
+    ~ladder:[ Supervisor.Base ]
+    ~attempt:(fun _ ~iter_cap:_ ->
+      match body () with
+      | value, polls ->
+          Ok
+            ( value,
+              { Supervisor.iterations = polls; residual = 0.0;
+                krylov_iterations = 0 } )
+      | exception Clu.Singular ->
+          Error (Supervisor.Singular_jacobian, Supervisor.no_stats)
+      | exception Sparse_lu.Singular ->
+          Error (Supervisor.Singular_jacobian, Supervisor.no_stats))
+    ()
+
+let sweep_outcome ?x_op c ~source ~freqs =
+  supervised ~engine:"ac" (fun () ->
+      let x0 = op ?x_op c in
+      let b = Cvec.of_real (Mna.source_pattern c source) in
+      let response =
+        Array.map
+          (fun f ->
+            Deadline.check ();
+            Clu.solve (Clu.factor (system_at c x0 f)) b)
+          freqs
+      in
+      ({ freqs; response }, Array.length freqs))
+
+let output_noise_outcome ?x_op c ~node ~freqs =
+  supervised ~engine:"ac-noise" (fun () ->
+      let x0 = op ?x_op c in
+      let idx = Mna.node c node in
+      let sources = Mna.noise_sources c in
+      let psd =
+        Array.map
+          (fun f ->
+            Deadline.check ();
+            let lufact = Clu.factor (system_at c x0 f) in
+            Array.fold_left
+              (fun acc src ->
+                let pattern = Cvec.of_real (Mna.noise_pattern c src) in
+                let h = Clu.solve lufact pattern in
+                let flicker =
+                  if src.Device.flicker_corner > 0.0 && f > 0.0 then
+                    1.0 +. (src.Device.flicker_corner /. f)
+                  else 1.0
+                in
+                acc +. (Cx.abs2 h.(idx) *. src.Device.psd_at x0 *. flicker))
+              0.0 sources)
+          freqs
+      in
+      (psd, Array.length freqs))
+
 let two_port_z ?x_op c ~port1 ~port2 ~freq =
   let x0 = op ?x_op c in
   let lufact = Clu.factor (system_at c x0 freq) in

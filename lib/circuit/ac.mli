@@ -32,6 +32,26 @@ val output_noise :
     [|H_k(jw)|^2 * S_k] over all device noise generators [k], each solved
     through the linearized network. *)
 
+val sweep_outcome :
+  ?x_op:Rfkit_la.Vec.t ->
+  Mna.t ->
+  source:string ->
+  freqs:float array ->
+  result Rfkit_solve.Supervisor.outcome
+(** {!sweep} under the supervisor (engine ["ac"]): a singular linearized
+    system becomes a typed [Singular_jacobian] failure, and a pending
+    interrupt or per-job deadline aborts between frequencies — the sweep
+    runner and the service never see a bare exception from AC. *)
+
+val output_noise_outcome :
+  ?x_op:Rfkit_la.Vec.t ->
+  Mna.t ->
+  node:string ->
+  freqs:float array ->
+  float array Rfkit_solve.Supervisor.outcome
+(** {!output_noise} under the supervisor (engine ["ac-noise"]), same
+    typed-abort contract as {!sweep_outcome}. *)
+
 val two_port_z :
   ?x_op:Rfkit_la.Vec.t ->
   Mna.t ->

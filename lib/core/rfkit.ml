@@ -16,6 +16,9 @@
     - {!Lint}: static netlist analyzer (pre-flight "RF DRC" diagnostics)
     - {!Batch}: sweep orchestration — job expansion, domain-parallel
       execution, content-addressed result caching, telemetry
+    - {!Serve}: the batch runner as a resilient daemon — bounded
+      admission, graceful drain, journal-backed crash recovery, and the
+      retrying client
 
     Each alias re-exports a library whose modules carry their own
     documentation; start with {!Rf.Hb} and {!Circuit.Netlist}. *)
@@ -30,6 +33,7 @@ module Em = Rfkit_em
 module Rom = Rfkit_rom
 module Lint = Rfkit_lint
 module Batch = Rfkit_batch
+module Serve = Rfkit_serve
 
 (** Library version. *)
 let version = "1.0.0"

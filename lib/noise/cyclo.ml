@@ -94,6 +94,9 @@ let output_noise (hb : Hb.result) ~node ~freqs =
       Array.iteri
         (fun j _src ->
           for m = -m_max to m_max do
+            (* every (source, sideband) pair is a full block solve:
+               poll so interrupts/deadlines abort typed mid-sweep *)
+            Rfkit_solve.Deadline.check ();
             let inject s i =
               let t_s = period *. float_of_int s /. float_of_int ns in
               Cx.scale

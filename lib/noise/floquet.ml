@@ -53,6 +53,9 @@ let compute (orbit : Shooting.result) =
   (* BE monodromy consistent with the A_k chain *)
   let m_be = Mat.make n n in
   for j = 0 to n - 1 do
+    (* monodromy assembly is the O(n m) hot loop: poll once per column
+       so SIGINT/deadlines abort typed instead of wedging the domain *)
+    Rfkit_solve.Deadline.check ();
     let e = Vec.create n in
     e.(j) <- 1.0;
     let col = ref e in

@@ -54,6 +54,9 @@ let run ?(seed = 42) ?(trajectories = 24) ?(noise_scale = 1.0) orbit ~periods ~n
     let t = ref 0.0 in
     let count = ref 0 in
     for _step = 1 to total_steps do
+      (* one Newton-solved SDE step per poll: interrupts and deadlines
+         abort the ensemble typed instead of after all trajectories *)
+      Rfkit_solve.Deadline.check ();
       let i_noise = Vec.create n in
       Array.iteri
         (fun j (src : Device.noise_source) ->

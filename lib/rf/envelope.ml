@@ -31,6 +31,13 @@ let run_core ~options c ~f1 ~f2 ~t1_stop =
   let xdc =
     match Dc.solve_outcome c with
     | Supervisor.Converged (x, _) -> x
+    (* a typed interrupt/deadline abort must not degrade into a cold
+       zero start: re-raise so the supervisor records the cause *)
+    | Supervisor.Failed { Supervisor.cause = Supervisor.Interrupted; _ } ->
+        raise Deadline.Interrupted
+    | Supervisor.Failed
+        { Supervisor.cause = Supervisor.Deadline_exceeded { seconds }; _ } ->
+        raise (Deadline.Expired seconds)
     | Supervisor.Failed _ -> Vec.create n
   in
   let b_of t1 tau = Mpde.eval_b2 c ~f1 ~f2 t1 tau in

@@ -206,6 +206,13 @@ let solve_core ~options ~damping ~iter_cap c ~tones =
   let xdc =
     match Dc.solve_outcome c with
     | Supervisor.Converged (x, _) -> x
+    (* a typed interrupt/deadline abort must not degrade into a cold
+       zero start: re-raise so the supervisor records the cause *)
+    | Supervisor.Failed { Supervisor.cause = Supervisor.Interrupted; _ } ->
+        raise Deadline.Interrupted
+    | Supervisor.Failed
+        { Supervisor.cause = Supervisor.Deadline_exceeded { seconds }; _ } ->
+        raise (Deadline.Expired seconds)
     | Supervisor.Failed _ -> Vec.create n
   in
   let x = Vec.init (tot * n) (fun i -> xdc.(i mod n)) in

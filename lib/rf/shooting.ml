@@ -201,6 +201,17 @@ let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
         let start =
           match Dc.solve_outcome c with
           | Supervisor.Converged (x, _) -> x
+          (* a typed interrupt/deadline abort must not degrade into a
+             cold zero start: re-raise for the supervisor *)
+          | Supervisor.Failed
+              { Supervisor.cause = Supervisor.Interrupted; _ } ->
+              raise Deadline.Interrupted
+          | Supervisor.Failed
+              {
+                Supervisor.cause = Supervisor.Deadline_exceeded { seconds };
+                _;
+              } ->
+              raise (Deadline.Expired seconds)
           | Supervisor.Failed _ -> Vec.create n
         in
         if options.warm_periods = 0 then start

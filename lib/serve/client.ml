@@ -1,0 +1,272 @@
+(* rfsim client: the retrying counterpart of the service.
+
+   All retry behavior is DETERMINISTIC — a fixed exponential backoff
+   ladder with no jitter — so chaos tests (kill the server mid-sweep,
+   sabotage the first N accepts, saturate the queue) reproduce exactly.
+   The client distinguishes three failure shapes and treats each as the
+   protocol intends:
+
+   - unavailable (connect refused / socket missing): the server is down
+     or restarting; back off and reconnect.
+   - typed [overloaded]: admission control refused the sweep; back off
+     and resubmit — the request is known NOT to have been admitted.
+   - torn connection (EOF or error before the [done] frame): the server
+     crashed or dropped us mid-stream. Resubmitting is safe and cheap:
+     the server journals every completion durably, so the retried sweep
+     replays finished jobs instead of re-running them, and the final
+     report is byte-identical to an uninterrupted run.
+
+   Any typed error other than [overloaded] is permanent: retrying a
+   [bad-request] can only fail the same way. *)
+
+type config = {
+  socket_path : string;
+  retries : int;  (** max RE-tries; [0] = single attempt *)
+  backoff_base : float;  (** seconds; delay k is [base * 2^k], capped *)
+  backoff_max : float;
+  events : bool;  (** print job progress events on stderr *)
+}
+
+let default_config =
+  {
+    socket_path = "rfsim.sock";
+    retries = 5;
+    backoff_base = 0.1;
+    backoff_max = 2.0;
+    events = false;
+  }
+
+let backoff cfg k =
+  Float.min cfg.backoff_max (cfg.backoff_base *. (2. ** float_of_int k))
+
+type done_summary = {
+  run : string;
+  jobs : int;
+  ok : int;
+  suspect : int;
+  failed : int;
+  replayed : int;
+  cancelled : bool;
+  interrupted : bool;
+}
+
+type sweep_result = {
+  report : string list;  (** raw report lines, job order *)
+  summary : done_summary;
+  attempts : int;  (** connection attempts consumed (>= 1) *)
+}
+
+type outcome =
+  | Completed of sweep_result
+  | Gave_up of string  (** retries exhausted or permanent error (why) *)
+
+(* ------------------------------------------------------------ socket -- *)
+
+type attempt_failure =
+  | Unavailable  (** connect refused, socket missing, torn connection *)
+  | Refused_overloaded
+  | Permanent of string
+
+(* A server that vanished (or a fault-injected torn accept) turns our
+   next write into EPIPE; without this the default SIGPIPE disposition
+   kills the client before the retry ladder ever sees the error. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let connect path =
+  Lazy.force ignore_sigpipe;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception
+      Unix.Unix_error
+        ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN), _, _)
+    ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error Unavailable
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go ofs =
+    if ofs < n then
+      match Unix.write_substring fd s ofs (n - ofs) with
+      | written -> go (ofs + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  go 0
+
+(* read frames until [handle] says stop; Error Unavailable on EOF or a
+   connection error before that (the torn-connection shape) *)
+let read_frames fd handle =
+  let framer = Frame.create () in
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error (_, _, _) -> Error Unavailable
+    | 0 -> Error Unavailable
+    | n ->
+        let rec feed = function
+          | [] -> loop ()
+          | Frame.Oversized _ :: _ -> Error (Permanent "oversized response")
+          | Frame.Frame body :: rest -> (
+              match handle body with
+              | `Continue -> feed rest
+              | `Stop v -> Ok v
+              | `Fail f -> Error f)
+        in
+        feed (Frame.feed framer (Bytes.sub_string buf 0 n))
+  in
+  loop ()
+
+(* --------------------------------------------------------------- sweep -- *)
+
+let run_sweep ?(progress = fun _ -> ()) cfg (submit : Protocol.submit) =
+  let request = Frame.encode (Protocol.request_to_json (Protocol.Submit submit)) in
+  let total_attempts = cfg.retries + 1 in
+  let rec attempt k last_reason =
+    if k >= total_attempts then
+      Gave_up
+        (Printf.sprintf "gave up after %d attempt(s): %s" total_attempts
+           last_reason)
+    else begin
+      if k > 0 then Unix.sleepf (backoff cfg (k - 1));
+      match connect cfg.socket_path with
+      | Error Unavailable ->
+          progress (Printf.sprintf "attempt %d: server unavailable" (k + 1));
+          attempt (k + 1) "server unavailable"
+      | Error (Refused_overloaded | Permanent _) ->
+          assert false (* connect only fails Unavailable *)
+      | Ok fd ->
+          let finish result =
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            result
+          in
+          (match send_all fd request with
+          | () -> (
+              (* per-attempt state: a torn stream discards everything —
+                 the retry's replayed frames rebuild it byte-identically *)
+              let lines = ref [] in
+              let handle body =
+                match Protocol.response_of_json body with
+                | Error msg -> `Fail (Permanent ("bad response: " ^ msg))
+                | Ok (Protocol.R_error { e_code = Protocol.Overloaded; _ }) ->
+                    `Fail Refused_overloaded
+                | Ok (Protocol.R_error { e_detail; _ }) ->
+                    `Fail (Permanent e_detail)
+                | Ok (Protocol.R_ack { a_run; a_jobs; a_replayed; a_attached })
+                  ->
+                    progress
+                      (Printf.sprintf
+                         "run %s: %d job(s), %d journaled%s" a_run a_jobs
+                         a_replayed
+                         (if a_attached then " (attached to running sweep)"
+                          else ""));
+                    `Continue
+                | Ok (Protocol.R_job { j_job; j_status; j_cached; j_replayed })
+                  ->
+                    if cfg.events then
+                      progress
+                        (Printf.sprintf "job %d: %s%s%s" j_job j_status
+                           (if j_cached then " (cached)" else "")
+                           (if j_replayed then " (replayed)" else ""));
+                    `Continue
+                | Ok (Protocol.R_report { r_line; _ }) ->
+                    lines := r_line :: !lines;
+                    `Continue
+                | Ok
+                    (Protocol.R_done
+                       {
+                         d_run;
+                         d_jobs;
+                         d_ok;
+                         d_suspect;
+                         d_failed;
+                         d_replayed;
+                         d_cancelled;
+                         d_interrupted;
+                       }) ->
+                    `Stop
+                      {
+                        run = d_run;
+                        jobs = d_jobs;
+                        ok = d_ok;
+                        suspect = d_suspect;
+                        failed = d_failed;
+                        replayed = d_replayed;
+                        cancelled = d_cancelled;
+                        interrupted = d_interrupted;
+                      }
+                | Ok (Protocol.R_other _) -> `Continue
+              in
+              match read_frames fd handle with
+              | Ok summary ->
+                  finish
+                    (Completed
+                       {
+                         report = List.rev !lines;
+                         summary;
+                         attempts = k + 1;
+                       })
+              | Error Unavailable ->
+                  ignore (finish ());
+                  progress
+                    (Printf.sprintf "attempt %d: connection torn mid-stream"
+                       (k + 1));
+                  attempt (k + 1) "connection torn mid-stream"
+              | Error Refused_overloaded ->
+                  ignore (finish ());
+                  progress
+                    (Printf.sprintf "attempt %d: server overloaded" (k + 1));
+                  attempt (k + 1) "server overloaded"
+              | Error (Permanent why) -> finish (Gave_up why))
+          | exception Unix.Unix_error (_, _, _) ->
+              ignore (finish ());
+              progress
+                (Printf.sprintf "attempt %d: connection torn on send" (k + 1));
+              attempt (k + 1) "connection torn on send")
+    end
+  in
+  attempt 0 "no attempt made"
+
+(* ----------------------------------------------- one-shot requests -- *)
+
+(* status/cancel: send one frame, read one frame back, same retry ladder
+   for unavailability (a one-shot request is idempotent by design) *)
+let roundtrip cfg req =
+  let request = Frame.encode (Protocol.request_to_json req) in
+  let total_attempts = cfg.retries + 1 in
+  let rec attempt k last_reason =
+    if k >= total_attempts then
+      Error
+        (Printf.sprintf "gave up after %d attempt(s): %s" total_attempts
+           last_reason)
+    else begin
+      if k > 0 then Unix.sleepf (backoff cfg (k - 1));
+      match connect cfg.socket_path with
+      | Error _ -> attempt (k + 1) "server unavailable"
+      | Ok fd -> (
+          let finish r =
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            r
+          in
+          match send_all fd request with
+          | exception Unix.Unix_error (_, _, _) ->
+              ignore (finish ());
+              attempt (k + 1) "connection torn on send"
+          | () -> (
+              match read_frames fd (fun body -> `Stop body) with
+              | Ok body -> finish (Ok body)
+              | Error _ ->
+                  ignore (finish ());
+                  attempt (k + 1) "connection torn"))
+    end
+  in
+  attempt 0 "no attempt made"
+
+let status cfg = roundtrip cfg Protocol.Status
+let cancel cfg ~run = roundtrip cfg (Protocol.Cancel { c_run = run })
+let poll cfg ~run = roundtrip cfg (Protocol.Poll { p_run = run })

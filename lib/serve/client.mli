@@ -1,0 +1,56 @@
+(** Retrying client for the rfsim service.
+
+    Retry policy is deterministic (fixed exponential backoff, no
+    jitter) and typed by failure shape: {e unavailable} (connect
+    refused) and {e torn} (EOF before [done]) reconnect and resubmit —
+    safe because the server journals completions durably, so a retried
+    sweep replays finished jobs and the report stays byte-identical;
+    typed [overloaded] backs off and resubmits; every other typed error
+    is permanent and fails immediately. *)
+
+type config = {
+  socket_path : string;
+  retries : int;  (** max RE-tries; [0] = single attempt *)
+  backoff_base : float;  (** seconds; delay k is [base * 2^k], capped *)
+  backoff_max : float;
+  events : bool;  (** forward job progress events to [progress] *)
+}
+
+val default_config : config
+
+val backoff : config -> int -> float
+(** The deterministic delay before retry [k] (0-based), seconds. *)
+
+type done_summary = {
+  run : string;
+  jobs : int;
+  ok : int;
+  suspect : int;
+  failed : int;
+  replayed : int;
+  cancelled : bool;
+  interrupted : bool;
+}
+
+type sweep_result = {
+  report : string list;  (** raw report lines, job order, byte-exact *)
+  summary : done_summary;
+  attempts : int;  (** connection attempts consumed (>= 1) *)
+}
+
+type outcome =
+  | Completed of sweep_result
+  | Gave_up of string  (** retries exhausted or permanent error (why) *)
+
+val run_sweep :
+  ?progress:(string -> unit) -> config -> Protocol.submit -> outcome
+(** Submit a sweep and stream its results to completion, retrying
+    through unavailability, overload, and torn connections. [progress]
+    receives human-readable attempt/job notes (the CLI prints them on
+    stderr). *)
+
+val status : config -> (string, string) result
+(** One status request; [Ok] carries the raw response frame. *)
+
+val cancel : config -> run:string -> (string, string) result
+val poll : config -> run:string -> (string, string) result

@@ -1,0 +1,68 @@
+(* Line-delimited framing for the rfsim service protocol.
+
+   One frame = one JSON value on one line, terminated by '\n'. The
+   decoder is a per-connection accumulator fed raw socket reads; it
+   yields complete frames in arrival order and converts the two ways a
+   peer can violate the framing into TYPED events instead of unbounded
+   buffering or a hang:
+
+   - an oversized frame (no newline within [max_frame] bytes) yields
+     [Oversized] once, and the decoder drops input until the next
+     newline so a server can answer with a typed error and keep the
+     connection — admission control must never be defeated by one huge
+     line;
+   - a torn frame (connection closed mid-line) is simply never yielded:
+     the undelivered tail is visible via [pending] for diagnostics, and
+     a half-frame can never be mistaken for a request.
+
+   Frames never contain raw newlines: the JSON renderer escapes them
+   ("\n"), so splitting on '\n' is exact, not a heuristic. *)
+
+type event = Frame of string | Oversized of int
+
+type t = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable dropping : bool;  (** inside an oversized line, discarding *)
+  mutable partial_since : float option;
+      (** wall-clock of the first byte of the current incomplete frame *)
+}
+
+let default_max_frame = 8 * 1024 * 1024
+
+let create ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Buffer.create 512; dropping = false; partial_since = None }
+
+let pending t = Buffer.length t.buf
+
+let partial_since t = t.partial_since
+
+(* Feed a chunk of raw bytes; return the completed events in order. *)
+let feed t chunk =
+  let events = ref [] in
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        if t.dropping then t.dropping <- false
+        else begin
+          events := Frame (Buffer.contents t.buf) :: !events
+        end;
+        Buffer.clear t.buf;
+        t.partial_since <- None
+      end
+      else if t.dropping then ()
+      else begin
+        if Buffer.length t.buf = 0 && t.partial_since = None then
+          t.partial_since <- Some (Unix.gettimeofday ());
+        Buffer.add_char t.buf c;
+        if Buffer.length t.buf > t.max_frame then begin
+          events := Oversized (Buffer.length t.buf) :: !events;
+          Buffer.clear t.buf;
+          t.partial_since <- None;
+          t.dropping <- true
+        end
+      end)
+    chunk;
+  List.rev !events
+
+let encode body = body ^ "\n"

@@ -1,0 +1,36 @@
+(** Line-delimited framing for the rfsim service protocol.
+
+    One frame is one JSON value on one '\n'-terminated line (the JSON
+    renderer escapes embedded newlines, so the split is exact). The
+    decoder accumulates raw socket reads and converts framing
+    violations into {e typed} events:
+
+    - {!event.Oversized}: no newline within [max_frame] bytes. Emitted
+      once; the rest of the offending line is silently discarded so the
+      server can send a typed error and keep serving — one huge line
+      must never grow an unbounded buffer.
+    - A {e torn} frame (peer vanished mid-line) is never emitted: the
+      undelivered tail is observable via {!pending} but can never be
+      mistaken for a request. *)
+
+type event = Frame of string | Oversized of int
+
+type t
+
+val default_max_frame : int
+(** 8 MiB — decks travel inside frames, so the cap is generous. *)
+
+val create : ?max_frame:int -> unit -> t
+
+val feed : t -> string -> event list
+(** Consume a chunk of raw bytes; return completed events in order. *)
+
+val pending : t -> int
+(** Bytes buffered for the current incomplete frame. *)
+
+val partial_since : t -> float option
+(** Wall-clock time the current incomplete frame started arriving —
+    the server's slow-request (slowloris) timeout reads this. *)
+
+val encode : string -> string
+(** [body ^ "\n"]. [body] must be a rendered single-line JSON value. *)

@@ -1,0 +1,346 @@
+(* Wire protocol of the rfsim simulation service.
+
+   Every frame is one canonical-JSON object (see Frame for the framing
+   rules). Requests travel client -> server; the server answers each
+   request with one response frame, except `sweep`, which is answered by
+   an ack and then a stream of event frames ending in `done`.
+
+   Two rendering rules keep the protocol honest:
+
+   - floats are rendered with %.17g (not the report renderer's %.9g):
+     protocol transport must be lossless — what the client submitted is
+     bit-for-bit what the server keys its cache and journal on;
+   - any frame that carries a job's REPORT LINE embeds the line's raw
+     bytes as the LAST field of the frame, so the receiving side can
+     splice them out verbatim (re-rendering a parsed float is not
+     guaranteed to reproduce its bytes, and the byte-identical resume
+     contract extends end-to-end through the socket). *)
+
+module Spec = Rfkit_batch.Spec
+module Json = Rfkit_batch.Json
+
+(* lossless float transport; %.17g round-trips every finite double *)
+let num17 v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else Json.str (Printf.sprintf "%h" v)
+
+type submit = {
+  s_deck : string;  (** verbatim deck text *)
+  s_params : string list;  (** axis grammar, as on the sweep CLI *)
+  s_corners : string list;
+  s_analyses : string;  (** comma-separated analysis list *)
+  s_node : string;
+  s_defaults : Spec.defaults;
+  s_events : bool;  (** stream per-job progress events *)
+  s_no_lint : bool;
+}
+
+type request =
+  | Status
+  | Submit of submit
+  | Poll of { p_run : string }
+  | Cancel of { c_run : string }
+
+(* ------------------------------------------------------------ render -- *)
+
+let defaults_to_json (d : Spec.defaults) =
+  Json.obj
+    [
+      ("f_start", num17 d.Spec.d_f_start);
+      ("f_stop", num17 d.Spec.d_f_stop);
+      ("ppd", Json.int d.Spec.d_points_per_decade);
+      ("t_stop", num17 d.Spec.d_t_stop);
+      ("dt", num17 d.Spec.d_dt);
+      ("freq", (match d.Spec.d_freq with None -> "null" | Some f -> num17 f));
+      ("harmonics", Json.int d.Spec.d_harmonics);
+      ("steps", Json.int d.Spec.d_steps);
+    ]
+
+let request_to_json = function
+  | Status -> Json.obj [ ("req", Json.str "status") ]
+  | Poll { p_run } ->
+      Json.obj [ ("req", Json.str "poll"); ("run", Json.str p_run) ]
+  | Cancel { c_run } ->
+      Json.obj [ ("req", Json.str "cancel"); ("run", Json.str c_run) ]
+  | Submit s ->
+      (* deck last: it dominates the frame and keeps the head scannable *)
+      Json.obj
+        [
+          ("req", Json.str "sweep");
+          ("node", Json.str s.s_node);
+          ("events", Json.bool s.s_events);
+          ("no_lint", Json.bool s.s_no_lint);
+          ("params", Json.arr (List.map Json.str s.s_params));
+          ("corners", Json.arr (List.map Json.str s.s_corners));
+          ("analyses", Json.str s.s_analyses);
+          ("defaults", defaults_to_json s.s_defaults);
+          ("deck", Json.str s.s_deck);
+        ]
+
+(* ------------------------------------------------------------- parse -- *)
+
+let field_str v k = Option.bind (Json.member k v) Json.to_str
+let field_int v k = Option.bind (Json.member k v) Json.to_int
+let field_num v k = Option.bind (Json.member k v) Json.to_num
+
+let field_bool v k =
+  match Json.member k v with Some (Json.Bool b) -> Some b | _ -> None
+
+let field_str_list v k =
+  match Json.member k v with
+  | Some (Json.Arr items) ->
+      let strs = List.filter_map Json.to_str items in
+      if List.length strs = List.length items then Some strs else None
+  | _ -> None
+
+let defaults_of_json v =
+  match
+    ( field_num v "f_start",
+      field_num v "f_stop",
+      field_int v "ppd",
+      field_num v "t_stop",
+      field_num v "dt",
+      field_int v "harmonics",
+      field_int v "steps" )
+  with
+  | ( Some d_f_start,
+      Some d_f_stop,
+      Some d_points_per_decade,
+      Some d_t_stop,
+      Some d_dt,
+      Some d_harmonics,
+      Some d_steps ) ->
+      let d_freq =
+        match Json.member "freq" v with
+        | Some (Json.Num f) -> Some f
+        | _ -> None
+      in
+      Some
+        {
+          Spec.d_f_start;
+          d_f_stop;
+          d_points_per_decade;
+          d_t_stop;
+          d_dt;
+          d_freq;
+          d_harmonics;
+          d_steps;
+        }
+  | _ -> None
+
+let request_of_json body =
+  match Json.parse body with
+  | None -> Error "malformed JSON"
+  | Some v -> (
+      match field_str v "req" with
+      | Some "status" -> Ok Status
+      | Some "poll" -> (
+          match field_str v "run" with
+          | Some p_run -> Ok (Poll { p_run })
+          | None -> Error "poll: missing run")
+      | Some "cancel" -> (
+          match field_str v "run" with
+          | Some c_run -> Ok (Cancel { c_run })
+          | None -> Error "cancel: missing run")
+      | Some "sweep" -> (
+          match
+            ( field_str v "deck",
+              field_str v "node",
+              field_str v "analyses",
+              field_str_list v "params",
+              field_str_list v "corners",
+              Option.bind (Json.member "defaults" v) defaults_of_json )
+          with
+          | Some s_deck, Some s_node, Some s_analyses, Some s_params,
+            Some s_corners, Some s_defaults ->
+              Ok
+                (Submit
+                   {
+                     s_deck;
+                     s_params;
+                     s_corners;
+                     s_analyses;
+                     s_node;
+                     s_defaults;
+                     s_events = Option.value ~default:false (field_bool v "events");
+                     s_no_lint =
+                       Option.value ~default:false (field_bool v "no_lint");
+                   })
+          | _ -> Error "sweep: missing or ill-typed field")
+      | Some other -> Error (Printf.sprintf "unknown request %S" other)
+      | None -> Error "missing req field")
+
+(* -------------------------------------------------------- responses -- *)
+
+(* Error codes are a closed alphabet: clients dispatch retry policy on
+   them (overloaded -> backoff+retry, bad-request -> give up). *)
+type error_code =
+  | Overloaded
+  | Bad_request
+  | Frame_too_large
+  | Unknown_run
+
+let error_code_to_string = function
+  | Overloaded -> "overloaded"
+  | Bad_request -> "bad-request"
+  | Frame_too_large -> "frame-too-large"
+  | Unknown_run -> "unknown-run"
+
+let error_code_of_string = function
+  | "overloaded" -> Some Overloaded
+  | "bad-request" -> Some Bad_request
+  | "frame-too-large" -> Some Frame_too_large
+  | "unknown-run" -> Some Unknown_run
+  | _ -> None
+
+let error ?(detail = []) code =
+  Json.obj ((("error", Json.str (error_code_to_string code))) :: detail)
+
+let ack ~run ~jobs ~replayed ~attached =
+  Json.obj
+    [
+      ("ok", Json.str "submitted");
+      ("run", Json.str run);
+      ("jobs", Json.int jobs);
+      ("replayed", Json.int replayed);
+      ("attached", Json.bool attached);
+    ]
+
+let job_event ~run ~job ~status ~cached ~replayed =
+  Json.obj
+    [
+      ("event", Json.str "job");
+      ("run", Json.str run);
+      ("job", Json.int job);
+      ("status", Json.str status);
+      ("cached", Json.bool cached);
+      ("replayed", Json.bool replayed);
+    ]
+
+(* [line] is the raw report line and MUST stay the last field: the
+   client splices its bytes out verbatim (see raw_line) *)
+let report_event ~run ~job ~line =
+  Json.obj
+    [
+      ("event", Json.str "report");
+      ("run", Json.str run);
+      ("job", Json.int job);
+      ("line", line);
+    ]
+
+let done_event ~run ~jobs ~ok ~suspect ~failed ~replayed ~cancelled
+    ~interrupted =
+  Json.obj
+    [
+      ("event", Json.str "done");
+      ("run", Json.str run);
+      ("jobs", Json.int jobs);
+      ("ok", Json.int ok);
+      ("suspect", Json.int suspect);
+      ("failed", Json.int failed);
+      ("replayed", Json.int replayed);
+      ("cancelled", Json.bool cancelled);
+      ("interrupted", Json.bool interrupted);
+    ]
+
+(* The raw bytes of the "line" field: everything between the first
+   [,"line":] marker and the closing brace. Sound because every field
+   before it comes from a controlled alphabet (literal event name, run
+   hash, job int) that cannot contain the marker. Same technique as
+   Journal.raw_payload. *)
+let raw_line body =
+  let marker = {|,"line":|} in
+  let mn = String.length marker and n = String.length body in
+  let rec find i =
+    if i + mn > n then None
+    else if String.sub body i mn = marker then
+      Some (String.sub body (i + mn) (n - (i + mn) - 1))
+    else find (i + 1)
+  in
+  find 0
+
+(* Client-side view of one response frame. Status payloads stay as raw
+   JSON (the client prints them; it never dispatches on their fields). *)
+type response =
+  | R_ack of { a_run : string; a_jobs : int; a_replayed : int; a_attached : bool }
+  | R_job of { j_job : int; j_status : string; j_cached : bool; j_replayed : bool }
+  | R_report of { r_job : int; r_line : string }
+  | R_done of {
+      d_run : string;
+      d_jobs : int;
+      d_ok : int;
+      d_suspect : int;
+      d_failed : int;
+      d_replayed : int;
+      d_cancelled : bool;
+      d_interrupted : bool;
+    }
+  | R_error of { e_code : error_code; e_detail : string }
+  | R_other of string  (** status / poll / cancel payloads, verbatim *)
+
+let response_of_json body =
+  match Json.parse body with
+  | None -> Error "malformed JSON"
+  | Some v -> (
+      match field_str v "error" with
+      | Some code -> (
+          match error_code_of_string code with
+          | Some e_code -> Ok (R_error { e_code; e_detail = body })
+          | None -> Error (Printf.sprintf "unknown error code %S" code))
+      | None -> (
+          match field_str v "event" with
+          | Some "job" -> (
+              match
+                ( field_int v "job",
+                  field_str v "status",
+                  field_bool v "cached",
+                  field_bool v "replayed" )
+              with
+              | Some j_job, Some j_status, Some j_cached, Some j_replayed ->
+                  Ok (R_job { j_job; j_status; j_cached; j_replayed })
+              | _ -> Error "job event: missing field")
+          | Some "report" -> (
+              match (field_int v "job", raw_line body) with
+              | Some r_job, Some r_line -> Ok (R_report { r_job; r_line })
+              | _ -> Error "report event: missing field")
+          | Some "done" -> (
+              match
+                ( field_str v "run",
+                  field_int v "jobs",
+                  field_int v "ok",
+                  field_int v "suspect",
+                  field_int v "failed",
+                  field_int v "replayed",
+                  field_bool v "cancelled",
+                  field_bool v "interrupted" )
+              with
+              | Some d_run, Some d_jobs, Some d_ok, Some d_suspect,
+                Some d_failed, Some d_replayed, Some d_cancelled,
+                Some d_interrupted ->
+                  Ok
+                    (R_done
+                       {
+                         d_run;
+                         d_jobs;
+                         d_ok;
+                         d_suspect;
+                         d_failed;
+                         d_replayed;
+                         d_cancelled;
+                         d_interrupted;
+                       })
+              | _ -> Error "done event: missing field")
+          | Some other -> Error (Printf.sprintf "unknown event %S" other)
+          | None -> (
+              match field_str v "ok" with
+              | Some "submitted" -> (
+                  match
+                    ( field_str v "run",
+                      field_int v "jobs",
+                      field_int v "replayed",
+                      field_bool v "attached" )
+                  with
+                  | Some a_run, Some a_jobs, Some a_replayed, Some a_attached ->
+                      Ok (R_ack { a_run; a_jobs; a_replayed; a_attached })
+                  | _ -> Error "ack: missing field")
+              | _ -> Ok (R_other body))))

@@ -1,0 +1,94 @@
+(** Typed request/response codec for the rfsim service wire protocol.
+
+    One frame (see {!Frame}) carries one canonical-JSON object. Floats
+    use [%.17g] so the transport is lossless, and frames embedding a
+    report line keep it as the {e last} field so its raw bytes can be
+    spliced out verbatim — the byte-identical resume contract extends
+    end-to-end through the socket. *)
+
+type submit = {
+  s_deck : string;  (** verbatim deck text *)
+  s_params : string list;  (** axis grammar, as on the sweep CLI *)
+  s_corners : string list;
+  s_analyses : string;  (** comma-separated analysis list *)
+  s_node : string;
+  s_defaults : Rfkit_batch.Spec.defaults;
+  s_events : bool;  (** stream per-job progress events *)
+  s_no_lint : bool;
+}
+
+type request =
+  | Status
+  | Submit of submit
+  | Poll of { p_run : string }
+  | Cancel of { c_run : string }
+
+val request_to_json : request -> string
+val request_of_json : string -> (request, string) result
+
+val num17 : float -> string
+(** Lossless float rendering ([%.17g]); non-finite values become quoted
+    hex-float strings, mirroring {!Rfkit_batch.Json.num}. *)
+
+(** Closed error alphabet — clients dispatch retry policy on it. *)
+type error_code =
+  | Overloaded  (** admission queue full; retry with backoff *)
+  | Bad_request  (** malformed frame or spec; do not retry *)
+  | Frame_too_large
+  | Unknown_run
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val error : ?detail:(string * string) list -> error_code -> string
+(** Rendered error response; [detail] fields follow the code. *)
+
+val ack : run:string -> jobs:int -> replayed:int -> attached:bool -> string
+
+val job_event :
+  run:string ->
+  job:int ->
+  status:string ->
+  cached:bool ->
+  replayed:bool ->
+  string
+
+val report_event : run:string -> job:int -> line:string -> string
+(** [line] is the {e raw} report line (itself a rendered JSON object),
+    embedded verbatim as the last field for {!raw_line} extraction. *)
+
+val done_event :
+  run:string ->
+  jobs:int ->
+  ok:int ->
+  suspect:int ->
+  failed:int ->
+  replayed:int ->
+  cancelled:bool ->
+  interrupted:bool ->
+  string
+
+val raw_line : string -> string option
+(** Raw bytes of a report frame's ["line"] field (everything between
+    the first [,"line":] marker and the closing brace) — the client
+    re-quotes nothing, so the report survives transport byte-exactly. *)
+
+type response =
+  | R_ack of { a_run : string; a_jobs : int; a_replayed : int; a_attached : bool }
+  | R_job of { j_job : int; j_status : string; j_cached : bool; j_replayed : bool }
+  | R_report of { r_job : int; r_line : string }
+      (** [r_line] is the report line's raw bytes, spliced verbatim *)
+  | R_done of {
+      d_run : string;
+      d_jobs : int;
+      d_ok : int;
+      d_suspect : int;
+      d_failed : int;
+      d_replayed : int;
+      d_cancelled : bool;
+      d_interrupted : bool;
+    }
+  | R_error of { e_code : error_code; e_detail : string }
+  | R_other of string  (** status / poll / cancel payloads, verbatim *)
+
+val response_of_json : string -> (response, string) result

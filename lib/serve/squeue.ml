@@ -1,0 +1,67 @@
+(* Bounded multi-producer/multi-consumer task queue: the admission
+   throttle between the server's accept loop and its worker domains.
+
+   Pushes NEVER block and NEVER buffer past the cap — a full queue is a
+   typed refusal the protocol layer turns into an `overloaded` response.
+   That asymmetry is the whole point: the one place allowed to wait is
+   the worker side ([pop]), which parks on a condition variable until a
+   task or a close arrives. [push_all] is all-or-nothing so a multi-job
+   sweep is admitted atomically: partially-admitted sweeps would leave
+   the client holding an ack for work that half-exists. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~cap =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    cap = max 1 cap;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Queue.length t.items)
+
+let capacity t = t.cap
+
+(* all-or-nothing: either every task fits under the cap or none enter *)
+let push_all t xs =
+  let n = List.length xs in
+  locked t (fun () ->
+      if t.closed || Queue.length t.items + n > t.cap then false
+      else begin
+        List.iter (fun x -> Queue.add x t.items) xs;
+        (* broadcast, not signal: several workers may be parked and more
+           than one task may have just arrived *)
+        Condition.broadcast t.nonempty;
+        true
+      end)
+
+let push t x = push_all t [ x ]
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.take t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)

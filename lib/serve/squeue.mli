@@ -1,0 +1,30 @@
+(** Bounded task queue: the admission throttle of the server.
+
+    Producers (the accept/event loop) never block and never buffer past
+    the cap — {!push}/{!push_all} return [false] on a full or closed
+    queue, which the protocol layer converts into a typed [overloaded]
+    response. Consumers (worker domains) park in {!pop} until a task or
+    {!close} arrives. {!push_all} admits a whole job list atomically:
+    a sweep either fits under the cap or is refused outright. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** [cap] is clamped to at least 1. *)
+
+val push : 'a t -> 'a -> bool
+(** [false]: full (typed overload) or closed. Never blocks. *)
+
+val push_all : 'a t -> 'a list -> bool
+(** All-or-nothing batch admission. Never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Block until a task is available ([Some]) or the queue is closed and
+    drained ([None]). *)
+
+val close : 'a t -> unit
+(** Wake every parked consumer; subsequent pushes fail. Tasks already
+    queued are still handed out. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int

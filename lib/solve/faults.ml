@@ -75,22 +75,28 @@ type process = {
   crash_after : int option;
   interrupt_after : int option;
   stall_job : int option;
+  accept_stall : int option;
 }
 
-let process_none = { crash_after = None; interrupt_after = None; stall_job = None }
+let process_none =
+  { crash_after = None; interrupt_after = None; stall_job = None;
+    accept_stall = None }
 
 let crash_exit_code = 66
 
 let process_plan = ref process_none
 let completed = Atomic.make 0
+let accepts_sabotaged = Atomic.make 0
 
 let arm_process p =
   process_plan := p;
-  Atomic.set completed 0
+  Atomic.set completed 0;
+  Atomic.set accepts_sabotaged 0
 
 let disarm_process () =
   process_plan := process_none;
-  Atomic.set completed 0
+  Atomic.set completed 0;
+  Atomic.set accepts_sabotaged 0
 
 let job_completed () =
   let done_ = Atomic.fetch_and_add completed 1 + 1 in
@@ -100,6 +106,16 @@ let job_completed () =
   match !process_plan.interrupt_after with
   | Some n when done_ = n -> `Interrupt
   | _ -> `Continue
+
+(* The server polls this once per accepted connection: [true] for the
+   first [accept_stall] accepts, each of which the server then closes
+   without reading — a deterministic stand-in for a peer torn away
+   mid-handshake, so the client's reconnect/backoff path is testable
+   without racing real network failures. *)
+let accept_sabotage () =
+  match !process_plan.accept_stall with
+  | None -> false
+  | Some n -> Atomic.fetch_and_add accepts_sabotaged 1 < n
 
 let stall_now ~job =
   match !process_plan.stall_job with Some j -> j = job | None -> false

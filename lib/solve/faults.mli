@@ -67,6 +67,10 @@ type process = {
           have completed, simulating SIGINT delivery at a completion
           boundary *)
   stall_job : int option;  (** wedge this job id inside {!stall} *)
+  accept_stall : int option;
+      (** sabotage the first [n] accepted server connections: the server
+          closes each without reading, simulating a torn peer so client
+          reconnect/backoff is deterministically testable *)
 }
 
 val process_none : process
@@ -81,6 +85,10 @@ val job_completed : unit -> [ `Continue | `Interrupt ]
 (** Called by the batch runner after each job's journal record is
     durable. May not return ([crash_after]); returns [`Interrupt]
     exactly once when [interrupt_after] fires. Thread-safe. *)
+
+val accept_sabotage : unit -> bool
+(** Polled by the server once per accepted connection; [true] (close the
+    connection unread) for the first [accept_stall] accepts. *)
 
 val stall_now : job:int -> bool
 

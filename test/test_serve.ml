@@ -1,0 +1,444 @@
+(* Serve subsystem: wire framing, protocol codec roundtrips, bounded
+   admission, the monotonic cache LRU clock, and a live in-process
+   overload scenario (the Nth+1 sweep gets a typed [overloaded], never a
+   hang). *)
+
+open Rfkit_serve
+module Json = Rfkit_batch.Json
+module Spec = Rfkit_batch.Spec
+module Cache = Rfkit_batch.Cache
+module Deadline = Rfkit_solve.Deadline
+module Faults = Rfkit_solve.Faults
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- frame -- *)
+
+let feed_events d chunk = Frame.feed d chunk
+
+let test_frame_split () =
+  let d = Frame.create () in
+  (match feed_events d "a\nb\n" with
+  | [ Frame.Frame "a"; Frame.Frame "b" ] -> ()
+  | _ -> Alcotest.fail "two lines -> two frames");
+  (* a frame may arrive in arbitrary chunks *)
+  (match feed_events d "ab" with
+  | [] -> ()
+  | _ -> Alcotest.fail "incomplete line emits nothing");
+  check_int "pending counts buffered bytes" 2 (Frame.pending d);
+  check_bool "partial clock started" true (Frame.partial_since d <> None);
+  (match feed_events d "c\n" with
+  | [ Frame.Frame "abc" ] -> ()
+  | _ -> Alcotest.fail "split feed reassembles");
+  check_int "pending drained" 0 (Frame.pending d);
+  check_bool "partial clock cleared" true (Frame.partial_since d = None)
+
+let test_frame_torn () =
+  let d = Frame.create () in
+  (match feed_events d "abc" with
+  | [] -> ()
+  | _ -> Alcotest.fail "torn frame never surfaces as a request");
+  check_int "torn tail observable" 3 (Frame.pending d)
+
+let test_frame_oversized () =
+  let d = Frame.create ~max_frame:4 () in
+  (match feed_events d "abcdef\nok\n" with
+  | [ Frame.Oversized n; Frame.Frame "ok" ] ->
+      check_bool "oversized reports > cap" true (n > 4)
+  | _ -> Alcotest.fail "oversized emitted once, then resync on newline");
+  (* the oversized line's tail must not leak into the next frame *)
+  (match feed_events d "x\n" with
+  | [ Frame.Frame "x" ] -> ()
+  | _ -> Alcotest.fail "decoder resyncs after oversize")
+
+let test_frame_encode () =
+  check_str "encode appends newline" "{}\n" (Frame.encode "{}")
+
+(* ---------------------------------------------------- protocol codec -- *)
+
+(* Finite floats only: non-finite values travel as quoted %h strings,
+   which deliberately do not parse back as numbers. *)
+let finite_float =
+  QCheck.Gen.map (fun f -> if Float.is_finite f then f else 0.0) QCheck.Gen.float
+
+(* Arbitrary bytes, embedded newlines and non-ASCII included: the JSON
+   renderer escapes control characters, so framing survives anything. *)
+let byte_string =
+  QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.int_bound 24)
+
+let gen_defaults =
+  QCheck.Gen.(
+    map
+      (fun ((f_start, f_stop, ppd, t_stop), (dt, freq, harmonics, steps)) ->
+        {
+          Spec.d_f_start = f_start;
+          d_f_stop = f_stop;
+          d_points_per_decade = ppd;
+          d_t_stop = t_stop;
+          d_dt = dt;
+          d_freq = freq;
+          d_harmonics = harmonics;
+          d_steps = steps;
+        })
+      (pair
+         (quad finite_float finite_float (int_bound 50) finite_float)
+         (quad finite_float (option finite_float) (int_bound 50) (int_bound 1000))))
+
+let gen_submit =
+  QCheck.Gen.(
+    map
+      (fun ((deck, node, analyses), (params, corners, defaults, (ev, nl))) ->
+        Protocol.Submit
+          {
+            Protocol.s_deck = deck;
+            s_params = params;
+            s_corners = corners;
+            s_analyses = analyses;
+            s_node = node;
+            s_defaults = defaults;
+            s_events = ev;
+            s_no_lint = nl;
+          })
+      (pair
+         (triple byte_string byte_string byte_string)
+         (quad
+            (list_size (int_bound 4) byte_string)
+            (list_size (int_bound 4) byte_string)
+            gen_defaults (pair bool bool))))
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, gen_submit);
+        (1, return Protocol.Status);
+        (1, map (fun r -> Protocol.Poll { p_run = r }) byte_string);
+        (1, map (fun r -> Protocol.Cancel { c_run = r }) byte_string);
+      ])
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"protocol request codec roundtrips"
+    (QCheck.make gen_request)
+    (fun r ->
+      match Protocol.request_of_json (Protocol.request_to_json r) with
+      | Ok r' -> r = r'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let test_error_code_roundtrip () =
+  List.iter
+    (fun c ->
+      match Protocol.error_code_of_string (Protocol.error_code_to_string c) with
+      | Some c' when c = c' -> ()
+      | _ -> Alcotest.fail "error code alphabet must roundtrip")
+    [
+      Protocol.Overloaded;
+      Protocol.Bad_request;
+      Protocol.Frame_too_large;
+      Protocol.Unknown_run;
+    ];
+  check_bool "unknown code rejected" true
+    (Protocol.error_code_of_string "nope" = None)
+
+let test_error_response () =
+  let body = Protocol.error ~detail:[ ("detail", Json.str "queue full") ]
+      Protocol.Overloaded in
+  match Protocol.response_of_json body with
+  | Ok (Protocol.R_error { e_code = Protocol.Overloaded; e_detail }) ->
+      check_str "detail carries whole body" body e_detail
+  | _ -> Alcotest.fail "typed overloaded response"
+
+(* The raw-splice contract: whatever bytes the server renders as the
+   report line come back verbatim from the client-side decoder, even
+   when re-rendering a parsed float would not reproduce them. *)
+let qcheck_report_splice =
+  QCheck.Test.make ~count:300 ~name:"report frame splices raw line bytes"
+    (QCheck.make QCheck.Gen.(pair byte_string (int_bound 10_000)))
+    (fun (s, job) ->
+      let line =
+        Json.obj
+          [ ("v", Json.str s); ("x", "0.30000000000000004"); ("job", Json.int job) ]
+      in
+      let frame =
+        Protocol.report_event ~run:(String.make 40 'a') ~job ~line
+      in
+      match Protocol.response_of_json frame with
+      | Ok (Protocol.R_report { r_job; r_line }) -> r_job = job && r_line = line
+      | _ -> QCheck.Test.fail_report "report frame did not decode")
+
+let test_ack_done_decode () =
+  let run = String.make 40 'b' in
+  (match
+     Protocol.response_of_json
+       (Protocol.ack ~run ~jobs:4 ~replayed:2 ~attached:false)
+   with
+  | Ok (Protocol.R_ack { a_run; a_jobs = 4; a_replayed = 2; a_attached = false })
+    when a_run = run -> ()
+  | _ -> Alcotest.fail "ack decode");
+  match
+    Protocol.response_of_json
+      (Protocol.done_event ~run ~jobs:4 ~ok:3 ~suspect:0 ~failed:1 ~replayed:2
+         ~cancelled:false ~interrupted:true)
+  with
+  | Ok
+      (Protocol.R_done
+         {
+           d_run;
+           d_jobs = 4;
+           d_ok = 3;
+           d_suspect = 0;
+           d_failed = 1;
+           d_replayed = 2;
+           d_cancelled = false;
+           d_interrupted = true;
+         })
+    when d_run = run -> ()
+  | _ -> Alcotest.fail "done decode"
+
+(* ------------------------------------------------------------ squeue -- *)
+
+let test_squeue_bounded () =
+  let q = Squeue.create ~cap:4 in
+  check_bool "batch fits" true (Squeue.push_all q [ 1; 2; 3 ]);
+  (* all-or-nothing: the batch that does not fit is refused whole, and
+     the refusal returns immediately — the Nth+1 producer never hangs *)
+  check_bool "overflow batch refused" false (Squeue.push_all q [ 4; 5 ]);
+  check_int "refused batch left no residue" 3 (Squeue.length q);
+  check_bool "exact fill accepted" true (Squeue.push_all q [ 4 ]);
+  check_bool "single push refused at cap" false (Squeue.push q 5);
+  check_int "fifo" 1 (Option.get (Squeue.pop q));
+  check_int "fifo" 2 (Option.get (Squeue.pop q));
+  check_bool "freed capacity re-admits" true (Squeue.push q 6)
+
+let test_squeue_close () =
+  let q = Squeue.create ~cap:4 in
+  check_bool "push before close" true (Squeue.push_all q [ 7; 8 ]);
+  Squeue.close q;
+  check_bool "push after close refused" false (Squeue.push q 9);
+  check_int "queued tasks still handed out" 7 (Option.get (Squeue.pop q));
+  check_int "queued tasks still handed out" 8 (Option.get (Squeue.pop q));
+  check_bool "drained close pops None" true (Squeue.pop q = None)
+
+(* ---------------------------------------------------- cache LRU clock -- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d = Printf.sprintf "_serve_test_cache_%d_%d" (Unix.getpid ()) !n in
+    if Sys.file_exists d then () else Unix.mkdir d 0o755;
+    d
+
+let entry_path dir key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2)) (key ^ ".jsonl")
+
+(* Three stores then three hits inside (usually) one filesystem clock
+   tick: only the strictly monotonic touch stamps keep the recency order
+   exact, so gc must evict in hit order, not directory-walk order. *)
+let test_cache_monotonic_lru () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key deck = Cache.key ~deck_text:deck ~params:[] ~analysis_tag:"dc" ~options:[] in
+  let ka = key "a" and kb = key "b" and kc = key "c" in
+  List.iter (fun k -> Cache.store c k "{}") [ ka; kb; kc ];
+  (* recency order after hits: kc (oldest), then ka, then kb (newest) *)
+  List.iter (fun k -> ignore (Cache.lookup c k)) [ kc; ka; kb ];
+  let g = Cache.gc ~dir ~max_entries:1 () in
+  check_int "two evicted" 2 g.Cache.gc_evicted;
+  check_bool "most recent hit survives" true (Cache.lookup c kb <> None);
+  check_bool "older hits evicted" true
+    (Cache.lookup c ka = None && Cache.lookup c kc = None)
+
+(* When stamps DO collide (coarse mtime, entries touched by a different
+   cache instance), eviction order falls back to the key: ascending sort
+   evicts the smaller key first, deterministically. *)
+let test_cache_gc_tie_break () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key deck = Cache.key ~deck_text:deck ~params:[] ~analysis_tag:"dc" ~options:[] in
+  let k1 = key "x" and k2 = key "y" in
+  Cache.store c k1 "{}";
+  Cache.store c k2 "{}";
+  let t = 1.0e9 in
+  Unix.utimes (entry_path dir k1) t t;
+  Unix.utimes (entry_path dir k2) t t;
+  let g = Cache.gc ~dir ~max_entries:1 () in
+  check_int "one evicted" 1 g.Cache.gc_evicted;
+  let survivor = if String.compare k1 k2 > 0 then k1 else k2 in
+  let evicted = if survivor == k1 then k2 else k1 in
+  check_bool "larger key survives an exact mtime tie" true
+    (Cache.lookup c survivor <> None && Cache.lookup c evicted = None)
+
+(* ------------------------------------------- live overload, no hang -- *)
+
+let test_deck =
+  "* two-pole RC low-pass\n\
+   .param R1=1k\n\
+   V1 in 0 DC 1\n\
+   R1 in a {R1}\n\
+   C1 a 0 1n\n\
+   R2 a out 5k\n\
+   C2 out 0 100p\n\
+   .end\n"
+
+let test_defaults =
+  {
+    Spec.d_f_start = 1e3;
+    d_f_stop = 1e6;
+    d_points_per_decade = 2;
+    d_t_stop = 1e-6;
+    d_dt = 1e-8;
+    d_freq = None;
+    d_harmonics = 4;
+    d_steps = 16;
+  }
+
+let submit ~params =
+  Protocol.Submit
+    {
+      Protocol.s_deck = test_deck;
+      s_params = params;
+      s_corners = [];
+      s_analyses = "dc";
+      s_node = "out";
+      s_defaults = test_defaults;
+      s_events = false;
+      s_no_lint = false;
+    }
+
+let connect_with_retry path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.close fd;
+        Unix.sleepf 0.02;
+        go ()
+  in
+  go ()
+
+let send_request fd req =
+  let bytes = Frame.encode (Protocol.request_to_json req) in
+  let n = String.length bytes in
+  let rec put off =
+    if off < n then put (off + Unix.write_substring fd bytes off (n - off))
+  in
+  put 0
+
+(* Read one newline-terminated response with a hard select timeout: the
+   whole point of the overload contract is that this never blocks. *)
+let read_response fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i -> String.sub (Buffer.contents buf) 0 i
+    | None ->
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0.0 then Alcotest.fail "response timed out (hang)"
+        else begin
+          match Unix.select [ fd ] [] [] left with
+          | [], _, _ -> Alcotest.fail "response timed out (hang)"
+          | _ ->
+              let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+              if n = 0 then Alcotest.fail "connection closed before response";
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+        end
+  in
+  go ()
+
+(* One worker wedged on job 0 (fault-injected stall) plus one queued job
+   leaves a 2-slot queue with at most one free slot in EVERY
+   interleaving, so a second 2-job sweep is deterministically refused
+   with a typed [overloaded] — and the refusal must arrive promptly even
+   though the server is saturated. *)
+let test_server_overload () =
+  let dir = fresh_dir () in
+  let socket_path = Printf.sprintf "_serve_test_%d.sock" (Unix.getpid ()) in
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  Deadline.clear_interrupt ();
+  Faults.arm_process
+    {
+      Faults.crash_after = None;
+      interrupt_after = None;
+      stall_job = Some 0;
+      accept_stall = None;
+    };
+  let cfg =
+    {
+      Server.default_config with
+      Server.socket_path;
+      workers = 1;
+      queue_cap = 2;
+      cache_dir = dir;
+      no_cache = true;
+      job_deadline = Some 30.0;
+      grace = 0.2;
+      request_timeout = Some 5.0;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Deadline.begin_drain ~grace:0.2;
+      ignore (Domain.join server);
+      Deadline.clear_interrupt ();
+      Deadline.set_interrupt_action Deadline.Raise;
+      Faults.disarm_process ();
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () ->
+      (* sweep A: job 0 wedges in the worker, job 1 parks in the queue *)
+      let a = connect_with_retry socket_path in
+      send_request a (submit ~params:[ "R1=1000,2000" ]);
+      (match Protocol.response_of_json (read_response a) with
+      | Ok (Protocol.R_ack { a_jobs = 2; _ }) -> ()
+      | other ->
+          Alcotest.failf "sweep A not acked: %s"
+            (match other with Ok _ -> "wrong response" | Error e -> e));
+      (* sweep B: different params (same params would attach to A's run
+         hash), needs 2 slots, at most 1 is free -> typed refusal *)
+      let b = connect_with_retry socket_path in
+      send_request b (submit ~params:[ "R1=3000,4000" ]);
+      (match Protocol.response_of_json (read_response b) with
+      | Ok (Protocol.R_error { e_code = Protocol.Overloaded; _ }) -> ()
+      | Ok _ -> Alcotest.fail "saturated server must refuse, not hang or ack"
+      | Error e -> Alcotest.failf "undecodable refusal: %s" e);
+      (* the refused connection stays usable for cheap requests *)
+      send_request b Protocol.Status;
+      (match Protocol.response_of_json (read_response b) with
+      | Ok (Protocol.R_other _) -> ()
+      | _ -> Alcotest.fail "status after refusal");
+      Unix.close a;
+      Unix.close b)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "frame split and reassembly" `Quick test_frame_split;
+        Alcotest.test_case "torn frame never surfaces" `Quick test_frame_torn;
+        Alcotest.test_case "oversized frame typed + resync" `Quick
+          test_frame_oversized;
+        Alcotest.test_case "frame encode" `Quick test_frame_encode;
+        QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_report_splice;
+        Alcotest.test_case "error code alphabet" `Quick test_error_code_roundtrip;
+        Alcotest.test_case "typed error response" `Quick test_error_response;
+        Alcotest.test_case "ack and done decode" `Quick test_ack_done_decode;
+        Alcotest.test_case "squeue bounded all-or-nothing" `Quick
+          test_squeue_bounded;
+        Alcotest.test_case "squeue close semantics" `Quick test_squeue_close;
+        Alcotest.test_case "cache monotonic LRU clock" `Quick
+          test_cache_monotonic_lru;
+        Alcotest.test_case "cache gc key tie-break" `Quick
+          test_cache_gc_tie_break;
+        Alcotest.test_case "overload refused typed, never a hang" `Quick
+          test_server_overload;
+      ] );
+  ]
