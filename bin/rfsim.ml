@@ -118,7 +118,8 @@ let certify_when mode make_cert = if mode.enabled then emit_certificate (make_ce
    counts Gilbert-Peierls numeric replays of a frozen pattern. *)
 let set_stats flag =
   stats_enabled := flag;
-  La.Sparse_lu.reset_counts ()
+  La.Sparse_lu.reset_counts ();
+  La.Csparse_lu.reset_counts ()
 
 let emit_stats ~analysis c (st : Solve.Supervisor.stats) =
   if !stats_enabled then begin
@@ -126,15 +127,18 @@ let emit_stats ~analysis c (st : Solve.Supervisor.stats) =
     let x = La.Vec.create n in
     let g = Mna.jac_g_sparse c x and cm = Mna.jac_c_sparse c x in
     let lu_refactor, lu_full = La.Sparse_lu.counts () in
+    let clu_refactor, clu_full = La.Csparse_lu.counts () in
     Printf.eprintf
       "stats: %s unknowns=%d nnz(G)=%d nnz(C)=%d density(G)=%.4f \
 matrix_bytes=%d newton=%d gmres=%d lu_full=%d lu_refactor=%d fill_nnz=%d \
-ordering=%s\n"
+clu_full=%d clu_refactor=%d clu_fill_nnz=%d ordering=%s\n"
       analysis n (La.Sparse.nnz g) (La.Sparse.nnz cm) (La.Sparse.density g)
       (La.Sparse.memory_bytes g + La.Sparse.memory_bytes cm)
       st.Solve.Supervisor.iterations st.Solve.Supervisor.krylov_iterations
       lu_full lu_refactor
       (La.Sparse_lu.fill_nnz ())
+      clu_full clu_refactor
+      (La.Csparse_lu.fill_nnz ())
       (Struct.Order.mode_to_string (Mna.ordering c))
   end
 
@@ -237,12 +241,17 @@ let print_harmonics ~freq ~harmonics amplitude =
     Printf.printf "%d,%.6e,%.6e\n" k (float_of_int k *. freq) (amplitude k)
   done
 
-let run_hb ?(certify = { enabled = true; tol_scale = 1.0 }) c ~freq ~node ~harmonics =
+let run_hb ?(certify = { enabled = true; tol_scale = 1.0 })
+    ?(solver = Rf.Hb.Direct) c ~freq ~node ~harmonics =
   let res =
     match
       Rf.Hb.solve_outcome
         ~options:
-          { Rf.Hb.default_options with n_samples = La.Fft.next_pow2 (4 * harmonics) }
+          {
+            Rf.Hb.default_options with
+            n_samples = La.Fft.next_pow2 (4 * harmonics);
+            solver;
+          }
         c ~freq
     with
     | Solve.Supervisor.Converged (res, report) ->
@@ -520,11 +529,12 @@ let ac_cmd =
   let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
   let source = Arg.(value & opt string "V1" & info [ "source" ] ~doc:"Driving source name.") in
-  let run path no_lint f_start f_stop source node stats =
+  let run path no_lint f_start f_stop source node stats ordering =
     install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     set_stats stats;
     let c = Mna.build nl in
+    Mna.set_ordering c ordering;
     run_ac c ~f_start ~f_stop ~source ~node;
     (* AC is a direct linearized solve: no Newton/Krylov counters *)
     emit_stats ~analysis:"ac" c Solve.Supervisor.no_stats
@@ -532,26 +542,45 @@ let ac_cmd =
   Cmd.v (Cmd.info "ac" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ source $ node_arg "out"
-      $ stats_arg)
+      $ stats_arg $ ordering_arg)
 
 let noise_cmd =
   let doc = "output-noise PSD sweep (CSV on stdout)" in
   let f_start = Arg.(value & opt float 1e3 & info [ "f-start" ] ~doc:"Start frequency.") in
   let f_stop = Arg.(value & opt float 1e9 & info [ "f-stop" ] ~doc:"Stop frequency.") in
-  let run path no_lint f_start f_stop node =
+  let run path no_lint f_start f_stop node stats ordering =
     install_single_run_signals ();
     let nl, _ = load ~no_lint path in
-    run_noise (Mna.build nl) ~f_start ~f_stop ~node
+    set_stats stats;
+    let c = Mna.build nl in
+    Mna.set_ordering c ordering;
+    run_noise c ~f_start ~f_stop ~node;
+    (* noise is a chain of direct linearized solves: no Newton/Krylov *)
+    emit_stats ~analysis:"noise" c Solve.Supervisor.no_stats
   in
   Cmd.v (Cmd.info "noise" ~doc)
-    Term.(const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ node_arg "out")
+    Term.(
+      const run $ deck_arg $ no_lint_arg $ f_start $ f_stop $ node_arg "out"
+      $ stats_arg $ ordering_arg)
 
 let hb_cmd =
   let doc = "harmonic-balance periodic steady state" in
   let freq = Arg.(value & opt float 1e6 & info [ "freq" ] ~doc:"Fundamental frequency.") in
   let harmonics = Arg.(value & opt int 8 & info [ "harmonics" ] ~doc:"Harmonics to report.") in
+  let solver =
+    let solver_conv =
+      Arg.enum [ ("direct", Rf.Hb.Direct); ("gmres", Rf.Hb.Matrix_free_gmres) ]
+    in
+    Arg.(
+      value & opt solver_conv Rf.Hb.Direct
+      & info [ "solver" ] ~docv:"SOLVER"
+          ~doc:
+            "Inner linear solver for the HB Newton steps: $(b,direct) \
+             (dense flattened Jacobian) or $(b,gmres) (matrix-free with the \
+             per-harmonic complex-sparse block preconditioner).")
+  in
   let run path no_lint freq harmonics node inject cascade no_certify scale stats
-      ordering =
+      ordering solver =
     install_single_run_signals ();
     let nl, _ = load ~no_lint path in
     arm_injection ~engine:"hb" inject;
@@ -560,13 +589,13 @@ let hb_cmd =
     let c = Mna.build nl in
     Mna.set_ordering c ordering;
     if cascade then run_hb_cascade ~certify c ~freq ~node ~harmonics
-    else run_hb ~certify c ~freq ~node ~harmonics
+    else run_hb ~certify ~solver c ~freq ~node ~harmonics
   in
   Cmd.v (Cmd.info "hb" ~doc)
     Term.(
       const run $ deck_arg $ no_lint_arg $ freq $ harmonics $ node_arg "out"
       $ inject_singular_arg $ cascade_arg $ no_certify_arg $ certify_scale_arg
-      $ stats_arg $ ordering_arg)
+      $ stats_arg $ ordering_arg $ solver)
 
 let shooting_cmd =
   let doc = "shooting-method periodic steady state" in

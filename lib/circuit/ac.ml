@@ -7,15 +7,34 @@ let system_op c x_op freq =
   let w = 2.0 *. Float.pi *. freq in
   Cop.add (Cop.of_real g) (Cop.scale (Cx.im w) (Cop.of_real cm))
 
-let system_at c x_op freq = Cop.to_dense (system_op c x_op freq)
+(* the same system lowered to CSR: [system_op] is Sum(Sparse, Scaled
+   Sparse), which always folds, so the Option.get cannot fail *)
+let system_sparse c x_op freq =
+  Option.get (Cop.to_sparse_opt (system_op c x_op freq))
+
+let system_at c x_op freq = Csparse.to_dense (system_sparse c x_op freq)
+
+(* Every frequency of a sweep stamps the same structural pattern (only
+   the j omega scaling of the C entries moves), so one symbolic analysis
+   serves the whole sweep: the first point runs the pivoting pass, later
+   points are KLU-style refactors. The circuit's fill-reducing ordering
+   (pattern-only, hence shared with the real-valued engines) is folded
+   into the cached plan. *)
+let factor_at ?cache c x_op freq =
+  let perm = Mna.ordering_perm c in
+  let m = system_sparse c x_op freq in
+  match cache with
+  | Some cache -> Csparse_lu.factor_cached ?perm cache m
+  | None -> Csparse_lu.factor ?perm m
 
 let op ?x_op c = match x_op with Some v -> v | None -> Dc.solve c
 
 let sweep ?x_op c ~source ~freqs =
   let x0 = op ?x_op c in
   let b = Cvec.of_real (Mna.source_pattern c source) in
+  let cache = ref None in
   let response =
-    Array.map (fun f -> Clu.solve (Clu.factor (system_at c x0 f)) b) freqs
+    Array.map (fun f -> Csparse_lu.solve (factor_at ~cache c x0 f) b) freqs
   in
   { freqs; response }
 
@@ -25,19 +44,20 @@ let transfer c res name =
 
 let solve_at ?x_op c ~rhs ~freq =
   let x0 = op ?x_op c in
-  Clu.solve (Clu.factor (system_at c x0 freq)) (Cvec.of_real rhs)
+  Csparse_lu.solve (factor_at c x0 freq) (Cvec.of_real rhs)
 
 let output_noise ?x_op c ~node ~freqs =
   let x0 = op ?x_op c in
   let idx = Mna.node c node in
   let sources = Mna.noise_sources c in
+  let cache = ref None in
   Array.map
     (fun f ->
-      let lufact = Clu.factor (system_at c x0 f) in
+      let lufact = factor_at ~cache c x0 f in
       Array.fold_left
         (fun acc src ->
           let pattern = Cvec.of_real (Mna.noise_pattern c src) in
-          let h = Clu.solve lufact pattern in
+          let h = Csparse_lu.solve lufact pattern in
           let flicker =
             if src.Device.flicker_corner > 0.0 && f > 0.0 then
               1.0 +. (src.Device.flicker_corner /. f)
@@ -76,11 +96,12 @@ let sweep_outcome ?x_op c ~source ~freqs =
   supervised ~engine:"ac" (fun () ->
       let x0 = op ?x_op c in
       let b = Cvec.of_real (Mna.source_pattern c source) in
+      let cache = ref None in
       let response =
         Array.map
           (fun f ->
             Deadline.check ();
-            Clu.solve (Clu.factor (system_at c x0 f)) b)
+            Csparse_lu.solve (factor_at ~cache c x0 f) b)
           freqs
       in
       ({ freqs; response }, Array.length freqs))
@@ -90,15 +111,16 @@ let output_noise_outcome ?x_op c ~node ~freqs =
       let x0 = op ?x_op c in
       let idx = Mna.node c node in
       let sources = Mna.noise_sources c in
+      let cache = ref None in
       let psd =
         Array.map
           (fun f ->
             Deadline.check ();
-            let lufact = Clu.factor (system_at c x0 f) in
+            let lufact = factor_at ~cache c x0 f in
             Array.fold_left
               (fun acc src ->
                 let pattern = Cvec.of_real (Mna.noise_pattern c src) in
-                let h = Clu.solve lufact pattern in
+                let h = Csparse_lu.solve lufact pattern in
                 let flicker =
                   if src.Device.flicker_corner > 0.0 && f > 0.0 then
                     1.0 +. (src.Device.flicker_corner /. f)
@@ -112,13 +134,13 @@ let output_noise_outcome ?x_op c ~node ~freqs =
 
 let two_port_z ?x_op c ~port1 ~port2 ~freq =
   let x0 = op ?x_op c in
-  let lufact = Clu.factor (system_at c x0 freq) in
+  let lufact = factor_at c x0 freq in
   let node1, src1 = port1 and node2, src2 = port2 in
   let i1 = Mna.node c node1 and i2 = Mna.node c node2 in
   let z = Cmat.make 2 2 in
   List.iteri
     (fun col src ->
-      let v = Clu.solve lufact (Cvec.of_real (Mna.source_pattern c src)) in
+      let v = Csparse_lu.solve lufact (Cvec.of_real (Mna.source_pattern c src)) in
       Cmat.set z 0 col v.(i1);
       Cmat.set z 1 col v.(i2))
     [ src1; src2 ];

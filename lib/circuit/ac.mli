@@ -12,9 +12,15 @@ type result = {
 
 val system_op : Mna.t -> Rfkit_la.Vec.t -> float -> Rfkit_la.Cop.t
 (** The linearized system [(G + j w C)] at the given operating point as a
-    lazy complex operator over the sparse stamps; lower with
-    {!Rfkit_la.Cop.to_dense} (what the direct solves here do) or apply
+    lazy complex operator over the sparse stamps. The direct solves here
+    lower it to {!Rfkit_la.Csparse} and factor with
+    {!Rfkit_la.Csparse_lu} (one symbolic analysis per sweep, the
+    circuit's fill-reducing ordering applied); it can also be applied
     matrix-free. *)
+
+val system_at : Mna.t -> Rfkit_la.Vec.t -> float -> Rfkit_la.Cmat.t
+(** Dense lowering of {!system_op} — kept for tests and small-system
+    inspection only; no solve path densifies anymore. *)
 
 val sweep : ?x_op:Rfkit_la.Vec.t -> Mna.t -> source:string -> freqs:float array -> result
 

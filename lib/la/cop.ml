@@ -122,3 +122,34 @@ let rec memory_bytes = function
   | Scaled (_, t) -> memory_bytes t
   | Sum (a, b) | Product (a, b) -> memory_bytes a + memory_bytes b
   | Closure _ -> 0
+
+type factor = {
+  solve : Cvec.t -> Cvec.t;
+  solve_t : Cvec.t -> Cvec.t;
+  factor_nnz : int;
+}
+
+(* sparse-first lowering, exactly as [Op.factorize]: any operator tree
+   that folds to CSR goes through the complex Gilbert-Peierls factor; the
+   dense [Clu] path remains only for trees containing Dense/Product/
+   Closure leaves, which have no sparse lowering *)
+let factorize ?perm op =
+  if rows op <> cols op then invalid_arg "Cop.factorize: operator not square";
+  match to_sparse_opt op with
+  | Some s ->
+      let f = Csparse_lu.factor ?perm s in
+      {
+        solve = Csparse_lu.solve f;
+        solve_t = Csparse_lu.solve_transposed f;
+        factor_nnz = Csparse_lu.nnz f;
+      }
+  | None ->
+      let m = to_dense op in
+      let f = Clu.factor m in
+      (* [Clu] keeps no transpose solve; factor A^T on first demand *)
+      let ft = lazy (Clu.factor (Cmat.transpose m)) in
+      {
+        solve = Clu.solve f;
+        solve_t = (fun b -> Clu.solve (Lazy.force ft) b);
+        factor_nnz = m.Cmat.rows * m.Cmat.cols;
+      }

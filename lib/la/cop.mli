@@ -28,5 +28,29 @@ val matvec : t -> Cvec.t -> Cvec.t
 val to_sparse_opt : t -> Csparse.t option
 val to_dense : t -> Cmat.t
 val diagonal : t -> Cvec.t
+
 val nnz : t -> int
+(** Structural nonzero count, same conventions as {!Op.nnz}: [Sum] and
+    [Product] report the sum of their children (the stamps held alive,
+    not the pattern of the lowered result), [Scaled] is transparent,
+    [Dense] counts every slot, [Closure] reports 0 (nothing stored). *)
+
 val memory_bytes : t -> int
+(** Resident bytes of the stamps backing the operator, same conventions
+    as {!Op.memory_bytes} with complex values at 16 bytes: [Sum]/[Product]
+    add children, [Scaled] is transparent, [Closure] is free. *)
+
+type factor = {
+  solve : Cvec.t -> Cvec.t;
+  solve_t : Cvec.t -> Cvec.t;  (** plain transpose, not conjugate *)
+  factor_nnz : int;
+}
+
+val factorize : ?perm:int array -> t -> factor
+(** One reusable direct factorization of a square operator, sparse-first:
+    {!Csparse_lu} when the tree lowers to CSR ({!to_sparse_opt}), dense
+    {!Clu} only as a last resort (trees with [Dense]/[Product]/[Closure]
+    leaves). [perm] is forwarded to the sparse factor as a fill-reducing
+    symmetric ordering and ignored on the dense fallback. [factor_nnz] is
+    nnz(L+U) for the sparse path, [n^2] for the dense one.
+    @raise Csparse_lu.Singular (= {!Clu.Singular}) on breakdown. *)

@@ -1,11 +1,28 @@
 (** Sparse complex matrices in CSR format — the complex twin of {!Sparse}.
 
     Frequency-domain systems [(G + j omega C)] are assembled from the real
-    sparse stamps without densifying; {!Cop} combines them lazily. *)
+    sparse stamps without densifying; {!Cop} combines them lazily and
+    {!Csparse_lu} factors the result directly. API parity with {!Sparse}:
+    {!of_triplets} sums duplicate coordinates, {!transpose} and {!matmat}
+    let operator lowering avoid any round-trip through {!Cmat}. *)
 
 type t
 
 val of_triplets : rows:int -> cols:int -> (int * int * Cx.t) list -> t
+(** Duplicate [(i, j)] coordinates are summed, as in {!Sparse.of_triplets}. *)
+
+val of_csr :
+  rows:int ->
+  cols:int ->
+  row_ptr:int array ->
+  col_idx:int array ->
+  values:Cx.t array ->
+  t
+(** Adopt pre-built CSR arrays (no copy); lengths are validated. *)
+
+val csr : t -> int array * int array * Cx.t array
+(** [(row_ptr, col_idx, values)] — shared, not copied. *)
+
 val of_real : Sparse.t -> t
 val rows : t -> int
 val cols : t -> int
@@ -16,5 +33,18 @@ val add : t -> t -> t
 val matvec : t -> Cvec.t -> Cvec.t
 val diagonal : t -> Cvec.t
 val to_dense : t -> Cmat.t
+val transpose : t -> t
+
+val matmat : t -> Cmat.t -> Cmat.t
+(** Sparse times dense, dense result. *)
+
 val iter : (int -> int -> Cx.t -> unit) -> t -> unit
 val memory_bytes : t -> int
+
+val permute_sym : int array -> t -> t
+(** [permute_sym p m] is [m[p,p]]: row and column [k] of the result are
+    row and column [p.(k)] of [m]. Applied by {!Csparse_lu} ahead of
+    factorization so fill-reducing orderings from lib/struct serve complex
+    systems too.
+    @raise Invalid_argument if [m] is not square or [p] is not a
+    permutation of its dimension. *)

@@ -11,28 +11,30 @@ let assemble_system (hb : Hb.result) ~w =
   let ns = x.Mat.rows and n = x.Mat.cols in
   let period = 1.0 /. hb.Hb.freq in
   let d = Grid.diff_matrix ~period ~n:ns in
-  let cs = Array.init ns (fun s -> Mna.jac_c c (Mat.row x s)) in
-  let gs = Array.init ns (fun s -> Mna.jac_g c (Mat.row x s)) in
+  let cs = Array.init ns (fun s -> Mna.jac_c_sparse c (Mat.row x s)) in
+  let gs = Array.init ns (fun s -> Mna.jac_g_sparse c (Mat.row x s)) in
   let dim = ns * n in
-  let j = Cmat.make dim dim in
+  (* triplet assembly straight from the sparse stamps — ns^2 nnz(C)
+     entries instead of a dense (ns n)^2 matrix; of_triplets sums the
+     duplicates where the diagonal blocks overlap the D coupling *)
+  let triplets = ref [] in
+  let push r cc v = triplets := (r, cc, v) :: !triplets in
   for s = 0 to ns - 1 do
+    Sparse.iter
+      (fun i jj v -> push ((s * n) + i) ((s * n) + jj) (Cx.re v))
+      gs.(s);
+    Sparse.iter
+      (fun i jj v -> push ((s * n) + i) ((s * n) + jj) (Cx.im (w *. v)))
+      cs.(s);
     for s' = 0 to ns - 1 do
       let dss = Mat.get d s s' in
-      for i = 0 to n - 1 do
-        for jj = 0 to n - 1 do
-          let re = ref 0.0 and im = ref 0.0 in
-          if dss <> 0.0 then re := !re +. (dss *. Mat.get cs.(s') i jj);
-          if s = s' then begin
-            re := !re +. Mat.get gs.(s) i jj;
-            im := !im +. (w *. Mat.get cs.(s) i jj)
-          end;
-          if !re <> 0.0 || !im <> 0.0 then
-            Cmat.set j ((s * n) + i) ((s' * n) + jj) (Cx.make !re !im)
-        done
-      done
+      if dss <> 0.0 then
+        Sparse.iter
+          (fun i jj v -> push ((s * n) + i) ((s' * n) + jj) (Cx.re (dss *. v)))
+          cs.(s')
     done
   done;
-  Clu.factor j
+  Csparse_lu.factor (Csparse.of_triplets ~rows:dim ~cols:dim !triplets)
 
 (* solve for the correlated-sideband response to a per-sample-modulated
    complex current injection, returning the envelope harmonics of the
@@ -47,7 +49,7 @@ let response_harmonics (hb : Hb.result) ~factor ~node ~inject =
         let s = flat / n and i = flat mod n in
         (inject s i : Cx.t))
   in
-  let sol = Clu.solve factor rhs in
+  let sol = Csparse_lu.solve factor rhs in
   let env = Cvec.init ns (fun s -> sol.((s * n) + idx)) in
   let spec = Fft.forward env in
   Cvec.scale_re (1.0 /. float_of_int ns) spec

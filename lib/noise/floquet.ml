@@ -33,22 +33,26 @@ let compute (orbit : Shooting.result) =
   let u1 = Shooting.state_derivative orbit in
   (* backward-Euler variational factors along the orbit: dx_{k+1} = A_k dx_k,
      A_k = (C_{k+1}/h + G_{k+1})^-1 (C_k / h), indices cyclic *)
-  let cs = Array.init m (fun k -> Mna.jac_c c (Mat.row samples k)) in
-  let gs = Array.init m (fun k -> Mna.jac_g c (Mat.row samples k)) in
+  let cs = Array.init m (fun k -> Mna.jac_c_sparse c (Mat.row samples k)) in
+  let gs = Array.init m (fun k -> Mna.jac_g_sparse c (Mat.row samples k)) in
+  (* all orbit points share the G+C union pattern, so one symbolic
+     analysis covers every variational factor along the period *)
+  let perm = Mna.ordering_perm c in
+  let cache = ref None in
   let j_fact =
     Array.init m (fun k1 ->
-        let j = Mat.add (Mat.scale (1.0 /. h) cs.(k1)) gs.(k1) in
-        Lu.factor j)
+        let j = Sparse.add (Sparse.scale (1.0 /. h) cs.(k1)) gs.(k1) in
+        Sparse_lu.factor_cached ?perm cache j)
   in
   (* A_k uses the factor at index (k+1) mod m and C at index k *)
   let apply_a k (dx : Vec.t) =
     let k1 = (k + 1) mod m in
-    Lu.solve j_fact.(k1) (Vec.scale (1.0 /. h) (Mat.matvec cs.(k) dx))
+    Sparse_lu.solve j_fact.(k1) (Vec.scale (1.0 /. h) (Sparse.matvec cs.(k) dx))
   in
   let apply_a_t k (v : Vec.t) =
     let k1 = (k + 1) mod m in
-    let w = Lu.solve_transposed j_fact.(k1) v in
-    Vec.scale (1.0 /. h) (Mat.matvec_t cs.(k) w)
+    let w = Sparse_lu.solve_transposed j_fact.(k1) v in
+    Vec.scale (1.0 /. h) (Sparse.matvec_t cs.(k) w)
   in
   (* BE monodromy consistent with the A_k chain *)
   let m_be = Mat.make n n in
@@ -82,13 +86,14 @@ let compute (orbit : Shooting.result) =
   done;
   for k = 0 to m - 1 do
     let w = Mat.row ws k in
-    let v1k = Vec.scale (1.0 /. h) (Lu.solve_transposed j_fact.(k) w) in
+    let v1k = Vec.scale (1.0 /. h) (Sparse_lu.solve_transposed j_fact.(k) w) in
     Mat.set_row v1m k v1k
   done;
   (* invariant v^T C u should be constant; measure drift, then rescale
      pointwise to enforce the normalization exactly *)
   let alphas =
-    Array.init m (fun k -> Vec.dot (Mat.row v1m k) (Mat.matvec cs.(k) (Mat.row u1 k)))
+    Array.init m (fun k ->
+        Vec.dot (Mat.row v1m k) (Sparse.matvec cs.(k) (Mat.row u1 k)))
   in
   let alpha_mean = Stats.mean alphas in
   let drift =
@@ -113,18 +118,23 @@ let ppv_periodicity_error t =
   let samples = t.orbit.Shooting.samples in
   let m = samples.Mat.rows in
   let h = t.orbit.Shooting.period /. float_of_int m in
-  let cs = Array.init m (fun k -> Mna.jac_c c (Mat.row samples k)) in
-  let j_fact =
+  let cs = Array.init m (fun k -> Mna.jac_c_sparse c (Mat.row samples k)) in
+  let perm = Mna.ordering_perm c in
+  let cache = ref None in
+  let js =
     Array.init m (fun k ->
-        Lu.factor (Mat.add (Mat.scale (1.0 /. h) cs.(k)) (Mna.jac_g c (Mat.row samples k))))
+        Sparse.add
+          (Sparse.scale (1.0 /. h) cs.(k))
+          (Mna.jac_g_sparse c (Mat.row samples k)))
   in
-  let jt v k = Mat.matvec_t (Mat.add (Mat.scale (1.0 /. h) cs.(k)) (Mna.jac_g c (Mat.row samples k))) v in
+  let j_fact = Array.map (Sparse_lu.factor_cached ?perm cache) js in
+  let jt v k = Sparse.matvec_t js.(k) v in
   let w0 = Vec.scale h (jt (Mat.row t.v1 0) 0) in
   let wk = ref (Vec.copy w0) in
   for k = m - 1 downto 0 do
     let k1 = (k + 1) mod m in
-    let w = Lu.solve_transposed j_fact.(k1) !wk in
-    wk := Vec.scale (1.0 /. h) (Mat.matvec_t cs.(k) w)
+    let w = Sparse_lu.solve_transposed j_fact.(k1) !wk in
+    wk := Vec.scale (1.0 /. h) (Sparse.matvec_t cs.(k) w)
   done;
   let nb = Vec.norm2 !wk and nl = Vec.norm2 w0 in
   if nb = 0.0 || nl = 0.0 then 1.0

@@ -9,8 +9,10 @@ type ensemble = {
 }
 
 (* one backward-Euler step with a frozen noise current on the right-hand
-   side (Euler-Maruyama treatment of the diffusion term) *)
-let noisy_step c ~x_prev ~dt ~i_noise =
+   side (Euler-Maruyama treatment of the diffusion term); every step of
+   every trajectory stamps the same C/dt + G pattern, so the caller-held
+   symbolic [cache] turns all but the first factor into refactors *)
+let noisy_step ?perm ~cache c ~x_prev ~dt ~i_noise =
   let n = Mna.size c in
   let q0 = Mna.eval_q c x_prev in
   let x = Vec.copy x_prev in
@@ -22,8 +24,12 @@ let noisy_step c ~x_prev ~dt ~i_noise =
     let r =
       Vec.init n (fun i -> ((q1.(i) -. q0.(i)) /. dt) +. f1.(i) -. i_noise.(i))
     in
-    let j = Mat.add (Mat.scale (1.0 /. dt) (Mna.jac_c c x)) (Mna.jac_g c x) in
-    let dx = Lu.solve (Lu.factor j) r in
+    let j =
+      Sparse.add
+        (Sparse.scale (1.0 /. dt) (Mna.jac_c_sparse c x))
+        (Mna.jac_g_sparse c x)
+    in
+    let dx = Sparse_lu.solve (Sparse_lu.factor_cached ?perm cache j) r in
     let step = Vec.norm_inf dx in
     if step <= 1e-12 *. Float.max 1.0 (Vec.norm_inf x) then ok := true
     else begin
@@ -45,6 +51,8 @@ let run ?(seed = 42) ?(trajectories = 24) ?(noise_scale = 1.0) orbit ~periods ~n
     (* threshold = orbit mean of the observed node *)
     Stats.mean (Mat.col orbit.Shooting.samples idx)
   in
+  let perm = Mna.ordering_perm c in
+  let cache = ref None in
   let total_steps = periods * m in
   let max_crossings = periods - 1 in
   let crossing_times = Array.make_matrix trajectories max_crossings nan in
@@ -66,7 +74,7 @@ let run ?(seed = 42) ?(trajectories = 24) ?(noise_scale = 1.0) orbit ~periods ~n
             Vec.axpy amp patterns.(j) i_noise
           end)
         sources;
-      let x_next = noisy_step c ~x_prev:!x ~dt ~i_noise in
+      let x_next = noisy_step ?perm ~cache c ~x_prev:!x ~dt ~i_noise in
       let t_next = !t +. dt in
       let v_prev = !x.(idx) and v_next = x_next.(idx) in
       if v_prev < level && v_next >= level && !count < max_crossings then begin

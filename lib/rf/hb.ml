@@ -117,27 +117,34 @@ let apply_jacobian ~period ~n ~cs ~gs (v : Vec.t) =
   done;
   flatten gv
 
-(* block-diagonal per-harmonic preconditioner built from time-averaged C
-   and G: P_k = j w_k C_avg + G_avg, factored once per Newton iteration *)
-let make_preconditioner ~period ~n ~cs ~gs =
-  let ns = Array.length cs in
-  let c_avg = Mat.make n n and g_avg = Mat.make n n in
-  for s = 0 to ns - 1 do
-    Sparse.iter (fun i j v -> Mat.update c_avg i j (fun w -> w +. v)) cs.(s);
-    Sparse.iter (fun i j v -> Mat.update g_avg i j (fun w -> w +. v)) gs.(s)
+(* sample-averaged sparse stamps: every sample shares the cached MNA
+   pattern, so the merge never grows beyond the union pattern *)
+let average_sparse arr =
+  let ns = Array.length arr in
+  let acc = ref arr.(0) in
+  for s = 1 to ns - 1 do
+    acc := Sparse.add !acc arr.(s)
   done;
-  let scale = 1.0 /. float_of_int ns in
-  let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+  Sparse.scale (1.0 /. float_of_int ns) !acc
+
+(* block-diagonal per-harmonic preconditioner built from time-averaged C
+   and G: P_k = j w_k C_avg + G_avg. Each block assembles as Csparse and
+   factors with the complex Gilbert-Peierls LU; all blocks share one
+   structural pattern (the G+C union — Csparse.scale keeps explicit
+   entries even at w_0 = 0), so the caller-held symbolic [cache] is
+   analyzed once and every other harmonic of every Newton iteration is a
+   pivot-frozen refactor. [perm] is the circuit's fill-reducing order. *)
+let make_preconditioner ?perm ~cache ~period ~n ~cs ~gs () =
+  let ns = Array.length cs in
+  let c_avg = Csparse.of_real (average_sparse cs) in
+  let g_avg = Csparse.of_real (average_sparse gs) in
   let w0 = 2.0 *. Float.pi /. period in
   let half = ns / 2 in
   let factors =
     Array.init (half + 1) (fun k ->
         let wk = w0 *. float_of_int k in
-        let block =
-          Cmat.init n n (fun i j ->
-              Cx.make (Mat.get g_avg i j) (wk *. Mat.get c_avg i j))
-        in
-        Clu.factor block)
+        let block = Csparse.add g_avg (Csparse.scale (Cx.im wk) c_avg) in
+        Csparse_lu.factor_cached ?perm cache block)
   in
   fun (v : Vec.t) ->
     let vm = unflatten ~rows:ns ~cols:n v in
@@ -147,7 +154,7 @@ let make_preconditioner ~period ~n ~cs ~gs =
     let solved = Array.make ns [||] in
     for k = 0 to half do
       let rhs = Cvec.init n (fun j -> spectra.(j).(k)) in
-      solved.(k) <- Clu.solve factors.(k) rhs
+      solved.(k) <- Csparse_lu.solve factors.(k) rhs
     done;
     for k = half + 1 to ns - 1 do
       (* mirror bin: P_{-k} = conj(P_k), rhs_{-k} = conj(rhs_k) *)
@@ -204,6 +211,10 @@ let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
   let n = Mna.size c in
   let times = Grid.times ~period ~n:ns in
   let x = ref (initial_guess ?x0 c ~options ~period ~times) in
+  (* one symbolic plan for every preconditioner block of every Newton
+     iteration: the harmonic blocks all share the G+C union pattern *)
+  let perm = Mna.ordering_perm c in
+  let precond_cache = ref None in
   let gmres_total = ref 0 in
   let iters = ref 0 in
   let res_norm = ref infinity in
@@ -233,7 +244,9 @@ let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
               Lu.solve (Lu.factor j) rhs
           | Matrix_free_gmres ->
               let precond =
-                if options.precondition then make_preconditioner ~period ~n ~cs ~gs
+                if options.precondition then
+                  make_preconditioner ?perm ~cache:precond_cache ~period ~n ~cs
+                    ~gs ()
                 else fun v -> v
               in
               let op = apply_jacobian ~period ~n ~cs ~gs in
@@ -283,7 +296,7 @@ let solve_core ~options ~damping ~iter_cap ?x0 c ~freq =
           },
           stats () )
   with
-  | Lu.Singular -> Error (Supervisor.Singular_jacobian, stats ())
+  | Lu.Singular | Clu.Singular -> Error (Supervisor.Singular_jacobian, stats ())
   | Krylov.Non_finite index ->
       Error (Supervisor.Non_finite { iter = !iters; index }, stats ())
   | Guard.Non_finite_found { iter; index } ->

@@ -144,10 +144,25 @@ let apply_jacobian c ~options ~f1 ~f2 ~cs ~gs (v : Vec.t) =
   done;
   out
 
-let make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg =
+(* sample-averaged sparse stamps: every grid point shares the cached MNA
+   pattern, so the merge never grows beyond the union pattern *)
+let average_sparse arr =
+  let tot = Array.length arr in
+  let acc = ref arr.(0) in
+  for s = 1 to tot - 1 do
+    acc := Sparse.add !acc arr.(s)
+  done;
+  Sparse.scale (1.0 /. float_of_int tot) !acc
+
+(* block-diagonal per-bin preconditioner P = j(k1 w1 + k2 w2) C_avg + G_avg
+   as Csparse blocks through the complex Gilbert-Peierls LU; one shared
+   structural pattern, so the caller-held symbolic [cache] is analyzed
+   once and every other bin is a pivot-frozen refactor. *)
+let make_preconditioner ?perm ~cache ~options ~f1 ~f2 ~c_avg ~g_avg () =
   let { n1; n2; _ } = options in
-  let n = (c_avg : Mat.t).Mat.rows in
+  let n = Sparse.rows g_avg in
   let w1 = 2.0 *. Float.pi *. f1 and w2 = 2.0 *. Float.pi *. f2 in
+  let cs = Csparse.of_real c_avg and gs = Csparse.of_real g_avg in
   let factors =
     Array.init (n1 * n2) (fun bin ->
         let i = bin / n2 and j = bin mod n2 in
@@ -156,10 +171,8 @@ let make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg =
         let k2 = signed_bin j n2 in
         let k2 = if n2 mod 2 = 0 && j = n2 / 2 then 0 else k2 in
         let w = (w1 *. float_of_int k1) +. (w2 *. float_of_int k2) in
-        let blk =
-          Cmat.init n n (fun a b -> Cx.make (Mat.get g_avg a b) (w *. Mat.get c_avg a b))
-        in
-        Clu.factor blk)
+        let blk = Csparse.add gs (Csparse.scale (Cx.im w) cs) in
+        Csparse_lu.factor_cached ?perm cache blk)
   in
   fun (v : Vec.t) ->
     let out = Vec.create (n1 * n2 * n) in
@@ -173,7 +186,7 @@ let make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg =
     for bin = 0 to (n1 * n2) - 1 do
       let i = bin / n2 and j = bin mod n2 in
       let rhs = Cvec.init n (fun k -> Cmat.get specs.(k) i j) in
-      let y = Clu.solve factors.(bin) rhs in
+      let y = Csparse_lu.solve factors.(bin) rhs in
       for k = 0 to n - 1 do
         Cmat.set solved bin k y.(k)
       done
@@ -214,6 +227,10 @@ let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
       done
     done
   done;
+  (* one symbolic plan for every preconditioner block of every Newton
+     iteration: the bin blocks all share the G+C union pattern *)
+  let perm = Mna.ordering_perm c in
+  let precond_cache = ref None in
   let iters = ref 0 in
   let gmres_total = ref 0 in
   let res_norm = ref infinity in
@@ -233,25 +250,22 @@ let solve_core ~options ~damping ~iter_cap c ~f1 ~f2 =
       res_norm := Vec.norm_inf r;
       if !res_norm <= options.tol then converged := true
       else begin
-        let accum dst = Sparse.iter (fun i j v -> Mat.update dst i j (fun w -> w +. v)) in
         let zero = Sparse.of_triplets ~rows:0 ~cols:0 [] in
         let cs = Array.make (n1 * n2) zero in
         let gs = Array.make (n1 * n2) zero in
-        let c_avg = Mat.make n n and g_avg = Mat.make n n in
         for i1 = 0 to n1 - 1 do
           for i2 = 0 to n2 - 1 do
             let xp = point ~n2 ~n x i1 i2 in
-            let cm = Mna.jac_c_sparse c xp and gm = Mna.jac_g_sparse c xp in
-            cs.((i1 * n2) + i2) <- cm;
-            gs.((i1 * n2) + i2) <- gm;
-            accum c_avg cm;
-            accum g_avg gm
+            cs.((i1 * n2) + i2) <- Mna.jac_c_sparse c xp;
+            gs.((i1 * n2) + i2) <- Mna.jac_g_sparse c xp
           done
         done;
-        let scale = 1.0 /. float_of_int (n1 * n2) in
-        let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+        let c_avg = average_sparse cs and g_avg = average_sparse gs in
         if Faults.singular_now ~engine then raise Lu.Singular;
-        let precond = make_preconditioner ~options ~f1 ~f2 ~c_avg ~g_avg in
+        let precond =
+          make_preconditioner ?perm ~cache:precond_cache ~options ~f1 ~f2
+            ~c_avg ~g_avg ()
+        in
         let op = apply_jacobian c ~options ~f1 ~f2 ~cs ~gs in
         let dx, st =
           Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r

@@ -164,17 +164,32 @@ let apply_jacobian c ~options ~tones ~cs ~gs (v : Vec.t) =
   done;
   out
 
-let make_preconditioner ~options ~tones ~c_avg ~g_avg =
+(* sample-averaged sparse stamps: every grid point shares the cached MNA
+   pattern, so the merge never grows beyond the union pattern *)
+let average_sparse arr =
+  let tot = Array.length arr in
+  let acc = ref arr.(0) in
+  for s = 1 to tot - 1 do
+    acc := Sparse.add !acc arr.(s)
+  done;
+  Sparse.scale (1.0 /. float_of_int tot) !acc
+
+(* block-diagonal per-bin preconditioner P_m = j w_m C_avg + G_avg, each
+   block a Csparse factored by the complex Gilbert-Peierls LU. All bins
+   share one structural pattern (Csparse.scale keeps explicit entries at
+   w = 0), so the caller-held symbolic [cache] is analyzed once and every
+   other bin of every Newton iteration is a pivot-frozen refactor. *)
+let make_preconditioner ?perm ~cache ~options ~tones ~c_avg ~g_avg () =
   let dims = options.dims in
-  let n = (c_avg : Mat.t).Mat.rows in
+  let n = Sparse.rows g_avg in
   let tot = total dims in
+  let cs = Csparse.of_real c_avg and gs = Csparse.of_real g_avg in
   let factors =
     Array.init tot (fun flat ->
         let m = unflatten dims flat in
         let w = bin_omega ~tones ~dims m in
-        Clu.factor
-          (Cmat.init n n (fun i j ->
-               Cx.make (Mat.get g_avg i j) (w *. Mat.get c_avg i j))))
+        let block = Csparse.add gs (Csparse.scale (Cx.im w) cs) in
+        Csparse_lu.factor_cached ?perm cache block)
   in
   fun (v : Vec.t) ->
     let out = Vec.create (tot * n) in
@@ -184,7 +199,7 @@ let make_preconditioner ~options ~tones ~c_avg ~g_avg =
     let solved = Array.make tot [||] in
     for flat = 0 to tot - 1 do
       let rhs = Cvec.init n (fun k -> specs.(k).(flat)) in
-      solved.(flat) <- Clu.solve factors.(flat) rhs
+      solved.(flat) <- Csparse_lu.solve factors.(flat) rhs
     done;
     for k = 0 to n - 1 do
       let spec = Cvec.init tot (fun flat -> solved.(flat).(k)) in
@@ -216,6 +231,10 @@ let solve_core ~options ~damping ~iter_cap c ~tones =
     | Supervisor.Failed _ -> Vec.create n
   in
   let x = Vec.init (tot * n) (fun i -> xdc.(i mod n)) in
+  (* one symbolic plan for every preconditioner block of every Newton
+     iteration: the bin blocks all share the G+C union pattern *)
+  let perm = Mna.ordering_perm c in
+  let precond_cache = ref None in
   let iters = ref 0 in
   let gmres_total = ref 0 in
   let res_norm = ref infinity in
@@ -237,14 +256,12 @@ let solve_core ~options ~damping ~iter_cap c ~tones =
       else begin
         let cs = Array.init tot (fun flat -> Mna.jac_c_sparse c (point ~n x flat)) in
         let gs = Array.init tot (fun flat -> Mna.jac_g_sparse c (point ~n x flat)) in
-        let c_avg = Mat.make n n and g_avg = Mat.make n n in
-        let accum dst = Sparse.iter (fun i j v -> Mat.update dst i j (fun w -> w +. v)) in
-        Array.iter (accum c_avg) cs;
-        Array.iter (accum g_avg) gs;
-        let scale = 1.0 /. float_of_int tot in
-        let c_avg = Mat.scale scale c_avg and g_avg = Mat.scale scale g_avg in
+        let c_avg = average_sparse cs and g_avg = average_sparse gs in
         if Faults.singular_now ~engine then raise Lu.Singular;
-        let precond = make_preconditioner ~options ~tones ~c_avg ~g_avg in
+        let precond =
+          make_preconditioner ?perm ~cache:precond_cache ~options ~tones ~c_avg
+            ~g_avg ()
+        in
         let op = apply_jacobian c ~options ~tones ~cs ~gs in
         let dx, st =
           Krylov.gmres ~m:100 ~tol:options.gmres_tol ~max_iter:4000 ~precond op r

@@ -16,14 +16,18 @@ let of_circuit circuit ~input ~output =
 
 let size d = Array.length d.b
 
+(* lift a real operator into the complex tree leaf-for-leaf: CSR stamps
+   stay sparse, so [Cop.factorize] densifies only for Closure-backed
+   descriptors (none of the shipped builders produce those) *)
+let lower_complex op =
+  match Op.to_sparse_opt op with
+  | Some sp -> Cop.of_real sp
+  | None -> Cop.dense (Cmat.of_real (Op.to_dense op))
+
 let transfer d s =
-  let n = size d in
-  let gd = Op.to_dense d.g and cd = Op.to_dense d.c in
-  let a =
-    Cmat.init n n (fun i j ->
-        Cx.( +: ) (Cx.re (Mat.get gd i j)) (Cx.( *: ) s (Cx.re (Mat.get cd i j))))
-  in
-  let x = Clu.lin_solve a (Cvec.of_real d.b) in
+  let a = Cop.add (lower_complex d.g) (Cop.scale s (lower_complex d.c)) in
+  let f = Cop.factorize a in
+  let x = f.Cop.solve (Cvec.of_real d.b) in
   Cvec.dot_u (Cvec.of_real d.l) x
 
 (* factor (G + s0 C) once — sparse LU when the operators lower to CSR,

@@ -20,8 +20,10 @@ val of_circuit_b : Rfkit_circuit.Mna.t -> b:Rfkit_la.Vec.t -> output:string -> t
 val size : t -> int
 
 val transfer : t -> Rfkit_la.Cx.t -> Rfkit_la.Cx.t
-(** Exact [H(s) = l^T (G + s C)^{-1} b] by a full complex solve — the
-    reference the ROMs are judged against. *)
+(** Exact [H(s) = l^T (G + s C)^{-1} b] — the reference the ROMs are
+    judged against. Solved sparse-first through {!Rfkit_la.Cop.factorize}
+    (complex Gilbert-Peierls LU when [g]/[c] lower to CSR, dense only for
+    Closure-backed operators). *)
 
 val expansion_ops :
   t ->

@@ -178,6 +178,71 @@ let qcheck_op_factorize =
           let r = Vec.sub (Op.matvec op (f.Op.solve b)) b in
           Vec.norm_inf r <= 1e-7 *. (1.0 +. Vec.norm_inf b))
 
+(* ------------------------------------------------- complex sparse LU *)
+
+let cvec_close ?(tol = 1e-10) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Cx.abs (Cx.( -: ) x y) <= tol) a b
+
+let csparse_of_dense m =
+  let rows = m.Cmat.rows and cols = m.Cmat.cols in
+  let ts = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = Cmat.get m i j in
+      if v <> Cx.zero then ts := (i, j, v) :: !ts
+    done
+  done;
+  Csparse.of_triplets ~rows ~cols !ts
+
+(* random diagonally-dominant complex systems with ~half the off-diagonal
+   entries structurally zero *)
+let gen_cdominant =
+  QCheck.Gen.(
+    int_range 1 7 >>= fun n ->
+    list_size
+      (return (2 * n * n))
+      (oneof [ return 0.0; float_range (-2.0) 2.0 ])
+    >|= fun vs ->
+    let a = Array.of_list vs in
+    Cmat.init n n (fun i j ->
+        let k = 2 * ((i * n) + j) in
+        let z = Cx.make a.(k) a.(k + 1) in
+        if i = j then Cx.( +: ) z (Cx.make (8.0 +. float_of_int n) 3.0) else z))
+
+let arb_cdominant =
+  QCheck.make gen_cdominant ~print:(fun m ->
+      Printf.sprintf "%dx%d complex" m.Cmat.rows m.Cmat.cols)
+
+let qcheck_csparse_lu =
+  QCheck.Test.make
+    ~name:"csparse_lu: matches dense Clu on random dominant systems" ~count:100
+    arb_cdominant (fun m ->
+      let n = m.Cmat.rows in
+      let b =
+        Cvec.init n (fun i ->
+            Cx.make (sin (float_of_int (i + 1))) (0.25 *. float_of_int i))
+      in
+      let f_sparse = Csparse_lu.factor (csparse_of_dense m) in
+      let x_dense = Clu.solve (Clu.factor m) b in
+      let x_sparse = Csparse_lu.solve f_sparse b in
+      let xt_dense = Clu.solve (Clu.factor (Cmat.transpose m)) b in
+      let xt_sparse = Csparse_lu.solve_transposed f_sparse b in
+      cvec_close ~tol:1e-10 x_dense x_sparse
+      && cvec_close ~tol:1e-10 xt_dense xt_sparse)
+
+let qcheck_csparse_lu_perm =
+  QCheck.Test.make
+    ~name:"csparse_lu: permuted factor agrees with the natural one" ~count:60
+    arb_cdominant (fun m ->
+      let n = m.Cmat.rows in
+      let s = csparse_of_dense m in
+      let perm = Array.init n (fun i -> n - 1 - i) in
+      let b = Cvec.init n (fun i -> Cx.make 1.0 (float_of_int i)) in
+      cvec_close ~tol:1e-10
+        (Csparse_lu.solve (Csparse_lu.factor s) b)
+        (Csparse_lu.solve (Csparse_lu.factor ~perm s) b))
+
 (* ------------------------------------- dense vs sparse DC on the decks *)
 
 let example_decks =
@@ -244,6 +309,107 @@ let test_ilu_reduces_iterations () =
   in
   Alcotest.(check bool) "preconditioned GMRES converges" true st.Krylov.converged
 
+(* ------------------------------- complex sparse AC systems on the decks *)
+
+let is_permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v -> v >= 0 && v < n && (not seen.(v)) && (seen.(v) <- true; true))
+    p
+
+(* G + j w C linearized at the DC operating point of every shipped deck:
+   the complex sparse factor must match the dense Clu oracle, with and
+   without the circuit's fill-reducing ordering *)
+let test_ac_sparse_vs_dense_decks () =
+  List.iter
+    (fun path ->
+      let nl, _ = Deck.parse_file path in
+      let c = Mna.build nl in
+      Mna.set_ordering c Rfkit_struct.Order.Btf_amd;
+      let x0 = Dc.solve c in
+      let perm = Mna.ordering_perm c in
+      List.iter
+        (fun freq ->
+          let sp = Option.get (Cop.to_sparse_opt (Ac.system_op c x0 freq)) in
+          let dense = Ac.system_at c x0 freq in
+          let b =
+            Cvec.init (Mna.size c) (fun i ->
+                Cx.make (cos (float_of_int i)) (sin (float_of_int (i + 1))))
+          in
+          let xd = Clu.solve (Clu.factor dense) b in
+          let xs = Csparse_lu.solve (Csparse_lu.factor sp) b in
+          let xp = Csparse_lu.solve (Csparse_lu.factor ?perm sp) b in
+          let scale = ref 1.0 in
+          Array.iter (fun z -> scale := Float.max !scale (Cx.abs z)) xd;
+          let ok name x =
+            let worst = ref 0.0 in
+            Array.iteri
+              (fun i z -> worst := Float.max !worst (Cx.abs (Cx.( -: ) z xd.(i))))
+              x;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s @%g Hz: %s matches dense Clu" path freq name)
+              true
+              (!worst <= 1e-10 *. !scale)
+          in
+          ok "natural" xs;
+          ok "permuted" xp)
+        [ 1e3; 1e6; 1e9 ])
+    example_decks
+
+let test_ordering_perm_valid_on_decks () =
+  List.iter
+    (fun path ->
+      let nl, _ = Deck.parse_file path in
+      let c = Mna.build nl in
+      Mna.set_ordering c Rfkit_struct.Order.Btf_amd;
+      match Mna.ordering_perm c with
+      | None -> Alcotest.fail (path ^ ": expected an ordering perm")
+      | Some p ->
+          Alcotest.(check bool)
+            (path ^ ": ordering perm is a permutation")
+            true (is_permutation p))
+    example_decks
+
+(* symbolic reuse ledger: same pattern refactors, a perm switch or pattern
+   change re-analyzes *)
+let test_csparse_factor_cached_counters () =
+  let mk d01 =
+    Csparse.of_triplets ~rows:2 ~cols:2
+      [
+        (0, 0, Cx.make 4.0 1.0);
+        (0, 1, d01);
+        (1, 0, Cx.re 2.0);
+        (1, 1, Cx.make 1.0 3.0);
+      ]
+  in
+  let a1 = mk (Cx.re 1.0) and a2 = mk (Cx.im 0.5) in
+  let b = [| Cx.one; Cx.re 2.0 |] in
+  let residual a x =
+    let r = Csparse.matvec a x in
+    let worst = ref 0.0 in
+    Array.iteri
+      (fun i z -> worst := Float.max !worst (Cx.abs (Cx.( -: ) z b.(i))))
+      r;
+    !worst
+  in
+  Csparse_lu.reset_counts ();
+  let cache = ref None in
+  let x1 = Csparse_lu.solve (Csparse_lu.factor_cached cache a1) b in
+  let x2 = Csparse_lu.solve (Csparse_lu.factor_cached cache a2) b in
+  Alcotest.(check bool) "first solve exact" true (residual a1 x1 <= 1e-12);
+  Alcotest.(check bool) "refactored solve exact" true (residual a2 x2 <= 1e-12);
+  let refac, full = Csparse_lu.counts () in
+  Alcotest.(check int) "one symbolic analysis" 1 full;
+  Alcotest.(check int) "one pivot-frozen refactor" 1 refac;
+  Alcotest.(check bool) "fill ledger populated" true (Csparse_lu.fill_nnz () > 0);
+  (* switching the ordering invalidates the cached plan *)
+  let x3 = Csparse_lu.solve (Csparse_lu.factor_cached ~perm:[| 1; 0 |] cache a2) b in
+  Alcotest.(check bool) "permuted solve exact" true (residual a2 x3 <= 1e-12);
+  let refac, full = Csparse_lu.counts () in
+  Alcotest.(check int) "perm switch re-analyzes" 2 full;
+  Alcotest.(check int) "no extra refactor" 1 refac
+
 let suite =
   [
     ( "op.properties",
@@ -256,6 +422,8 @@ let suite =
           qcheck_op_matvec_t;
           qcheck_op_diagonal;
           qcheck_sparse_lu;
+          qcheck_csparse_lu;
+          qcheck_csparse_lu_perm;
           qcheck_jac_g;
           qcheck_jac_c;
           qcheck_op_factorize;
@@ -268,5 +436,11 @@ let suite =
           test_tran_paths_agree;
         Alcotest.test_case "ilu0-preconditioned gmres converges" `Quick
           test_ilu_reduces_iterations;
+        Alcotest.test_case "ac complex sparse vs dense Clu on example decks"
+          `Quick test_ac_sparse_vs_dense_decks;
+        Alcotest.test_case "btf-amd ordering perm is valid on example decks"
+          `Quick test_ordering_perm_valid_on_decks;
+        Alcotest.test_case "csparse_lu factor_cached counters" `Quick
+          test_csparse_factor_cached_counters;
       ] );
   ]
