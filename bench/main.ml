@@ -24,6 +24,7 @@ let experiments =
     ("sparsity", Exp_sparsity.report, Exp_sparsity.bench_tests);
     ("measures", Exp_measures.report, Exp_measures.bench_tests);
     ("batch", Exp_batch.report, Exp_batch.bench_tests);
+    ("opt", Exp_opt.report, Exp_opt.bench_tests);
   ]
 
 let run_reports only =

@@ -27,8 +27,23 @@
    the a-posteriori checks; the certificate is printed on stdout);
    5 interrupted (SIGINT/SIGTERM — sweeps flush a partial report and
    leave a resumable journal; see --resume); 6 the client gave up (server
-   unavailable or overloaded past the retry budget); 66 is reserved for
-   the --inject-crash-after testing hook (simulated hard crash).
+   unavailable or overloaded past the retry budget); 7 spec not met
+   (rfsim optimize finished but its best point fails the --spec clauses);
+   66 is reserved for the --inject-crash-after testing hook (simulated
+   hard crash).
+
+   Closed-loop design optimization (see Rfkit.Opt):
+
+     rfsim optimize lowpass.cir --var R1=50:10k:50 --var C2=5p:500p:5p \
+       --analysis ac --spec 'gain_db@1e4>=-1' --spec 'stopband@1e7..1e8>=30'
+
+   drives the deck's .param bindings with a gradient-free optimizer
+   (Nelder-Mead or compass pattern search); every candidate is an
+   ordinary cached sweep job, so revisited points are free, warm reruns
+   are nearly all cache hits, and the run journal makes a killed
+   optimization resumable. The per-eval trace on stdout is byte-identical
+   regardless of cache warmth. `rfsim sweep --measure gain_db@1meg,bw3db`
+   appends the same measure catalogue as a CSV trend table.
 
    The daemon pair:
 
@@ -50,6 +65,7 @@ let exit_no_convergence = 3
 let exit_certify = 4
 let exit_interrupted = 5
 let exit_unavailable = 6
+let exit_spec = 7
 
 (* Single-run analyses: a SIGINT/SIGTERM flips one atomic; the engine's
    next Guard.check poll raises, the supervisor converts it into a typed
@@ -841,10 +857,21 @@ let sweep_cmd =
             "Testing hook: wedge job $(docv) in a busy loop so \
              --job-deadline (or the drain clamp) must quarantine it.")
   in
+  let measure_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "measure" ] ~docv:"LIST"
+          ~doc:
+            "Append a CSV trend table after the JSONL report: one row per \
+             job, one column per measure (comma-separated, repeatable), \
+             e.g. $(i,gain_db\\@1meg,bw3db,stopband\\@2meg..10meg). \
+             Unevaluable cells (failed job, wrong analysis, off-grid \
+             target) are left empty.")
+  in
   let run path params corners analyses jobs node freq harmonics steps t_stop dt
       f_start f_stop ppd cache_dir no_cache telemetry_path job_iters job_wall
       no_lint ordering stats resume job_deadline grace cache_max_bytes
-      cache_max_entries inject_crash inject_interrupt inject_stall =
+      cache_max_entries inject_crash inject_interrupt inject_stall measures =
     let deck_text =
       try
         let ic = open_in path in
@@ -871,6 +898,21 @@ let sweep_cmd =
         exit exit_parse
     in
     let axes, corners, analyses = spec in
+    (* measures parse before any numerics run: a typo'd label must not
+       cost a sweep *)
+    let measure_list =
+      try
+        List.concat_map
+          (fun s ->
+            List.filter_map
+              (fun t ->
+                if String.trim t = "" then None else Some (Opt.Measure.parse t))
+              (String.split_on_char ',' s))
+          measures
+      with Opt.Measure.Parse_error msg ->
+        Printf.eprintf "sweep: %s\n" msg;
+        exit exit_parse
+    in
     (* pre-flight lint of the first sweep point: swept parameters may have
        no .param default in the deck, so the nominal parse needs them *)
     if not no_lint then begin
@@ -1009,6 +1051,45 @@ let sweep_cmd =
           gs.Batch.Cache.gc_entries gs.Batch.Cache.gc_bytes);
     Batch.Telemetry.close telemetry;
     Batch.Report.print_all stdout results;
+    (* --measure: deterministic CSV trend table after the report — same
+       job order, canonical measure labels as headers, %.9g cells, no
+       wall-clock fields, so it diffs clean like the report itself *)
+    (match measure_list with
+    | [] -> ()
+    | ms ->
+        let param_names =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (j : Batch.Expand.job) -> List.map fst j.Batch.Expand.params)
+               job_list)
+        in
+        print_endline
+          (String.concat ","
+             (("job" :: "corner" :: param_names)
+             @ List.map Opt.Measure.to_string ms));
+        Array.iter
+          (function
+            | None -> ()
+            | Some (r : Batch.Runner.job_result) ->
+                let j = r.Batch.Runner.job in
+                let pcell name =
+                  match List.assoc_opt name j.Batch.Expand.params with
+                  | Some v -> Printf.sprintf "%.9g" v
+                  | None -> ""
+                in
+                let payload = Batch.Json.parse r.Batch.Runner.payload in
+                let mcell m =
+                  match Option.bind payload (fun p -> Opt.Measure.eval m p) with
+                  | Some v -> Printf.sprintf "%.9g" v
+                  | None -> ""
+                in
+                print_endline
+                  (String.concat ","
+                     ((string_of_int j.Batch.Expand.id
+                      :: j.Batch.Expand.corner
+                      :: List.map pcell param_names)
+                     @ List.map mcell ms)))
+          results);
     if outcome.Batch.Runner.interrupted then
       print_endline (Batch.Report.interrupted_marker results);
     Printf.eprintf "%s\n" (Batch.Report.summary results (Batch.Cache.stats cache));
@@ -1024,7 +1105,371 @@ let sweep_cmd =
       $ job_iters_arg $ job_wall_arg $ no_lint_arg $ ordering_arg $ stats_arg
       $ resume_arg $ job_deadline_arg $ grace_arg $ cache_max_bytes_arg
       $ cache_max_entries_arg $ inject_crash_arg $ inject_interrupt_arg
-      $ inject_stall_arg)
+      $ inject_stall_arg $ measure_args)
+
+(* ---------------------------------------------------------- optimize -- *)
+
+let optimize_cmd =
+  let doc = "closed-loop design optimization: drive cached sweep jobs to a spec" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Searches the box given by $(b,--var) bindings with a \
+         deterministic gradient-free optimizer; every candidate point is \
+         one ordinary sweep job ($(b,--analysis)) scored against the \
+         $(b,--spec) clauses. Candidates ride the shared result cache \
+         (revisited points are free; a warm rerun is nearly all hits) and \
+         the run journal ($(b,--resume) continues a killed optimization \
+         mid-trajectory). Stdout carries one JSON trace line per eval, a \
+         summary, the best point and its per-clause scorecard — all free \
+         of wall-clock and cache-provenance fields, so cold and warm runs \
+         are byte-identical. Exit 0 when the spec is met, 7 when the best \
+         point still fails a clause, 5 on interrupt.";
+    ]
+  in
+  let var_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "var" ] ~docv:"VAR"
+          ~doc:
+            "Design variable $(i,NAME=LO:HI[:INIT]) bound over a box \
+             ($(i,INIT) defaults to the midpoint; deck number grammar). \
+             Repeatable.")
+  in
+  let spec_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "spec" ] ~docv:"CLAUSE"
+          ~doc:
+            "Spec clause: $(i,minimize:M), $(i,maximize:M), \
+             $(i,target:M=V~TOL), $(i,M>=B) or $(i,M<=B), where $(i,M) is \
+             a measure such as $(i,gain_db\\@1meg), $(i,bw3db), \
+             $(i,ripple\\@1k..100k) or $(i,stopband\\@2meg..10meg). \
+             Repeatable; at most one goal clause.")
+  in
+  let single_analysis_arg =
+    Arg.(
+      value & opt string "ac"
+      & info [ "analysis" ] ~docv:"ANALYSIS"
+          ~doc:"Analysis each candidate runs: dc, ac, tran, hb or shooting.")
+  in
+  let algo_arg =
+    Arg.(
+      value & opt string "nelder-mead"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Optimizer: $(b,nelder-mead) or $(b,pattern) (compass search).")
+  in
+  let max_evals_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "max-evals" ] ~docv:"N" ~doc:"Hard evaluation budget.")
+  in
+  let tol_x_arg =
+    Arg.(
+      value & opt float 1e-3
+      & info [ "tol-x" ] ~docv:"REL"
+          ~doc:"Relative (to the box width) convergence tolerance.")
+  in
+  let tol_f_arg =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "tol-f" ] ~docv:"REL"
+          ~doc:"Relative objective-spread tolerance (Nelder-Mead).")
+  in
+  let init_step_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "init-step" ] ~docv:"FRAC"
+          ~doc:"Initial simplex/pattern step as a fraction of the box.")
+  in
+  let weight_arg =
+    Arg.(
+      value & opt float Opt.Spec.default_weight
+      & info [ "penalty-weight" ] ~docv:"W"
+          ~doc:"Constraint-violation penalty weight.")
+  in
+  let resume_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "Resume a killed optimization from the run journal in cache \
+             directory $(docv) (implies $(b,--cache-dir) $(docv)): \
+             journaled evals replay without re-execution and the search \
+             continues mid-trajectory.")
+  in
+  let inject_crash_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-crash-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: hard-kill the process (exit 66) once $(docv) \
+             evals have completed — the journal must make the run \
+             resumable.")
+  in
+  let inject_interrupt_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "inject-interrupt-after" ] ~docv:"N"
+          ~doc:
+            "Testing hook: simulate SIGINT delivery once $(docv) evals \
+             have completed.")
+  in
+  let run path vars specs analysis node freq harmonics steps t_stop dt f_start
+      f_stop ppd algo max_evals tol_x tol_f init_step weight cache_dir no_cache
+      telemetry_path job_iters job_wall no_lint ordering stats resume
+      job_deadline grace inject_crash inject_interrupt =
+    let deck_text =
+      try
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        text
+      with Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit exit_parse
+    in
+    let vars, spec =
+      try
+        let vars = List.map Opt.Loop.parse_var vars in
+        if vars = [] then begin
+          Printf.eprintf "optimize: at least one --var is required\n";
+          exit exit_parse
+        end;
+        let names = List.map (fun v -> v.Opt.Loop.v_name) vars in
+        if List.length (List.sort_uniq compare names) <> List.length names then begin
+          Printf.eprintf "optimize: duplicate --var name\n";
+          exit exit_parse
+        end;
+        if specs = [] then begin
+          Printf.eprintf "optimize: at least one --spec clause is required\n";
+          exit exit_parse
+        end;
+        (vars, Opt.Spec.of_strings specs)
+      with Opt.Loop.Parse_error msg ->
+        Printf.eprintf "optimize: %s\n" msg;
+        exit exit_parse
+    in
+    let analysis =
+      try
+        let defaults =
+          make_defaults ~freq ~harmonics ~steps ~t_stop ~dt ~f_start ~f_stop
+            ~ppd
+        in
+        match Batch.Spec.parse_analyses defaults analysis with
+        | [ a ] -> a
+        | _ ->
+            Printf.eprintf "optimize: exactly one --analysis\n";
+            exit exit_parse
+      with Batch.Spec.Spec_error msg ->
+        Printf.eprintf "optimize: %s\n" msg;
+        exit exit_parse
+    in
+    (* every spec measure must read the payload kind the analysis
+       produces — a mismatch would make every candidate unevaluable *)
+    let kind =
+      match analysis with
+      | Batch.Spec.Dc -> "dc"
+      | Batch.Spec.Ac _ -> "ac"
+      | Batch.Spec.Tran _ -> "tran"
+      | Batch.Spec.Hb _ | Batch.Spec.Shooting _ -> "hb"
+    in
+    List.iter
+      (fun m ->
+        let want = Opt.Measure.analysis_of m in
+        if want <> kind then begin
+          Printf.eprintf
+            "optimize: measure %s reads %s payloads but --analysis is %s\n"
+            (Opt.Measure.to_string m) want
+            (Batch.Spec.analysis_name analysis);
+          exit exit_parse
+        end)
+      (Opt.Spec.measures spec);
+    let algo =
+      match Opt.Loop.algo_of_string algo with
+      | Some a -> a
+      | None ->
+          Printf.eprintf
+            "optimize: unknown --algo %s (want nelder-mead or pattern)\n" algo;
+          exit exit_parse
+    in
+    (* pre-flight lint at the initial point: optimized parameters may
+       have no .param default in the deck *)
+    if not no_lint then begin
+      let overrides =
+        List.map (fun v -> (v.Opt.Loop.v_name, v.Opt.Loop.v_init)) vars
+      in
+      match Deck.parse_string_located ~overrides deck_text with
+      | exception Deck.Parse_error (line, msg) ->
+          Printf.eprintf "%s:%d: %s\n" path line msg;
+          exit exit_parse
+      | nl, located ->
+          let ds = Lint.run nl located in
+          let text, fatal = Lint.report ~path ds in
+          if ds <> [] then Printf.eprintf "%s\n" text;
+          if fatal then begin
+            Printf.eprintf
+              "%s: %s; refusing to optimize (use --no-lint to override)\n"
+              path (Lint.summary ds);
+            exit exit_lint
+          end
+    end;
+    let cache_dir = Option.value resume ~default:cache_dir in
+    if resume <> None && no_cache then begin
+      Printf.eprintf "optimize: --resume needs the cache (drop --no-cache)\n";
+      exit exit_parse
+    end;
+    if stats then La.Sparse_lu.reset_counts ();
+    let cfg =
+      {
+        Batch.Runner.deck_text;
+        node;
+        domains = 1;
+        budget = budget_of job_iters job_wall;
+        tol_scale = 1.0;
+        ordering;
+        stats;
+        deadline = job_deadline;
+        grace;
+      }
+    in
+    (match (inject_crash, inject_interrupt) with
+    | None, None -> ()
+    | crash_after, interrupt_after ->
+        Solve.Faults.arm_process
+          {
+            Solve.Faults.crash_after;
+            interrupt_after;
+            stall_job = None;
+            accept_stall = None;
+          });
+    let options =
+      { Opt.Optim.max_evals; tol_x; tol_f; init_step }
+    in
+    let run_hash =
+      Opt.Loop.run_hash cfg ~spec ~analysis ~algo ~options ~weight vars
+    in
+    let cache = Batch.Cache.create ~enabled:(not no_cache) ~dir:cache_dir () in
+    let telemetry =
+      Batch.Telemetry.create ?log_path:telemetry_path ~total:max_evals ()
+    in
+    let replay =
+      if resume = None then None
+      else begin
+        let r = Batch.Journal.load ~dir:cache_dir ~run:run_hash in
+        if r = None then
+          Printf.eprintf
+            "optimize: no journal for this setup under %s; running from \
+             scratch\n"
+            cache_dir;
+        r
+      end
+    in
+    let journal =
+      if no_cache then None
+      else
+        Some (Batch.Journal.create ~dir:cache_dir ~run:run_hash ~total:max_evals)
+    in
+    let install_signals () =
+      let handle _ =
+        if Solve.Deadline.interrupt_requested () then Unix._exit 130
+        else Batch.Runner.request_stop ~grace
+      in
+      try
+        Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    install_signals ();
+    let outcome =
+      Opt.Loop.run cfg ~cache ~telemetry ?journal ?replay ~emit:print_endline
+        ~spec ~weight ~algo ~options ~analysis vars
+    in
+    (match journal with
+    | None -> ()
+    | Some j ->
+        if outcome.Opt.Loop.o_interrupted then Batch.Journal.close j
+        else Batch.Journal.finish_run j);
+    Batch.Telemetry.close telemetry;
+    let reason, iterations =
+      match outcome.Opt.Loop.o_result with
+      | Some r -> (Opt.Optim.reason_to_string r.Opt.Optim.reason, r.Opt.Optim.iterations)
+      | None -> ("interrupted", 0)
+    in
+    print_endline
+      (Batch.Json.obj
+         [
+           ( "summary",
+             Batch.Json.obj
+               [
+                 ("algo", Batch.Json.str (Opt.Loop.algo_to_string algo));
+                 ("reason", Batch.Json.str reason);
+                 ("evals", Batch.Json.int outcome.Opt.Loop.o_evals);
+                 ("iterations", Batch.Json.int iterations);
+               ] );
+         ]);
+    (match outcome.Opt.Loop.o_best with
+    | None -> ()
+    | Some b ->
+        print_endline
+          (Batch.Json.obj
+             [
+               ( "best",
+                 Batch.Json.obj
+                   [
+                     ("eval", Batch.Json.int b.Opt.Loop.e_index);
+                     ("params", Batch.Expand.params_json b.Opt.Loop.e_params);
+                     ("penalty", Batch.Json.num b.Opt.Loop.e_score.Opt.Spec.penalty);
+                     ("met", Batch.Json.bool b.Opt.Loop.e_score.Opt.Spec.met);
+                   ] );
+             ]);
+        List.iter
+          (fun (v : Opt.Spec.verdict) ->
+            print_endline
+              (Batch.Json.obj
+                 [
+                   ( "verdict",
+                     Batch.Json.obj
+                       ([ ("clause", Batch.Json.str v.Opt.Spec.v_clause) ]
+                       @ [
+                           ( "value",
+                             match v.Opt.Spec.v_value with
+                             | None -> "null"
+                             | Some x -> Batch.Json.num x );
+                           ("pass", Batch.Json.bool v.Opt.Spec.v_pass);
+                         ]
+                       @
+                       match v.Opt.Spec.v_margin with
+                       | None -> []
+                       | Some m -> [ ("margin", Batch.Json.num m) ]) );
+                 ]))
+          b.Opt.Loop.e_score.Opt.Spec.verdicts);
+    let cs = Batch.Cache.stats cache in
+    Printf.eprintf
+      "optimize: algo=%s evals=%d reason=%s | cache: hits=%d misses=%d \
+       stores=%d\n"
+      (Opt.Loop.algo_to_string algo)
+      outcome.Opt.Loop.o_evals reason cs.Batch.Cache.hits cs.Batch.Cache.misses
+      cs.Batch.Cache.stores;
+    if outcome.Opt.Loop.o_interrupted then exit exit_interrupted;
+    let met =
+      match outcome.Opt.Loop.o_best with
+      | Some b -> b.Opt.Loop.e_score.Opt.Spec.met
+      | None -> false
+    in
+    if not met then exit exit_spec
+  in
+  Cmd.v (Cmd.info "optimize" ~doc ~man)
+    Term.(
+      const run $ deck_arg $ var_args $ spec_args $ single_analysis_arg
+      $ node_arg "out" $ freq_arg $ harmonics_arg $ steps_arg $ t_stop_arg
+      $ dt_arg $ f_start_arg $ f_stop_arg $ ppd_arg $ algo_arg $ max_evals_arg
+      $ tol_x_arg $ tol_f_arg $ init_step_arg $ weight_arg $ cache_dir_arg
+      $ no_cache_arg $ telemetry_arg $ job_iters_arg $ job_wall_arg
+      $ no_lint_arg $ ordering_arg $ stats_arg $ resume_arg $ job_deadline_arg
+      $ grace_arg $ inject_crash_arg $ inject_interrupt_arg)
 
 (* ------------------------------------------------------------- cache -- *)
 
@@ -1439,6 +1884,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; lint_cmd; analyze_cmd; dc_cmd; tran_cmd; ac_cmd; hb_cmd;
-            shooting_cmd; mmft_cmd; noise_cmd; sweep_cmd; cache_cmd;
-            serve_cmd; client_cmd;
+            shooting_cmd; mmft_cmd; noise_cmd; sweep_cmd; optimize_cmd;
+            cache_cmd; serve_cmd; client_cmd;
           ]))

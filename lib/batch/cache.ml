@@ -31,7 +31,8 @@ type t = {
   mutable last_touch : float; (* monotonic recency stamp, see [touch] *)
 }
 
-let format_version = "rfkit-batch-cache-v1"
+(* v2: dc payloads grew branch currents and a total source-power field *)
+let format_version = "rfkit-batch-cache-v2"
 
 let create ?(enabled = true) ~dir () =
   { dir; enabled; lock = Mutex.create ();

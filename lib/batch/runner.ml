@@ -94,9 +94,31 @@ let resolve_freq c = function
 
 let dc_data c x =
   let nl = Mna.netlist c in
-  Json.obj
-    (List.init (Netlist.node_count nl) (fun i ->
-         ("v(" ^ Netlist.node_name nl i ^ ")", Json.num x.(i))))
+  let nodes = Netlist.node_count nl in
+  let voltages =
+    List.init nodes (fun i ->
+        ("v(" ^ Netlist.node_name nl i ^ ")", Json.num x.(i)))
+  in
+  (* branch-current unknowns (voltage sources, inductors) follow the node
+     block; their labels are already canonical ["i(DEV)"] *)
+  let currents =
+    List.init (Mna.size c - nodes) (fun k ->
+        let i = nodes + k in
+        (Mna.unknown_label c i, Json.num x.(i)))
+  in
+  let volt n = if n < 0 then 0.0 else x.(n) in
+  let power =
+    List.fold_left
+      (fun acc d ->
+        match d with
+        | Device.Vsource { name; p; n; _ } -> (
+            match Mna.branch_index c name with
+            | Some b -> acc +. Float.abs ((volt p -. volt n) *. x.(b))
+            | None -> acc)
+        | _ -> acc)
+      0.0 (Netlist.devices nl)
+  in
+  Json.obj (voltages @ currents @ [ ("power", Json.num power) ])
 
 let harmonics_data sol node n =
   Json.obj

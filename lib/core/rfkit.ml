@@ -19,6 +19,9 @@
     - {!Serve}: the batch runner as a resilient daemon — bounded
       admission, graceful drain, journal-backed crash recovery, and the
       retrying client
+    - {!Opt}: closed-loop design optimization — the measure catalogue,
+      the declarative spec language, and gradient-free optimizers
+      driving cached sweeps
 
     Each alias re-exports a library whose modules carry their own
     documentation; start with {!Rf.Hb} and {!Circuit.Netlist}. *)
@@ -34,6 +37,7 @@ module Rom = Rfkit_rom
 module Lint = Rfkit_lint
 module Batch = Rfkit_batch
 module Serve = Rfkit_serve
+module Opt = Rfkit_opt
 
 (** Library version. *)
 let version = "1.0.0"

@@ -1,0 +1,90 @@
+(** The closed design loop behind [rfsim optimize]: each candidate point
+    becomes one sweep job through {!Rfkit_batch.Runner.run_one}, its
+    payload is scored against the {!Spec}, and the scalar penalty drives
+    the {!Optim} search.
+
+    Candidates ride the shared content-addressed cache (revisited points
+    are free; warm reruns are nearly all hits) and the run {!Journal}
+    (a killed optimization resumes mid-trajectory: the eval sequence is
+    deterministic, so eval [i] is job id [i] in every rerun). The
+    per-eval trace carries no wall-clock and no cache provenance — cold
+    and warm runs of the same optimization emit byte-identical stdout. *)
+
+type var = {
+  v_name : string;  (** the [.param] name the optimizer binds *)
+  v_lo : float;
+  v_hi : float;
+  v_init : float;
+}
+
+type algo = Nelder_mead | Pattern_search
+
+val algo_to_string : algo -> string
+val algo_of_string : string -> algo option
+
+exception Parse_error of string
+
+val parse_var : string -> var
+(** Parse [NAME=LO:HI[:INIT]] (deck number grammar); [INIT] defaults to
+    the midpoint. Raises {!Parse_error} on malformed input, inverted
+    bounds, or an out-of-box initial value. *)
+
+type eval = {
+  e_index : int;  (** eval number = sweep job id, 0-based *)
+  e_params : (string * float) list;  (** bindings, sorted by name *)
+  e_status : string;  (** ["ok"] | ["suspect"] | ["failed"] *)
+  e_cached : bool;  (** cache hit or journal replay (telemetry only) *)
+  e_measures : (string * float option) list;
+      (** canonical label -> value, spec order *)
+  e_score : Spec.score;
+}
+
+type outcome = {
+  o_result : Optim.result option;  (** [None] when interrupted *)
+  o_evals : int;  (** evals actually issued this run *)
+  o_best : eval option;
+      (** the reported point: spec-met beats not-met, then lower
+          penalty, then earlier eval *)
+  o_interrupted : bool;
+}
+
+val trace_line : eval -> string
+(** One canonical JSON trace line:
+    [{"eval":N,"params":{...},"status":...,"penalty":...,"met":...,
+    "measures":{...}}]. *)
+
+val run_hash :
+  Rfkit_batch.Runner.config ->
+  spec:Spec.t ->
+  analysis:Rfkit_batch.Spec.analysis ->
+  algo:algo ->
+  options:Optim.options ->
+  weight:float ->
+  var list ->
+  string
+(** The journal identity of an optimization: hashes everything that
+    shapes the eval trajectory {e except} the eval budget, so an
+    interrupted run resumed with a bigger budget still finds its
+    journal. *)
+
+val run :
+  Rfkit_batch.Runner.config ->
+  cache:Rfkit_batch.Cache.t ->
+  telemetry:Rfkit_batch.Telemetry.t ->
+  ?journal:Rfkit_batch.Journal.t ->
+  ?replay:Rfkit_batch.Journal.replay ->
+  ?emit:(string -> unit) ->
+  spec:Spec.t ->
+  ?weight:float ->
+  ?algo:algo ->
+  ?options:Optim.options ->
+  analysis:Rfkit_batch.Spec.analysis ->
+  var list ->
+  outcome
+(** Run the loop. [emit] receives each eval's trace line in order.
+    Sets the process interrupt action to [Note]: a stop request (or a
+    drain-killed job) aborts between evals with [o_interrupted = true]
+    and the journal left on disk for resume. A spec-met point stops the
+    search early — except under an open-ended minimize/maximize goal.
+    Raises [Invalid_argument] on an empty variable list or inverted
+    bounds. *)

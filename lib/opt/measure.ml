@@ -1,0 +1,233 @@
+(* The typed measure catalogue: scalar performance figures extracted
+   from a sweep job's canonical JSON payload — never by re-running an
+   engine. Evaluating from the payload is what makes measures free on
+   cache hits and byte-stable across reruns: the payload is the cached
+   unit, so a measure over it is as deterministic as the cache itself.
+
+   Each measure knows which analysis payload it reads (an AC magnitude
+   sweep, an HB harmonic table, a DC operating point, a transient
+   envelope); evaluation against any other payload kind — or a failed
+   job, or a target off the sampled grid — is [None], rendered as an
+   empty CSV cell and an infeasible point by the optimizer. The curve
+   measures delegate to {!Rfkit_rf.Measures}, which interpolates
+   linearly between grid samples. *)
+
+module Json = Rfkit_batch.Json
+module Deck = Rfkit_circuit.Deck
+module M = Rfkit_rf.Measures
+
+type band = { f_lo : float; f_hi : float }
+
+type t =
+  | Gain of float  (* |H| at a frequency, linear *)
+  | Gain_db of float
+  | Bw_3db
+  | Ripple of band  (* passband peak-to-peak, dB *)
+  | Stopband of band  (* worst-case attenuation over the band, dB *)
+  | Thd
+  | Fund  (* fundamental harmonic amplitude *)
+  | Harm_db of int  (* harmonic k relative to the fundamental, dB *)
+  | Dc_power  (* total |V*I| delivered by voltage sources *)
+  | Vdc of string
+  | Idc of string
+  | V_end
+  | V_min
+  | V_max
+  | V_swing
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let number ~what s =
+  match Deck.parse_value (String.trim s) with
+  | v -> v
+  | exception Deck.Parse_error (_, msg) -> fail "%s: %s" what msg
+
+let parse_band ~what s =
+  match
+    let i = ref (-1) in
+    String.iteri
+      (fun k c ->
+        if !i < 0 && k > 0 && c = '.' && s.[k - 1] = '.' then i := k - 1)
+      s;
+    !i
+  with
+  | -1 -> fail "%s: expected LO..HI (got %S)" what s
+  | i ->
+      let lo = number ~what (String.sub s 0 i)
+      and hi = number ~what (String.sub s (i + 2) (String.length s - i - 2)) in
+      if not (lo < hi) then fail "%s: empty band %g..%g" what lo hi;
+      { f_lo = lo; f_hi = hi }
+
+let parse s =
+  let s = String.trim s in
+  let head, arg =
+    match String.index_opt s '@' with
+    | Some i ->
+        ( String.lowercase_ascii (String.sub s 0 i),
+          Some (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (String.lowercase_ascii s, None)
+  in
+  let no_arg m =
+    match arg with
+    | None -> m
+    | Some _ -> fail "measure %s takes no @argument" head
+  in
+  let need_arg () =
+    match arg with
+    | Some a when String.trim a <> "" -> String.trim a
+    | _ -> fail "measure %s needs an @argument" head
+  in
+  match head with
+  | "gain" -> Gain (number ~what:"gain" (need_arg ()))
+  | "gain_db" -> Gain_db (number ~what:"gain_db" (need_arg ()))
+  | "bw3db" -> no_arg Bw_3db
+  | "ripple" -> Ripple (parse_band ~what:"ripple" (need_arg ()))
+  | "stopband" -> Stopband (parse_band ~what:"stopband" (need_arg ()))
+  | "thd" -> no_arg Thd
+  | "fund" -> no_arg Fund
+  | "harm_db" -> (
+      let a = need_arg () in
+      match int_of_string_opt a with
+      | Some k when k >= 0 -> Harm_db k
+      | _ -> fail "harm_db: harmonic index %S is not a non-negative integer" a)
+  | "dc_power" -> no_arg Dc_power
+  | "vdc" -> Vdc (need_arg ())
+  | "idc" -> Idc (need_arg ())
+  | "v_end" -> no_arg V_end
+  | "v_min" -> no_arg V_min
+  | "v_max" -> no_arg V_max
+  | "v_swing" -> no_arg V_swing
+  | _ ->
+      fail
+        "unknown measure %S (catalogue: gain@F, gain_db@F, bw3db, \
+         ripple@LO..HI, stopband@LO..HI, thd, fund, harm_db@K, dc_power, \
+         vdc@NODE, idc@DEV, v_end, v_min, v_max, v_swing)"
+        head
+
+let parse_result s =
+  match parse s with m -> Ok m | exception Parse_error msg -> Error msg
+
+(* canonical label: doubles as the CSV column header and the trace key,
+   so it must be injective and float-format-stable (%.9g, like Json.num) *)
+let to_string = function
+  | Gain f -> Printf.sprintf "gain@%.9g" f
+  | Gain_db f -> Printf.sprintf "gain_db@%.9g" f
+  | Bw_3db -> "bw3db"
+  | Ripple b -> Printf.sprintf "ripple@%.9g..%.9g" b.f_lo b.f_hi
+  | Stopband b -> Printf.sprintf "stopband@%.9g..%.9g" b.f_lo b.f_hi
+  | Thd -> "thd"
+  | Fund -> "fund"
+  | Harm_db k -> Printf.sprintf "harm_db@%d" k
+  | Dc_power -> "dc_power"
+  | Vdc n -> Printf.sprintf "vdc@%s" n
+  | Idc n -> Printf.sprintf "idc@%s" n
+  | V_end -> "v_end"
+  | V_min -> "v_min"
+  | V_max -> "v_max"
+  | V_swing -> "v_swing"
+
+let analysis_of = function
+  | Gain _ | Gain_db _ | Bw_3db | Ripple _ | Stopband _ -> "ac"
+  | Thd | Fund | Harm_db _ -> "hb"
+  | Dc_power | Vdc _ | Idc _ -> "dc"
+  | V_end | V_min | V_max | V_swing -> "tran"
+
+(* ------------------------------------------------------- evaluation -- *)
+
+let num_field name v = Option.bind (Json.member name v) Json.to_num
+
+let num_array name v =
+  match Json.member name v with
+  | Some (Json.Arr xs) ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | Json.Num x :: tl -> go (x :: acc) tl
+        | _ -> None
+      in
+      go [] xs
+  | _ -> None
+
+let curve data =
+  match (num_array "freq" data, num_array "mag" data) with
+  | Some freqs, Some mags
+    when Array.length freqs = Array.length mags && Array.length freqs > 0 ->
+      Some (freqs, mags)
+  | _ -> None
+
+let harmonics data = num_array "harmonics" data
+
+let guard f = match f () with v -> v | exception Invalid_argument _ -> None
+
+let finite = function Some v when Float.is_finite v -> Some v | _ -> None
+
+let eval_data m data =
+  match m with
+  | Gain f ->
+      Option.bind (curve data) (fun (freqs, mags) ->
+          guard (fun () -> M.gain_at ~freqs ~mags f))
+  | Gain_db f ->
+      Option.bind (curve data) (fun (freqs, mags) ->
+          match guard (fun () -> M.gain_at ~freqs ~mags f) with
+          | Some g when g > 0.0 -> Some (20.0 *. log10 g)
+          | _ -> None)
+  | Bw_3db ->
+      Option.bind (curve data) (fun (freqs, mags) ->
+          guard (fun () -> M.bandwidth_3db ~freqs ~mags))
+  | Ripple b ->
+      Option.bind (curve data) (fun (freqs, mags) ->
+          guard (fun () -> M.ripple_db ~freqs ~mags ~f_lo:b.f_lo ~f_hi:b.f_hi))
+  | Stopband b ->
+      Option.bind (curve data) (fun (freqs, mags) ->
+          guard (fun () ->
+              M.band_attenuation_db ~freqs ~mags ~f_lo:b.f_lo ~f_hi:b.f_hi))
+  | Thd ->
+      Option.bind (harmonics data) (fun a ->
+          if Array.length a < 3 || not (a.(1) > 0.0) then None
+          else begin
+            let s = ref 0.0 in
+            for k = 2 to Array.length a - 1 do
+              s := !s +. (a.(k) *. a.(k))
+            done;
+            Some (sqrt !s /. a.(1))
+          end)
+  | Fund ->
+      Option.bind (harmonics data) (fun a ->
+          if Array.length a > 1 then Some a.(1) else None)
+  | Harm_db k ->
+      Option.bind (harmonics data) (fun a ->
+          if k >= Array.length a || Array.length a < 2 then None
+          else if a.(1) > 0.0 && a.(k) > 0.0 then
+            Some (20.0 *. log10 (a.(k) /. a.(1)))
+          else None)
+  | Dc_power -> num_field "power" data
+  | Vdc n -> num_field (Printf.sprintf "v(%s)" n) data
+  | Idc n -> num_field (Printf.sprintf "i(%s)" n) data
+  | V_end -> num_field "v_end" data
+  | V_min -> num_field "v_min" data
+  | V_max -> num_field "v_max" data
+  | V_swing -> (
+      match (num_field "v_max" data, num_field "v_min" data) with
+      | Some hi, Some lo -> Some (hi -. lo)
+      | _ -> None)
+
+(* [eval m payload]: the payload must be an ok/suspect result of the
+   measure's analysis kind; shooting payloads carry the same harmonic
+   table HB ones do, so the hb measures read both. *)
+let eval m payload =
+  match Json.member "status" payload with
+  | Some (Json.Str ("ok" | "suspect")) -> (
+      let kind_ok =
+        match Json.member "analysis" payload with
+        | Some (Json.Str a) ->
+            a = analysis_of m || (analysis_of m = "hb" && a = "shooting")
+        | _ -> false
+      in
+      match (kind_ok, Json.member "data" payload) with
+      | true, Some data -> finite (eval_data m data)
+      | _ -> None)
+  | _ -> None
+
+let eval_string m payload_text =
+  Option.bind (Json.parse payload_text) (eval m)

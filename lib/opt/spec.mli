@@ -1,0 +1,74 @@
+(** The declarative design-spec language: goals plus mask constraints
+    over the {!Measure} catalogue, aggregated into a scalar penalty for
+    the gradient-free optimizer and a typed per-clause scorecard.
+
+    Surface syntax (one clause per [--spec] flag):
+    - [minimize:MEASURE] / [maximize:MEASURE]
+    - [target:MEASURE=VALUE~TOL] (meet [VALUE] within [±TOL])
+    - [MEASURE>=BOUND] / [MEASURE<=BOUND] (mask constraints), e.g.
+      [stopband@2e6..1e7>=40] — at least 40 dB attenuation over the
+      band.
+
+    Numbers use the deck grammar (engineering suffixes). A spec has at
+    most one goal and any number of constraints. *)
+
+type goal =
+  | Minimize of Measure.t
+  | Maximize of Measure.t
+  | Target of { measure : Measure.t; value : float; tol : float }
+
+type bound = Ge | Le
+type constr = { c_measure : Measure.t; c_bound : bound; c_limit : float }
+type clause = Goal of goal | Constraint of constr
+type t = { goal : goal option; constraints : constr list }
+
+exception Parse_error of string
+
+val parse_clause : string -> clause
+(** Raises {!Parse_error} on malformed clauses. *)
+
+val make : clause list -> t
+(** Raises {!Parse_error} on an empty spec or two goal clauses. *)
+
+val of_strings : string list -> t
+
+val clause_to_string : clause -> string
+val constr_to_string : constr -> string
+val goal_to_string : goal -> string
+
+val clauses : t -> clause list
+val to_strings : t -> string list
+(** Canonical renderings: [of_strings (to_strings t) = t]. *)
+
+val measures : t -> Measure.t list
+(** Distinct measures the spec evaluates, in first-mention order. *)
+
+(** {2 Scoring} *)
+
+type verdict = {
+  v_clause : string;  (** canonical clause text *)
+  v_value : float option;  (** measured value, if evaluable *)
+  v_pass : bool;
+  v_margin : float option;
+      (** slack to the bound (positive = satisfied) for constraints,
+          [tol - |value - target|] for a target goal; [None] for
+          minimize/maximize goals and unevaluable measures *)
+}
+
+type score = {
+  penalty : float;
+      (** [objective + weight * sum(violation / max(1, |bound|))];
+          infinity when a required measure cannot be evaluated *)
+  objective : float option;  (** goal contribution before constraints *)
+  verdicts : verdict list;  (** goal first (if any), then constraints *)
+  feasible : bool;  (** every constraint evaluable and satisfied *)
+  met : bool;
+      (** feasible, and a target goal (if any) within tolerance — the
+          [rfsim optimize] exit-0 criterion *)
+}
+
+val default_weight : float
+
+val score : ?weight:float -> t -> (Measure.t -> float option) -> score
+(** Pure float arithmetic over the measure lookups: deterministic and
+    wall-clock-free by construction. *)

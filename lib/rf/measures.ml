@@ -45,6 +45,126 @@ let iip3 ?(a_probe = 1e-3) ~build ~node ~f1 ~f2 () =
        a_probe * sqrt(A_fund / A_im3) *)
     a_probe *. sqrt (a_fund /. a_im3)
 
+(* ----------------------------------------------------- sampled curves --
+
+   Grid-based measures over already-computed analysis results (an AC
+   magnitude sweep, an HB amplitude sweep). All of them interpolate
+   linearly between the bracketing samples — in (log10 x, y) space,
+   since the grids are log-spaced — instead of snapping to the nearest
+   grid point, and return [None] when the target lies outside the
+   sampled range: an out-of-range answer would be an extrapolation
+   masquerading as a measurement. The grid must be strictly increasing
+   and positive (log axes); violations raise [Invalid_argument]. *)
+
+let check_grid ~what xs ys =
+  let n = Array.length xs in
+  if n = 0 || Array.length ys <> n then
+    invalid_arg (what ^ ": grid and samples must be same nonzero length");
+  for i = 0 to n - 1 do
+    if not (xs.(i) > 0.0) then
+      invalid_arg (what ^ ": grid points must be positive (log axis)");
+    if i > 0 && not (xs.(i) > xs.(i - 1)) then
+      invalid_arg (what ^ ": grid must be strictly increasing")
+  done
+
+(* y at x, linear in (log10 x, y); None outside [xs.(0), xs.(n-1)] *)
+let interp_log ~xs ~ys x =
+  let n = Array.length xs in
+  if x < xs.(0) || x > xs.(n - 1) then None
+  else begin
+    (* binary search for the bracket [i, i+1] with xs.(i) <= x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let i = !lo in
+    if x = xs.(i) then Some ys.(i)
+    else if x = xs.(i + 1) then Some ys.(i + 1)
+    else
+      let t = (log10 x -. log10 xs.(i)) /. (log10 xs.(i + 1) -. log10 xs.(i)) in
+      Some (ys.(i) +. (t *. (ys.(i + 1) -. ys.(i))))
+  end
+
+(* first x (scanning left to right) where the piecewise-linear curve
+   crosses [target] downward; linear interpolation inside the bracket *)
+let first_downward_crossing ~xs ~ys ~target =
+  let n = Array.length xs in
+  if ys.(0) <= target then Some xs.(0)
+  else begin
+    let rec scan i =
+      if i >= n then None
+      else if ys.(i) <= target then begin
+        let x0 = log10 xs.(i - 1) and x1 = log10 xs.(i) in
+        let y0 = ys.(i - 1) and y1 = ys.(i) in
+        let t = if y1 = y0 then 1.0 else (target -. y0) /. (y1 -. y0) in
+        Some (10.0 ** (x0 +. (t *. (x1 -. x0))))
+      end
+      else scan (i + 1)
+    in
+    scan 1
+  end
+
+let gain_at ~freqs ~mags f =
+  check_grid ~what:"Measures.gain_at" freqs mags;
+  interp_log ~xs:freqs ~ys:mags f
+
+let bandwidth_3db ~freqs ~mags =
+  check_grid ~what:"Measures.bandwidth_3db" freqs mags;
+  let reference = mags.(0) in
+  if not (reference > 0.0) then None
+  else
+    let target = reference *. (10.0 ** (-3.0 /. 20.0)) in
+    first_downward_crossing ~xs:freqs ~ys:mags ~target
+
+(* band extrema of a piecewise-linear curve: attained at interior
+   samples or at the (interpolated) band endpoints *)
+let band_extrema ~what ~xs ~ys ~x_lo ~x_hi =
+  check_grid ~what xs ys;
+  if not (x_lo < x_hi) then invalid_arg (what ^ ": empty band");
+  match (interp_log ~xs ~ys x_lo, interp_log ~xs ~ys x_hi) with
+  | Some y_lo, Some y_hi ->
+      let mn = ref (min y_lo y_hi) and mx = ref (max y_lo y_hi) in
+      Array.iteri
+        (fun i x ->
+          if x >= x_lo && x <= x_hi then begin
+            if ys.(i) < !mn then mn := ys.(i);
+            if ys.(i) > !mx then mx := ys.(i)
+          end)
+        xs;
+      Some (!mn, !mx)
+  | _ -> None (* band extends past the sampled grid *)
+
+let db20 x = 20.0 *. log10 x
+
+let ripple_db ~freqs ~mags ~f_lo ~f_hi =
+  match band_extrema ~what:"Measures.ripple_db" ~xs:freqs ~ys:mags ~x_lo:f_lo ~x_hi:f_hi with
+  | Some (mn, mx) when mn > 0.0 -> Some (db20 mx -. db20 mn)
+  | _ -> None
+
+let band_attenuation_db ~freqs ~mags ~f_lo ~f_hi =
+  check_grid ~what:"Measures.band_attenuation_db" freqs mags;
+  let reference = mags.(0) in
+  if not (reference > 0.0) then None
+  else
+    match
+      band_extrema ~what:"Measures.band_attenuation_db" ~xs:freqs ~ys:mags
+        ~x_lo:f_lo ~x_hi:f_hi
+    with
+    | Some (_, mx) when mx > 0.0 -> Some (db20 reference -. db20 mx)
+    | _ -> None
+
+let compression_from_curve ~amps ~gains =
+  check_grid ~what:"Measures.compression_from_curve" amps gains;
+  let g0 = gains.(0) in
+  if not (g0 > 0.0) then None
+  else
+    let target = g0 *. (10.0 ** (-1.0 /. 20.0)) in
+    match first_downward_crossing ~xs:amps ~ys:gains ~target with
+    | Some a when a > amps.(0) -> Some a
+    | Some _ -> None (* already compressed at the smallest drive: no small-signal reference *)
+    | None -> None
+
 let noise_figure c ~source_resistor ~node ~freq =
   let freqs = [| freq |] in
   let total = (Ac.output_noise c ~node ~freqs).(0) in
